@@ -1,0 +1,107 @@
+"""T7 -- the leftover-hash-lemma entropy cliff.
+
+Sweep the P1 leakage budget from "theorem bound" toward "everything":
+the brute-force adversary's success flips from 0 to 1 exactly when the
+*unleaked* key entropy drops inside its work bound.  This is the
+computational shadow of the LHL argument behind Pi_ss / Definition 5.1
+part 2: security is governed by the residual min-entropy of the key
+given the leakage.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.adversaries import BruteForceAdversary
+from repro.analysis.games import CPACMLGame
+from repro.core.optimal import OptimalDLR
+from repro.leakage.oracle import LeakageBudget
+from repro.math.entropy import lhl_extractable_bits
+
+MISSING_BITS = (0, 2, 4, 6, 8, 16, 32, 64)
+WORK_BOUND_BITS = 10
+
+
+class TestEntropyCliff:
+    def test_generate_series(self, benchmark, small_params, table_writer):
+        scheme = OptimalDLR(small_params)
+        m1 = small_params.sk_comm_bits()
+        m2 = small_params.sk2_bits()
+
+        def one_trial(missing, seed):
+            b1 = m1 - missing
+            budget = LeakageBudget(0, max(b1, 0), m2)
+            adversary = BruteForceAdversary(
+                random.Random(seed + 5000), scheme, max(b1, 0),
+                max_work_bits=WORK_BOUND_BITS,
+            )
+            result = CPACMLGame(scheme, budget, random.Random(seed)).run(adversary)
+            recovered = adversary.master_secret is not None
+            return result.won and recovered, adversary.attempted_candidates
+
+        benchmark.pedantic(lambda: one_trial(4, 0), rounds=2, iterations=1)
+
+        rows = []
+        outcomes = {}
+        for missing in MISSING_BITS:
+            trials = [one_trial(missing, seed) for seed in range(3)]
+            wins = sum(w for w, _ in trials)
+            work = max(c for _, c in trials)
+            outcomes[missing] = wins
+            feasible = missing <= WORK_BOUND_BITS
+            rows.append(
+                [
+                    missing,
+                    m1 - missing,
+                    "yes" if feasible else "no",
+                    f"{wins}/3",
+                    work,
+                ]
+            )
+        table_writer(
+            "T7_entropy_cliff",
+            ["missing key bits", "b1 (leaked)", "within work bound", "wins", "max candidates tried"],
+            rows,
+            note=(
+                f"Brute-force completion attack vs residual key entropy "
+                f"(work bound 2^{WORK_BOUND_BITS}). 'wins' counts certain "
+                "wins (key actually recovered), not lucky coin flips. The "
+                "cliff sits exactly at the work bound -- security = "
+                "residual entropy."
+            ),
+        )
+
+        # Below the work bound: key always recovered. Above: never.
+        for missing in MISSING_BITS:
+            if missing <= WORK_BOUND_BITS:
+                assert outcomes[missing] == 3, f"missing={missing}"
+            else:
+                assert outcomes[missing] == 0, f"missing={missing}"
+
+    def test_lhl_parameters_consistent(self, benchmark, small_params, table_writer):
+        """The parameter schedule leaves >= log p + 2 log(1/eps) residual
+        entropy after lambda bits of leakage -- exactly what Definition
+        5.1 part 2 demands."""
+        params = small_params
+
+        def residual():
+            key_entropy = params.sk_comm_bits()
+            return key_entropy - params.lam
+
+        benchmark(residual)
+        leftover = residual()
+        needed = params.log_p + 2 * params.epsilon_log2
+        rows = [
+            ["|sk_comm| (bits)", params.sk_comm_bits()],
+            ["lambda (leakage)", params.lam],
+            ["residual entropy", leftover],
+            ["needed: log p + 2 log(1/eps)", needed],
+            ["LHL-extractable bits", f"{lhl_extractable_bits(leftover, 2.0 ** -params.n):.0f}"],
+        ]
+        table_writer(
+            "T7_lhl_parameters",
+            ["quantity", "value"],
+            rows,
+            note="Residual-entropy accounting behind kappa = 1 + (lambda + 2n)/log p.",
+        )
+        assert leftover >= needed

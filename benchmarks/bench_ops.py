@@ -1,0 +1,163 @@
+"""T12 -- microbenchmarks of every primitive operation.
+
+Regenerates the performance substrate table: pairing, exponentiations,
+sampling, HPSKE operations, and the four scheme operations (Gen, Enc,
+2-party Dec, 2-party Ref), at the default 64-bit benchmark size.
+"""
+
+import random
+
+import pytest
+
+from repro.core.dlr import DLR
+from repro.core.hpske import HPSKE
+from repro.core.optimal import OptimalDLR
+from repro.protocol.channel import Channel
+from repro.protocol.device import Device
+
+
+@pytest.fixture(scope="module")
+def dlr(bench_params):
+    return DLR(bench_params)
+
+
+@pytest.fixture(scope="module")
+def generated(dlr):
+    return dlr.generate(random.Random(1))
+
+
+def installed_devices(scheme, generated, seed=2):
+    rng = random.Random(seed)
+    p1 = Device("P1", scheme.group, rng)
+    p2 = Device("P2", scheme.group, rng)
+    scheme.install(p1, p2, generated.share1, generated.share2)
+    return p1, p2, Channel()
+
+
+class TestGroupOps:
+    def test_pairing(self, benchmark, bench_group, rng):
+        u, v = bench_group.random_g(rng), bench_group.random_g(rng)
+        benchmark(lambda: bench_group.pair(u, v))
+
+    def test_g_exponentiation(self, benchmark, bench_group, rng):
+        u = bench_group.random_g(rng)
+        k = bench_group.random_scalar(rng)
+        benchmark(lambda: u ** k)
+
+    def test_gt_exponentiation(self, benchmark, bench_group, rng):
+        u = bench_group.random_gt(rng)
+        k = bench_group.random_scalar(rng)
+        benchmark(lambda: u ** k)
+
+    def test_g_sampling_unknown_dlog(self, benchmark, bench_group, rng):
+        benchmark(lambda: bench_group.random_g(rng))
+
+    def test_gt_sampling_unknown_dlog(self, benchmark, bench_group, rng):
+        benchmark(lambda: bench_group.random_gt(rng))
+
+
+class TestHPSKEOps:
+    def test_encrypt(self, benchmark, bench_group, bench_params, rng):
+        scheme = HPSKE(bench_group, bench_params.kappa, "G")
+        key = scheme.keygen(rng)
+        message = bench_group.random_g(rng)
+        benchmark(lambda: scheme.encrypt(key, message, rng))
+
+    def test_decrypt(self, benchmark, bench_group, bench_params, rng):
+        scheme = HPSKE(bench_group, bench_params.kappa, "G")
+        key = scheme.keygen(rng)
+        ciphertext = scheme.encrypt(key, bench_group.random_g(rng), rng)
+        benchmark(lambda: scheme.decrypt(key, ciphertext))
+
+    def test_pairing_transport(self, benchmark, bench_group, bench_params, rng):
+        scheme = HPSKE(bench_group, bench_params.kappa, "G")
+        key = scheme.keygen(rng)
+        ciphertext = scheme.encrypt(key, bench_group.random_g(rng), rng)
+        point = bench_group.random_g(rng)
+        benchmark(lambda: ciphertext.pair_with(point))
+
+
+class TestScaling:
+    def test_op_scaling_table(self, benchmark, table_writer):
+        """T12's 'figure': substrate op costs across group sizes."""
+        import time
+
+        from repro.groups import preset_group
+
+        def median_time(fn, repeats=7):
+            samples = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fn()
+                samples.append(time.perf_counter() - start)
+            samples.sort()
+            return samples[len(samples) // 2]
+
+        rows = []
+        timings = {}
+        for n_bits in (32, 64, 96, 128):
+            group = preset_group(n_bits)
+            rng = random.Random(n_bits)
+            u, v = group.random_g(rng), group.random_g(rng)
+            k = group.random_scalar(rng)
+            z = group.gt_generator()
+            pairing_ms = median_time(lambda: group.pair(u, v)) * 1000
+            g_exp_ms = median_time(lambda: u ** k) * 1000
+            gt_exp_ms = median_time(lambda: z ** k) * 1000
+            sample_ms = median_time(lambda: group.random_g(rng)) * 1000
+            timings[n_bits] = pairing_ms
+            rows.append(
+                [
+                    n_bits,
+                    f"{pairing_ms:.3f}",
+                    f"{g_exp_ms:.3f}",
+                    f"{gt_exp_ms:.3f}",
+                    f"{sample_ms:.3f}",
+                ]
+            )
+        table_writer(
+            "T12_scaling",
+            ["n (bits of p)", "pairing ms", "G exp ms", "GT exp ms", "G sample ms"],
+            rows,
+            note="Pure-Python substrate costs vs security parameter (medians of 7).",
+        )
+        # Costs must grow with the group size (sanity on the scaling shape).
+        assert timings[128] > timings[32]
+
+        benchmark(lambda: preset_group(64).pair(preset_group(64).g, preset_group(64).g))
+
+
+class TestSchemeOps:
+    def test_key_generation(self, benchmark, dlr):
+        benchmark.pedantic(
+            lambda: dlr.generate(random.Random(3)), rounds=3, iterations=1
+        )
+
+    def test_encrypt(self, benchmark, dlr, generated, rng):
+        message = dlr.group.random_gt(rng)
+        benchmark(lambda: dlr.encrypt(generated.public_key, message, rng))
+
+    def test_decrypt_protocol(self, benchmark, dlr, generated, rng):
+        p1, p2, channel = installed_devices(dlr, generated)
+        ciphertext = dlr.encrypt(generated.public_key, dlr.group.random_gt(rng), rng)
+        benchmark.pedantic(
+            lambda: dlr.decrypt_protocol(p1, p2, channel, ciphertext),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_refresh_protocol(self, benchmark, dlr, generated, rng):
+        p1, p2, channel = installed_devices(dlr, generated)
+        benchmark.pedantic(
+            lambda: dlr.refresh_protocol(p1, p2, channel), rounds=3, iterations=1
+        )
+
+    def test_full_period_optimal_variant(self, benchmark, bench_params, generated, rng):
+        optimal = OptimalDLR(bench_params)
+        p1, p2, channel = installed_devices(optimal, generated)
+        ciphertext = optimal.encrypt(generated.public_key, optimal.group.random_gt(rng), rng)
+        benchmark.pedantic(
+            lambda: optimal.run_period(p1, p2, channel, ciphertext),
+            rounds=2,
+            iterations=1,
+        )

@@ -1,0 +1,145 @@
+"""T6 -- adversary advantage in the Definition 3.2 game.
+
+Three columns of the story:
+
+1. **DLR, theorem budget**: the best-known attack (leak everything
+   allowed, brute-force the rest) has advantage statistically
+   indistinguishable from 0.
+2. **DLR, over-budget**: with ``b1 >= 2 m1`` the key is recovered and
+   advantage is 1 -- the leakage surface is honest.
+3. **ElGamal victim, same per-period rate**: the single-memory baseline
+   with no refresh is fully broken after ceil(1/rate) periods.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.adversaries import BruteForceAdversary, KeyRecoveryAdversary
+from repro.analysis.attacks import elgamal_continual_break
+from repro.analysis.games import CPACMLGame
+from repro.analysis.stattests import empirical_advantage
+from repro.core.optimal import OptimalDLR
+from repro.leakage.oracle import LeakageBudget
+
+TRIALS_IN_BUDGET = 40
+TRIALS_OVER_BUDGET = 5
+
+
+class TestAttackAdvantage:
+    def test_generate_table(self, benchmark, small_params, small_group, table_writer):
+        scheme = OptimalDLR(small_params)
+        params = small_params
+        m1, m2 = params.sk_comm_bits(), params.sk2_bits()
+
+        def one_in_budget_game(seed=0):
+            budget = LeakageBudget(0, params.theorem_b1(), params.theorem_b2())
+            adversary = BruteForceAdversary(
+                random.Random(10_000 + seed), scheme, params.theorem_b1(), max_work_bits=8
+            )
+            return CPACMLGame(scheme, budget, random.Random(seed)).run(adversary)
+
+        benchmark.pedantic(one_in_budget_game, rounds=2, iterations=1)
+
+        # (1) in-budget: advantage ~ 0
+        in_budget = empirical_advantage(
+            one_in_budget_game(seed).won for seed in range(TRIALS_IN_BUDGET)
+        )
+
+        # (2) over-budget: advantage ~ 1
+        over_budget_wins = 0
+        for seed in range(TRIALS_OVER_BUDGET):
+            budget = LeakageBudget(0, 2 * m1, 2 * m2)
+            adversary = KeyRecoveryAdversary(random.Random(20_000 + seed), scheme)
+            over_budget_wins += CPACMLGame(scheme, budget, random.Random(seed)).run(adversary).won
+        over_budget = empirical_advantage(
+            [True] * over_budget_wins + [False] * (TRIALS_OVER_BUDGET - over_budget_wins)
+        )
+
+        # (3) single-memory DLR: identical algebra, one memory -- the
+        # msk-extraction leakage function breaks it in ONE period within
+        # the SAME budget.
+        from repro.baselines.single_memory import (
+            MskExtractionLeakage,
+            SingleMemoryDLR,
+            decrypt_with_leaked_msk,
+        )
+        from repro.leakage.functions import LeakageInput
+        from repro.leakage.oracle import LeakageOracle
+        from repro.protocol.memory import MemoryRegion
+
+        single_wins = 0
+        single_trials = 5
+        for seed in range(single_trials):
+            rng_local = random.Random(40_000 + seed)
+            single = SingleMemoryDLR(params)
+            generation = single.generate(rng_local)
+            memory = MemoryRegion("combined")
+            single.install(memory, generation.share1, generation.share2)
+            snap = memory.open_phase("t0")
+            memory.close_phase()
+            oracle = LeakageOracle(LeakageBudget(0, params.theorem_b1(), params.theorem_b2()))
+            leaked = oracle.leak(
+                2, MskExtractionLeakage(single.group), LeakageInput(snap, [])
+            )
+            message = single.group.random_gt(rng_local)
+            ciphertext = single.encrypt(generation.public_key, message, rng_local)
+            single_wins += (
+                decrypt_with_leaked_msk(single.group, leaked, ciphertext) == message
+            )
+
+        # (4) ElGamal victim at an equivalent per-period rate.
+        rate = params.theorem_b1() / m1  # DLR's per-period P1 rate
+        elgamal_outcomes = [
+            elgamal_continual_break(
+                small_group, rate=rate, periods=10, rng=random.Random(seed)
+            ).won
+            for seed in range(10)
+        ]
+        elgamal_break_fraction = sum(elgamal_outcomes) / len(elgamal_outcomes)
+
+        rows = [
+            [
+                "DLR, theorem budget (b1, m2)",
+                TRIALS_IN_BUDGET,
+                f"{in_budget.win_rate:.2f}",
+                f"{in_budget.advantage:+.2f}",
+                "~0 (secure)",
+            ],
+            [
+                "DLR, budget 2m1/2m2 (over)",
+                TRIALS_OVER_BUDGET,
+                f"{over_budget.win_rate:.2f}",
+                f"{over_budget.advantage:+.2f}",
+                "1 (surface honest)",
+            ],
+            [
+                "single-memory DLR, same budget, 1 period",
+                single_trials,
+                f"{single_wins / single_trials:.2f}",
+                f"{single_wins / single_trials - 0.5:+.2f}",
+                "1 (victim: msk computed in-function)",
+            ],
+            [
+                f"ElGamal, rate {rate:.2f}/period, no refresh",
+                len(elgamal_outcomes),
+                f"{elgamal_break_fraction:.2f}",
+                f"{elgamal_break_fraction - 0.5:+.2f}",
+                "1 (victim)",
+            ],
+        ]
+        table_writer(
+            "T6_attack_advantage",
+            ["configuration", "trials", "win rate", "advantage", "expected"],
+            rows,
+            note="Definition 3.2 game outcomes: in-budget DLR is safe; the same leakage rate kills unrefreshed ElGamal.",
+        )
+
+        assert in_budget.is_consistent_with_no_advantage()
+        assert over_budget.win_rate == 1.0
+        assert single_wins == single_trials
+        assert elgamal_break_fraction == 1.0
+
+        benchmark.extra_info["in_budget_win_rate"] = in_budget.win_rate
+        benchmark.extra_info["over_budget_win_rate"] = over_budget.win_rate
+        benchmark.extra_info["elgamal_break_fraction"] = elgamal_break_fraction

@@ -1,0 +1,88 @@
+"""Shared fixtures for the benchmark/experiment harness.
+
+Each ``bench_*.py`` module regenerates one experiment from DESIGN.md's
+per-experiment index (T1-T12).  Conventions:
+
+* every test drives the operation under study through the ``benchmark``
+  fixture (so ``pytest benchmarks/ --benchmark-only`` runs them all and
+  reports timings);
+* experiment tables are written to ``results/<experiment>.txt`` and the
+  headline numbers are attached as ``benchmark.extra_info``;
+* the paper's *qualitative* claims (who wins, by roughly what factor)
+  are asserted, so a regression in the reproduction fails the bench.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+
+import pytest
+
+from repro.core.params import DLRParams
+from repro.groups import preset_group
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def table_writer(results_dir):
+    """Write an aligned text table to results/<name>.txt."""
+
+    def write(name: str, headers: list[str], rows: list[list[object]], note: str = "") -> str:
+        columns = [headers] + [[str(cell) for cell in row] for row in rows]
+        widths = [max(len(row[i]) for row in columns) for i in range(len(headers))]
+        lines = []
+        if note:
+            lines.append(f"# {note}")
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in columns[1:]:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        text = "\n".join(lines) + "\n"
+        (results_dir / f"{name}.txt").write_text(text)
+        return text
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def toy_group():
+    return preset_group(16)
+
+
+@pytest.fixture(scope="session")
+def small_group():
+    return preset_group(32)
+
+
+@pytest.fixture(scope="session")
+def bench_group():
+    """The default benchmark size: 64-bit order (pure-Python realistic)."""
+    return preset_group(64)
+
+
+@pytest.fixture(scope="session")
+def bench_params(bench_group):
+    return DLRParams(group=bench_group, lam=128)
+
+
+@pytest.fixture(scope="session")
+def toy_params(toy_group):
+    return DLRParams(group=toy_group, lam=16)
+
+
+@pytest.fixture(scope="session")
+def small_params(small_group):
+    return DLRParams(group=small_group, lam=32)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(0xBEEF)

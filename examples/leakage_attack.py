@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Side by side: the same leakage that destroys a single-memory scheme
+is harmless against the distributed one.
+
+Left column -- textbook ElGamal, one device, no refresh: an adversary
+leaking a 25% window of the key per period recovers the whole key in 4
+periods and decrypts everything.
+
+Right column -- DLR (optimal variant): the adversary gets the *same*
+per-period rate on P1 plus P2's ENTIRE share every period, for as many
+periods as it likes; the key refresh makes the windows incompatible and
+the challenge remains opaque.  We run the actual Definition 3.2 game.
+
+Run:  python examples/leakage_attack.py
+"""
+
+import random
+
+from repro import DLRParams, preset_group
+from repro.analysis.adversaries import BruteForceAdversary, KeyRecoveryAdversary
+from repro.analysis.attacks import elgamal_continual_break
+from repro.analysis.games import CPACMLGame
+from repro.core.optimal import OptimalDLR
+from repro.leakage.oracle import LeakageBudget
+
+TRIALS = 10
+
+
+def main() -> None:
+    group = preset_group(32)
+    params = DLRParams(group=group, lam=32)
+    scheme = OptimalDLR(params)
+    rate = 0.25
+
+    print("=== victim: ElGamal, one memory, no refresh ===")
+    wins = 0
+    for seed in range(TRIALS):
+        outcome = elgamal_continual_break(
+            group, rate=rate, periods=4, rng=random.Random(seed)
+        )
+        wins += outcome.won
+    print(f"adversary leaks {rate:.0%} of the key per period, 4 periods:")
+    print(f"  full key recovery in {wins}/{TRIALS} trials\n")
+
+    print("=== target: DLR under the Definition 3.2 game ===")
+    b1 = params.theorem_b1()
+    budget = LeakageBudget(0, b1, params.theorem_b2())
+    print(f"per-period budget: {b1} bits on P1 "
+          f"({b1 / params.sk_comm_bits():.0%} of sk_comm), "
+          f"{params.theorem_b2()} bits on P2 (the WHOLE share)")
+    dlr_wins = 0
+    for seed in range(TRIALS):
+        adversary = BruteForceAdversary(
+            random.Random(1000 + seed), scheme, b1, max_work_bits=8
+        )
+        result = CPACMLGame(scheme, budget, random.Random(seed)).run(adversary)
+        dlr_wins += result.won
+    print(f"  best-known attack wins {dlr_wins}/{TRIALS} "
+          f"(0.5 = pure chance; refresh defeats accumulation)\n")
+
+    print("=== sanity: the leakage surface is honest ===")
+    over_budget = LeakageBudget(0, 2 * params.sk_comm_bits(), 2 * params.sk2_bits())
+    adversary = KeyRecoveryAdversary(random.Random(42), scheme)
+    result = CPACMLGame(scheme, over_budget, random.Random(43)).run(adversary)
+    print(f"with budgets doubled past the theorem bound, key recovery "
+          f"succeeds: {result.won}")
+    print("security comes from the *bound*, not from hiding anything "
+          "from the leakage functions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Secure storage on leaky hardware (paper sections 1.1 and 4.4).
+
+A secret payload is stored across two devices that an adversary probes
+*every single period* with length-shrinking leakage functions, up to the
+Theorem 4.1 budget.  The devices refresh their shares each period, so
+the adversary's haul never accumulates against any one sharing -- after
+many observed periods the payload is still retrievable, and the
+adversary's collected bits do not determine it.
+
+Run:  python examples/secure_storage.py
+"""
+
+import random
+
+from repro import DLRParams, preset_group
+from repro.leakage.functions import LeakageInput, PrefixBits
+from repro.leakage.oracle import LeakageBudget, LeakageOracle
+from repro.storage.leaky_store import LeakyStore
+
+OBSERVED_PERIODS = 6
+
+
+def main() -> None:
+    rng = random.Random()
+    group = preset_group(64)
+    params = DLRParams(group=group, lam=128)
+    print(f"parameters: n = {params.n}, lambda = {params.lam}, "
+          f"b1 = {params.theorem_b1()} bits/period on P1, "
+          f"b2 = {params.theorem_b2()} bits/period on P2")
+
+    store = LeakyStore(params, rng)
+    payload = b"launch-code: correct horse battery staple"
+    handle = store.store_bytes("codes", payload)
+    print(f"stored {len(payload)} bytes across two leaky devices\n")
+
+    budget = LeakageBudget(0, params.theorem_b1(), params.theorem_b2())
+    oracle = LeakageOracle(budget)
+    adversary_haul = []
+
+    # Refresh-phase leakage counts against *both* the outgoing and the
+    # incoming share (Definition 3.2 carries it into the next period), so
+    # the sustainable steady-state is b_i/2 bits per refresh, forever.
+    per_period_1 = budget.b1 // 2
+    per_period_2 = budget.b2 // 2
+
+    for period in range(OBSERVED_PERIODS):
+        record = store.run_leaky_period("codes")
+        # The adversary leaks from each device's refresh snapshot (the
+        # richest phase: both old and new secrets are in memory).
+        leak1 = oracle.leak_refresh(
+            1, PrefixBits(per_period_1),
+            LeakageInput(record.snapshots[(1, "refresh")], record.messages),
+        )
+        leak2 = oracle.leak_refresh(
+            2, PrefixBits(per_period_2),
+            LeakageInput(record.snapshots[(2, "refresh")], record.messages),
+        )
+        oracle.end_period()
+        adversary_haul.append((leak1, leak2))
+        print(f"period {period}: adversary took {len(leak1)} bits from P1, "
+              f"{len(leak2)} bits from P2 (budgets enforced)")
+
+    total = sum(len(a) + len(b) for a, b in adversary_haul)
+    secret_now = store.device1.secret.size_bits() + store.device2.secret.size_bits()
+    print(f"\nadversary total haul: {total} bits -- "
+          f"{total / secret_now:.1f}x the size of the *current* secret state")
+    print("yet every leaked window refers to an already-refreshed sharing...")
+
+    recovered = store.retrieve_bytes(handle)
+    print(f"\nretrieval after {OBSERVED_PERIODS} leaky periods: "
+          f"{'OK -- ' + recovered.decode() if recovered == payload else 'FAILED'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The symmetric-encryption scenario (paper section 1.1, bullet 1).
+
+"Two processors would like to set up a symmetric encryption scheme in
+presence of leakage attacks. ... If instead the processors agree in
+person on a common secret key but each stores only a share of it, they
+could still decrypt and refresh the secret key via an interactive
+protocol, but the leakage will be restricted to be computed on each
+share separately."
+
+Run:  python examples/shared_key_messaging.py
+"""
+
+import random
+
+from repro import DLRParams, preset_group
+from repro.applications.messaging import SharedKeySession
+
+MESSAGES = [
+    b"alpha: rendezvous confirmed",
+    b"bravo: payload is 7.2 GB, use the fast link",
+    b"charlie: rotate credentials after this one",
+]
+
+
+def main() -> None:
+    rng = random.Random()
+    params = DLRParams(group=preset_group(64), lam=128)
+
+    # The "in person" agreement: Gen runs once, each processor keeps a share.
+    session = SharedKeySession(params, rng)
+    print("session established: processor A holds sk1, processor B holds sk2")
+    print(f"  (an adversary leaking on A sees {session.processor_a.secret.size_bits()}"
+          f" bits of share, on B {session.processor_b.secret.size_bits()} -- never both)\n")
+
+    for i, payload in enumerate(MESSAGES):
+        encapsulation, masked = session.encrypt_bytes(payload)
+        recovered = session.decrypt_bytes(encapsulation, masked)
+        status = "ok" if recovered == payload else "FAILED"
+        print(f"message {i}: {len(payload)} bytes, wire-masked, decrypted {status}")
+        # End of the time period: cooperative re-key.
+        session.rekey_period()
+        print(f"  period {i} closed -- shares refreshed, same public key")
+
+    # Old traffic stays decryptable after any number of refreshes.
+    encapsulation, masked = session.encrypt_bytes(b"archived record")
+    for _ in range(5):
+        session.rekey_period()
+    print(f"\narchived record after 5 more re-keys: "
+          f"{session.decrypt_bytes(encapsulation, masked).decode()}")
+    print(f"total cooperative decryptions: {session.messages_exchanged}")
+
+
+if __name__ == "__main__":
+    main()

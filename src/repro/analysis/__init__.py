@@ -1,0 +1,20 @@
+"""Security analysis machinery: assumption samplers, the Definition 3.2
+security games, concrete adversaries/attacks, the section 6 fake-game
+distinguisher, and statistical tests.
+"""
+
+from repro.analysis.assumptions import BDDHTuple, sample_bddh, sample_klin, sample_matrix_klin
+from repro.analysis.games import CCA2CMLGame, CPACMLGame, GameResult
+from repro.analysis.stattests import chi_squared_uniform, empirical_advantage
+
+__all__ = [
+    "BDDHTuple",
+    "CCA2CMLGame",
+    "CPACMLGame",
+    "GameResult",
+    "chi_squared_uniform",
+    "empirical_advantage",
+    "sample_bddh",
+    "sample_klin",
+    "sample_matrix_klin",
+]

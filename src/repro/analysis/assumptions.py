@@ -1,0 +1,86 @@
+"""Samplers for the paper's hardness assumptions (section 2.1).
+
+These produce instances of the BDDH, kLin and matrix-kLin distributions.
+They serve three purposes:
+
+* tests verify the *structural* properties (a real BDDH tuple satisfies
+  ``T = e(g,g)^{abc}``; a rank-``i`` matrix sample has rank ``i``);
+* toy-group experiments confirm the two sides of each assumption are
+  *distinct distributions* (they must be, or the assumption is vacuous)
+  while being indistinguishable to the generic attacks we implement;
+* the section 6 fake game consumes BDDH tuples.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.groups.bilinear import BilinearGroup, G1Element, GTElement
+from repro.math import linalg
+
+
+@dataclass(frozen=True)
+class BDDHTuple:
+    """``(g^a, g^b, g^c, T)`` with ``T`` either ``e(g,g)^{abc}`` or random.
+
+    ``exponents`` carries ``(a, b, c)`` for white-box tests; a real
+    distinguisher never sees it.
+    """
+
+    g_a: G1Element
+    g_b: G1Element
+    g_c: G1Element
+    t: GTElement
+    real: bool
+    exponents: tuple[int, int, int]
+
+
+def sample_bddh(group: BilinearGroup, rng: random.Random, real: bool) -> BDDHTuple:
+    """Sample from one side of the BDDH assumption."""
+    a, b, c = (group.random_scalar(rng) for _ in range(3))
+    if real:
+        t = group.gt_generator() ** (a * b * c % group.p)
+    else:
+        t = group.gt_generator() ** group.random_scalar(rng)
+    return BDDHTuple(group.g ** a, group.g ** b, group.g ** c, t, real, (a, b, c))
+
+
+@dataclass(frozen=True)
+class KLinTuple:
+    """``(g_0..g_k, g_1^{r_1}..g_k^{r_k}, g_0^{r_0 or sum r_i})``."""
+
+    generators: tuple[G1Element, ...]  # g_0 .. g_k
+    powers: tuple[G1Element, ...]  # g_i^{r_i} for i in [k]
+    head: G1Element  # g_0^{sum r_i} (real) or g_0^{r_0} (random)
+    real: bool
+
+
+def sample_klin(
+    group: BilinearGroup, k: int, rng: random.Random, real: bool
+) -> KLinTuple:
+    """Sample from one side of the k-Linear assumption."""
+    generators = tuple(group.random_g(rng) for _ in range(k + 1))
+    r = [group.random_scalar(rng) for _ in range(k)]
+    powers = tuple(g_i ** r_i for g_i, r_i in zip(generators[1:], r))
+    exponent = sum(r) % group.p if real else group.random_scalar(rng)
+    return KLinTuple(generators, powers, generators[0] ** exponent, real)
+
+
+def sample_matrix_klin(
+    group: BilinearGroup,
+    rows: int,
+    cols: int,
+    rank: int,
+    rng: random.Random,
+) -> list[list[G1Element]]:
+    """Sample ``g^R`` for uniform ``R`` of the given rank (the matrix kLin
+    distribution ``{(p, g, g^R)}_{R in Rk_i}``)."""
+    matrix = linalg.random_matrix_of_rank(rows, cols, rank, group.p, rng)
+    return [[group.g ** entry for entry in row] for row in matrix]
+
+
+def is_bddh_consistent(group: BilinearGroup, tup: BDDHTuple) -> bool:
+    """White-box check ``T = e(g,g)^{abc}`` using the stored exponents."""
+    a, b, c = tup.exponents
+    return tup.t == group.gt_generator() ** (a * b * c % group.p)

@@ -1,0 +1,116 @@
+"""Concrete leakage attacks on the *non*-distributed baseline.
+
+The motivation of the paper (section 1.1): in a single-memory scheme the
+leakage function sees the whole secret key at once, and without refresh
+the leakage *accumulates*.  These attack drivers quantify both effects
+on plain ElGamal and power the T6 benchmark's "victim" column:
+
+* :func:`elgamal_single_shot_break` -- one period, budget ``b`` bits on
+  the key: wins iff ``b + work >= |sk|``;
+* :func:`elgamal_continual_break` -- per-period budget ``r * |sk|``, no
+  refresh: the adversary takes a different key window each period and
+  wins as soon as ``T * r >= 1`` -- "the total leakage is unbounded".
+
+Compare with DLR under the same per-period budgets: the shares are
+refreshed every period, so the windows the adversary collects belong to
+*different* sharings and never combine (the T6 benchmark runs exactly
+that comparison through the Definition 3.2 game).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.baselines.elgamal import ElGamal, ElGamalKeyPair
+from repro.groups.bilinear import BilinearGroup
+from repro.utils.bits import BitString
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Result of one attack trial."""
+
+    won: bool
+    leaked_bits: int
+    brute_force_work: int
+
+
+def elgamal_single_shot_break(
+    group: BilinearGroup,
+    budget_bits: int,
+    rng: random.Random,
+    max_work_bits: int = 16,
+) -> AttackOutcome:
+    """One-period leakage attack on ElGamal.
+
+    The adversary leaks the leading ``budget_bits`` of the secret
+    exponent and enumerates the rest (up to ``2^max_work_bits``).
+    """
+    scheme = ElGamal(group)
+    keypair = scheme.keygen(rng)
+    secret_bits = keypair.secret_bits()
+    total = len(secret_bits)
+    take = min(budget_bits, total)
+    leaked = secret_bits[:take]
+    assert isinstance(leaked, BitString)
+    missing = total - take
+    if missing > max_work_bits:
+        return AttackOutcome(False, take, 0)
+
+    # Distinguishing test: encrypt m0 and check the candidate decrypts it.
+    m0 = group.random_gt(rng)
+    ciphertext = scheme.encrypt(keypair, m0, rng)
+    work = 0
+    for suffix in range(1 << missing):
+        work += 1
+        candidate = (int(leaked) << missing) | suffix
+        if scheme.decrypt_with_exponent(candidate, ciphertext) == m0:
+            return AttackOutcome(True, take, work)
+    return AttackOutcome(False, take, work)
+
+
+def elgamal_continual_break(
+    group: BilinearGroup,
+    rate: float,
+    periods: int,
+    rng: random.Random,
+) -> AttackOutcome:
+    """Continual leakage against an *unrefreshed* ElGamal key.
+
+    Each period leaks a fresh window of ``floor(rate * |sk|)`` key bits;
+    the adversary wins once the windows cover the key.  This is the
+    "hole in the bucket" failure mode refresh protocols exist to stop.
+    """
+    scheme = ElGamal(group)
+    keypair = scheme.keygen(rng)
+    secret_bits = keypair.secret_bits()
+    total = len(secret_bits)
+    per_period = max(int(rate * total), 0)
+
+    recovered: dict[int, int] = {}
+    leaked_total = 0
+    for t in range(periods):
+        start = (t * per_period) % total if total else 0
+        for offset in range(per_period):
+            index = start + offset
+            if index >= total:
+                break
+            recovered[index] = secret_bits.bit(index)
+            leaked_total += 1
+        if len(recovered) == total:
+            candidate = 0
+            for i in range(total):
+                candidate = (candidate << 1) | recovered[i]
+            m0 = group.random_gt(rng)
+            ciphertext = scheme.encrypt(keypair, m0, rng)
+            won = scheme.decrypt_with_exponent(candidate, ciphertext) == m0
+            return AttackOutcome(won, leaked_total, 0)
+    return AttackOutcome(False, leaked_total, 0)
+
+
+def periods_to_break(rate: float) -> int:
+    """How many periods the continual attack needs: ``ceil(1 / rate)``."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    return -(-1 // rate) if isinstance(rate, int) else -int(-1.0 // rate)

@@ -1,0 +1,149 @@
+"""The section 6 distinguisher D, executable end to end.
+
+D receives a BDDH tuple ``(g^a, g^b, g^c, T)`` and plays a *fake*
+semantic-security game with an adversary A:
+
+* the public key is planted as ``pk = e(g^a, g^b)``;
+* the challenge ciphertext is planted as ``C = (g^c, m_b * T)``;
+* D outputs 1 iff A wins the fake game.
+
+The two halves of the proof, checkable by running D:
+
+* if ``T = e(g,g)^{abc}`` the challenge is a *perfectly valid*
+  encryption of ``m_b`` under the planted key (because
+  ``e(g,g)^{abc} = pk^c``), so A's advantage carries over;
+* if ``T`` is uniform the challenge is independent of ``b`` and A's
+  win probability is exactly 1/2.
+
+Hence ``Adv_D(BDDH) = Adv_A(game)/...`` -- D distinguishes iff A wins
+with advantage.  On toy groups, where discrete logs are computable, the
+:class:`DlogBreaker` adversary wins the real-``T`` game with probability
+1, making D a *perfect* BDDH distinguisher -- exactly what must happen,
+since toy BDDH is easy.  Against computationally bounded adversaries
+(our brute-force/random strategies) D's advantage collapses to 0.
+
+This module covers the challenge-planting skeleton of the reduction
+(leakage-period simulation is in :mod:`repro.analysis.fake_game`; the
+extended abstract defers their full composition to the unpublished full
+version -- see EXPERIMENTS.md T8).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.analysis.assumptions import BDDHTuple, sample_bddh
+from repro.core.keys import Ciphertext, PublicKey
+from repro.core.params import DLRParams
+from repro.groups.bilinear import BilinearGroup, G1Element, GTElement
+
+
+@dataclass
+class FakeGameOutcome:
+    adversary_won: bool
+    challenge_bit: int
+    guess: int
+
+
+class ChallengeAdversary:
+    """Interface for adversaries in the challenge-only fake game."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    def choose_messages(self, group: BilinearGroup) -> tuple[GTElement, GTElement]:
+        m0 = group.random_gt(self.rng)
+        while True:
+            m1 = group.random_gt(self.rng)
+            if m1 != m0:
+                return m0, m1
+
+    def guess(
+        self,
+        public_key: PublicKey,
+        challenge: Ciphertext,
+        m0: GTElement,
+        m1: GTElement,
+    ) -> int:
+        return self.rng.getrandbits(1)
+
+
+class DlogBreaker(ChallengeAdversary):
+    """An *unbounded* (toy-group) adversary: computes the discrete log of
+    the challenge's first component by baby-step giant-step, recomputes
+    the mask ``pk^c``, and reads off the plaintext.  Wins with
+    probability 1 when the challenge is well-formed."""
+
+    def guess(self, public_key, challenge, m0, m1) -> int:
+        group = public_key.group
+        c = _bsgs_dlog(group, challenge.a)
+        candidate = challenge.b / (public_key.z ** c)
+        if candidate == m0:
+            return 0
+        if candidate == m1:
+            return 1
+        return self.rng.getrandbits(1)
+
+
+class BDDHDistinguisher:
+    """D itself: fake game + output 1 iff the adversary wins."""
+
+    def __init__(self, params: DLRParams, rng: random.Random) -> None:
+        self.params = params
+        self.group = params.group
+        self.rng = rng
+
+    def fake_game(self, tup: BDDHTuple, adversary: ChallengeAdversary) -> FakeGameOutcome:
+        """One fake game: plant pk and challenge from the tuple."""
+        planted_pk = PublicKey(self.params, self.group.pair(tup.g_a, tup.g_b))
+        m0, m1 = adversary.choose_messages(self.group)
+        bit = self.rng.getrandbits(1)
+        challenge = Ciphertext(a=tup.g_c, b=(m0, m1)[bit] * tup.t)
+        guess = adversary.guess(planted_pk, challenge, m0, m1)
+        return FakeGameOutcome(guess == bit, bit, guess)
+
+    def distinguish(self, tup: BDDHTuple, adversary: ChallengeAdversary) -> int:
+        """D's output bit: 1 iff A won the fake game."""
+        return int(self.fake_game(tup, adversary).adversary_won)
+
+    def estimate_advantage(
+        self,
+        adversary_factory,
+        trials: int = 20,
+    ) -> float:
+        """``Pr[D=1 | real] - Pr[D=1 | random]`` over fresh tuples.
+
+        ``adversary_factory(rng)`` builds a fresh adversary per trial.
+        """
+        ones_real = 0
+        ones_random = 0
+        for i in range(trials):
+            real_tup = sample_bddh(self.group, self.rng, real=True)
+            ones_real += self.distinguish(
+                real_tup, adversary_factory(random.Random(10_000 + i))
+            )
+            random_tup = sample_bddh(self.group, self.rng, real=False)
+            ones_random += self.distinguish(
+                random_tup, adversary_factory(random.Random(20_000 + i))
+            )
+        return (ones_real - ones_random) / trials
+
+
+def _bsgs_dlog(group: BilinearGroup, element: G1Element) -> int:
+    """Baby-step giant-step discrete log base ``g`` (toy groups only)."""
+    p = group.p
+    m = math.isqrt(p) + 1
+    table: dict[G1Element, int] = {}
+    current = group.g_identity()
+    for j in range(m):
+        table[current] = j
+        current = current * group.g
+    factor = (group.g ** m).inverse()
+    gamma = element
+    for i in range(m):
+        if gamma in table:
+            return (i * m + table[gamma]) % p
+        gamma = gamma * factor
+    raise ValueError("dlog not found (group too large for BSGS?)")

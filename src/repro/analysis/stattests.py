@@ -1,0 +1,178 @@
+"""Statistical tests used by the analysis benchmarks.
+
+* chi-squared uniformity / two-sample tests over small supports, for the
+  Definition 3.1 requirement (refreshed shares identically distributed)
+  and the section 6 real-vs-fake comparison;
+* Wilson confidence intervals for empirical adversary advantage.
+
+scipy is used when available (it is in the pinned environment); a plain
+implementation of the chi-squared survival function backs it up so the
+library itself stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+try:  # pragma: no cover - exercised implicitly
+    from scipy import stats as _scipy_stats
+except Exception:  # pragma: no cover
+    _scipy_stats = None
+
+
+def _chi2_sf(statistic: float, dof: int) -> float:
+    """Survival function of the chi-squared distribution.
+
+    Uses the regularized upper incomplete gamma function via a series /
+    continued-fraction split (Numerical Recipes style).
+    """
+    if dof <= 0:
+        raise ParameterError("degrees of freedom must be positive")
+    if _scipy_stats is not None:
+        return float(_scipy_stats.chi2.sf(statistic, dof))
+    return _upper_regularized_gamma(dof / 2.0, statistic / 2.0)
+
+
+def _upper_regularized_gamma(a: float, x: float) -> float:
+    if x < 0 or a <= 0:
+        raise ParameterError("invalid incomplete gamma arguments")
+    if x == 0:
+        return 1.0
+    if x < a + 1:
+        # Series for the lower incomplete gamma.
+        term = 1.0 / a
+        total = term
+        k = a
+        for _ in range(10_000):
+            k += 1
+            term *= x / k
+            total += term
+            if abs(term) < abs(total) * 1e-15:
+                break
+        lower = total * math.exp(-x + a * math.log(x) - math.lgamma(a))
+        return max(0.0, 1.0 - lower)
+    # Continued fraction for the upper incomplete gamma.
+    tiny = 1e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 10_000):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            break
+    return h * math.exp(-x + a * math.log(x) - math.lgamma(a))
+
+
+@dataclass(frozen=True)
+class ChiSquaredResult:
+    statistic: float
+    dof: int
+    p_value: float
+
+    def rejects_at(self, alpha: float = 0.01) -> bool:
+        return self.p_value < alpha
+
+
+def chi_squared_uniform(samples: Sequence[object], support_size: int) -> ChiSquaredResult:
+    """Test the hypothesis that ``samples`` are uniform over a support of
+    the given size (unseen outcomes count as zero cells)."""
+    if support_size < 2:
+        raise ParameterError("support must have at least 2 outcomes")
+    counts = Counter(samples)
+    if len(counts) > support_size:
+        raise ParameterError("more distinct outcomes than the claimed support")
+    n = len(samples)
+    expected = n / support_size
+    statistic = sum(
+        (counts.get(outcome, 0) - expected) ** 2 / expected for outcome in counts
+    )
+    # Unseen outcomes each contribute `expected`.
+    statistic += (support_size - len(counts)) * expected
+    dof = support_size - 1
+    return ChiSquaredResult(statistic, dof, _chi2_sf(statistic, dof))
+
+
+def chi_squared_two_sample(
+    sample_a: Sequence[object], sample_b: Sequence[object]
+) -> ChiSquaredResult:
+    """Test whether two samples come from the same distribution."""
+    counts_a = Counter(sample_a)
+    counts_b = Counter(sample_b)
+    support = sorted(set(counts_a) | set(counts_b), key=repr)
+    if len(support) < 2:
+        return ChiSquaredResult(0.0, 1, 1.0)
+    n_a, n_b = len(sample_a), len(sample_b)
+    statistic = 0.0
+    dof = 0
+    for outcome in support:
+        a = counts_a.get(outcome, 0)
+        b = counts_b.get(outcome, 0)
+        total = a + b
+        expected_a = total * n_a / (n_a + n_b)
+        expected_b = total * n_b / (n_a + n_b)
+        if total == 0:
+            continue
+        statistic += (a - expected_a) ** 2 / expected_a
+        statistic += (b - expected_b) ** 2 / expected_b
+        dof += 1
+    dof = max(dof - 1, 1)
+    return ChiSquaredResult(statistic, dof, _chi2_sf(statistic, dof))
+
+
+@dataclass(frozen=True)
+class AdvantageEstimate:
+    """Empirical advantage of a guessing adversary over 1/2."""
+
+    wins: int
+    trials: int
+
+    @property
+    def win_rate(self) -> float:
+        return self.wins / self.trials
+
+    @property
+    def advantage(self) -> float:
+        return self.win_rate - 0.5
+
+    def confidence_interval(self, z: float = 2.576) -> tuple[float, float]:
+        """Wilson interval for the win rate (z=2.576 -> 99%)."""
+        n = self.trials
+        if n == 0:
+            raise ParameterError("no trials")
+        phat = self.win_rate
+        denom = 1 + z * z / n
+        center = (phat + z * z / (2 * n)) / denom
+        margin = z * math.sqrt(phat * (1 - phat) / n + z * z / (4 * n * n)) / denom
+        return (center - margin, center + margin)
+
+    def is_consistent_with_no_advantage(self, z: float = 2.576) -> bool:
+        low, high = self.confidence_interval(z)
+        return low <= 0.5 <= high
+
+
+def empirical_advantage(outcomes: Iterable[bool]) -> AdvantageEstimate:
+    """Summarize a sequence of per-trial win/lose outcomes."""
+    wins = 0
+    trials = 0
+    for outcome in outcomes:
+        trials += 1
+        wins += int(outcome)
+    if trials == 0:
+        raise ParameterError("no trials")
+    return AdvantageEstimate(wins, trials)

@@ -1,0 +1,10 @@
+"""Deployment-shaped facades over the core schemes.
+
+* :mod:`repro.applications.messaging` -- the two scenarios of paper
+  section 1.1: a shared-key session between two processors, and a
+  decryption service backed by a main processor + auxiliary device.
+"""
+
+from repro.applications.messaging import DecryptionService, SharedKeySession
+
+__all__ = ["DecryptionService", "SharedKeySession"]

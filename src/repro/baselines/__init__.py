@@ -1,0 +1,22 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.elgamal` -- plain ElGamal (no leakage
+  resilience): the victim of the attack benchmarks.
+* :mod:`repro.baselines.naor_segev` -- Naor-Segev bounded-leakage PKE
+  [32], the BHHO-style scheme whose techniques inspire the Pi_ss sharing.
+* :mod:`repro.baselines.cost_models` -- parameter models of the
+  single-processor continual-leakage schemes [11, 29, 30, 17, 15] with
+  exactly the numbers the paper cites (section 1.2.1 + footnote 3).
+"""
+
+from repro.baselines.cost_models import COMPARISON_SCHEMES, SchemeModel, dlr_model
+from repro.baselines.elgamal import ElGamal
+from repro.baselines.naor_segev import NaorSegevPKE
+
+__all__ = [
+    "COMPARISON_SCHEMES",
+    "ElGamal",
+    "NaorSegevPKE",
+    "SchemeModel",
+    "dlr_model",
+]

@@ -1,0 +1,64 @@
+"""Plain ElGamal over ``GT`` -- the non-leakage-resilient baseline.
+
+Secret memory is a single exponent ``x``; the public key is
+``h = e(g,g)^x``.  Any adversary who leaks ``|x| = log p`` bits recovers
+the key outright, and there is no refresh mechanism: leakage accumulates
+over the lifetime of the key.  The attack benchmarks (experiment T6) use
+this scheme to demonstrate that the *same* per-period budget DLR
+tolerates is immediately fatal to a single-memory scheme.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.groups.bilinear import BilinearGroup, GTElement
+from repro.utils.bits import BitString
+from repro.utils.serialization import encode_mod
+
+
+@dataclass(frozen=True)
+class ElGamalKeyPair:
+    """``sk = x``, ``pk = gt^x``."""
+
+    x: int
+    h: GTElement
+    p: int
+
+    def secret_bits(self) -> BitString:
+        """Canonical encoding of the secret memory (a single exponent)."""
+        return encode_mod(self.x, self.p)
+
+
+@dataclass(frozen=True)
+class ElGamalCiphertext:
+    a: GTElement
+    b: GTElement
+
+
+class ElGamal:
+    """Textbook ElGamal in the target group."""
+
+    def __init__(self, group: BilinearGroup) -> None:
+        self.group = group
+
+    def keygen(self, rng: random.Random) -> ElGamalKeyPair:
+        x = self.group.random_scalar(rng)
+        return ElGamalKeyPair(x=x, h=self.group.gt_generator() ** x, p=self.group.p)
+
+    def encrypt(
+        self, keypair_or_h: ElGamalKeyPair | GTElement, message: GTElement, rng: random.Random
+    ) -> ElGamalCiphertext:
+        h = keypair_or_h.h if isinstance(keypair_or_h, ElGamalKeyPair) else keypair_or_h
+        r = self.group.random_scalar(rng)
+        return ElGamalCiphertext(
+            a=self.group.gt_generator() ** r, b=message * (h ** r)
+        )
+
+    def decrypt(self, keypair: ElGamalKeyPair, ciphertext: ElGamalCiphertext) -> GTElement:
+        return ciphertext.b / (ciphertext.a ** keypair.x)
+
+    def decrypt_with_exponent(self, x: int, ciphertext: ElGamalCiphertext) -> GTElement:
+        """Decrypt from a (leaked) exponent -- the attacker's code path."""
+        return ciphertext.b / (ciphertext.a ** x)

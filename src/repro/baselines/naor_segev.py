@@ -1,0 +1,94 @@
+"""Naor-Segev bounded-leakage public-key encryption [32].
+
+The scheme whose leftover-hash-lemma technique the paper's Pi_ss sharing
+is "inspired by": public key ``(g_1..g_ell, h = prod g_i^{x_i})``, secret
+key ``x in Z_p^ell``; encryption ``(g_1^r, ..., g_ell^r, m h^r)``;
+decryption divides by ``prod A_i^{x_i}``.
+
+Bounded leakage resilience: given ``lambda`` bits of leakage about ``x``,
+the mask ``h^r`` = ``prod g_i^{r x_i}`` retains average min-entropy at
+least ``ell log p - log p - lambda`` (the map is pairwise independent in
+``x``), so semantic security holds while
+``lambda <= (ell - 1) log p - 2 log(1/eps)``.  :meth:`leakage_capacity`
+exposes that bound; the tests validate it exhaustively on toy groups.
+
+Unlike DLR there is **no refresh**: leakage accumulates, which is the
+gap the continual-leakage model (and this paper) addresses.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.groups.bilinear import BilinearGroup, GTElement
+from repro.utils.bits import BitString, concat_all
+from repro.utils.serialization import encode_mod
+
+
+@dataclass(frozen=True)
+class NSPublicKey:
+    generators: tuple[GTElement, ...]
+    h: GTElement
+
+
+@dataclass(frozen=True)
+class NSSecretKey:
+    x: tuple[int, ...]
+    p: int
+
+    def to_bits(self) -> BitString:
+        return concat_all(encode_mod(v, self.p) for v in self.x)
+
+
+@dataclass(frozen=True)
+class NSCiphertext:
+    a: tuple[GTElement, ...]
+    b: GTElement
+
+
+class NaorSegevPKE:
+    """The Naor-Segev scheme over the target group."""
+
+    def __init__(self, group: BilinearGroup, ell: int) -> None:
+        if ell < 2:
+            raise ParameterError("Naor-Segev needs ell >= 2")
+        self.group = group
+        self.ell = ell
+
+    def keygen(self, rng: random.Random) -> tuple[NSPublicKey, NSSecretKey]:
+        generators = tuple(self.group.random_gt(rng) for _ in range(self.ell))
+        x = tuple(self.group.random_scalar(rng) for _ in range(self.ell))
+        h = self.group.gt_identity()
+        for g_i, x_i in zip(generators, x):
+            h = h * (g_i ** x_i)
+        return NSPublicKey(generators, h), NSSecretKey(x, self.group.p)
+
+    def encrypt(
+        self, public_key: NSPublicKey, message: GTElement, rng: random.Random
+    ) -> NSCiphertext:
+        r = self.group.random_scalar(rng)
+        return NSCiphertext(
+            a=tuple(g_i ** r for g_i in public_key.generators),
+            b=message * (public_key.h ** r),
+        )
+
+    def decrypt(self, secret_key: NSSecretKey, ciphertext: NSCiphertext) -> GTElement:
+        mask = self.group.gt_identity()
+        for a_i, x_i in zip(ciphertext.a, secret_key.x):
+            mask = mask * (a_i ** x_i)
+        return ciphertext.b / mask
+
+    def leakage_capacity(self, epsilon_log2: int) -> int:
+        """Tolerated leakage bits: ``(ell - 1) log p - 2 log(1/eps)``."""
+        log_p = self.group.scalar_bits()
+        return max((self.ell - 1) * log_p - 2 * epsilon_log2, 0)
+
+    def key_bits(self) -> int:
+        return self.ell * self.group.scalar_bits()
+
+    def leakage_rate(self, epsilon_log2: int) -> float:
+        """The fraction of the key that may leak (-> 1 as ell grows)."""
+        return self.leakage_capacity(epsilon_log2) / self.key_bits()

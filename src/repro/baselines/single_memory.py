@@ -1,0 +1,103 @@
+"""The single-memory strawman: DLR's algebra with both shares in one
+device.
+
+Paper section 1.1: "Both processors store the common secret key in
+their local memory, and as such an adversary can receive leakage
+computed on the *entire* stored secret key."  The danger is not the
+number of bits -- it is that a leakage function with the whole state as
+input can *compute* on it.  Concretely: from ``(sk1, sk2)`` the function
+can derive the master key ``msk = Phi / prod a_i^{s_i}`` internally and
+output just its ``~2 log q`` bits -- a tiny fraction of the memory, well
+inside the same budgets DLR tolerates, yet a total break.
+
+:class:`SingleMemoryDLR` holds both shares in one
+:class:`~repro.protocol.memory.MemoryRegion` and decrypts locally;
+:func:`msk_extraction_leakage` is the one-shot killer function.  In the
+distributed setting this function *cannot exist*: no single leakage
+input contains both shares (the type system of the model enforces it --
+``h_1`` sees ``sk1``'s device, ``h_2`` sees ``sk2``'s).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.dlr import DLR, GenerationResult
+from repro.core.keys import Ciphertext, PublicKey, Share1, Share2
+from repro.core.params import DLRParams
+from repro.errors import ProtocolError
+from repro.groups.bilinear import G1Element, GTElement
+from repro.groups.encoding import decode_g1
+from repro.leakage.functions import LeakageFunction, LeakageInput
+from repro.protocol.memory import MemoryRegion
+from repro.utils.bits import BitString
+
+
+class SingleMemoryDLR:
+    """DLR with no distribution: one memory holds everything."""
+
+    def __init__(self, params: DLRParams) -> None:
+        self.params = params
+        self.group = params.group
+        self._inner = DLR(params)
+
+    def generate(self, rng: random.Random) -> GenerationResult:
+        return self._inner.generate(rng)
+
+    def encrypt(self, public_key: PublicKey, message: GTElement, rng: random.Random) -> Ciphertext:
+        return self._inner.encrypt(public_key, message, rng)
+
+    def install(self, memory: MemoryRegion, share1: Share1, share2: Share2) -> None:
+        """Both shares land in the SAME secret memory."""
+        memory.store("sk1", share1)
+        memory.store("sk2", share2)
+
+    def decrypt(self, memory: MemoryRegion, ciphertext: Ciphertext) -> GTElement:
+        """Local decryption -- no protocol, no second device."""
+        share1 = memory.read("sk1")
+        share2 = memory.read("sk2")
+        if not isinstance(share1, Share1) or not isinstance(share2, Share2):
+            raise ProtocolError("single memory does not hold both shares")
+        return self._inner.reference_decrypt(share1, share2, ciphertext)
+
+    def secret_memory_bits(self, memory: MemoryRegion) -> int:
+        return memory.size_bits()
+
+    @staticmethod
+    def reconstruct_msk(share1: Share1, share2: Share2) -> G1Element:
+        """What any code -- including a leakage function -- can do when it
+        holds both shares: collapse them to the master key."""
+        msk = share1.phi
+        for a_i, s_i in zip(share1.a, share2.s):
+            msk = msk / (a_i ** s_i)
+        return msk
+
+
+class MskExtractionLeakage(LeakageFunction):
+    """The killer leakage function for the single-memory setting.
+
+    Input: the whole secret memory (both shares).  Output: the master
+    key's compressed encoding -- ``log q + 2`` bits, independent of how
+    big the share material is.  Polynomial-time and length-shrinking:
+    a perfectly legal function in the model.
+    """
+
+    def __init__(self, group) -> None:
+        super().__init__(group.g_element_bits())
+        self.group = group
+
+    def evaluate(self, leak_input: LeakageInput) -> BitString:
+        share1 = leak_input.secret_value("sk1")
+        share2 = leak_input.secret_value("sk2")
+        assert isinstance(share1, Share1) and isinstance(share2, Share2)
+        msk = SingleMemoryDLR.reconstruct_msk(share1, share2)
+        return msk.to_bits()
+
+
+def decrypt_with_leaked_msk(
+    group, leaked_bits: BitString, ciphertext: Ciphertext
+) -> GTElement:
+    """The adversary's post-leakage decryption: decode the exfiltrated
+    master key and open any ciphertext."""
+    msk = decode_g1(group, leaked_bits)
+    return ciphertext.b / group.pair(ciphertext.a, msk)

@@ -1,0 +1,16 @@
+"""CCA2-secure distributed PKE (paper section 4.3).
+
+DLRCCA2 is obtained from DLRIBE by the Boneh-Canetti-Halevi-Katz
+transform [6]: each encryption uses a fresh one-time signature key pair,
+encrypts to the identity "verification key", and signs the ciphertext;
+decryption rejects anything whose signature fails, which is what defeats
+the CCA2 adversary's mauling attempts.
+
+* :mod:`repro.cca.ots` -- Lamport one-time signatures (SHA-256).
+* :mod:`repro.cca.dlr_cca` -- the transform + distributed decryption.
+"""
+
+from repro.cca.dlr_cca import CCACiphertext, DLRCCA2
+from repro.cca.ots import LamportOTS, OTSKeyPair
+
+__all__ = ["CCACiphertext", "DLRCCA2", "LamportOTS", "OTSKeyPair"]

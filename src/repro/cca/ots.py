@@ -1,0 +1,93 @@
+"""Lamport one-time signatures from SHA-256.
+
+The BCHK transform needs a *strongly unforgeable* one-time signature.
+Lamport signatures over a collision-resistant hash provide it: the
+secret key is ``2 x 256`` random 32-byte preimages, the verification key
+their hashes; signing reveals one preimage per digest bit.
+
+Strong unforgeability for our purposes: changing either the message or
+the signature requires producing a preimage the signer never revealed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+DIGEST_BITS = 256
+_PREIMAGE_BYTES = 32
+
+
+def _digest_bits(message: bytes) -> list[int]:
+    digest = hashlib.sha256(message).digest()
+    return [(byte >> shift) & 1 for byte in digest for shift in range(7, -1, -1)]
+
+
+@dataclass(frozen=True)
+class OTSKeyPair:
+    """A Lamport key pair.  ``secret[b][i]`` signs bit value ``b`` at
+    position ``i``; ``verify_key`` holds the corresponding hashes."""
+
+    secret: tuple[tuple[bytes, ...], tuple[bytes, ...]]
+    verify_key: tuple[tuple[bytes, ...], tuple[bytes, ...]]
+
+    def vk_fingerprint(self) -> str:
+        """A collision-resistant fingerprint of the verification key,
+        used as the IBE identity in the BCHK transform."""
+        h = hashlib.sha256()
+        for side in self.verify_key:
+            for digest in side:
+                h.update(digest)
+        return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class Signature:
+    """One revealed preimage per message-digest bit."""
+
+    preimages: tuple[bytes, ...]
+
+
+class LamportOTS:
+    """Keygen / sign / verify for Lamport one-time signatures."""
+
+    def keygen(self, rng: random.Random) -> OTSKeyPair:
+        secret0 = tuple(rng.randbytes(_PREIMAGE_BYTES) for _ in range(DIGEST_BITS))
+        secret1 = tuple(rng.randbytes(_PREIMAGE_BYTES) for _ in range(DIGEST_BITS))
+        verify0 = tuple(hashlib.sha256(x).digest() for x in secret0)
+        verify1 = tuple(hashlib.sha256(x).digest() for x in secret1)
+        return OTSKeyPair(secret=(secret0, secret1), verify_key=(verify0, verify1))
+
+    def sign(self, keypair: OTSKeyPair, message: bytes) -> Signature:
+        bits = _digest_bits(message)
+        return Signature(tuple(keypair.secret[bit][i] for i, bit in enumerate(bits)))
+
+    def verify(
+        self,
+        verify_key: tuple[tuple[bytes, ...], tuple[bytes, ...]],
+        message: bytes,
+        signature: Signature,
+    ) -> bool:
+        if len(signature.preimages) != DIGEST_BITS:
+            return False
+        bits = _digest_bits(message)
+        return all(
+            hashlib.sha256(preimage).digest() == verify_key[bit][i]
+            for i, (bit, preimage) in enumerate(zip(bits, signature.preimages))
+        )
+
+
+def fingerprint_of_verify_key(
+    verify_key: tuple[tuple[bytes, ...], tuple[bytes, ...]]
+) -> str:
+    """Fingerprint from a bare verification key (receiver side)."""
+    if len(verify_key) != 2 or any(len(side) != DIGEST_BITS for side in verify_key):
+        raise ParameterError("malformed verification key")
+    h = hashlib.sha256()
+    for side in verify_key:
+        for digest in side:
+            h.update(digest)
+    return h.hexdigest()

@@ -1,0 +1,209 @@
+"""Command-line interface for the DLR scheme.
+
+Key material and ciphertexts travel as the JSON envelopes of
+:mod:`repro.utils.persist`.  The two "devices" are files on disk in this
+demo driver -- a real deployment would keep share files on separate
+hardware and run the protocol messages over a network.
+
+Commands::
+
+    repro-dlr keygen  -n 64 --lam 128 --out-dir keys/
+    repro-dlr encrypt --pk keys/public_key.json --message <hex|-> --out ct.json
+    repro-dlr decrypt --pk keys/public_key.json --share1 keys/share1.json \
+                      --share2 keys/share2.json --ciphertext ct.json
+    repro-dlr refresh --pk keys/public_key.json --share1 ... --share2 ... [--in-place]
+    repro-dlr info    --pk keys/public_key.json
+
+``encrypt`` takes a GT element produced by ``random-message``; use
+``random-message`` to mint one (printed as hex, decryption prints the
+same hex back).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+
+from repro.core.dlr import DLR
+from repro.core.params import DLRParams
+from repro.groups.encoding import decode_gt
+from repro.groups.pairing_params import generate_params
+from repro.groups.bilinear import BilinearGroup
+from repro.protocol.channel import Channel
+from repro.protocol.device import Device
+from repro.utils import persist
+from repro.utils.bits import BitString
+
+
+def _write(path: pathlib.Path, text: str) -> None:
+    path.write_text(text)
+    print(f"wrote {path}")
+
+
+def _load_public_key(path: str):
+    return persist.loads(pathlib.Path(path).read_text())
+
+
+def cmd_keygen(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed) if args.seed is not None else random.Random()
+    group = BilinearGroup(generate_params(args.n, rng))
+    params = DLRParams(group=group, lam=args.lam)
+    scheme = DLR(params)
+    generation = scheme.generate(rng)
+    out = pathlib.Path(args.out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    _write(out / "public_key.json", persist.dumps("public_key", generation.public_key))
+    _write(out / "share1.json", persist.dumps("share1", generation.share1))
+    _write(out / "share2.json", persist.dumps("share2", generation.share2))
+    print(
+        f"generated: n={params.n}, lambda={params.lam}, "
+        f"kappa={params.kappa}, ell={params.ell}, "
+        f"b1={params.theorem_b1()} bits/period"
+    )
+    return 0
+
+
+def cmd_random_message(args: argparse.Namespace) -> int:
+    public_key = _load_public_key(args.pk)
+    rng = random.Random(args.seed) if args.seed is not None else random.Random()
+    message = public_key.group.random_gt(rng)
+    print(message.to_bits().to_bytes().hex())
+    return 0
+
+
+def cmd_encrypt(args: argparse.Namespace) -> int:
+    public_key = _load_public_key(args.pk)
+    group = public_key.group
+    hex_text = sys.stdin.read().strip() if args.message == "-" else args.message
+    width = group.gt_element_bits()
+    message = decode_gt(
+        group, BitString(int.from_bytes(bytes.fromhex(hex_text), "big"), width)
+    )
+    rng = random.Random(args.seed) if args.seed is not None else random.Random()
+    scheme = DLR(public_key.params)
+    ciphertext = scheme.encrypt(public_key, message, rng)
+    _write(pathlib.Path(args.out), persist.dumps("ciphertext", ciphertext))
+    return 0
+
+
+def _devices_for(public_key, share1, share2, seed=None):
+    rng = random.Random(seed) if seed is not None else random.Random()
+    group = public_key.group
+    scheme = DLR(public_key.params)
+    device1 = Device("P1", group, rng)
+    device2 = Device("P2", group, rng)
+    scheme.install(device1, device2, share1, share2)
+    return scheme, device1, device2
+
+
+def cmd_decrypt(args: argparse.Namespace) -> int:
+    public_key = _load_public_key(args.pk)
+    group = public_key.group
+    share1 = persist.loads(pathlib.Path(args.share1).read_text(), group)
+    share2 = persist.loads(pathlib.Path(args.share2).read_text(), group)
+    ciphertext = persist.loads(pathlib.Path(args.ciphertext).read_text(), group)
+    scheme, device1, device2 = _devices_for(public_key, share1, share2, args.seed)
+    plaintext = scheme.decrypt_protocol(device1, device2, Channel(), ciphertext)
+    print(plaintext.to_bits().to_bytes().hex())
+    return 0
+
+
+def cmd_refresh(args: argparse.Namespace) -> int:
+    public_key = _load_public_key(args.pk)
+    group = public_key.group
+    share1_path = pathlib.Path(args.share1)
+    share2_path = pathlib.Path(args.share2)
+    share1 = persist.loads(share1_path.read_text(), group)
+    share2 = persist.loads(share2_path.read_text(), group)
+    scheme, device1, device2 = _devices_for(public_key, share1, share2, args.seed)
+    scheme.refresh_protocol(device1, device2, Channel())
+    new_share1 = scheme.share1_of(device1)
+    new_share2 = scheme.share2_of(device2)
+    suffix = "" if args.in_place else ".refreshed"
+    _write(share1_path.with_name(share1_path.name + suffix) if suffix else share1_path,
+           persist.dumps("share1", new_share1))
+    _write(share2_path.with_name(share2_path.name + suffix) if suffix else share2_path,
+           persist.dumps("share2", new_share2))
+    print("shares refreshed (public key unchanged)")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    public_key = _load_public_key(args.pk)
+    params = public_key.params
+    pairing = params.group.params
+    info = {
+        "security_parameter_n": params.n,
+        "group_order_bits": pairing.p.bit_length(),
+        "field_bits": pairing.q.bit_length(),
+        "cofactor": pairing.h,
+        "lambda": params.lam,
+        "kappa": params.kappa,
+        "ell": params.ell,
+        "m1_bits": params.sk_comm_bits(),
+        "m2_bits": params.sk2_bits(),
+        "b1_bits_per_period": params.theorem_b1(),
+        "b2_bits_per_period": params.theorem_b2(),
+    }
+    print(json.dumps(info, indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dlr",
+        description="Distributed leakage-resilient PKE (PODC 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    keygen = sub.add_parser("keygen", help="generate pk + device shares")
+    keygen.add_argument("-n", type=int, default=64, help="security parameter (bits of p)")
+    keygen.add_argument("--lam", type=int, default=128, help="leakage parameter lambda")
+    keygen.add_argument("--out-dir", default="keys", help="output directory")
+    keygen.add_argument("--seed", type=int, default=None)
+    keygen.set_defaults(fn=cmd_keygen)
+
+    rmsg = sub.add_parser("random-message", help="mint a random GT plaintext (hex)")
+    rmsg.add_argument("--pk", required=True)
+    rmsg.add_argument("--seed", type=int, default=None)
+    rmsg.set_defaults(fn=cmd_random_message)
+
+    enc = sub.add_parser("encrypt", help="encrypt a GT plaintext")
+    enc.add_argument("--pk", required=True)
+    enc.add_argument("--message", required=True, help="hex plaintext or '-' for stdin")
+    enc.add_argument("--out", required=True)
+    enc.add_argument("--seed", type=int, default=None)
+    enc.set_defaults(fn=cmd_encrypt)
+
+    dec = sub.add_parser("decrypt", help="run the 2-party decryption protocol")
+    dec.add_argument("--pk", required=True)
+    dec.add_argument("--share1", required=True)
+    dec.add_argument("--share2", required=True)
+    dec.add_argument("--ciphertext", required=True)
+    dec.add_argument("--seed", type=int, default=None)
+    dec.set_defaults(fn=cmd_decrypt)
+
+    ref = sub.add_parser("refresh", help="run the 2-party refresh protocol")
+    ref.add_argument("--pk", required=True)
+    ref.add_argument("--share1", required=True)
+    ref.add_argument("--share2", required=True)
+    ref.add_argument("--in-place", action="store_true")
+    ref.add_argument("--seed", type=int, default=None)
+    ref.set_defaults(fn=cmd_refresh)
+
+    info = sub.add_parser("info", help="print parameters of a public key")
+    info.add_argument("--pk", required=True)
+    info.set_defaults(fn=cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

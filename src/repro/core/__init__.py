@@ -1,0 +1,34 @@
+"""The paper's primary contribution: the DLR distributed PKE scheme.
+
+* :mod:`repro.core.params` -- the parameter schedule (kappa, ell, ...).
+* :mod:`repro.core.hpske` -- homomorphic proxy secret key encryption
+  (Definition 5.1 / Lemma 5.2).
+* :mod:`repro.core.pss` -- the secret-sharing symmetric encryption Pi_ss
+  (section 4.1).
+* :mod:`repro.core.keys` -- key/share/ciphertext value objects.
+* :mod:`repro.core.dlr` -- Construction 5.3: Gen, Enc and the 2-party
+  Dec / Ref protocols.
+* :mod:`repro.core.optimal` -- the optimal-leakage-rate variant from the
+  section 5.2 remarks (P1 keeps only ``sk_comm`` secret).
+"""
+
+from repro.core.dlr import DLR
+from repro.core.hpske import HPSKE, HPSKECiphertext, HPSKEKey
+from repro.core.keys import Ciphertext, PublicKey, Share1, Share2
+from repro.core.optimal import OptimalDLR
+from repro.core.params import DLRParams
+from repro.core.pss import PSS
+
+__all__ = [
+    "DLR",
+    "DLRParams",
+    "HPSKE",
+    "HPSKECiphertext",
+    "HPSKEKey",
+    "Ciphertext",
+    "OptimalDLR",
+    "PSS",
+    "PublicKey",
+    "Share1",
+    "Share2",
+]

@@ -1,0 +1,494 @@
+"""DLR: the distributed PKE of Construction 5.3.
+
+The scheme is ``(Gen, Enc, Dec, Ref)``:
+
+* ``Gen(1^n)`` outputs ``pk = (p, g, e, e(g1, g2))`` and the shares
+  ``sk1 = (a_1..a_ell, Phi = g2^alpha prod a_i^{s_i})``,
+  ``sk2 = (s_1..s_ell)`` -- a Pi_ss sharing of the Boneh-Boyen master
+  secret ``g2^alpha``.
+* ``Enc_pk(m) = (g^t, m * e(g1, g2)^t)`` for ``m`` in ``GT``.
+* ``Dec`` and ``Ref`` are the 2-message 2-party protocols of the paper,
+  implemented here as explicit message flows between two
+  :class:`~repro.protocol.device.Device` objects over a public
+  :class:`~repro.protocol.channel.Channel`.
+
+Two protocol styles are provided:
+
+* :meth:`DLR.decrypt_protocol` / :meth:`DLR.refresh_protocol` -- the
+  construction exactly as printed (fresh ``sk_comm`` per protocol);
+* :meth:`DLR.run_period` -- the section 5.2 remark variant where one
+  time period executes decryption *and* refresh with a single
+  ``sk_comm`` and the refresh ciphertexts ``f_i`` are reused as the
+  decryption ciphertexts ``d_i`` via coordinate-wise pairing with ``A``.
+  This is the flow the security proof (and the leakage accounting of the
+  security game) is stated for; it also returns the phase snapshots the
+  leakage oracle consumes.
+
+Device memory discipline: shares live in the devices' *secret* memory
+regions; every protocol secret (``sk_comm``, fresh share material) is
+stored there too while in use and explicitly erased afterwards, so phase
+snapshots faithfully capture the leakage surface.  HPSKE encryption
+coins, by contrast, are *public* randomness: they travel inside the
+ciphertexts, and the section 5.2 remark ensures they have no discrete
+logs that could sit in secret memory.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.hpske import HPSKE, HPSKECiphertext, HPSKEKey
+from repro.core.keys import Ciphertext, PublicKey, Share1, Share2
+from repro.core.params import DLRParams
+from repro.core.pss import PSS
+from repro.errors import ProtocolError
+from repro.groups.bilinear import GTElement
+from repro.protocol.channel import Channel, Message
+from repro.protocol.device import Device
+from repro.protocol.memory import PhaseSnapshot
+
+SK1_SLOT = "sk1"
+SK2_SLOT = "sk2"
+
+
+@dataclass
+class GenerationResult:
+    """Output of ``Gen`` plus the secret randomness ``r_Gen`` (the input
+    to the key-generation leakage function ``h_Gen``)."""
+
+    public_key: PublicKey
+    share1: Share1
+    share2: Share2
+    randomness: PhaseSnapshot
+
+
+@dataclass
+class MultiPeriodRecord:
+    """A time period containing several decryption executions
+    (the section 3.3 extension: "Extensions allowing multiple executions
+    of the decryption protocol at each time period are simple")."""
+
+    period: int
+    plaintexts: list[GTElement]
+    snapshots: dict[tuple[int, str], PhaseSnapshot]
+    messages: list[Message]
+
+
+@dataclass
+class PeriodRecord:
+    """Everything one time period produced, for the security game.
+
+    ``snapshots`` maps ``(device_index, phase)`` with phase in
+    ``{"normal", "refresh"}`` to the secret-memory snapshot the matching
+    leakage function is applied to.
+    """
+
+    period: int
+    plaintext: GTElement
+    snapshots: dict[tuple[int, str], PhaseSnapshot]
+    messages: list[Message]
+
+
+class DLR:
+    """The distributed leakage-resilient PKE scheme."""
+
+    def __init__(self, params: DLRParams) -> None:
+        self.params = params
+        self.group = params.group
+        self.hpske_g = HPSKE(self.group, params.kappa, space="G")
+        self.hpske_gt = HPSKE(self.group, params.kappa, space="GT")
+        self.pss = PSS(self.group, params.ell)
+
+    # ------------------------------------------------------------------
+    # Gen / Enc (plain algorithms)
+    # ------------------------------------------------------------------
+
+    def generate(self, rng: random.Random) -> GenerationResult:
+        """``Gen(1^n)``: sample the key material and share the master key."""
+        group = self.group
+        randomness = PhaseSnapshot("key-generation")
+
+        alpha = group.random_scalar(rng)
+        g2 = group.random_g(rng)
+        randomness.record("alpha", _scalar(alpha, group.p))
+        randomness.record("g2", g2)
+
+        g1 = group.g ** alpha
+        z = group.pair(g1, g2)
+        public_key = PublicKey(self.params, z)
+
+        master_secret = g2 ** alpha
+        randomness.record("msk", master_secret)
+
+        key = self.pss.keygen(rng)
+        coins = tuple(group.random_g(rng) for _ in range(self.params.ell))
+        share_ciphertext = self.pss.encrypt(key, master_secret, coins=coins)
+        randomness.record("s", Share2(key.sigma, group.p))
+        randomness.record("a", list(coins))
+
+        share1 = Share1(a=coins, phi=share_ciphertext.body)
+        share2 = Share2(s=key.sigma, p=group.p)
+        return GenerationResult(public_key, share1, share2, randomness)
+
+    def encrypt(
+        self, public_key: PublicKey, message: GTElement, rng: random.Random
+    ) -> Ciphertext:
+        """``Enc_pk(m) = (g^t, m * e(g1, g2)^t)``."""
+        t = self.group.random_scalar(rng)
+        return Ciphertext(a=self.group.g ** t, b=message * (public_key.z ** t))
+
+    # ------------------------------------------------------------------
+    # Shares in device memory
+    # ------------------------------------------------------------------
+
+    def install(self, device1: Device, device2: Device, share1: Share1, share2: Share2) -> None:
+        """Place the shares into the devices' secret memories."""
+        device1.secret.store(SK1_SLOT, share1)
+        device2.secret.store(SK2_SLOT, share2)
+
+    @staticmethod
+    def share1_of(device: Device) -> Share1:
+        share = device.secret.read(SK1_SLOT)
+        if not isinstance(share, Share1):
+            raise ProtocolError("P1 does not hold a Share1")
+        return share
+
+    @staticmethod
+    def share2_of(device: Device) -> Share2:
+        share = device.secret.read(SK2_SLOT)
+        if not isinstance(share, Share2):
+            raise ProtocolError("P2 does not hold a Share2")
+        return share
+
+    # ------------------------------------------------------------------
+    # The decryption protocol (Construction 5.3 as printed)
+    # ------------------------------------------------------------------
+
+    def decrypt_protocol(
+        self,
+        device1: Device,
+        device2: Device,
+        channel: Channel,
+        ciphertext: Ciphertext,
+    ) -> GTElement:
+        """Run ``Dec_{pk, sk1, sk2}(c)`` and return the plaintext (at P1)."""
+        share1 = self.share1_of(device1)
+
+        # Step 1 (P1): fresh sk_comm; send GT-encryptions of the paired values.
+        with device1.computing():
+            sk_comm = self.hpske_gt.keygen(device1.rng)
+            device1.secret.store("dec.sk_comm", sk_comm)
+            # The coins inside each ciphertext are *public* randomness --
+            # they are transmitted verbatim -- and are sampled with unknown
+            # discrete logs (section 5.2 remark), so nothing about them
+            # enters secret memory.
+            d_list = [
+                self.hpske_gt.encrypt(
+                    sk_comm, self.group.pair(ciphertext.a, a_i), device1.rng
+                )
+                for a_i in share1.a
+            ]
+            d_phi = self.hpske_gt.encrypt(
+                sk_comm, self.group.pair(ciphertext.a, share1.phi), device1.rng
+            )
+            d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
+        channel.send(device1.name, device2.name, "dec.d", (tuple(d_list), d_phi, d_b))
+
+        # Step 2 (P2): blind combination using sk2; no secret randomness.
+        response = self._p2_decrypt_step(device2, tuple(d_list), d_phi, d_b)
+        channel.send(device2.name, device1.name, "dec.c_prime", response)
+
+        # Step 3 (P1): decrypt the response, erase the protocol secrets.
+        with device1.computing():
+            plaintext = self.hpske_gt.decrypt(sk_comm, response)
+        device1.secret.erase("dec.sk_comm")
+        assert isinstance(plaintext, GTElement)
+        return plaintext
+
+    def _p2_decrypt_step(
+        self,
+        device2: Device,
+        d_list: tuple[HPSKECiphertext, ...],
+        d_phi: HPSKECiphertext,
+        d_b: HPSKECiphertext,
+    ) -> HPSKECiphertext:
+        """P2's whole decryption job: ``d_B * prod_i d_i^{s_i} / d_Phi``."""
+        share2 = self.share2_of(device2)
+        with device2.computing():
+            combined = d_b
+            for d_i, s_i in zip(d_list, share2.s):
+                combined = combined * (d_i ** s_i)
+            return combined / d_phi
+
+    # ------------------------------------------------------------------
+    # The refresh protocol (Construction 5.3 as printed)
+    # ------------------------------------------------------------------
+
+    def refresh_protocol(self, device1: Device, device2: Device, channel: Channel) -> None:
+        """Run ``Ref_pk(sk1, sk2)``: both devices end with fresh shares."""
+        share1 = self.share1_of(device1)
+        ell = self.params.ell
+
+        # Step 1 (P1): fresh a'_i; send (Enc'(a_i), Enc'(a'_i))_i, Enc'(Phi).
+        with device1.computing():
+            sk_comm = self.hpske_g.keygen(device1.rng)
+            device1.secret.store("ref.sk_comm", sk_comm)
+            fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
+            # Derived: the fresh a'_i are recoverable from sk_comm plus the
+            # public ciphertexts f'_i, so they are not "essential" secret
+            # memory in the section 3.2 sense.
+            device1.secret.store("ref.a_next", list(fresh_a), derived=True)
+            f_pairs = [
+                (
+                    self.hpske_g.encrypt(sk_comm, share1.a[i], device1.rng),
+                    self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng),
+                )
+                for i in range(ell)
+            ]
+            f_phi = self.hpske_g.encrypt(sk_comm, share1.phi, device1.rng)
+        channel.send(device1.name, device2.name, "ref.f", (tuple(f_pairs), f_phi))
+
+        # Step 2 (P2): fresh s'; send prod f'_i^{s'_i} / f_i^{s_i} * f_Phi.
+        response = self._p2_refresh_step(device2, tuple(f_pairs), f_phi)
+        channel.send(device2.name, device1.name, "ref.f_combined", response)
+
+        # Step 3 (P1): decrypt Phi', install the new share, erase the old.
+        with device1.computing():
+            new_phi = self.hpske_g.decrypt(sk_comm, response)
+        device1.secret.store(SK1_SLOT, Share1(a=fresh_a, phi=new_phi))
+        device1.secret.erase("ref.sk_comm")
+        device1.secret.erase("ref.a_next")
+
+    def _p2_refresh_step(
+        self,
+        device2: Device,
+        f_pairs: tuple[tuple[HPSKECiphertext, HPSKECiphertext], ...],
+        f_phi: HPSKECiphertext,
+    ) -> HPSKECiphertext:
+        """P2's refresh job: sample s', combine, and swap in the new share."""
+        share2 = self.share2_of(device2)
+        with device2.computing():
+            fresh_share = Share2(
+                tuple(self.group.random_scalar(device2.rng) for _ in range(self.params.ell)),
+                self.group.p,
+            )
+            combined = f_phi
+            for (f_old, f_new), s_old, s_new in zip(f_pairs, share2.s, fresh_share.s):
+                combined = combined * (f_new ** s_new) / (f_old ** s_old)
+        # P2 holds both shares until here -- its refresh secret memory is
+        # 2 m2 bits -- then the old one is overwritten (erased).
+        device2.secret.store(SK2_SLOT, fresh_share)
+        return combined
+
+    # ------------------------------------------------------------------
+    # One faithful time period (section 5.2 remark: coin reuse)
+    # ------------------------------------------------------------------
+
+    def run_period(
+        self,
+        device1: Device,
+        device2: Device,
+        channel: Channel,
+        ciphertext: Ciphertext,
+    ) -> PeriodRecord:
+        """Execute one full time period: decryption then refresh, with one
+        ``sk_comm`` and the ``f_i -> d_i`` ciphertext reuse; returns the
+        phase snapshots for the leakage oracle."""
+        period = channel.current_period
+        share1 = self.share1_of(device1)
+        ell = self.params.ell
+
+        snap1 = device1.secret.open_phase(f"t{period}.normal")
+        snap2 = device2.secret.open_phase(f"t{period}.normal")
+
+        # P1 computes the refresh ciphertexts f_i first, then derives the
+        # decryption ciphertexts d_i by pairing with A (remark, section 5.2).
+        with device1.computing():
+            sk_comm = self.hpske_g.keygen(device1.rng)
+            device1.secret.store("period.sk_comm", sk_comm)
+            f_list = [
+                self.hpske_g.encrypt(sk_comm, a_i, device1.rng) for a_i in share1.a
+            ]
+            f_phi = self.hpske_g.encrypt(sk_comm, share1.phi, device1.rng)
+
+            d_list = tuple(f_i.pair_with(ciphertext.a) for f_i in f_list)
+            d_phi = f_phi.pair_with(ciphertext.a)
+            d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
+        channel.send(device1.name, device2.name, "dec.d", (d_list, d_phi, d_b))
+
+        response = self._p2_decrypt_step(device2, d_list, d_phi, d_b)
+        channel.send(device2.name, device1.name, "dec.c_prime", response)
+
+        with device1.computing():
+            plaintext = self.hpske_gt.decrypt(sk_comm, response)
+        assert isinstance(plaintext, GTElement)
+        channel.send(device1.name, device2.name, "dec.output", plaintext)
+
+        snapshots = {
+            (1, "normal"): device1.secret.close_phase(),
+            (2, "normal"): device2.secret.close_phase(),
+        }
+
+        # --- refresh phase (same sk_comm, f_i reused) -------------------
+        device1.secret.open_phase(f"t{period}.refresh")
+        device2.secret.open_phase(f"t{period}.refresh")
+
+        with device1.computing():
+            fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
+            device1.secret.store("period.a_next", list(fresh_a), derived=True)
+            f_new = [
+                self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng)
+                for i in range(ell)
+            ]
+        f_pairs = tuple(zip(f_list, f_new))
+        channel.send(device1.name, device2.name, "ref.f", (f_pairs, f_phi))
+
+        response = self._p2_refresh_step(device2, f_pairs, f_phi)
+        channel.send(device2.name, device1.name, "ref.f_combined", response)
+
+        with device1.computing():
+            new_phi = self.hpske_g.decrypt(sk_comm, response)
+        device1.secret.store(SK1_SLOT, Share1(a=fresh_a, phi=new_phi))
+
+        # Erase every protocol secret of the period.
+        device1.secret.erase("period.sk_comm")
+        device1.secret.erase("period.a_next")
+
+        snapshots[(1, "refresh")] = device1.secret.close_phase()
+        snapshots[(2, "refresh")] = device2.secret.close_phase()
+
+        messages = channel.transcript(period)
+        channel.advance_period()
+        return PeriodRecord(period, plaintext, snapshots, messages)
+
+    # ------------------------------------------------------------------
+    # One period with several decryptions (section 3.3 extension)
+    # ------------------------------------------------------------------
+
+    def run_period_multi(
+        self,
+        device1: Device,
+        device2: Device,
+        channel: Channel,
+        ciphertexts: list[Ciphertext],
+    ) -> MultiPeriodRecord:
+        """Like :meth:`run_period`, but with several decryption protocol
+        executions inside one time period, all sharing one ``sk_comm``
+        and one set of refresh ciphertexts ``f_i`` (each decryption pairs
+        them with its own ``A``)."""
+        period = channel.current_period
+        share1 = self.share1_of(device1)
+        ell = self.params.ell
+
+        device1.secret.open_phase(f"t{period}.normal")
+        device2.secret.open_phase(f"t{period}.normal")
+
+        with device1.computing():
+            sk_comm = self.hpske_g.keygen(device1.rng)
+            device1.secret.store("period.sk_comm", sk_comm)
+            f_list = [
+                self.hpske_g.encrypt(sk_comm, a_i, device1.rng) for a_i in share1.a
+            ]
+            f_phi = self.hpske_g.encrypt(sk_comm, share1.phi, device1.rng)
+
+        plaintexts: list[GTElement] = []
+        for index, ciphertext in enumerate(ciphertexts):
+            with device1.computing():
+                d_list = tuple(f_i.pair_with(ciphertext.a) for f_i in f_list)
+                d_phi = f_phi.pair_with(ciphertext.a)
+                d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
+            channel.send(device1.name, device2.name, f"dec.{index}.d", (d_list, d_phi, d_b))
+            response = self._p2_decrypt_step(device2, d_list, d_phi, d_b)
+            channel.send(device2.name, device1.name, f"dec.{index}.c_prime", response)
+            with device1.computing():
+                plaintext = self.hpske_gt.decrypt(sk_comm, response)
+            assert isinstance(plaintext, GTElement)
+            channel.send(device1.name, device2.name, f"dec.{index}.output", plaintext)
+            plaintexts.append(plaintext)
+
+        snapshots = {
+            (1, "normal"): device1.secret.close_phase(),
+            (2, "normal"): device2.secret.close_phase(),
+        }
+
+        device1.secret.open_phase(f"t{period}.refresh")
+        device2.secret.open_phase(f"t{period}.refresh")
+
+        with device1.computing():
+            fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
+            device1.secret.store("period.a_next", list(fresh_a), derived=True)
+            f_new = [
+                self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng)
+                for i in range(ell)
+            ]
+        f_pairs = tuple(zip(f_list, f_new))
+        channel.send(device1.name, device2.name, "ref.f", (f_pairs, f_phi))
+
+        response = self._p2_refresh_step(device2, f_pairs, f_phi)
+        channel.send(device2.name, device1.name, "ref.f_combined", response)
+
+        with device1.computing():
+            new_phi = self.hpske_g.decrypt(sk_comm, response)
+        device1.secret.store(SK1_SLOT, Share1(a=fresh_a, phi=new_phi))
+        device1.secret.erase("period.sk_comm")
+        device1.secret.erase("period.a_next")
+
+        snapshots[(1, "refresh")] = device1.secret.close_phase()
+        snapshots[(2, "refresh")] = device2.secret.close_phase()
+
+        messages = channel.transcript(period)
+        channel.advance_period()
+        return MultiPeriodRecord(period, plaintexts, snapshots, messages)
+
+    # ------------------------------------------------------------------
+    # Share health check
+    # ------------------------------------------------------------------
+
+    def verify_shares(
+        self,
+        public_key: PublicKey,
+        device1: Device,
+        device2: Device,
+        channel: Channel,
+        rng: random.Random,
+    ) -> bool:
+        """A cooperative self-test: do the current shares still decrypt
+        under this public key?
+
+        P1 encrypts a fresh random probe message to the public key and
+        the devices run the real decryption protocol on it.  A mismatch
+        means the shares have drifted (corruption, interrupted refresh,
+        mixed generations).  The probe plaintext is chosen by P1 and
+        never trusted by anyone, so the check reveals nothing beyond a
+        normal protocol run.
+        """
+        probe = self.group.random_gt(rng)
+        ciphertext = self.encrypt(public_key, probe, rng)
+        try:
+            return self.decrypt_protocol(device1, device2, channel, ciphertext) == probe
+        except ProtocolError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Reference (non-distributed) decryption, for tests only
+    # ------------------------------------------------------------------
+
+    def reference_decrypt(
+        self, share1: Share1, share2: Share2, ciphertext: Ciphertext
+    ) -> GTElement:
+        """Decrypt by reconstructing ``g2^alpha`` in one place.
+
+        The protocols never do this; it pins down the functionality the
+        2-party decryption must match.
+        """
+        master = share1.phi
+        for a_i, s_i in zip(share1.a, share2.s):
+            master = master / (a_i ** s_i)
+        return ciphertext.b / self.group.pair(ciphertext.a, master)
+
+
+def _scalar(value: int, p: int):
+    from repro.protocol.device import _ScalarInMemory
+
+    return _ScalarInMemory(value, p)

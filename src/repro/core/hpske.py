@@ -1,0 +1,185 @@
+"""Homomorphic proxy secret key encryption (paper Definition 5.1, Lemma 5.2).
+
+The Lemma 5.2 construction: key ``sk_comm = (sigma_1..sigma_kappa)`` in
+``Z_p^kappa``; a ciphertext for ``m`` in the carrier group ``G'`` is::
+
+    (b_1, ..., b_kappa, m * prod_j b_j^{sigma_j})
+
+with independent uniform coins ``b_j`` in ``G'``.  The same key encrypts
+in *both* ``G`` and ``GT`` ("HPSKE for ell, G, GT") -- the decryption
+protocol exploits exactly that, together with:
+
+* **product homomorphism** (Definition 5.1, part 1): coordinate-wise
+  product of ciphertexts decrypts to the product of plaintexts;
+* **scalar homomorphism**: raising every coordinate to ``s`` turns an
+  encryption of ``m`` into one of ``m^s`` (coins ``b_j^s``);
+* **pairing transport** (section 5.2 remark): pairing each coordinate of
+  a ``G``-ciphertext with a point ``A`` yields a valid ``GT``-ciphertext
+  of ``e(A, m)`` under the *same* key -- this is how the refresh-protocol
+  ciphertexts ``f_i`` are reused as the decryption-protocol ``d_i``.
+
+Coins are sampled as random group elements with *unknown discrete logs*
+(section 5.2 remark: "the discrete logarithms of the random coins b_ij
+... are not exposed to leakage").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import GroupError, ParameterError
+from repro.groups.bilinear import BilinearGroup, G1Element, GTElement
+from repro.utils.bits import BitString, concat_all
+from repro.utils.serialization import encode_mod
+
+Element = G1Element | GTElement
+
+
+@dataclass(frozen=True)
+class HPSKEKey:
+    """``sk_comm = (sigma_1, ..., sigma_kappa)`` in ``Z_p^kappa``."""
+
+    sigma: tuple[int, ...]
+    p: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sigma", tuple(s % self.p for s in self.sigma))
+
+    @property
+    def kappa(self) -> int:
+        return len(self.sigma)
+
+    def to_bits(self) -> BitString:
+        return concat_all(encode_mod(s, self.p) for s in self.sigma)
+
+    def size_bits(self) -> int:
+        return len(self.to_bits())
+
+
+class HPSKECiphertext:
+    """A tuple ``(b_1..b_kappa, body)`` of elements of one carrier group."""
+
+    __slots__ = ("coins", "body")
+
+    def __init__(self, coins: tuple[Element, ...], body: Element) -> None:
+        self.coins = coins
+        self.body = body
+
+    @property
+    def kappa(self) -> int:
+        return len(self.coins)
+
+    def _check(self, other: "HPSKECiphertext") -> None:
+        if self.kappa != other.kappa:
+            raise GroupError("HPSKE ciphertexts of different widths")
+
+    def __mul__(self, other: "HPSKECiphertext") -> "HPSKECiphertext":
+        """Coordinate-wise product: ``Dec(c0 c1) = m0 m1`` (Def 5.1 part 1)."""
+        self._check(other)
+        return HPSKECiphertext(
+            tuple(a * b for a, b in zip(self.coins, other.coins)),
+            self.body * other.body,
+        )
+
+    def __truediv__(self, other: "HPSKECiphertext") -> "HPSKECiphertext":
+        self._check(other)
+        return HPSKECiphertext(
+            tuple(a / b for a, b in zip(self.coins, other.coins)),
+            self.body / other.body,
+        )
+
+    def __pow__(self, exponent: int) -> "HPSKECiphertext":
+        """Scalar homomorphism: an encryption of ``m^exponent``."""
+        return HPSKECiphertext(
+            tuple(c ** exponent for c in self.coins), self.body ** exponent
+        )
+
+    def pair_with(self, point: G1Element) -> "HPSKECiphertext":
+        """Transport a ``G``-ciphertext of ``m`` to a ``GT``-ciphertext of
+        ``e(point, m)`` under the same key (the f_i -> d_i reuse)."""
+        group = point.group
+        return HPSKECiphertext(
+            tuple(group.pair(point, c) for c in self.coins),  # type: ignore[arg-type]
+            group.pair(point, self.body),  # type: ignore[arg-type]
+        )
+
+    def elements(self) -> tuple[Element, ...]:
+        return self.coins + (self.body,)
+
+    def to_bits(self) -> BitString:
+        return concat_all(e.to_bits() for e in self.elements())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HPSKECiphertext):
+            return NotImplemented
+        return self.coins == other.coins and self.body == other.body
+
+    def __hash__(self) -> int:
+        return hash((self.coins, self.body))
+
+    def __repr__(self) -> str:
+        return f"HPSKECiphertext(kappa={self.kappa})"
+
+
+class HPSKE:
+    """The Lemma 5.2 scheme over a chosen carrier group (``'G'`` or ``'GT'``)."""
+
+    def __init__(self, group: BilinearGroup, kappa: int, space: str = "G") -> None:
+        if kappa < 1:
+            raise ParameterError("kappa must be at least 1")
+        if space not in ("G", "GT"):
+            raise ParameterError("space must be 'G' or 'GT'")
+        self.group = group
+        self.kappa = kappa
+        self.space = space
+
+    def keygen(self, rng: random.Random) -> HPSKEKey:
+        """``Gen'(1^n)``: a uniform key in ``Z_p^kappa``."""
+        p = self.group.p
+        return HPSKEKey(tuple(rng.randrange(p) for _ in range(self.kappa)), p)
+
+    def sample_coins(self, rng: random.Random) -> tuple[Element, ...]:
+        """Fresh encryption randomness: kappa uniform carrier-group
+        elements with unknown discrete logs."""
+        sample = self.group.random_g if self.space == "G" else self.group.random_gt
+        return tuple(sample(rng) for _ in range(self.kappa))
+
+    def encrypt(
+        self,
+        key: HPSKEKey,
+        message: Element,
+        rng: random.Random | None = None,
+        coins: tuple[Element, ...] | None = None,
+    ) -> HPSKECiphertext:
+        """``Enc'_{sk_comm}(m) = (b_1..b_kappa, m prod b_j^{sigma_j})``."""
+        if key.kappa != self.kappa:
+            raise ParameterError("key width does not match scheme kappa")
+        if coins is None:
+            if rng is None:
+                raise ParameterError("encrypt needs an rng or explicit coins")
+            coins = self.sample_coins(rng)
+        if len(coins) != self.kappa:
+            raise ParameterError("wrong number of coins")
+        mask = message
+        for coin, sigma in zip(coins, key.sigma):
+            mask = mask * (coin ** sigma)
+        return HPSKECiphertext(coins, mask)
+
+    def decrypt(self, key: HPSKEKey, ciphertext: HPSKECiphertext) -> Element:
+        """``Dec'_{sk_comm}(b_1..b_kappa, b_0) = b_0 / prod b_j^{sigma_j}``."""
+        if ciphertext.kappa != self.kappa:
+            raise ParameterError("ciphertext width does not match scheme kappa")
+        body = ciphertext.body
+        for coin, sigma in zip(ciphertext.coins, key.sigma):
+            body = body / (coin ** sigma)
+        return body
+
+    def ciphertext_bits(self) -> int:
+        """Encoded size of one ciphertext (for communication accounting)."""
+        per = (
+            self.group.g_element_bits()
+            if self.space == "G"
+            else self.group.gt_element_bits()
+        )
+        return (self.kappa + 1) * per

@@ -1,0 +1,76 @@
+"""Value objects for DLR keys, shares and ciphertexts (Construction 5.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import DLRParams
+from repro.groups.bilinear import G1Element, GTElement
+from repro.utils.bits import BitString, concat_all
+from repro.utils.serialization import encode_mod
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """``pk = (p, g, e, e(g1, g2))``.
+
+    The group object carries ``(p, g, e)``; ``z`` is the pairing value
+    ``e(g1, g2)`` -- the only extra element encryption needs (footnote 3:
+    the single pairing "can be provided as part of the public key").
+    """
+
+    params: DLRParams
+    z: GTElement
+
+    @property
+    def group(self):
+        return self.params.group
+
+    def to_bits(self) -> BitString:
+        return self.z.to_bits()
+
+
+@dataclass(frozen=True)
+class Share1:
+    """P1's share ``sk1 = (a_1..a_ell, Phi = g2^alpha prod a_i^{s_i})``."""
+
+    a: tuple[G1Element, ...]
+    phi: G1Element
+
+    def to_bits(self) -> BitString:
+        return concat_all(e.to_bits() for e in self.a) + self.phi.to_bits()
+
+    def size_bits(self) -> int:
+        return len(self.to_bits())
+
+
+@dataclass(frozen=True)
+class Share2:
+    """P2's share ``sk2 = (s_1, ..., s_ell)``."""
+
+    s: tuple[int, ...]
+    p: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "s", tuple(v % self.p for v in self.s))
+
+    def to_bits(self) -> BitString:
+        return concat_all(encode_mod(v, self.p) for v in self.s)
+
+    def size_bits(self) -> int:
+        return len(self.to_bits())
+
+
+@dataclass(frozen=True)
+class Ciphertext:
+    """``Enc_pk(m) = (A, B) = (g^t, m * e(g1, g2)^t)`` with ``m`` in GT."""
+
+    a: G1Element
+    b: GTElement
+
+    def to_bits(self) -> BitString:
+        return self.a.to_bits() + self.b.to_bits()
+
+    def size_group_elements(self) -> int:
+        """The paper's headline: the ciphertext is two group elements."""
+        return 2

@@ -1,0 +1,210 @@
+"""The optimal-leakage-rate variant of DLR (section 5.2, first remark).
+
+In the basic construction P1's secret memory holds both ``sk1`` and
+``sk_comm``.  To reach leakage rate ``1 - o(1)`` on P1 the paper shrinks
+P1's secret memory to ``sk_comm`` alone:
+
+* instead of ``sk1``, P1 keeps the coordinate-wise Pi_comm encryption of
+  ``sk1`` in *public* memory ("the latter is public as it is to be
+  transmitted over the public channel");
+* the decryption and refresh protocols are adapted so P1 never holds
+  more than a single un-encrypted coordinate of ``sk1`` at a time.
+
+Resulting secret-memory sizes, matching the discussion after
+Theorem 4.1:
+
+* P1, normal operation: ``m1 + log p`` bits with ``m1 = |sk_comm| =
+  kappa log p`` (key + the one scratch coordinate);
+* P1, refresh: ``2 m1 + log p`` (old and new ``sk_comm`` + scratch);
+* P2: ``m2 = ell log p`` normally, ``2 m2`` during refresh.
+
+Protocol adaptations (both remain 2-message protocols with the identical
+P2 role, so P2 stays the "simple device"):
+
+* **Decryption**: the ``d_i`` are derived from the *public* encrypted
+  share by pairing with ``A`` -- touching no secrets at all; only
+  ``d_B = Enc'(B)`` and the final ``Dec'`` use ``sk_comm``.
+* **Refresh**: P1 samples a fresh key ``sk_comm'`` and fresh ``a'_i``
+  one at a time; each ``a'_i`` is encrypted twice (under the old key for
+  P2's combination step, under the new key for the next public encrypted
+  share) and immediately erased.  After P2's response, ``Phi'`` is
+  decrypted with the old key, re-encrypted under the new key, and erased;
+  then the old key is erased.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.dlr import DLR, GenerationResult, PeriodRecord
+from repro.core.hpske import HPSKECiphertext
+from repro.core.keys import Ciphertext, Share1, Share2
+from repro.core.params import DLRParams
+from repro.errors import ProtocolError
+from repro.groups.bilinear import G1Element, GTElement
+from repro.protocol.channel import Channel
+from repro.protocol.device import Device
+
+SK_COMM_SLOT = "sk_comm"
+ENC_SHARE_SLOT = "enc_sk1"
+SK2_SLOT = "sk2"
+
+
+class OptimalDLR(DLR):
+    """DLR with P1's secret memory reduced to ``sk_comm`` (+ one scratch)."""
+
+    def __init__(self, params: DLRParams) -> None:
+        super().__init__(params)
+
+    # ------------------------------------------------------------------
+    # Installation: encrypt sk1 into public memory
+    # ------------------------------------------------------------------
+
+    def install(self, device1: Device, device2: Device, share1: Share1, share2: Share2) -> None:
+        """P1 stores ``Enc'_{sk_comm}(sk1)`` publicly and only ``sk_comm``
+        secretly; P2 is unchanged."""
+        sk_comm = self.hpske_g.keygen(device1.rng)
+        device1.secret.store(SK_COMM_SLOT, sk_comm)
+        encrypted = []
+        for element in (*share1.a, share1.phi):
+            # One coordinate of sk1 is in the clear at a time (scratch).
+            # Derived: recoverable from sk_comm + the public encryption.
+            device1.secret.store("scratch", element, derived=True)
+            encrypted.append(self.hpske_g.encrypt(sk_comm, element, device1.rng))
+            device1.secret.erase("scratch")
+        device1.public.store(ENC_SHARE_SLOT, tuple(encrypted))
+        device2.secret.store(SK2_SLOT, share2)
+
+    @staticmethod
+    def encrypted_share_of(device: Device) -> tuple[HPSKECiphertext, ...]:
+        value = device.public.read(ENC_SHARE_SLOT)
+        if not isinstance(value, tuple):
+            raise ProtocolError("P1 does not hold an encrypted share")
+        return value
+
+    def _sk_comm_of(self, device: Device):
+        return device.secret.read(SK_COMM_SLOT)
+
+    # ------------------------------------------------------------------
+    # Decryption
+    # ------------------------------------------------------------------
+
+    def decrypt_protocol(
+        self,
+        device1: Device,
+        device2: Device,
+        channel: Channel,
+        ciphertext: Ciphertext,
+    ) -> GTElement:
+        """Decrypt: the ``d_i`` come from pairing the *public* encrypted
+        share with ``A``; the ``Enc'`` homomorphism makes them valid
+        encryptions of ``e(A, a_i)`` under ``sk_comm``."""
+        sk_comm = self._sk_comm_of(device1)
+        encrypted = self.encrypted_share_of(device1)
+        with device1.computing():
+            d_all = tuple(f.pair_with(ciphertext.a) for f in encrypted)
+            d_list, d_phi = d_all[:-1], d_all[-1]
+            d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
+        channel.send(device1.name, device2.name, "dec.d", (d_list, d_phi, d_b))
+
+        response = self._p2_decrypt_step(device2, d_list, d_phi, d_b)
+        channel.send(device2.name, device1.name, "dec.c_prime", response)
+
+        with device1.computing():
+            plaintext = self.hpske_gt.decrypt(sk_comm, response)
+        assert isinstance(plaintext, GTElement)
+        return plaintext
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+
+    def refresh_protocol(self, device1: Device, device2: Device, channel: Channel) -> None:
+        """Refresh both the share *and* ``sk_comm``; P1 handles one clear
+        coordinate at a time."""
+        sk_comm_old = self._sk_comm_of(device1)
+        encrypted_old = self.encrypted_share_of(device1)
+        ell = self.params.ell
+
+        with device1.computing():
+            sk_comm_new = self.hpske_g.keygen(device1.rng)
+            device1.secret.store("sk_comm_next", sk_comm_new)
+            f_pairs = []
+            encrypted_new_a = []
+            for i in range(ell):
+                fresh = self.group.random_g(device1.rng)
+                device1.secret.store("scratch", fresh, derived=True)
+                # Under the old key: P2's combination input f'_i.
+                f_pairs.append(
+                    (encrypted_old[i], self.hpske_g.encrypt(sk_comm_old, fresh, device1.rng))
+                )
+                # Under the new key: the next public encrypted share.
+                encrypted_new_a.append(
+                    self.hpske_g.encrypt(sk_comm_new, fresh, device1.rng)
+                )
+                device1.secret.erase("scratch")
+            f_phi = encrypted_old[-1]
+        channel.send(device1.name, device2.name, "ref.f", (tuple(f_pairs), f_phi))
+
+        response = self._p2_refresh_step(device2, tuple(f_pairs), f_phi)
+        channel.send(device2.name, device1.name, "ref.f_combined", response)
+
+        with device1.computing():
+            new_phi = self.hpske_g.decrypt(sk_comm_old, response)
+            device1.secret.store("scratch", new_phi, derived=True)
+            encrypted_phi = self.hpske_g.encrypt(sk_comm_new, new_phi, device1.rng)
+            device1.secret.erase("scratch")
+        device1.public.store(ENC_SHARE_SLOT, tuple(encrypted_new_a) + (encrypted_phi,))
+        # Swap in the new communication key: erase the old, relabel the new
+        # (rename does not re-record, so the refresh snapshot holds exactly
+        # the old key + the new key -- the paper's 2 m1 accounting).
+        device1.secret.erase(SK_COMM_SLOT)
+        device1.secret.rename("sk_comm_next", SK_COMM_SLOT)
+
+    # ------------------------------------------------------------------
+    # One faithful time period with snapshots
+    # ------------------------------------------------------------------
+
+    def run_period(
+        self,
+        device1: Device,
+        device2: Device,
+        channel: Channel,
+        ciphertext: Ciphertext,
+    ) -> PeriodRecord:
+        """Decryption + refresh as one period, with phase snapshots."""
+        period = channel.current_period
+
+        device1.secret.open_phase(f"t{period}.normal")
+        device2.secret.open_phase(f"t{period}.normal")
+        plaintext = self.decrypt_protocol(device1, device2, channel, ciphertext)
+        channel.send(device1.name, device2.name, "dec.output", plaintext)
+        snapshots = {
+            (1, "normal"): device1.secret.close_phase(),
+            (2, "normal"): device2.secret.close_phase(),
+        }
+
+        device1.secret.open_phase(f"t{period}.refresh")
+        device2.secret.open_phase(f"t{period}.refresh")
+        self.refresh_protocol(device1, device2, channel)
+        snapshots[(1, "refresh")] = device1.secret.close_phase()
+        snapshots[(2, "refresh")] = device2.secret.close_phase()
+
+        messages = channel.transcript(period)
+        channel.advance_period()
+        return PeriodRecord(period, plaintext, snapshots, messages)
+
+    # ------------------------------------------------------------------
+    # Test helpers
+    # ------------------------------------------------------------------
+
+    def recover_share1(self, device1: Device) -> Share1:
+        """Decrypt the public encrypted share (tests only -- the protocol
+        never materializes the whole sk1)."""
+        sk_comm = self._sk_comm_of(device1)
+        elements: list[G1Element] = []
+        for ct in self.encrypted_share_of(device1):
+            element = self.hpske_g.decrypt(sk_comm, ct)
+            assert isinstance(element, G1Element)
+            elements.append(element)
+        return Share1(a=tuple(elements[:-1]), phi=elements[-1])

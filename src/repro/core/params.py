@@ -1,0 +1,116 @@
+"""The DLR parameter schedule (paper, section 5 preamble).
+
+With security parameter ``n``, leakage parameter ``lambda > 0`` and
+statistical parameter ``eps = 2^-n``::
+
+    kappa = 1 + (lambda + 2 log(1/eps)) / log p  = 1 + (lambda + 2n)/log p
+    ell   = 7 + 3 kappa + 2 log(1/eps) / log p   = 7 + 3 kappa + 2n/log p
+
+``kappa`` is the HPSKE key length (so ``|sk_comm| = kappa log p ~
+lambda + 3n`` bits, the quantity in the Theorem 4.1 bound) and ``ell``
+the Pi_ss key length.  Divisions are rounded *up*: more key material only
+helps the leftover-hash-lemma arguments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.groups.bilinear import BilinearGroup
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class DLRParams:
+    """All parameters of a DLR instance.
+
+    Attributes:
+        group: the bilinear group from ``G(1^n)``.
+        lam: the leakage parameter ``lambda`` (bits of tolerated leakage
+            on P1 per period; Theorem 4.1's ``b1``).
+    """
+
+    group: BilinearGroup
+    lam: int
+    kappa: int = field(init=False)
+    ell: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.lam <= 0:
+            raise ParameterError("leakage parameter lambda must be positive")
+        log_p = self.log_p
+        n = self.n
+        kappa = 1 + _ceil_div(self.lam + 2 * n, log_p)
+        ell = 7 + 3 * kappa + _ceil_div(2 * n, log_p)
+        object.__setattr__(self, "kappa", kappa)
+        object.__setattr__(self, "ell", ell)
+
+    @property
+    def n(self) -> int:
+        """The security parameter (bit length of the group order)."""
+        return self.group.params.n
+
+    @property
+    def log_p(self) -> int:
+        return self.group.scalar_bits()
+
+    @property
+    def epsilon_log2(self) -> int:
+        """``log2(1/eps)`` with the paper's choice ``eps = 2^-n``."""
+        return self.n
+
+    # -- derived sizes (bits), used by the rate computations ----------------
+
+    def sk_comm_bits(self) -> int:
+        """``m1 = |sk_comm| = kappa log p`` (Theorem 4.1 proof)."""
+        return self.kappa * self.log_p
+
+    def sk2_bits(self) -> int:
+        """``m2 = |sk2| = ell log p``."""
+        return self.ell * self.log_p
+
+    def sk1_bits(self) -> int:
+        """Size of the basic-variant ``sk1 = (a_1..a_ell, Phi)``."""
+        return (self.ell + 1) * self.group.g_element_bits()
+
+    def theorem_b1(self, c: int = 3) -> int:
+        """Theorem 4.1: ``b1 = (1 - c n/(lambda + c n)) m1`` with ``c = 3``."""
+        m1 = self.sk_comm_bits()
+        return (m1 * self.lam) // (self.lam + c * self.n)
+
+    def theorem_b2(self) -> int:
+        """Theorem 4.1 allows ``b2 = m2`` (the *whole* share of P2)."""
+        return self.sk2_bits()
+
+    def __repr__(self) -> str:
+        return (
+            f"DLRParams(n={self.n}, lambda={self.lam}, "
+            f"kappa={self.kappa}, ell={self.ell})"
+        )
+
+    @classmethod
+    def for_target_rate(
+        cls, group: BilinearGroup, target_rho1: float, c: int = 3
+    ) -> "DLRParams":
+        """Choose ``lambda`` to hit a target normal-operation leakage rate
+        on P1.
+
+        From ``rho1 = b1/m1 = lambda/(lambda + c n)`` we get
+        ``lambda = c n rho1 / (1 - rho1)``.  Costs scale with lambda
+        (``kappa``, ``ell``, communication are all linear in it), so
+        this is the knob a deployment actually turns.
+        """
+        if not 0 < target_rho1 < 1:
+            raise ParameterError("target rate must be in (0, 1)")
+        n = group.params.n
+        lam = math.ceil(c * n * target_rho1 / (1 - target_rho1))
+        return cls(group=group, lam=max(lam, 1))
+
+    def achieved_rho1(self, c: int = 3) -> float:
+        """The normal-operation P1 rate this parameter set achieves."""
+        return self.theorem_b1(c) / self.sk_comm_bits()

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro library."""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ParameterError(ReproError):
+    """Invalid or inconsistent scheme parameters."""
+
+
+class GroupError(ReproError):
+    """Invalid group element or group operation."""
+
+
+class ProtocolError(ReproError):
+    """A 2-party protocol was driven incorrectly or received bad messages."""
+
+
+class LeakageBudgetExceeded(ReproError):
+    """A leakage request exceeded the per-period budget (the challenger aborts)."""
+
+    def __init__(self, device: str, requested: int, available: int) -> None:
+        self.device = device
+        self.requested = requested
+        self.available = available
+        super().__init__(
+            f"leakage budget exceeded on {device}: "
+            f"requested {requested} bits, only {available} available"
+        )
+
+
+class DecryptionError(ReproError):
+    """Decryption failed (malformed ciphertext, failed signature check, ...)."""
+
+
+class SingularMatrixError(ReproError):
+    """A matrix over Z_p was singular where an invertible one was required."""

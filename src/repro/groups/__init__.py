@@ -1,0 +1,29 @@
+"""Symmetric ("type 1") bilinear groups built from scratch.
+
+The paper (section 2.1) assumes a parameters-generating algorithm
+``G(1^n) -> (p, g, e)`` producing an ``n``-bit prime ``p``, a generator
+``g`` of an order-``p`` group ``G``, and an admissible bilinear map
+``e : G x G -> GT``.  We instantiate it with the supersingular curve
+``y^2 = x^3 + x`` over ``F_q`` (``q = 3 mod 4``, ``q + 1 = h*p``),
+embedding degree 2, distortion map ``phi(x, y) = (-x, i*y)`` and the
+modified Tate pairing computed by Miller's algorithm
+(:mod:`repro.groups.pairing`).
+
+The public entry point is :class:`~repro.groups.bilinear.BilinearGroup`
+(usually obtained via :func:`~repro.groups.pairing_params.generate_group`
+or the deterministic :func:`~repro.groups.pairing_params.preset_group`).
+"""
+
+from repro.groups.bilinear import BilinearGroup, G1Element, GTElement, OperationCounter
+from repro.groups.pairing_params import PairingParams, generate_params, preset_group, preset_params
+
+__all__ = [
+    "BilinearGroup",
+    "G1Element",
+    "GTElement",
+    "OperationCounter",
+    "PairingParams",
+    "generate_params",
+    "preset_group",
+    "preset_params",
+]

@@ -1,0 +1,261 @@
+"""The public bilinear-group interface: ``(p, g, e)`` plus ``G`` / ``GT``
+element types.
+
+This is the abstraction the schemes are written against.  Notation
+follows the paper: both ``G`` and ``GT`` are written *multiplicatively*
+(``g ** a`` is scalar multiplication on the curve, ``u * v`` is point
+addition), so scheme code reads exactly like the construction in the
+paper (``g2 ** alpha * prod(a_i ** s_i)`` ...).
+
+Every group keeps an :class:`OperationCounter` so benchmarks can report
+"number of exponentiations / pairings per operation" -- the quantities
+footnote 3 of the paper compares across schemes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import GroupError
+from repro.groups import curve
+from repro.groups.curve import Point
+from repro.groups.pairing import tate_pairing
+from repro.groups.pairing_params import PairingParams
+from repro.groups.sampling import random_gt_value, random_subgroup_point
+from repro.math.fields import Fq2
+from repro.utils.bits import BitString
+from repro.utils.serialization import int_width
+
+
+@dataclass
+class OperationCounter:
+    """Counts of expensive group operations since the last reset."""
+
+    g_mul: int = 0
+    g_exp: int = 0
+    gt_mul: int = 0
+    gt_exp: int = 0
+    pairings: int = 0
+    g_samples: int = 0
+    gt_samples: int = 0
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> "OperationCounter":
+        return OperationCounter(**{name: getattr(self, name) for name in self.__dataclass_fields__})
+
+    def diff(self, earlier: "OperationCounter") -> "OperationCounter":
+        """Return the operations performed since ``earlier`` was snapshot."""
+        return OperationCounter(
+            **{
+                name: getattr(self, name) - getattr(earlier, name)
+                for name in self.__dataclass_fields__
+            }
+        )
+
+    @property
+    def exponentiations(self) -> int:
+        return self.g_exp + self.gt_exp
+
+    def total_cost(self) -> int:
+        """A crude single-number cost: pairings are by far dominant."""
+        return self.g_mul + self.gt_mul + 10 * (self.g_exp + self.gt_exp) + 100 * self.pairings
+
+
+class G1Element:
+    """An element of the order-``p`` curve subgroup ``G`` (multiplicative)."""
+
+    __slots__ = ("group", "point")
+
+    def __init__(self, group: "BilinearGroup", point: Point) -> None:
+        self.group = group
+        self.point = point
+
+    def _check(self, other: "G1Element") -> None:
+        if self.group.params is not other.group.params:
+            raise GroupError("mixing elements of different groups")
+
+    def __mul__(self, other: "G1Element") -> "G1Element":
+        self._check(other)
+        self.group.counter.g_mul += 1
+        return G1Element(self.group, curve.add(self.point, other.point, self.group.params.q))
+
+    def __truediv__(self, other: "G1Element") -> "G1Element":
+        return self * other.inverse()
+
+    def inverse(self) -> "G1Element":
+        return G1Element(self.group, self.point.negate(self.group.params.q))
+
+    def __pow__(self, exponent: int) -> "G1Element":
+        self.group.counter.g_exp += 1
+        params = self.group.params
+        reduced = exponent % params.p
+        return G1Element(self.group, curve.scalar_mul(self.point, reduced, params.q))
+
+    def is_identity(self) -> bool:
+        return self.point.is_infinity()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, G1Element):
+            return NotImplemented
+        return self.point == other.point
+
+    def __hash__(self) -> int:
+        return hash(("G1", self.point))
+
+    def to_bits(self) -> BitString:
+        """Compressed encoding: infinity flag, x, parity of y."""
+        q = self.group.params.q
+        width = int_width(q)
+        if self.point.is_infinity():
+            return BitString(0, 1) + BitString(0, width) + BitString(0, 1)
+        return (
+            BitString(1, 1)
+            + BitString(self.point.x % q, width)
+            + BitString(self.point.y % 2, 1)
+        )
+
+    def __repr__(self) -> str:
+        if self.point.is_infinity():
+            return "G1(identity)"
+        return f"G1(x={self.point.x}, y={self.point.y})"
+
+
+class GTElement:
+    """An element of the order-``p`` subgroup of ``F_{q^2}^*``."""
+
+    __slots__ = ("group", "value")
+
+    def __init__(self, group: "BilinearGroup", value: Fq2) -> None:
+        self.group = group
+        self.value = value
+
+    def _check(self, other: "GTElement") -> None:
+        if self.group.params is not other.group.params:
+            raise GroupError("mixing elements of different groups")
+
+    def __mul__(self, other: "GTElement") -> "GTElement":
+        self._check(other)
+        self.group.counter.gt_mul += 1
+        return GTElement(self.group, self.value * other.value)
+
+    def __truediv__(self, other: "GTElement") -> "GTElement":
+        self._check(other)
+        self.group.counter.gt_mul += 1
+        return GTElement(self.group, self.value * other.value.inverse())
+
+    def inverse(self) -> "GTElement":
+        return GTElement(self.group, self.value.inverse())
+
+    def __pow__(self, exponent: int) -> "GTElement":
+        self.group.counter.gt_exp += 1
+        reduced = exponent % self.group.params.p
+        return GTElement(self.group, self.value ** reduced)
+
+    def is_identity(self) -> bool:
+        return self.value.is_one()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GTElement):
+            return NotImplemented
+        return self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("GT", self.value.a, self.value.b))
+
+    def to_bits(self) -> BitString:
+        width = int_width(self.group.params.q)
+        return BitString(self.value.a, width) + BitString(self.value.b, width)
+
+    def __repr__(self) -> str:
+        return f"GT({self.value.a} + {self.value.b}i)"
+
+
+class BilinearGroup:
+    """A concrete instantiation of ``(p, g, e)`` from ``G(1^n)``.
+
+    Attributes:
+        params: the :class:`~repro.groups.pairing_params.PairingParams`.
+        g: a fixed generator of ``G`` (public; derived deterministically
+           from the parameters so all parties agree on it).
+        counter: global :class:`OperationCounter` for this group instance.
+    """
+
+    def __init__(self, params: PairingParams) -> None:
+        self.params = params
+        self.counter = OperationCounter()
+        generator_rng = random.Random(f"generator/{params.p}/{params.q}")
+        self.g = G1Element(self, random_subgroup_point(params, generator_rng))
+        self._gt_generator: GTElement | None = None
+
+    # -- basic accessors ------------------------------------------------
+
+    @property
+    def p(self) -> int:
+        return self.params.p
+
+    @property
+    def q(self) -> int:
+        return self.params.q
+
+    def g_identity(self) -> G1Element:
+        return G1Element(self, curve.INFINITY)
+
+    def gt_identity(self) -> GTElement:
+        return GTElement(self, Fq2.one(self.params.q))
+
+    def gt_generator(self) -> GTElement:
+        """``e(g, g)``, cached (it is part of the public parameters)."""
+        if self._gt_generator is None:
+            self._gt_generator = self.pair(self.g, self.g)
+        return self._gt_generator
+
+    # -- the pairing -----------------------------------------------------
+
+    def pair(self, left: G1Element, right: G1Element) -> GTElement:
+        """The admissible bilinear map ``e : G x G -> GT``."""
+        if left.group.params is not self.params or right.group.params is not self.params:
+            raise GroupError("pairing elements from a different group")
+        self.counter.pairings += 1
+        return GTElement(self, tate_pairing(left.point, right.point, self.params))
+
+    # -- sampling ----------------------------------------------------------
+
+    def random_scalar(self, rng: random.Random) -> int:
+        """A uniform exponent in ``Z_p``."""
+        return rng.randrange(self.params.p)
+
+    def random_g(self, rng: random.Random) -> G1Element:
+        """A uniform non-identity ``G`` element with *unknown* discrete log
+        (the section 5.2 requirement for the ``a_i`` and the coins)."""
+        self.counter.g_samples += 1
+        return G1Element(self, random_subgroup_point(self.params, rng))
+
+    def random_gt(self, rng: random.Random) -> GTElement:
+        """A uniform non-identity ``GT`` element with unknown discrete log."""
+        self.counter.gt_samples += 1
+        return GTElement(self, random_gt_value(self.params, rng))
+
+    def random_message(self, rng: random.Random) -> GTElement:
+        """A uniform plaintext for the DLR message space ``GT``."""
+        return self.random_gt(rng)
+
+    # -- encodings ---------------------------------------------------------
+
+    def g_element_bits(self) -> int:
+        """Bit size of the compressed encoding of a ``G`` element."""
+        return int_width(self.params.q) + 2
+
+    def gt_element_bits(self) -> int:
+        """Bit size of the encoding of a ``GT`` element."""
+        return 2 * int_width(self.params.q)
+
+    def scalar_bits(self) -> int:
+        """Bit size of a ``Z_p`` exponent (the paper's ``log p``)."""
+        return int_width(self.params.p)
+
+    def __repr__(self) -> str:
+        return f"BilinearGroup({self.params!r})"

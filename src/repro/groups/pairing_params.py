@@ -1,0 +1,109 @@
+"""The parameters-generating algorithm ``G(1^n)`` of paper section 2.1.
+
+Given the security parameter ``n`` we produce:
+
+* an ``n``-bit prime ``p`` (the order of ``G`` and ``GT``),
+* a field prime ``q = h*p - 1`` with ``4 | h`` (so ``q = 3 (mod 4)`` and
+  ``p | q + 1``),
+* the supersingular curve ``y^2 = x^3 + x / F_q`` whose order-``p``
+  subgroup is ``G``, with ``GT`` the order-``p`` subgroup of
+  ``F_{q^2}^*``.
+
+``preset_params(n)`` derives the parameters deterministically from a
+fixed seed per ``n`` so tests and benchmarks across processes agree on
+the group; ``generate_params`` samples fresh ones.
+"""
+
+from __future__ import annotations
+
+import functools
+import random
+
+from repro.errors import ParameterError
+from repro.math.primes import is_prime, random_prime
+
+# Bit sizes the test-suite and benchmarks use.  Anything >= 160 should be
+# considered "crypto sized" for this pure-Python reproduction; the small
+# sizes exist for exhaustive statistical tests.
+TOY_BITS = 16
+TEST_BITS = 64
+DEFAULT_BITS = 128
+LARGE_BITS = 256
+
+_PRESET_SEED = 0x5EED_DA7A_2012
+
+
+class PairingParams:
+    """Public parameters ``(n, p, q, h)`` of the bilinear group.
+
+    ``n`` is the security parameter, ``p`` the ``n``-bit group order,
+    ``q = h*p - 1`` the field prime, ``h`` the cofactor.
+    """
+
+    __slots__ = ("n", "p", "q", "h")
+
+    def __init__(self, n: int, p: int, q: int, h: int) -> None:
+        if q != h * p - 1:
+            raise ParameterError("q must equal h*p - 1")
+        if q % 4 != 3:
+            raise ParameterError("q must be 3 mod 4")
+        if not (is_prime(p) and is_prime(q)):
+            raise ParameterError("p and q must be prime")
+        self.n = n
+        self.p = p
+        self.q = q
+        self.h = h
+
+    @property
+    def log_p(self) -> int:
+        """Bit length of the group order (the paper's ``log p``)."""
+        return self.p.bit_length()
+
+    def gt_exponent(self) -> int:
+        """The final-exponentiation cofactor: ``(q^2 - 1) / p``."""
+        return (self.q * self.q - 1) // self.p
+
+    def __repr__(self) -> str:
+        return f"PairingParams(n={self.n}, |p|={self.p.bit_length()}, |q|={self.q.bit_length()}, h={self.h})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PairingParams):
+            return NotImplemented
+        return (self.n, self.p, self.q, self.h) == (other.n, other.p, other.q, other.h)
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.p, self.q, self.h))
+
+
+def generate_params(n: int, rng: random.Random | None = None) -> PairingParams:
+    """Run ``G(1^n)``: sample an ``n``-bit prime ``p`` and a matching field.
+
+    Iterates cofactors ``h = 4, 8, 12, ...`` until ``q = h*p - 1`` is
+    prime; if no small cofactor works (rare), re-samples ``p``.
+    """
+    if n < 5:
+        raise ParameterError("security parameter too small for a prime group")
+    rng = rng or random
+    while True:
+        p = random_prime(n, rng)
+        for h in range(4, 4 * 64 + 1, 4):
+            q = h * p - 1
+            if q % 4 == 3 and is_prime(q):
+                return PairingParams(n, p, q, h)
+
+
+@functools.lru_cache(maxsize=None)
+def preset_params(n: int) -> PairingParams:
+    """Deterministic parameters for security level ``n`` (cached)."""
+    return generate_params(n, random.Random(f"{_PRESET_SEED}/{n}"))
+
+
+def preset_group(n: int):
+    """Deterministic :class:`~repro.groups.bilinear.BilinearGroup` for ``n``.
+
+    Convenience used throughout tests/benchmarks.  Imported lazily to
+    avoid an import cycle with :mod:`repro.groups.bilinear`.
+    """
+    from repro.groups.bilinear import BilinearGroup
+
+    return BilinearGroup(preset_params(n))

@@ -1,0 +1,140 @@
+"""The modified Weil pairing -- an independent cross-check of the Miller
+machinery.
+
+The production pairing (:mod:`repro.groups.pairing`) is the modified
+Tate pairing with denominator elimination -- fast, but specialized.
+This module implements the **Weil pairing**
+
+    w(P, Q) = (-1)^p * f_{p,P}(phi(Q)) / f_{p,phi(Q)}(P)
+
+from first principles: generic curve arithmetic over ``F_{q^2}``, a
+general Miller loop *with* vertical-line denominators, and no final
+exponentiation.  It shares no evaluation shortcuts with the Tate path,
+so agreement between the two on bilinearity / non-degeneracy / the
+exponent grid is strong evidence both are correct.
+
+Used by tests and nothing else -- it is several times slower than the
+Tate pairing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GroupError
+from repro.groups.curve import Point
+from repro.groups.pairing_params import PairingParams
+from repro.math.fields import Fq2
+
+# An F_{q^2} point: (x, y) with Fq2 coordinates, or None for infinity.
+Fq2Point = tuple[Fq2, Fq2] | None
+
+
+def lift_base_point(point: Point, q: int) -> Fq2Point:
+    """Embed an ``E(F_q)`` point into ``E(F_{q^2})``."""
+    if point.is_infinity():
+        return None
+    return (Fq2.from_base(point.x, q), Fq2.from_base(point.y, q))
+
+
+def distort(point: Point, q: int) -> Fq2Point:
+    """The distortion map ``phi(x, y) = (-x, i y)``."""
+    if point.is_infinity():
+        return None
+    return (Fq2(-point.x % q, 0, q), Fq2(0, point.y, q))
+
+
+def _add(p1: Fq2Point, p2: Fq2Point, q: int) -> Fq2Point:
+    if p1 is None:
+        return p2
+    if p2 is None:
+        return p1
+    x1, y1 = p1
+    x2, y2 = p2
+    if x1 == x2:
+        if (y1 + y2).is_zero():
+            return None
+        # Doubling: slope = (3x^2 + 1) / 2y for y^2 = x^3 + x.
+        three = Fq2.from_base(3, q)
+        one = Fq2.one(q)
+        two = Fq2.from_base(2, q)
+        slope = (three * x1 * x1 + one) / (two * y1)
+    else:
+        slope = (y2 - y1) / (x2 - x1)
+    x3 = slope * slope - x1 - x2
+    y3 = slope * (x1 - x3) - y1
+    return (x3, y3)
+
+
+def _line_value(t: Fq2Point, p: Fq2Point, at: Fq2Point, q: int) -> Fq2:
+    """Evaluate the line through ``t`` and ``p`` (tangent if ``t == p``)
+    at ``at``, handling vertical and degenerate cases."""
+    assert at is not None
+    x_at, y_at = at
+    if t is None or p is None:
+        # The "line" through O and R is the vertical through R.
+        return _vertical_value(p if t is None else t, at, q)
+    xt, yt = t
+    xp, yp = p
+    if t == p:
+        if yt.is_zero():
+            return x_at - xt  # vertical tangent at a 2-torsion point
+        three = Fq2.from_base(3, q)
+        one = Fq2.one(q)
+        two = Fq2.from_base(2, q)
+        slope = (three * xt * xt + one) / (two * yt)
+    elif xt == xp:
+        return x_at - xt  # chord through t and -t is vertical
+    else:
+        slope = (yp - yt) / (xp - xt)
+    return y_at - yt - slope * (x_at - xt)
+
+
+def _vertical_value(point: Fq2Point, at: Fq2Point, q: int) -> Fq2:
+    """Evaluate the vertical line through ``point`` at ``at``."""
+    assert at is not None
+    if point is None:
+        return Fq2.one(q)
+    return at[0] - point[0]
+
+
+def general_miller(
+    base: Fq2Point, at: Fq2Point, order: int, q: int
+) -> Fq2:
+    """Full Miller evaluation ``f_{order, base}(at)`` with denominators."""
+    if base is None or at is None:
+        return Fq2.one(q)
+    f = Fq2.one(q)
+    t: Fq2Point = base
+    for bit in bin(order)[3:]:
+        numerator = _line_value(t, t, at, q)
+        t2 = _add(t, t, q)
+        denominator = _vertical_value(t2, at, q)
+        if denominator.is_zero() or numerator.is_zero():
+            raise GroupError("Miller evaluation hit a line zero; re-randomize")
+        f = f * f * numerator / denominator
+        t = t2
+        if bit == "1":
+            numerator = _line_value(t, base, at, q)
+            t_next = _add(t, base, q)
+            denominator = _vertical_value(t_next, at, q)
+            if denominator.is_zero() or numerator.is_zero():
+                raise GroupError("Miller evaluation hit a line zero; re-randomize")
+            f = f * numerator / denominator
+            t = t_next
+    return f
+
+
+def weil_pairing(p_point: Point, q_point: Point, params: PairingParams) -> Fq2:
+    """The modified Weil pairing ``w(P, Q) = (-1)^p f_P(phiQ) / f_phiQ(P)``.
+
+    Inputs are order-``p`` points of ``E(F_q)``; output lies in the
+    order-``p`` subgroup of ``F_{q^2}^*``.
+    """
+    q = params.q
+    if p_point.is_infinity() or q_point.is_infinity():
+        return Fq2.one(q)
+    lifted_p = lift_base_point(p_point, q)
+    distorted_q = distort(q_point, q)
+    f_p_at_q = general_miller(lifted_p, distorted_q, params.p, q)
+    f_q_at_p = general_miller(distorted_q, lifted_p, params.p, q)
+    minus_one = Fq2(-1 % q, 0, q)  # (-1)^p with p odd
+    return minus_one * f_p_at_q / f_q_at_p

@@ -1,0 +1,23 @@
+"""Identity-based encryption: the Boneh-Boyen substrate and DLRIBE.
+
+* :mod:`repro.ibe.identity_hash` -- the hash ``H(ID) -> {0,1}^{n_id}``.
+* :mod:`repro.ibe.boneh_boyen` -- the (single-processor) BB-style IBE the
+  paper builds on [5], used both as substrate and as a baseline.
+* :mod:`repro.ibe.dlr_ibe` -- DLRIBE (paper section 4.2): master secret
+  key *and* identity secret keys shared across two devices, with 2-party
+  extraction, decryption and refresh protocols.
+"""
+
+from repro.ibe.boneh_boyen import BonehBoyenIBE, IBECiphertext, IBEPublicParams, IdentityKey
+from repro.ibe.dlr_ibe import DLRIBE, IdentityShare1
+from repro.ibe.identity_hash import hash_identity
+
+__all__ = [
+    "BonehBoyenIBE",
+    "DLRIBE",
+    "IBECiphertext",
+    "IBEPublicParams",
+    "IdentityKey",
+    "IdentityShare1",
+    "hash_identity",
+]

@@ -1,0 +1,138 @@
+"""The Boneh-Boyen-style IBE the paper builds on (reference [5], in the
+per-bit variant of paper section 4.2).
+
+Public parameters: ``(p, g, e, g1 = g^alpha, g2, U)`` with
+``U = (u_{j,0}, u_{j,1})_{j in [n_id]}`` uniform in ``G^{n_id x 2}``;
+master secret key ``msk = g2^alpha``.
+
+* ``Extract(ID)``: with ``H(ID) = (b_1..b_{n_id})``, sample
+  ``r_1..r_{n_id}`` and output
+  ``sk_ID = (g^{r_1}, ..., g^{r_{n_id}}, M = g2^alpha prod_j
+  u_{j,b_j}^{r_j})``.
+* ``Enc(ID, m)``: ``(g^t, (u_{j,b_j}^t)_j, m * e(g1,g2)^t)``.
+* ``Dec``: ``m = B * prod_j e(C_j, g^{r_j}) / e(A, M)``.
+
+This single-processor scheme serves two roles: the substrate DLRIBE
+shares (its identity keys are what gets secret-shared) and a baseline
+the DIBE tests compare functionality against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.groups.bilinear import BilinearGroup, G1Element, GTElement
+from repro.ibe.identity_hash import hash_identity
+from repro.utils.bits import BitString, concat_all
+
+
+@dataclass(frozen=True)
+class IBEPublicParams:
+    """Public parameters of the (distributed or plain) BB-style IBE."""
+
+    group: BilinearGroup
+    g1: G1Element
+    g2: G1Element
+    u: tuple[tuple[G1Element, G1Element], ...]
+    z: GTElement  # e(g1, g2)
+
+    @property
+    def n_id(self) -> int:
+        return len(self.u)
+
+    def u_for(self, id_bits: tuple[int, ...]) -> tuple[G1Element, ...]:
+        """The column selection ``(u_{j, b_j})_j`` for hashed identity bits."""
+        if len(id_bits) != self.n_id:
+            raise ParameterError("identity hash length mismatch")
+        return tuple(self.u[j][b] for j, b in enumerate(id_bits))
+
+
+@dataclass(frozen=True)
+class IdentityKey:
+    """``sk_ID = ((g^{r_j})_j, M)`` of the single-processor scheme."""
+
+    r_pub: tuple[G1Element, ...]
+    m: G1Element
+
+    def to_bits(self) -> BitString:
+        return concat_all(e.to_bits() for e in self.r_pub) + self.m.to_bits()
+
+
+@dataclass(frozen=True)
+class IBECiphertext:
+    """``(A, (C_j)_j, B) = (g^t, (u_{j,b_j}^t)_j, m z^t)``."""
+
+    a: G1Element
+    c: tuple[G1Element, ...]
+    b: GTElement
+
+    def to_bits(self) -> BitString:
+        return self.a.to_bits() + concat_all(e.to_bits() for e in self.c) + self.b.to_bits()
+
+    def size_group_elements(self) -> int:
+        return 2 + len(self.c)
+
+
+class BonehBoyenIBE:
+    """The plain (single-processor) IBE."""
+
+    def __init__(self, group: BilinearGroup, n_id: int = 16) -> None:
+        if n_id < 1:
+            raise ParameterError("n_id must be positive")
+        self.group = group
+        self.n_id = n_id
+
+    def setup(self, rng: random.Random) -> tuple[IBEPublicParams, G1Element]:
+        """Return ``(public params, msk = g2^alpha)``."""
+        group = self.group
+        alpha = group.random_scalar(rng)
+        g1 = group.g ** alpha
+        g2 = group.random_g(rng)
+        u = tuple(
+            (group.random_g(rng), group.random_g(rng)) for _ in range(self.n_id)
+        )
+        z = group.pair(g1, g2)
+        return IBEPublicParams(group, g1, g2, u, z), g2 ** alpha
+
+    def extract(
+        self,
+        pp: IBEPublicParams,
+        msk: G1Element,
+        identity: str | bytes,
+        rng: random.Random,
+    ) -> IdentityKey:
+        """Derive ``sk_ID`` from the master secret key."""
+        id_bits = hash_identity(identity, self.n_id)
+        u_sel = pp.u_for(id_bits)
+        r = [self.group.random_scalar(rng) for _ in range(self.n_id)]
+        m = msk
+        for u_j, r_j in zip(u_sel, r):
+            m = m * (u_j ** r_j)
+        r_pub = tuple(self.group.g ** r_j for r_j in r)
+        return IdentityKey(r_pub=r_pub, m=m)
+
+    def encrypt(
+        self,
+        pp: IBEPublicParams,
+        identity: str | bytes,
+        message: GTElement,
+        rng: random.Random,
+    ) -> IBECiphertext:
+        id_bits = hash_identity(identity, self.n_id)
+        u_sel = pp.u_for(id_bits)
+        t = self.group.random_scalar(rng)
+        return IBECiphertext(
+            a=self.group.g ** t,
+            c=tuple(u_j ** t for u_j in u_sel),
+            b=message * (pp.z ** t),
+        )
+
+    def decrypt(self, key: IdentityKey, ciphertext: IBECiphertext) -> GTElement:
+        """``m = B * prod_j e(C_j, g^{r_j}) / e(A, M)``."""
+        group = self.group
+        numerator = ciphertext.b
+        for c_j, r_j in zip(ciphertext.c, key.r_pub):
+            numerator = numerator * group.pair(c_j, r_j)
+        return numerator / group.pair(ciphertext.a, key.m)

@@ -1,0 +1,335 @@
+"""DLRIBE: distributed IBE secure against continual memory leakage
+(paper section 4.2).
+
+Both the master secret key *and* every identity secret key are shared
+between the two devices:
+
+* the master shares and their refresh protocol are identical to DLR's
+  (``msk = g2^alpha`` shared via Pi_ss), so :class:`DLRIBE` subclasses
+  :class:`~repro.core.dlr.DLR` and inherits them;
+* an identity key ``sk_ID = ((g^{r_j})_j, M = g2^alpha prod_j
+  u_{j,b_j}^{r_j})`` is shared as
+  ``sk_ID^1 = ((g^{r_j})_j, (a'_i)_i, Psi = M prod_i a'_i{}^{s'_i})`` and
+  ``sk_ID^2 = (s'_1..s'_ell)``.
+
+The 2-party protocols:
+
+* **Extraction** mirrors the refresh protocol: P1 samples the BB
+  randomness ``r_j`` and fresh ``a'_i``, sends
+  ``(Enc'(a_i), Enc'(a'_i))_i`` and ``Enc'(Phi * prod u_{j,b_j}^{r_j})``;
+  P2 samples ``s'`` and returns the blinded combination, which decrypts
+  to ``Psi``.  Per Remark 4.1 the leakage bound during extraction is the
+  normal ``(b1, b2)`` -- only *master* key generation needs ``b0``.
+* **Identity decryption** mirrors DLR decryption after P1 folds
+  ``prod_j e(C_j, g^{r_j})`` into ``B``.
+* **Identity refresh** additionally re-randomizes the BB exponents:
+  P1 shifts ``r_j -> r_j + delta_j`` by multiplying ``g^{delta_j}`` into
+  the public parts and ``prod u_{j,b_j}^{delta_j}`` into the blinded
+  ``Psi`` homomorphically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.dlr import DLR, SK2_SLOT
+from repro.core.keys import Share1, Share2
+from repro.core.params import DLRParams
+from repro.errors import ProtocolError
+from repro.groups.bilinear import G1Element, GTElement
+from repro.ibe.boneh_boyen import BonehBoyenIBE, IBECiphertext, IBEPublicParams
+from repro.ibe.identity_hash import hash_identity
+from repro.protocol.channel import Channel
+from repro.protocol.device import Device
+from repro.protocol.memory import PhaseSnapshot
+from repro.utils.bits import BitString, concat_all
+
+
+@dataclass(frozen=True)
+class IdentityShare1:
+    """P1's share of an identity key: ``((g^{r_j})_j, (a'_i)_i, Psi)``."""
+
+    r_pub: tuple[G1Element, ...]
+    a: tuple[G1Element, ...]
+    psi: G1Element
+
+    def to_bits(self) -> BitString:
+        return (
+            concat_all(e.to_bits() for e in self.r_pub)
+            + concat_all(e.to_bits() for e in self.a)
+            + self.psi.to_bits()
+        )
+
+    def size_bits(self) -> int:
+        return len(self.to_bits())
+
+
+@dataclass
+class DIBESetupResult:
+    """Output of DLRIBE setup: public params, master shares, and the
+    secret setup randomness (input to ``h_Gen``)."""
+
+    public_params: IBEPublicParams
+    share1: Share1
+    share2: Share2
+    randomness: PhaseSnapshot
+
+
+def _id_slot(device_index: int, identity: str) -> str:
+    return f"id.{identity}.sk{device_index}"
+
+
+class DLRIBE(DLR):
+    """The distributed leakage-resilient IBE."""
+
+    def __init__(self, params: DLRParams, n_id: int = 16) -> None:
+        super().__init__(params)
+        self.n_id = n_id
+        self._bb = BonehBoyenIBE(params.group, n_id)
+
+    # ------------------------------------------------------------------
+    # Setup (master key generation)
+    # ------------------------------------------------------------------
+
+    def setup(self, rng: random.Random) -> DIBESetupResult:
+        """Master key generation: BB public parameters + DLR-style shares
+        of ``msk = g2^alpha``."""
+        group = self.group
+        base = self.generate(rng)  # DLR generation: shares of g2^alpha
+        randomness = base.randomness
+        # The DLR public key hides g1, g2; the IBE needs them public,
+        # along with the U matrix.
+        g2 = randomness.get("g2")
+        alpha_mem = randomness.get("alpha")
+        assert isinstance(g2, G1Element)
+        g1 = group.g ** int(alpha_mem)  # type: ignore[call-overload]
+        u = tuple((group.random_g(rng), group.random_g(rng)) for _ in range(self.n_id))
+        pp = IBEPublicParams(group, g1, g2, u, base.public_key.z)
+        return DIBESetupResult(pp, base.share1, base.share2, randomness)
+
+    # ------------------------------------------------------------------
+    # Encryption (public operation, identical to BB)
+    # ------------------------------------------------------------------
+
+    def encrypt_to(
+        self,
+        pp: IBEPublicParams,
+        identity: str,
+        message: GTElement,
+        rng: random.Random,
+    ) -> IBECiphertext:
+        return self._bb.encrypt(pp, identity, message, rng)
+
+    # ------------------------------------------------------------------
+    # 2-party identity key extraction
+    # ------------------------------------------------------------------
+
+    def extract_protocol(
+        self,
+        pp: IBEPublicParams,
+        device1: Device,
+        device2: Device,
+        channel: Channel,
+        identity: str,
+    ) -> None:
+        """Derive and install the identity key shares for ``identity``.
+
+        Requires the master shares to be installed (``DLR.install``).
+        """
+        msk1 = self.share1_of(device1)
+        ell = self.params.ell
+        u_sel = pp.u_for(hash_identity(identity, self.n_id))
+
+        with device1.computing():
+            # BB randomness r_j: secret while the blinded M is formed.
+            r = [self.group.random_scalar(device1.rng) for _ in range(self.n_id)]
+            device1.secret.store("ext.r", Share2(tuple(r), self.group.p))
+            r_pub = tuple(self.group.g ** r_j for r_j in r)
+            blinding = msk1.phi
+            for u_j, r_j in zip(u_sel, r):
+                blinding = blinding * (u_j ** r_j)
+
+            sk_comm = self.hpske_g.keygen(device1.rng)
+            device1.secret.store("ext.sk_comm", sk_comm)
+            fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
+            device1.secret.store("ext.a_next", list(fresh_a), derived=True)
+            f_pairs = tuple(
+                (
+                    self.hpske_g.encrypt(sk_comm, msk1.a[i], device1.rng),
+                    self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng),
+                )
+                for i in range(ell)
+            )
+            f_m = self.hpske_g.encrypt(sk_comm, blinding, device1.rng)
+        channel.send(device1.name, device2.name, "ext.f", (f_pairs, f_m))
+
+        # P2: identical shape to the refresh step, but the fresh scalars
+        # become the *identity* share, leaving the master share in place.
+        msk2 = self.share2_of(device2)
+        with device2.computing():
+            id_share2 = Share2(
+                tuple(self.group.random_scalar(device2.rng) for _ in range(ell)),
+                self.group.p,
+            )
+            combined = f_m
+            for (f_old, f_new), s_old, s_new in zip(f_pairs, msk2.s, id_share2.s):
+                combined = combined * (f_new ** s_new) / (f_old ** s_old)
+        device2.secret.store(_id_slot(2, identity), id_share2)
+        channel.send(device2.name, device1.name, "ext.f_combined", combined)
+
+        with device1.computing():
+            psi = self.hpske_g.decrypt(sk_comm, combined)
+        assert isinstance(psi, G1Element)
+        device1.secret.store(
+            _id_slot(1, identity), IdentityShare1(r_pub=r_pub, a=fresh_a, psi=psi)
+        )
+        device1.secret.erase("ext.r")
+        device1.secret.erase("ext.sk_comm")
+        device1.secret.erase("ext.a_next")
+
+    # ------------------------------------------------------------------
+    # 2-party identity decryption
+    # ------------------------------------------------------------------
+
+    def decrypt_protocol_id(
+        self,
+        device1: Device,
+        device2: Device,
+        channel: Channel,
+        identity: str,
+        ciphertext: IBECiphertext,
+    ) -> GTElement:
+        """Decrypt a ciphertext for ``identity`` with its key shares."""
+        share1 = self.identity_share1_of(device1, identity)
+
+        with device1.computing():
+            b_star = ciphertext.b
+            for c_j, r_j in zip(ciphertext.c, share1.r_pub):
+                b_star = b_star * self.group.pair(c_j, r_j)
+
+            sk_comm = self.hpske_gt.keygen(device1.rng)
+            device1.secret.store("iddec.sk_comm", sk_comm)
+            d_list = tuple(
+                self.hpske_gt.encrypt(
+                    sk_comm, self.group.pair(ciphertext.a, a_i), device1.rng
+                )
+                for a_i in share1.a
+            )
+            d_psi = self.hpske_gt.encrypt(
+                sk_comm, self.group.pair(ciphertext.a, share1.psi), device1.rng
+            )
+            d_b = self.hpske_gt.encrypt(sk_comm, b_star, device1.rng)
+        channel.send(device1.name, device2.name, "iddec.d", (d_list, d_psi, d_b))
+
+        id_share2 = self.identity_share2_of(device2, identity)
+        with device2.computing():
+            combined = d_b
+            for d_i, s_i in zip(d_list, id_share2.s):
+                combined = combined * (d_i ** s_i)
+            combined = combined / d_psi
+        channel.send(device2.name, device1.name, "iddec.c_prime", combined)
+
+        with device1.computing():
+            plaintext = self.hpske_gt.decrypt(sk_comm, combined)
+        device1.secret.erase("iddec.sk_comm")
+        assert isinstance(plaintext, GTElement)
+        return plaintext
+
+    # ------------------------------------------------------------------
+    # 2-party identity key refresh
+    # ------------------------------------------------------------------
+
+    def refresh_identity_protocol(
+        self,
+        pp: IBEPublicParams,
+        device1: Device,
+        device2: Device,
+        channel: Channel,
+        identity: str,
+    ) -> None:
+        """Refresh the identity key shares: fresh ``a''``, fresh ``s''``,
+        and re-randomized BB exponents ``r_j + delta_j``."""
+        share1 = self.identity_share1_of(device1, identity)
+        ell = self.params.ell
+        u_sel = pp.u_for(hash_identity(identity, self.n_id))
+
+        with device1.computing():
+            delta = [self.group.random_scalar(device1.rng) for _ in range(self.n_id)]
+            device1.secret.store("idref.delta", Share2(tuple(delta), self.group.p))
+            new_r_pub = tuple(
+                r_j * (self.group.g ** d_j) for r_j, d_j in zip(share1.r_pub, delta)
+            )
+            shift = share1.psi
+            for u_j, d_j in zip(u_sel, delta):
+                shift = shift * (u_j ** d_j)
+
+            sk_comm = self.hpske_g.keygen(device1.rng)
+            device1.secret.store("idref.sk_comm", sk_comm)
+            fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
+            device1.secret.store("idref.a_next", list(fresh_a), derived=True)
+            f_pairs = tuple(
+                (
+                    self.hpske_g.encrypt(sk_comm, share1.a[i], device1.rng),
+                    self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng),
+                )
+                for i in range(ell)
+            )
+            f_psi = self.hpske_g.encrypt(sk_comm, shift, device1.rng)
+        channel.send(device1.name, device2.name, "idref.f", (f_pairs, f_psi))
+
+        id_share2 = self.identity_share2_of(device2, identity)
+        with device2.computing():
+            fresh_share = Share2(
+                tuple(self.group.random_scalar(device2.rng) for _ in range(ell)),
+                self.group.p,
+            )
+            combined = f_psi
+            for (f_old, f_new), s_old, s_new in zip(f_pairs, id_share2.s, fresh_share.s):
+                combined = combined * (f_new ** s_new) / (f_old ** s_old)
+        device2.secret.store(_id_slot(2, identity), fresh_share)
+        channel.send(device2.name, device1.name, "idref.f_combined", combined)
+
+        with device1.computing():
+            new_psi = self.hpske_g.decrypt(sk_comm, combined)
+        assert isinstance(new_psi, G1Element)
+        device1.secret.store(
+            _id_slot(1, identity),
+            IdentityShare1(r_pub=new_r_pub, a=fresh_a, psi=new_psi),
+        )
+        device1.secret.erase("idref.delta")
+        device1.secret.erase("idref.sk_comm")
+        device1.secret.erase("idref.a_next")
+
+    # ------------------------------------------------------------------
+    # Share accessors / reference decryption
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def identity_share1_of(device: Device, identity: str) -> IdentityShare1:
+        share = device.secret.read(_id_slot(1, identity))
+        if not isinstance(share, IdentityShare1):
+            raise ProtocolError(f"P1 has no identity share for {identity!r}")
+        return share
+
+    @staticmethod
+    def identity_share2_of(device: Device, identity: str) -> Share2:
+        share = device.secret.read(_id_slot(2, identity))
+        if not isinstance(share, Share2):
+            raise ProtocolError(f"P2 has no identity share for {identity!r}")
+        return share
+
+    def reference_decrypt_id(
+        self,
+        share1: IdentityShare1,
+        share2: Share2,
+        ciphertext: IBECiphertext,
+    ) -> GTElement:
+        """Single-place decryption from the identity shares (tests only)."""
+        m = share1.psi
+        for a_i, s_i in zip(share1.a, share2.s):
+            m = m / (a_i ** s_i)
+        numerator = ciphertext.b
+        for c_j, r_j in zip(ciphertext.c, share1.r_pub):
+            numerator = numerator * self.group.pair(c_j, r_j)
+        return numerator / self.group.pair(ciphertext.a, m)

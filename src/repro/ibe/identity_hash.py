@@ -1,0 +1,33 @@
+"""The identity hash ``H(ID) = (b_1, ..., b_{n_id})``.
+
+The paper evaluates "an appropriate hash function H on the underlying
+identity" and indexes the matrix ``U in G^{n x 2}`` by the resulting
+coordinates, i.e. each coordinate selects one of two columns -- a bit.
+We instantiate ``H`` with SHA-256 in counter mode, modeled as a random
+oracle, and expose the output as a tuple of bits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import ParameterError
+
+
+def hash_identity(identity: str | bytes, n_id: int) -> tuple[int, ...]:
+    """Return ``H(ID)`` as ``n_id`` bits (each selects a column of U)."""
+    if n_id < 1:
+        raise ParameterError("identity hash length must be positive")
+    if isinstance(identity, str):
+        identity = identity.encode("utf-8")
+    bits: list[int] = []
+    counter = 0
+    while len(bits) < n_id:
+        digest = hashlib.sha256(counter.to_bytes(4, "big") + identity).digest()
+        for byte in digest:
+            for shift in range(7, -1, -1):
+                bits.append((byte >> shift) & 1)
+                if len(bits) == n_id:
+                    return tuple(bits)
+        counter += 1
+    return tuple(bits)

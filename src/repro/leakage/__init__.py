@@ -1,0 +1,32 @@
+"""The continual-memory-leakage machinery (paper sections 3.2-3.3).
+
+* :mod:`repro.leakage.functions` -- length-shrinking leakage functions.
+* :mod:`repro.leakage.oracle` -- the challenger-side budget accounting.
+* :mod:`repro.leakage.rates` -- the five leakage-rate parameters.
+"""
+
+from repro.leakage.functions import (
+    BitProjection,
+    HammingWeight,
+    InnerProductBits,
+    LeakageFunction,
+    LeakageInput,
+    PrefixBits,
+    PythonLeakage,
+)
+from repro.leakage.oracle import LeakageBudget, LeakageOracle
+from repro.leakage.rates import LeakageRates, compute_rates
+
+__all__ = [
+    "BitProjection",
+    "HammingWeight",
+    "InnerProductBits",
+    "LeakageBudget",
+    "LeakageFunction",
+    "LeakageInput",
+    "LeakageOracle",
+    "LeakageRates",
+    "PrefixBits",
+    "PythonLeakage",
+    "compute_rates",
+]

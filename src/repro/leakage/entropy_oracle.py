@@ -1,0 +1,94 @@
+"""Entropy-shrinking leakage (paper footnote 1).
+
+"More generally, both in [11, 15] and in our work it suffices to
+restrict the leakage function to be *entropy shrinking* [32], namely,
+requiring that the secret key has non-trivial average min-entropy
+conditioned on the leakage."
+
+A length-``b`` output shrinks entropy by at most ``b`` bits, but the
+converse fails: a 1000-bit output that is a deterministic function of
+10 key bits only costs 10 bits of entropy.  This module provides the
+entropy-side accounting:
+
+* :func:`entropy_loss` -- exact average-min-entropy loss of a leakage
+  function over an enumerable secret distribution (toy domains);
+* :class:`EntropyLeakageOracle` -- a budget oracle that charges the
+  *measured entropy loss* instead of the output length, admitting
+  long-but-uninformative leakage that the length-based oracle would
+  refuse.
+
+Exact conditional entropy needs the secret's distribution enumerated,
+so this oracle is an analysis tool for toy parameters; the production
+path stays the length-based :class:`~repro.leakage.oracle.LeakageOracle`
+(a sound over-approximation).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.errors import LeakageBudgetExceeded, ParameterError
+from repro.math.entropy import average_min_entropy, min_entropy
+from repro.utils.bits import BitString
+
+SecretDistribution = dict[object, float]
+LeakageMap = Callable[[object], BitString]
+
+
+def entropy_loss(secrets: SecretDistribution, leak: LeakageMap) -> float:
+    """Exact entropy cost: ``H_inf(X) - H~_inf(X | leak(X))``."""
+    if not secrets:
+        raise ParameterError("empty secret distribution")
+    joint = {
+        (secret, leak(secret)): probability
+        for secret, probability in secrets.items()
+    }
+    return min_entropy(secrets) - average_min_entropy(joint)
+
+
+def uniform_secrets(outcomes: Iterable[object]) -> SecretDistribution:
+    """A uniform distribution over the given outcomes."""
+    items = list(outcomes)
+    if not items:
+        raise ParameterError("no outcomes")
+    return {outcome: 1.0 / len(items) for outcome in items}
+
+
+class EntropyLeakageOracle:
+    """Per-period budget in *bits of average min-entropy*.
+
+    ``leak(secrets, leak_fn, actual_secret)`` measures the entropy loss
+    of ``leak_fn`` over the declared distribution, charges it against
+    the budget, and returns the leakage on the actual secret.
+    """
+
+    def __init__(self, entropy_budget_bits: float) -> None:
+        if entropy_budget_bits < 0:
+            raise ParameterError("budget must be non-negative")
+        self.budget = entropy_budget_bits
+        self.spent = 0.0
+        self.period = 0
+
+    def remaining(self) -> float:
+        return max(self.budget - self.spent, 0.0)
+
+    def leak(
+        self,
+        secrets: SecretDistribution,
+        leak_fn: LeakageMap,
+        actual_secret: object,
+    ) -> BitString:
+        if actual_secret not in secrets:
+            raise ParameterError("actual secret outside declared distribution")
+        cost = entropy_loss(secrets, leak_fn)
+        if cost > self.remaining() + 1e-9:
+            raise LeakageBudgetExceeded(
+                "entropy", int(cost + 0.999), int(self.remaining())
+            )
+        self.spent += cost
+        return leak_fn(actual_secret)
+
+    def end_period(self) -> None:
+        """Entropy budgets replenish with refresh, like length budgets."""
+        self.spent = 0.0
+        self.period += 1

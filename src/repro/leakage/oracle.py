@@ -1,0 +1,144 @@
+"""Challenger-side leakage accounting (Definition 3.2).
+
+The length-shrinking restriction binds *per key share lifetime*: the sum
+of the output lengths of the functions that leak while share ``sk_i^t``
+is in memory -- that is, ``h_i^t`` (normal operation in period ``t``) and
+``h_i^{t-1,Ref}`` (the refresh that *created* the share, at the end of
+period ``t-1``)... rewritten from the challenger's viewpoint as
+
+    L_i^t + |l_i^t| + |l_i^{t,Ref}|  <=  b_i
+
+where ``L_i^t`` is the number of bits the *previous* refresh already
+leaked about the current share (carried forward as ``L_i^{t+1} :=
+|l_i^{t,Ref}|``).  Key-generation leakage has its own bound ``b0``.
+
+:class:`LeakageOracle` implements exactly this bookkeeping and raises
+:class:`~repro.errors.LeakageBudgetExceeded` (the challenger "aborts")
+when the adversary oversteps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LeakageBudgetExceeded, ParameterError
+from repro.leakage.functions import LeakageFunction, LeakageInput
+from repro.utils.bits import BitString
+
+
+@dataclass(frozen=True)
+class LeakageBudget:
+    """The game's leakage parameter ``(b0, b1, b2)`` in bits."""
+
+    b0: int
+    b1: int
+    b2: int
+
+    def __post_init__(self) -> None:
+        if min(self.b0, self.b1, self.b2) < 0:
+            raise ParameterError("leakage bounds must be non-negative")
+
+    def for_device(self, index: int) -> int:
+        if index == 1:
+            return self.b1
+        if index == 2:
+            return self.b2
+        raise ParameterError("device index must be 1 or 2")
+
+
+class _DeviceAccount:
+    """Per-device accounting of one time period + carry-over."""
+
+    def __init__(self, bound: int) -> None:
+        self.bound = bound
+        self.carried = 0  # L_i^t: bits the previous refresh leaked on this share
+        self.period_normal = 0  # |l_i^t|
+        self.period_refresh = 0  # |l_i^{t,Ref}|
+
+    def available(self) -> int:
+        return self.bound - self.carried - self.period_normal - self.period_refresh
+
+    def charge_normal(self, bits: int, device: str) -> None:
+        if bits > self.available():
+            raise LeakageBudgetExceeded(device, bits, max(self.available(), 0))
+        self.period_normal += bits
+
+    def charge_refresh(self, bits: int, device: str) -> None:
+        if bits > self.available():
+            raise LeakageBudgetExceeded(device, bits, max(self.available(), 0))
+        self.period_refresh += bits
+
+    def roll_period(self) -> None:
+        """End of period: refresh leakage becomes the carry for the new share."""
+        self.carried = self.period_refresh
+        self.period_normal = 0
+        self.period_refresh = 0
+
+
+class LeakageOracle:
+    """Evaluates leakage functions against device snapshots under budget.
+
+    Drives the per-period lifecycle::
+
+        oracle.leak_generation(h, input)      # once, before period 0
+        l1 = oracle.leak(1, h1, input)        # during period t
+        r1 = oracle.leak_refresh(1, h1r, input)
+        oracle.end_period()                   # t <- t + 1
+    """
+
+    def __init__(self, budget: LeakageBudget) -> None:
+        self.budget = budget
+        self._accounts = {1: _DeviceAccount(budget.b1), 2: _DeviceAccount(budget.b2)}
+        self._generation_used = 0
+        self.period = 0
+        self.total_leaked_bits = {0: 0, 1: 0, 2: 0}
+
+    # -- key generation phase ---------------------------------------------
+
+    def leak_generation(self, function: LeakageFunction, leak_input: LeakageInput) -> BitString:
+        """Leakage on the key-generation randomness, bounded by ``b0``."""
+        if self.period != 0 or self.total_leaked_bits[1] or self.total_leaked_bits[2]:
+            raise ParameterError("generation leakage must precede all periods")
+        requested = function.output_length
+        if self._generation_used + requested > self.budget.b0:
+            raise LeakageBudgetExceeded(
+                "Gen", requested, self.budget.b0 - self._generation_used
+            )
+        result = function(leak_input)
+        self._generation_used += len(result)
+        self.total_leaked_bits[0] += len(result)
+        return result
+
+    # -- per-period leakage ---------------------------------------------------
+
+    def leak(self, device: int, function: LeakageFunction, leak_input: LeakageInput) -> BitString:
+        """Evaluate ``h_i^t`` on the device's normal-operation snapshot."""
+        account = self._accounts[device]
+        account.charge_normal(function.output_length, f"P{device}")
+        result = function(leak_input)
+        self.total_leaked_bits[device] += len(result)
+        return result
+
+    def leak_refresh(
+        self, device: int, function: LeakageFunction, leak_input: LeakageInput
+    ) -> BitString:
+        """Evaluate ``h_i^{t,Ref}`` on the device's refresh snapshot."""
+        account = self._accounts[device]
+        account.charge_refresh(function.output_length, f"P{device}")
+        result = function(leak_input)
+        self.total_leaked_bits[device] += len(result)
+        return result
+
+    def end_period(self) -> None:
+        """Close time period ``t``: refresh leakage carries to the new share."""
+        for account in self._accounts.values():
+            account.roll_period()
+        self.period += 1
+
+    # -- introspection -----------------------------------------------------------
+
+    def remaining(self, device: int) -> int:
+        return max(self._accounts[device].available(), 0)
+
+    def carried(self, device: int) -> int:
+        return self._accounts[device].carried

@@ -1,0 +1,91 @@
+"""Leakage rates (paper section 3.2 and the discussion after Theorem 4.1).
+
+The rate quintuple is ``(rho_Gen, rho_1^Ref, rho_2^Ref, rho_1, rho_2)``::
+
+    rho_Gen   = b0 / |r_Gen|
+    rho_i^Ref = b_i / (|sk_i| + |r_i^Ref|)
+    rho_i     = b_i / (|sk_i| + |r_i|)
+
+The paper's headline numbers for DLR: ``rho_Gen = o(1)``,
+``(rho_1, rho_2) = (1 - o(1), 1)`` and
+``(rho_1^Ref, rho_2^Ref) = (1/2 - o(1), 1/2)`` -- with a strengthening to
+``rho_2^Ref = 1`` shown in the proof.  The denominators double during
+refresh because each device briefly holds both the outgoing and the
+incoming share.  These formulas are *measured* in our benchmarks from the
+actual phase snapshots, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.leakage.oracle import LeakageBudget
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Measured secret-memory sizes (bits) of one device."""
+
+    share_bits: int
+    normal_randomness_bits: int
+    refresh_randomness_bits: int
+
+    @property
+    def normal_bits(self) -> int:
+        return self.share_bits + self.normal_randomness_bits
+
+    @property
+    def refresh_bits(self) -> int:
+        return self.share_bits + self.refresh_randomness_bits
+
+
+@dataclass(frozen=True)
+class LeakageRates:
+    """The five leakage-rate parameters of the scheme."""
+
+    rho_gen: float
+    rho1_refresh: float
+    rho2_refresh: float
+    rho1: float
+    rho2: float
+
+    def as_tuple(self) -> tuple[float, float, float, float, float]:
+        return (self.rho_gen, self.rho1_refresh, self.rho2_refresh, self.rho1, self.rho2)
+
+
+def compute_rates(
+    budget: LeakageBudget,
+    generation_randomness_bits: int,
+    profile1: MemoryProfile,
+    profile2: MemoryProfile,
+) -> LeakageRates:
+    """Compute the rate quintuple from a budget and measured memory sizes."""
+    for name, denominator in (
+        ("generation randomness", generation_randomness_bits),
+        ("P1 normal memory", profile1.normal_bits),
+        ("P2 normal memory", profile2.normal_bits),
+        ("P1 refresh memory", profile1.refresh_bits),
+        ("P2 refresh memory", profile2.refresh_bits),
+    ):
+        if denominator <= 0:
+            raise ParameterError(f"{name} size must be positive")
+    return LeakageRates(
+        rho_gen=budget.b0 / generation_randomness_bits,
+        rho1_refresh=budget.b1 / profile1.refresh_bits,
+        rho2_refresh=budget.b2 / profile2.refresh_bits,
+        rho1=budget.b1 / profile1.normal_bits,
+        rho2=budget.b2 / profile2.normal_bits,
+    )
+
+
+def theoretical_b1(m1_bits: int, n: int, lam: int, c: int = 3) -> int:
+    """Theorem 4.1's bound ``b1 = (1 - c n / (lambda + c n)) m1``.
+
+    The proof sets ``c = 3`` for this construction
+    (``|sk_comm| = kappa log p = lambda + 3n``), giving
+    ``b1 = lambda / (lambda + 3n) * m1 -> m1`` as ``lambda`` grows.
+    """
+    if lam < 0 or n <= 0 or m1_bits <= 0:
+        raise ParameterError("invalid Theorem 4.1 parameters")
+    return (m1_bits * lam) // (lam + c * n)

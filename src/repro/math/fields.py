@@ -1,0 +1,169 @@
+"""The finite fields ``F_q`` and ``F_{q^2} = F_q[i] / (i^2 + 1)``.
+
+The quadratic extension is only constructed for primes ``q = 3 (mod 4)``,
+where ``-1`` is a non-residue so ``x^2 + 1`` is irreducible.  ``F_{q^2}``
+is the home of the target group ``GT`` of the modified Tate pairing
+(:mod:`repro.groups.pairing`) and of the ``y``-coordinates produced by the
+distortion map.
+
+Elements are small immutable value objects; arithmetic returns new
+elements.  For hot loops the elliptic-curve code works on raw integer
+pairs instead, but every public API trades in these classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GroupError, ParameterError
+from repro.math.modular import inv_mod, sqrt_mod
+
+
+@dataclass(frozen=True, slots=True)
+class Fq:
+    """An element of the prime field ``F_q``."""
+
+    value: int
+    q: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", self.value % self.q)
+
+    def _check(self, other: "Fq") -> None:
+        if self.q != other.q:
+            raise GroupError("mixing elements of different fields")
+
+    def __add__(self, other: "Fq") -> "Fq":
+        self._check(other)
+        return Fq(self.value + other.value, self.q)
+
+    def __sub__(self, other: "Fq") -> "Fq":
+        self._check(other)
+        return Fq(self.value - other.value, self.q)
+
+    def __mul__(self, other: "Fq") -> "Fq":
+        self._check(other)
+        return Fq(self.value * other.value, self.q)
+
+    def __neg__(self) -> "Fq":
+        return Fq(-self.value, self.q)
+
+    def __pow__(self, exponent: int) -> "Fq":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        return Fq(pow(self.value, exponent, self.q), self.q)
+
+    def inverse(self) -> "Fq":
+        return Fq(inv_mod(self.value, self.q), self.q)
+
+    def __truediv__(self, other: "Fq") -> "Fq":
+        self._check(other)
+        return self * other.inverse()
+
+    def sqrt(self) -> "Fq":
+        return Fq(sqrt_mod(self.value, self.q), self.q)
+
+    def is_zero(self) -> bool:
+        return self.value == 0
+
+    def __int__(self) -> int:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Fq2:
+    """An element ``a + b*i`` of ``F_{q^2}`` with ``i^2 = -1``."""
+
+    a: int
+    b: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if self.q % 4 != 3:
+            raise ParameterError("F_{q^2} = F_q[i] requires q = 3 (mod 4)")
+        object.__setattr__(self, "a", self.a % self.q)
+        object.__setattr__(self, "b", self.b % self.q)
+
+    @classmethod
+    def zero(cls, q: int) -> "Fq2":
+        return cls(0, 0, q)
+
+    @classmethod
+    def one(cls, q: int) -> "Fq2":
+        return cls(1, 0, q)
+
+    @classmethod
+    def from_base(cls, value: int, q: int) -> "Fq2":
+        """Embed an ``F_q`` value into ``F_{q^2}``."""
+        return cls(value, 0, q)
+
+    def _check(self, other: "Fq2") -> None:
+        if self.q != other.q:
+            raise GroupError("mixing elements of different fields")
+
+    def __add__(self, other: "Fq2") -> "Fq2":
+        self._check(other)
+        return Fq2(self.a + other.a, self.b + other.b, self.q)
+
+    def __sub__(self, other: "Fq2") -> "Fq2":
+        self._check(other)
+        return Fq2(self.a - other.a, self.b - other.b, self.q)
+
+    def __neg__(self) -> "Fq2":
+        return Fq2(-self.a, -self.b, self.q)
+
+    def __mul__(self, other: "Fq2") -> "Fq2":
+        self._check(other)
+        q = self.q
+        # (a + bi)(c + di) = (ac - bd) + (ad + bc)i, via Karatsuba.
+        ac = self.a * other.a
+        bd = self.b * other.b
+        cross = (self.a + self.b) * (other.a + other.b) - ac - bd
+        return Fq2((ac - bd) % q, cross % q, q)
+
+    def square(self) -> "Fq2":
+        q = self.q
+        # (a + bi)^2 = (a-b)(a+b) + 2ab*i
+        return Fq2((self.a - self.b) * (self.a + self.b) % q, 2 * self.a * self.b % q, q)
+
+    def conjugate(self) -> "Fq2":
+        return Fq2(self.a, -self.b, self.q)
+
+    def norm(self) -> int:
+        """The field norm ``a^2 + b^2`` in ``F_q``."""
+        return (self.a * self.a + self.b * self.b) % self.q
+
+    def inverse(self) -> "Fq2":
+        n = self.norm()
+        if n == 0:
+            raise GroupError("0 is not invertible in F_{q^2}")
+        n_inv = inv_mod(n, self.q)
+        return Fq2(self.a * n_inv, -self.b * n_inv, self.q)
+
+    def __truediv__(self, other: "Fq2") -> "Fq2":
+        self._check(other)
+        return self * other.inverse()
+
+    def __pow__(self, exponent: int) -> "Fq2":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        result = Fq2.one(self.q)
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base.square()
+            exponent >>= 1
+        return result
+
+    def is_zero(self) -> bool:
+        return self.a == 0 and self.b == 0
+
+    def is_one(self) -> bool:
+        return self.a == 1 and self.b == 0
+
+    def to_tuple(self) -> tuple[int, int]:
+        return (self.a, self.b)
+
+    def __repr__(self) -> str:
+        return f"Fq2({self.a} + {self.b}i mod {self.q})"

@@ -1,0 +1,76 @@
+"""Primality testing and prime generation.
+
+Deterministic Miller-Rabin witnesses are used below 3.3 * 10^24; above
+that, 64 random-base rounds give error probability below 2^-128, which is
+far beyond the statistical security levels this library targets.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ParameterError
+
+# Deterministic witness sets (Sorenson & Webster 2015).
+_DETERMINISTIC_BOUND = 3_317_044_064_679_887_385_961_981
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
+)
+
+
+def _miller_rabin_round(n: int, a: int, d: int, s: int) -> bool:
+    """One Miller-Rabin round; True means 'probably prime for base a'."""
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(s - 1):
+        x = x * x % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_prime(n: int, rounds: int = 64, rng: random.Random | None = None) -> bool:
+    """Return True iff ``n`` is (very probably) prime."""
+    if n < 2:
+        return False
+    for q in _SMALL_PRIMES:
+        if n == q:
+            return True
+        if n % q == 0:
+            return False
+    d, s = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    if n < _DETERMINISTIC_BOUND:
+        witnesses: tuple[int, ...] | list[int] = _DETERMINISTIC_WITNESSES
+    else:
+        rng = rng or random
+        witnesses = [rng.randrange(2, n - 1) for _ in range(rounds)]
+    return all(_miller_rabin_round(n, a % n, d, s) for a in witnesses if a % n)
+
+
+def random_prime(bits: int, rng: random.Random | None = None) -> int:
+    """Return a uniformly random prime of exactly ``bits`` bits."""
+    if bits < 2:
+        raise ParameterError("primes need at least 2 bits")
+    rng = rng or random
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_prime(candidate):
+            return candidate
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime strictly greater than ``n``."""
+    candidate = max(n + 1, 2)
+    if candidate > 2 and candidate % 2 == 0:
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 1 if candidate == 2 else 2
+    return candidate

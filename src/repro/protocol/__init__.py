@@ -1,0 +1,19 @@
+"""Two-device runtime: memory regions, devices, the public channel.
+
+The paper's model (section 3) views each device's memory as a *public*
+region (public key, public randomness, protocol inputs/outputs) and a
+*secret* region (key share, secret randomness, intermediate computation).
+Leakage functions are applied to the secret region; the adversary sees
+the public region and the full communication transcript for free.
+
+This package supplies those moving parts; the schemes in
+:mod:`repro.core` are written as explicit message flows between two
+:class:`~repro.protocol.device.Device` objects over a
+:class:`~repro.protocol.channel.Channel`.
+"""
+
+from repro.protocol.channel import Channel, Message
+from repro.protocol.device import Device
+from repro.protocol.memory import MemoryRegion, PhaseSnapshot
+
+__all__ = ["Channel", "Device", "MemoryRegion", "Message", "PhaseSnapshot"]

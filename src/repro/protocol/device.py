@@ -1,0 +1,111 @@
+"""A computing device (P1 or P2) with split public/secret memory.
+
+A :class:`Device` bundles:
+
+* a *secret* :class:`~repro.protocol.memory.MemoryRegion` (key share,
+  secret randomness, intermediate computation -- the leakage target);
+* a *public* :class:`~repro.protocol.memory.MemoryRegion`;
+* its own randomness stream (forked from the caller's, so P1's and P2's
+  coins are independent and individually reproducible);
+* an operation counter attribution hook, used by the benchmarks that
+  check the "P2 is a simple device" claim (paper section 1.1, item 4).
+
+Secret randomness discipline: helpers like :meth:`sample_scalar` both
+draw the value *and* store it in secret memory under the given name, so
+an open phase snapshot automatically includes it in the leakage input --
+matching the model, where ``r_i^t`` is part of what the adversary can
+leak on.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from repro.groups.bilinear import BilinearGroup, G1Element, GTElement, OperationCounter
+from repro.protocol.memory import MemoryRegion
+from repro.utils.rng import fork_rng
+
+if TYPE_CHECKING:
+    pass
+
+
+class Device:
+    """One of the two computing devices executing the 2-party protocols."""
+
+    def __init__(self, name: str, group: BilinearGroup, rng: random.Random | None = None) -> None:
+        self.name = name
+        self.group = group
+        self.secret = MemoryRegion(f"{name}.secret")
+        self.public = MemoryRegion(f"{name}.public")
+        self.rng = fork_rng(rng, name)
+        self.ops = OperationCounter()
+
+    # -- randomness that lands in secret memory -----------------------------
+
+    def sample_scalar(self, slot: str) -> int:
+        """Draw a uniform ``Z_p`` exponent and hold it in secret memory."""
+        value = self.group.random_scalar(self.rng)
+        self.secret.store(slot, _ScalarInMemory(value, self.group.params.p))
+        return value
+
+    def sample_g(self, slot: str) -> G1Element:
+        """Draw a random ``G`` element (unknown dlog) into secret memory."""
+        value = self.group.random_g(self.rng)
+        self.secret.store(slot, value)
+        return value
+
+    def sample_gt(self, slot: str) -> GTElement:
+        """Draw a random ``GT`` element (unknown dlog) into secret memory."""
+        value = self.group.random_gt(self.rng)
+        self.secret.store(slot, value)
+        return value
+
+    # -- op-count attribution ---------------------------------------------
+
+    @contextmanager
+    def computing(self) -> Iterator[None]:
+        """Attribute the group operations performed in this block to this
+        device (used to quantify the P1 / P2 work asymmetry)."""
+        before = self.group.counter.snapshot()
+        try:
+            yield
+        finally:
+            delta = self.group.counter.diff(before)
+            for name in delta.__dataclass_fields__:
+                setattr(self.ops, name, getattr(self.ops, name) + getattr(delta, name))
+
+    def reset_ops(self) -> None:
+        self.ops.reset()
+
+
+class _ScalarInMemory:
+    """A ``Z_p`` scalar with its canonical fixed-width bit encoding."""
+
+    __slots__ = ("value", "p")
+
+    def __init__(self, value: int, p: int) -> None:
+        self.value = value % p
+        self.p = p
+
+    def to_bits(self):
+        from repro.utils.serialization import encode_mod
+
+        return encode_mod(self.value, self.p)
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _ScalarInMemory):
+            return self.value == other.value and self.p == other.p
+        if isinstance(other, int):
+            return self.value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.p))
+
+    def __repr__(self) -> str:
+        return f"Scalar({self.value} mod p)"

@@ -1,0 +1,174 @@
+"""Device memory regions with explicit erasure and phase snapshots.
+
+Two requirements from the model drive this design:
+
+* **Erasure is explicit.**  "By the termination of the refresh protocol
+  the old secret key share sk_i has been erased" (Definition 3.1) -- so a
+  :class:`MemoryRegion` supports ``erase`` and the schemes call it.
+* **Leakage sees everything that was in memory during the phase.**  The
+  input to a leakage function for time period ``t`` is the secret key
+  share *plus all secret randomness and intermediate values held in
+  memory during that phase* (section 3.2).  A :class:`PhaseSnapshot`
+  therefore accumulates the union of values that were ever present while
+  the phase was open, even if they were later overwritten or erased.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+from repro.utils.bits import BitString, concat_all
+from repro.utils.serialization import encode_any
+
+
+class PhaseSnapshot:
+    """The contents of a memory region over the duration of a phase.
+
+    ``values`` maps names to the value(s) the slot held during the phase
+    (a list: a slot may be overwritten).  ``to_bits`` produces the
+    canonical bit string that leakage functions receive.
+
+    Slots recorded as *derived* are values that are efficiently
+    computable from the remaining secret slots together with the public
+    memory/transcript (e.g. a share coordinate that also exists encrypted
+    in public memory).  Following section 3.2 -- the leakage input is
+    "solely the essential parts of the secret memory, namely, parts from
+    which the entire secret memory is efficiently computable (given the
+    public memory)" -- derived slots are excluded from the canonical bit
+    encoding and from the size accounting, though they remain inspectable
+    via :meth:`get`.
+    """
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.values: dict[str, list[object]] = {}
+        self.derived: set[str] = set()
+
+    def record(self, name: str, value: object, derived: bool = False) -> None:
+        self.values.setdefault(name, []).append(value)
+        if derived:
+            self.derived.add(name)
+
+    def to_bits(self) -> BitString:
+        return concat_all(
+            encode_any(value)
+            for name, history in self.values.items()
+            if name not in self.derived
+            for value in history
+        )
+
+    def size_bits(self) -> int:
+        return len(self.to_bits())
+
+    def get(self, name: str) -> object:
+        """Return the most recent value a slot held during the phase."""
+        if name not in self.values or not self.values[name]:
+            raise ProtocolError(f"no value named {name!r} in phase {self.label!r}")
+        return self.values[name][-1]
+
+    def names(self) -> list[str]:
+        return list(self.values)
+
+
+class MemoryRegion:
+    """An insertion-ordered named store with explicit erasure.
+
+    While a phase snapshot is open (see :meth:`open_phase`) every store
+    operation is also recorded into the snapshot, so the leakage input
+    includes transient values.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._slots: dict[str, object] = {}
+        self._derived: set[str] = set()
+        self._active_phase: PhaseSnapshot | None = None
+
+    # -- basic slot operations -------------------------------------------
+
+    def store(self, name: str, value: object, derived: bool = False) -> None:
+        """Store a value.  ``derived=True`` marks the slot as efficiently
+        computable from the other secret slots plus public information
+        (excluded from leakage-input encoding; see PhaseSnapshot)."""
+        self._slots[name] = value
+        if derived:
+            self._derived.add(name)
+        else:
+            self._derived.discard(name)
+        if self._active_phase is not None:
+            self._active_phase.record(name, value, derived=derived)
+
+    def read(self, name: str) -> object:
+        if name not in self._slots:
+            raise ProtocolError(f"memory {self.name!r} has no slot {name!r}")
+        return self._slots[name]
+
+    def has(self, name: str) -> bool:
+        return name in self._slots
+
+    def erase(self, name: str) -> None:
+        """Remove a slot.  Erasing a missing slot is an error: the schemes
+        are expected to know exactly what they hold."""
+        if name not in self._slots:
+            raise ProtocolError(f"cannot erase missing slot {name!r} in {self.name!r}")
+        del self._slots[name]
+        self._derived.discard(name)
+
+    def erase_if_present(self, name: str) -> None:
+        self._slots.pop(name, None)
+        self._derived.discard(name)
+
+    def clear(self) -> None:
+        self._slots.clear()
+        self._derived.clear()
+
+    def names(self) -> list[str]:
+        return list(self._slots)
+
+    def rename(self, old_name: str, new_name: str) -> None:
+        """Move a slot to a new name *without* re-recording its value into
+        an open phase snapshot (the value was already recorded under the
+        old name -- this is a relabeling, not a new memory write)."""
+        if old_name not in self._slots:
+            raise ProtocolError(f"cannot rename missing slot {old_name!r}")
+        if new_name in self._slots:
+            raise ProtocolError(f"rename target {new_name!r} already exists")
+        self._slots[new_name] = self._slots.pop(old_name)
+        if old_name in self._derived:
+            self._derived.discard(old_name)
+            self._derived.add(new_name)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_bits(self) -> BitString:
+        """Canonical encoding of the current *essential* contents."""
+        return concat_all(
+            encode_any(v) for name, v in self._slots.items() if name not in self._derived
+        )
+
+    def size_bits(self) -> int:
+        return len(self.to_bits())
+
+    # -- phase snapshots ------------------------------------------------------
+
+    def open_phase(self, label: str) -> PhaseSnapshot:
+        """Start recording a phase.  Current contents seed the snapshot."""
+        if self._active_phase is not None:
+            raise ProtocolError(
+                f"phase {self._active_phase.label!r} already open on {self.name!r}"
+            )
+        snapshot = PhaseSnapshot(label)
+        for name, value in self._slots.items():
+            snapshot.record(name, value, derived=name in self._derived)
+        self._active_phase = snapshot
+        return snapshot
+
+    def close_phase(self) -> PhaseSnapshot:
+        if self._active_phase is None:
+            raise ProtocolError(f"no open phase on {self.name!r}")
+        snapshot = self._active_phase
+        self._active_phase = None
+        return snapshot
+
+    @property
+    def phase_open(self) -> bool:
+        return self._active_phase is not None

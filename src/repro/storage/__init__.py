@@ -1,0 +1,5 @@
+"""Secure storage on continually leaky devices (paper sections 1.1, 4.4)."""
+
+from repro.storage.leaky_store import LeakyStore, StoredSecret
+
+__all__ = ["LeakyStore", "StoredSecret"]

@@ -1,0 +1,6 @@
+"""Small shared utilities: bit strings, RNG plumbing, canonical encoding."""
+
+from repro.utils.bits import BitString
+from repro.utils.rng import default_rng, fork_rng
+
+__all__ = ["BitString", "default_rng", "fork_rng"]

@@ -1,0 +1,38 @@
+"""Randomness plumbing.
+
+Every randomized algorithm in the library takes an optional
+``rng: random.Random`` argument.  Passing an explicit seeded generator
+makes key generation, protocols and security games fully reproducible --
+which the tests and the fake-game machinery (paper section 6, where the
+distinguisher must *keep track of* the randomness it uses) rely on.
+When no generator is supplied, a module-level cryptographically seeded
+generator is used.
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+
+_default = random.Random(secrets.randbits(128))
+
+
+def default_rng() -> random.Random:
+    """Return the library-wide default generator."""
+    return _default
+
+
+def seed_default_rng(seed: int) -> None:
+    """Re-seed the library-wide default generator (tests only)."""
+    _default.seed(seed)
+
+
+def fork_rng(rng: random.Random | None, label: str = "") -> random.Random:
+    """Derive an independent child generator from ``rng``.
+
+    Used by the protocol runner to give each device its own stream so the
+    *secret randomness of P1* and *of P2* (separate leakage inputs in the
+    model) are separable, while one master seed still reproduces the run.
+    """
+    parent = rng or _default
+    return random.Random(f"{parent.getrandbits(128)}/{label}")

@@ -1,0 +1,63 @@
+"""Canonical bit encoding of the values the schemes hold in memory.
+
+The leakage model applies functions to *the contents of secret memory*,
+so that content needs a well-defined bit representation.  ``encode``
+dispatches on type and produces a :class:`~repro.utils.bits.BitString`:
+
+* ``Z_p`` scalars -> fixed width ``ceil(log2 p)`` bits;
+* curve points   -> x coordinate + sign bit of y (point compression),
+  with a separate flag bit for the identity;
+* ``F_{q^2}`` / GT elements -> both coordinates, fixed width;
+* tuples / lists -> concatenation of the encodings of the members.
+
+Fixed widths mean the size of a device's secret memory is a *function of
+the scheme parameters only*, not of the particular values -- matching how
+the paper counts ``m_1 = |sk_comm|`` etc.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import ParameterError
+from repro.utils.bits import BitString, concat_all
+
+
+def int_width(modulus: int) -> int:
+    """Bit width used for values in ``[0, modulus)``."""
+    return max((modulus - 1).bit_length(), 1)
+
+
+def encode_mod(value: int, modulus: int) -> BitString:
+    """Encode a ``Z_modulus`` value at fixed width."""
+    return BitString(value % modulus, int_width(modulus))
+
+
+def encode_any(value: object) -> BitString:
+    """Encode a value by structural dispatch.
+
+    Supports ints (via their own bit length +1 -- only for ad-hoc use),
+    objects exposing ``to_bits() -> BitString``, and nested sequences.
+    Scheme code prefers the explicit fixed-width encoders.
+    """
+    if isinstance(value, BitString):
+        return value
+    to_bits = getattr(value, "to_bits", None)
+    if callable(to_bits):
+        return to_bits()
+    if isinstance(value, bool):
+        return BitString(int(value), 1)
+    if isinstance(value, int):
+        if value < 0:
+            raise ParameterError("cannot canonically encode negative ints")
+        return BitString(value, value.bit_length() + 1)
+    if isinstance(value, (tuple, list)):
+        return concat_all(encode_any(item) for item in value)
+    if isinstance(value, bytes):
+        return BitString.from_bytes(value)
+    raise ParameterError(f"no canonical encoding for {type(value).__name__}")
+
+
+def encode_sequence(values: Iterable[object]) -> BitString:
+    """Encode an iterable of encodable values."""
+    return concat_all(encode_any(v) for v in values)

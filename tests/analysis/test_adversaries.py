@@ -1,0 +1,157 @@
+"""Tests for the concrete adversaries: the leakage surface is honest
+(over-budget leakage breaks the scheme) and the in-budget best-known
+attack is powerless."""
+
+import random
+
+import pytest
+
+from repro.analysis.adversaries import (
+    BruteForceAdversary,
+    KeyRecoveryAdversary,
+    RandomGuessAdversary,
+    decode_scalars,
+)
+from repro.analysis.games import CPACMLGame
+from repro.analysis.stattests import empirical_advantage
+from repro.core.optimal import OptimalDLR
+from repro.leakage.oracle import LeakageBudget
+from repro.utils.bits import BitString
+
+
+@pytest.fixture()
+def scheme(small_params):
+    return OptimalDLR(small_params)
+
+
+class TestDecodeScalars:
+    def test_roundtrip(self):
+        width = 8
+        values = [3, 255, 0, 77]
+        bits = BitString.empty()
+        for v in values:
+            bits = bits + BitString(v, width)
+        assert decode_scalars(bits, width, 4) == values
+
+    def test_offset(self):
+        bits = BitString(0xAB, 8) + BitString(0xCD, 8)
+        assert decode_scalars(bits, 8, 1, offset=8) == [0xCD]
+
+
+class TestKeyRecovery:
+    def test_wins_with_over_budget(self, scheme):
+        """With b1 >= 2 m1 and b2 >= 2 m2 the refresh snapshots determine
+        the master key: advantage 1."""
+        params = scheme.params
+        budget = LeakageBudget(0, 2 * params.sk_comm_bits(), 2 * params.sk2_bits())
+        outcomes = []
+        for i in range(6):
+            game = CPACMLGame(scheme, budget, random.Random(i))
+            outcomes.append(game.run(KeyRecoveryAdversary(random.Random(100 + i), scheme)).won)
+        assert all(outcomes)
+
+    def test_recovers_actual_msk(self, scheme):
+        params = scheme.params
+        budget = LeakageBudget(0, 2 * params.sk_comm_bits(), 2 * params.sk2_bits())
+        adversary = KeyRecoveryAdversary(random.Random(1), scheme)
+        CPACMLGame(scheme, budget, random.Random(2)).run(adversary)
+        assert adversary.master_secret is not None
+        # e(g, msk) must equal the public z.
+        group = scheme.group
+        assert group.pair(group.g, adversary.master_secret) == adversary.view.public_key.z
+
+    def test_aborts_under_theorem_budget(self, scheme):
+        """The same adversary against the paper's budget is refused."""
+        params = scheme.params
+        budget = LeakageBudget(0, params.theorem_b1(), params.theorem_b2())
+        result = CPACMLGame(scheme, budget, random.Random(3)).run(
+            KeyRecoveryAdversary(random.Random(4), scheme)
+        )
+        assert result.aborted
+
+
+class TestBruteForce:
+    def test_wins_when_missing_bits_small(self, scheme):
+        """b1 = m1 - 6: only 6 unknown bits -> enumeration succeeds."""
+        params = scheme.params
+        b1 = params.sk_comm_bits() - 6
+        budget = LeakageBudget(0, b1, params.sk2_bits())
+        adversary = BruteForceAdversary(random.Random(5), scheme, b1, max_work_bits=8)
+        result = CPACMLGame(scheme, budget, random.Random(6)).run(adversary)
+        assert result.won
+        assert adversary.master_secret is not None
+        assert adversary.attempted_candidates <= 2 ** 6
+
+    def test_gives_up_when_missing_bits_large(self, scheme):
+        """Under the theorem budget the missing entropy (~3n bits) exceeds
+        any feasible work bound: the adversary reverts to guessing."""
+        params = scheme.params
+        b1 = params.theorem_b1()
+        budget = LeakageBudget(0, b1, params.sk2_bits())
+        adversary = BruteForceAdversary(random.Random(7), scheme, b1, max_work_bits=12)
+        result = CPACMLGame(scheme, budget, random.Random(8)).run(adversary)
+        assert not result.aborted
+        assert adversary.master_secret is None
+
+    def test_in_budget_advantage_statistically_zero(self, scheme):
+        params = scheme.params
+        b1 = params.theorem_b1()
+        budget = LeakageBudget(0, b1, params.sk2_bits())
+        outcomes = [
+            CPACMLGame(scheme, budget, random.Random(i)).run(
+                BruteForceAdversary(random.Random(500 + i), scheme, b1, max_work_bits=6)
+            ).won
+            for i in range(30)
+        ]
+        assert empirical_advantage(outcomes).is_consistent_with_no_advantage()
+
+
+class TestRandomGuess:
+    def test_no_leakage_no_advantage(self, scheme):
+        outcomes = [
+            CPACMLGame(scheme, LeakageBudget(0, 0, 0), random.Random(i)).run(
+                RandomGuessAdversary(random.Random(900 + i))
+            ).won
+            for i in range(30)
+        ]
+        estimate = empirical_advantage(outcomes)
+        assert estimate.is_consistent_with_no_advantage()
+
+
+class TestTranscriptAdaptive:
+    def test_adaptive_choices_flow_through_game(self, scheme):
+        """The function choice depends on the transcript and earlier
+        leakage; the game must deliver results for every period."""
+        from repro.analysis.adversaries import TranscriptAdaptiveAdversary
+        from repro.leakage.oracle import LeakageBudget
+
+        adversary = TranscriptAdaptiveAdversary(
+            random.Random(1), periods=3, bits_per_device=8
+        )
+        result = CPACMLGame(scheme, LeakageBudget(0, 16, 16), random.Random(2)).run(
+            adversary
+        )
+        assert not result.aborted
+        assert result.periods == 3
+        assert len(adversary.view.leakage_log) == 3
+
+    def test_choices_actually_differ_across_periods(self, scheme):
+        """Adaptivity is real: the chosen projections change as the
+        transcript grows."""
+        from repro.analysis.adversaries import TranscriptAdaptiveAdversary
+        from repro.leakage.oracle import LeakageBudget
+
+        captured = []
+
+        class Spy(TranscriptAdaptiveAdversary):
+            def period_functions(self, period):
+                request = super().period_functions(period)
+                if request is not None:
+                    captured.append(tuple(request[0].indices))
+                return request
+
+        CPACMLGame(scheme, LeakageBudget(0, 16, 16), random.Random(3)).run(
+            Spy(random.Random(4), periods=3, bits_per_device=8)
+        )
+        assert len(captured) == 3
+        assert len(set(captured)) == 3  # all distinct

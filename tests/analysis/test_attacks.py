@@ -1,0 +1,115 @@
+"""Tests for the baseline attacks (the paper's motivation, quantified)."""
+
+import random
+
+from repro.analysis.attacks import (
+    elgamal_continual_break,
+    elgamal_single_shot_break,
+    periods_to_break,
+)
+
+
+class TestSingleShot:
+    def test_full_budget_breaks(self, small_group):
+        rng = random.Random(1)
+        outcome = elgamal_single_shot_break(small_group, small_group.scalar_bits(), rng)
+        assert outcome.won
+        assert outcome.brute_force_work <= 1
+
+    def test_nearly_full_budget_breaks_with_work(self, small_group):
+        rng = random.Random(2)
+        outcome = elgamal_single_shot_break(
+            small_group, small_group.scalar_bits() - 8, rng, max_work_bits=10
+        )
+        assert outcome.won
+        assert outcome.brute_force_work <= 256
+
+    def test_small_budget_fails(self, small_group):
+        rng = random.Random(3)
+        outcome = elgamal_single_shot_break(small_group, 4, rng, max_work_bits=8)
+        assert not outcome.won
+
+    def test_leaked_bits_capped_at_key_size(self, small_group):
+        rng = random.Random(4)
+        outcome = elgamal_single_shot_break(small_group, 10_000, rng)
+        assert outcome.leaked_bits == small_group.scalar_bits()
+
+
+class TestContinual:
+    def test_accumulation_breaks_unrefreshed_key(self, small_group):
+        """rate * periods >= 1 -> total break: the 'hole in the bucket'."""
+        rng = random.Random(5)
+        assert elgamal_continual_break(small_group, rate=0.25, periods=4, rng=rng).won
+        # rate 0.1 of a 32-bit key floors to 3 bits/period: 11 periods
+        # are needed to cover all 32 bit positions.
+        assert elgamal_continual_break(small_group, rate=0.1, periods=11, rng=rng).won
+
+    def test_insufficient_periods_fail(self, small_group):
+        rng = random.Random(6)
+        assert not elgamal_continual_break(small_group, rate=0.25, periods=3, rng=rng).won
+        assert not elgamal_continual_break(small_group, rate=0.05, periods=10, rng=rng).won
+
+    def test_leak_accounting(self, small_group):
+        rng = random.Random(7)
+        outcome = elgamal_continual_break(small_group, rate=0.25, periods=2, rng=rng)
+        per_period = int(0.25 * small_group.scalar_bits())
+        assert outcome.leaked_bits == 2 * per_period
+
+    def test_periods_to_break(self):
+        assert periods_to_break(0.25) == 4
+        assert periods_to_break(0.5) == 2
+        assert periods_to_break(0.3) == 4
+        assert periods_to_break(1.0) == 1
+
+
+class TestContrastWithDLR:
+    def test_same_rate_dlr_survives_many_periods(self, small_params):
+        """The punchline: at a per-period rate that kills unrefreshed
+        ElGamal in 4 periods, DLR runs arbitrarily many periods because
+        refresh decouples the windows.  (The full statistical version is
+        the T6 benchmark; here we just verify the mechanism -- leaked
+        windows of *different* sharings cannot be combined.)"""
+        import random as _random
+
+        from repro.analysis.adversaries import BruteForceAdversary
+        from repro.analysis.games import CPACMLGame
+        from repro.core.optimal import OptimalDLR
+        from repro.leakage.oracle import LeakageBudget
+
+        scheme = OptimalDLR(small_params)
+        quarter = small_params.sk_comm_bits() // 4
+        budget = LeakageBudget(0, quarter, small_params.sk2_bits())
+
+        class WindowAdversary(BruteForceAdversary):
+            """Leaks a different quarter of sk_comm each period for 4
+            periods -- the strategy that kills ElGamal."""
+
+            def period_functions(self, period):
+                if period >= 4:
+                    return None
+                from repro.leakage.functions import BitProjection, NullLeakage
+
+                m1 = small_params.sk_comm_bits()
+                m2 = small_params.sk2_bits()
+                window = list(range(period * quarter, (period + 1) * quarter))
+                return (
+                    BitProjection(window),
+                    NullLeakage(),
+                    BitProjection(list(range(m2))),
+                    NullLeakage(),
+                )
+
+            def observe_leakage(self, period, results):
+                # Collect windows but never attempt recovery: each window
+                # refers to a different post-refresh key.
+                if self.view is not None:
+                    self.view.leakage_log.append((period, results))
+
+        result = CPACMLGame(scheme, budget, _random.Random(1)).run(
+            WindowAdversary(_random.Random(2), scheme, quarter)
+        )
+        assert not result.aborted
+        assert result.periods == 4
+        # The adversary leaked 4 * quarter = m1 bits in total -- the same
+        # amount that fully determines an ElGamal key -- yet has no
+        # complete picture of ANY single sk_comm.

@@ -1,0 +1,73 @@
+"""Tests for the executable section 6 distinguisher skeleton."""
+
+import random
+
+import pytest
+
+from repro.analysis.assumptions import sample_bddh
+from repro.analysis.distinguisher import (
+    BDDHDistinguisher,
+    ChallengeAdversary,
+    DlogBreaker,
+    _bsgs_dlog,
+)
+
+
+@pytest.fixture()
+def distinguisher(toy_params):
+    return BDDHDistinguisher(toy_params, random.Random(1))
+
+
+class TestBSGS:
+    def test_recovers_exponents(self, toy_group):
+        rng = random.Random(2)
+        for _ in range(5):
+            k = toy_group.random_scalar(rng)
+            assert _bsgs_dlog(toy_group, toy_group.g ** k) == k
+
+    def test_identity(self, toy_group):
+        assert _bsgs_dlog(toy_group, toy_group.g_identity()) == 0
+
+
+class TestPlanting:
+    def test_real_tuple_gives_valid_encryption(self, distinguisher, toy_group):
+        """With T = e(g,g)^{abc}, the planted challenge is exactly
+        Enc_pk(m_b) with randomness c: B / pk^c = m_b."""
+        rng = random.Random(3)
+        tup = sample_bddh(toy_group, rng, real=True)
+        adversary = DlogBreaker(random.Random(4))
+        outcome = distinguisher.fake_game(tup, adversary)
+        assert outcome.adversary_won  # the breaker decrypts perfectly
+
+    def test_random_tuple_hides_bit(self, distinguisher, toy_group):
+        """With uniform T, even the unbounded breaker is at chance."""
+        wins = 0
+        for i in range(20):
+            tup = sample_bddh(toy_group, random.Random(100 + i), real=False)
+            outcome = distinguisher.fake_game(tup, DlogBreaker(random.Random(200 + i)))
+            wins += outcome.adversary_won
+        assert 3 <= wins <= 17  # chance-level
+
+
+class TestDistinguisherAdvantage:
+    def test_unbounded_adversary_breaks_toy_bddh(self, distinguisher):
+        """On toy groups BDDH is easy, and D + DlogBreaker demonstrates
+        it: near-perfect advantage.  (This is the reduction working as
+        designed -- if an adversary wins the game, BDDH falls.)"""
+        advantage = distinguisher.estimate_advantage(
+            lambda rng: DlogBreaker(rng), trials=15
+        )
+        assert advantage > 0.3
+
+    def test_bounded_adversary_gives_no_advantage(self, distinguisher):
+        """With a guessing adversary, D distinguishes nothing: the
+        reduction transfers exactly the adversary's advantage."""
+        advantage = distinguisher.estimate_advantage(
+            lambda rng: ChallengeAdversary(rng), trials=30
+        )
+        assert abs(advantage) < 0.35  # statistically ~0
+
+    def test_output_convention(self, distinguisher, toy_group):
+        tup = sample_bddh(toy_group, random.Random(5), real=True)
+        bit = distinguisher.distinguish(tup, DlogBreaker(random.Random(6)))
+        assert bit == 1

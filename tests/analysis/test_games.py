@@ -1,0 +1,138 @@
+"""Tests for the Definition 3.2 security-game runner."""
+
+import random
+
+import pytest
+
+from repro.analysis.games import Adversary, CPACMLGame, GameResult
+from repro.core.dlr import DLR
+from repro.core.optimal import OptimalDLR
+from repro.leakage.functions import NullLeakage, PrefixBits
+from repro.leakage.oracle import LeakageBudget
+
+
+@pytest.fixture()
+def scheme(small_params):
+    return OptimalDLR(small_params)
+
+
+class CountingAdversary(Adversary):
+    """Runs a fixed number of leakage periods with fixed-size requests."""
+
+    def __init__(self, rng, periods, p1_bits=0, p2_bits=0):
+        super().__init__(rng)
+        self.periods = periods
+        self.p1_bits = p1_bits
+        self.p2_bits = p2_bits
+
+    def period_functions(self, period):
+        if period >= self.periods:
+            return None
+        return (
+            PrefixBits(self.p1_bits),
+            NullLeakage(),
+            PrefixBits(self.p2_bits),
+            NullLeakage(),
+        )
+
+
+class GenLeakAdversary(Adversary):
+    def __init__(self, rng, bits):
+        super().__init__(rng)
+        self.bits = bits
+
+    def generation_leakage(self):
+        return PrefixBits(self.bits)
+
+
+class TestGameMechanics:
+    def test_zero_period_game_completes(self, scheme, rng):
+        game = CPACMLGame(scheme, LeakageBudget(0, 0, 0), rng)
+        result = game.run(Adversary(random.Random(1)))
+        assert isinstance(result, GameResult)
+        assert result.periods == 0
+        assert not result.aborted
+
+    def test_multi_period_game(self, scheme, rng):
+        game = CPACMLGame(scheme, LeakageBudget(0, 16, 16), rng)
+        result = game.run(CountingAdversary(random.Random(2), periods=3, p1_bits=8, p2_bits=8))
+        assert result.periods == 3
+        assert not result.aborted
+
+    def test_budget_abort(self, scheme, rng):
+        game = CPACMLGame(scheme, LeakageBudget(0, 4, 4), rng)
+        result = game.run(CountingAdversary(random.Random(3), periods=1, p1_bits=5))
+        assert result.aborted
+        assert "P1" in result.abort_reason
+
+    def test_generation_leakage_within_b0(self, scheme, rng):
+        game = CPACMLGame(scheme, LeakageBudget(8, 0, 0), rng)
+        result = game.run(GenLeakAdversary(random.Random(4), bits=8))
+        assert not result.aborted
+
+    def test_generation_leakage_over_b0_aborts(self, scheme, rng):
+        game = CPACMLGame(scheme, LeakageBudget(4, 0, 0), rng)
+        result = game.run(GenLeakAdversary(random.Random(5), bits=5))
+        assert result.aborted
+
+    def test_leakage_results_delivered(self, scheme, rng):
+        game = CPACMLGame(scheme, LeakageBudget(0, 8, 8), rng)
+        adversary = CountingAdversary(random.Random(6), periods=2, p1_bits=8, p2_bits=8)
+        game.run(adversary)
+        assert adversary.view is not None
+        assert len(adversary.view.leakage_log) == 2
+        period0 = adversary.view.leakage_log[0][1]
+        assert len(period0[(1, "normal")]) == 8
+
+    def test_decryption_log_populated(self, scheme, rng):
+        """Each period runs a background decryption drawn from C whose
+        input/output the adversary sees (pub^t)."""
+        game = CPACMLGame(scheme, LeakageBudget(0, 1, 1), rng)
+        adversary = CountingAdversary(random.Random(7), periods=2, p1_bits=1, p2_bits=1)
+        game.run(adversary)
+        assert len(adversary.view.decryption_log) == 2
+        for ciphertext, plaintext in adversary.view.decryption_log:
+            assert scheme.reference_decrypt is not None  # shape check only
+
+    def test_background_decryptions_are_correct(self, scheme, rng):
+        """The challenger's Dec protocol must output the true plaintext of
+        the C-sampled ciphertext.  Checked against reference decryption
+        with the (post-refresh) shares -- refresh preserves the msk, so
+        they still decrypt the old ciphertext."""
+        game = CPACMLGame(scheme, LeakageBudget(0, 1, 1), rng)
+        adversary = CountingAdversary(random.Random(8), periods=1, p1_bits=0, p2_bits=0)
+        game.run(adversary)
+        (ciphertext, plaintext), = adversary.view.decryption_log
+        reference = scheme.reference_decrypt(
+            scheme.recover_share1(adversary.view.device1),
+            scheme.share2_of(adversary.view.device2),
+            ciphertext,
+        )
+        assert plaintext == reference
+
+    def test_random_adversary_near_half(self, scheme):
+        wins = sum(
+            CPACMLGame(scheme, LeakageBudget(0, 0, 0), random.Random(i)).run(
+                Adversary(random.Random(1000 + i))
+            ).won
+            for i in range(30)
+        )
+        assert 5 <= wins <= 25
+
+    def test_works_with_basic_dlr(self, small_params):
+        game = CPACMLGame(DLR(small_params), LeakageBudget(0, 32, 32), random.Random(9))
+        result = game.run(CountingAdversary(random.Random(10), periods=1, p1_bits=16, p2_bits=16))
+        assert not result.aborted
+        assert result.periods == 1
+
+    def test_custom_ciphertext_sampler(self, scheme, rng):
+        fixed_message = scheme.group.random_gt(random.Random(11))
+
+        def sampler(sample_rng, public_key, period):
+            return scheme.encrypt(public_key, fixed_message, sample_rng)
+
+        game = CPACMLGame(scheme, LeakageBudget(0, 1, 1), rng, ciphertext_sampler=sampler)
+        adversary = CountingAdversary(random.Random(12), periods=1, p1_bits=0, p2_bits=0)
+        game.run(adversary)
+        (_, plaintext), = adversary.view.decryption_log
+        assert plaintext == fixed_message

@@ -1,0 +1,111 @@
+"""Tests for the generation-leakage machinery (footnote 7 / Theorem 4.1
+remarks)."""
+
+import random
+
+import pytest
+
+from repro.analysis.generation_leakage import (
+    GuessingReduction,
+    assumption_budget_table,
+    guessing_overhead,
+    standard_b0,
+    subexponential_b0,
+)
+from repro.errors import ParameterError
+from repro.utils.bits import BitString
+
+
+class TestBudgets:
+    def test_standard_is_log_n(self):
+        assert standard_b0(256) == 8
+        assert standard_b0(1024) == 10
+
+    def test_standard_grows_slowly(self):
+        assert standard_b0(2**20) == 20
+
+    def test_subexponential_is_n_eps(self):
+        assert subexponential_b0(256, eps=0.5) == 16
+        assert subexponential_b0(10_000, eps=0.5) == 100
+
+    def test_subexponential_dominates_standard(self):
+        for n in (64, 256, 4096):
+            assert subexponential_b0(n) > standard_b0(n)
+
+    def test_eps_bounds(self):
+        with pytest.raises(ParameterError):
+            subexponential_b0(64, eps=1.0)
+        with pytest.raises(ParameterError):
+            subexponential_b0(64, eps=0.0)
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ParameterError):
+            standard_b0(1)
+
+    def test_overhead(self):
+        assert guessing_overhead(0) == 1
+        assert guessing_overhead(10) == 1024
+
+    def test_table_shape(self):
+        rows = assumption_budget_table((32, 64))
+        assert len(rows) == 2
+        assert rows[0]["standard_work"] == 2 ** rows[0]["standard_b0"]
+
+
+class TestGuessingReduction:
+    def test_finds_the_hidden_leakage(self):
+        """A procedure that only succeeds when fed the true generation
+        leakage: the reduction recovers it by enumeration."""
+        secret_leak = BitString(0b10110, 5)
+
+        def procedure(candidate: BitString) -> bool:
+            return candidate == secret_leak
+
+        outcome = GuessingReduction(5).run(procedure)
+        assert outcome.succeeded
+        assert outcome.correct_guess == secret_leak
+        assert outcome.candidates_tried <= outcome.work_bound == 32
+
+    def test_work_is_2_to_b0(self):
+        """When no candidate works, the reduction exhausts exactly 2^b0."""
+        outcome = GuessingReduction(6).run(lambda candidate: False)
+        assert not outcome.succeeded
+        assert outcome.candidates_tried == 64
+
+    def test_zero_b0_trivial(self):
+        outcome = GuessingReduction(0).run(lambda candidate: True)
+        assert outcome.succeeded
+        assert outcome.candidates_tried == 1
+
+    def test_integration_with_game(self, small_params):
+        """End to end: the adversary takes b0 = log n bits of generation
+        leakage; a simulated reduction recovers the exact leakage string
+        by guessing -- the mechanism that buys Theorem 4.1's b0 > 0."""
+        from repro.analysis.games import Adversary, CPACMLGame
+        from repro.core.optimal import OptimalDLR
+        from repro.leakage.functions import PrefixBits
+        from repro.leakage.oracle import LeakageBudget
+
+        b0 = standard_b0(small_params.n)
+        scheme = OptimalDLR(small_params)
+
+        class GenLeaker(Adversary):
+            observed = None
+
+            def generation_leakage(self):
+                return PrefixBits(b0)
+
+            def observe_leakage(self, period, results):
+                if period == -1:
+                    type(self).observed = results[(0, "gen")]
+
+        game = CPACMLGame(scheme, LeakageBudget(b0, 0, 0), random.Random(1))
+        result = game.run(GenLeaker(random.Random(2)))
+        assert not result.aborted
+        assert GenLeaker.observed is not None
+        true_leak = GenLeaker.observed
+
+        reduction = GuessingReduction(b0)
+        outcome = reduction.run(lambda candidate: candidate == true_leak)
+        assert outcome.succeeded
+        assert outcome.work_bound == 2 ** b0

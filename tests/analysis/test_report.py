@@ -1,0 +1,56 @@
+"""Tests for the experiment-report aggregator."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.report import EXPERIMENT_TITLES, _experiment_id, collect_report, main
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    (directory / "T1_refresh_leakage.txt").write_text("# note\nrow 1\n")
+    (directory / "T10_cca2.txt").write_text("cca table\n")
+    (directory / "T8b_distinguisher.txt").write_text("skeleton\n")
+    (directory / "A1_coin_reuse.txt").write_text("ablation\n")
+    return directory
+
+
+class TestCollect:
+    def test_sections_present(self, results_dir):
+        report = collect_report(results_dir)
+        assert "T1:" in report
+        assert "T10:" in report
+        assert "A1:" in report
+        assert "row 1" in report
+
+    def test_ordering_numeric_not_lexicographic(self, results_dir):
+        report = collect_report(results_dir)
+        assert report.index("T1:") < report.index("T8b:") < report.index("T10:")
+
+    def test_experiment_id_parsing(self):
+        assert _experiment_id(pathlib.Path("T9_dibe_costs.txt")) == "T9"
+        assert _experiment_id(pathlib.Path("T8b_distinguisher.txt")) == "T8b"
+        assert _experiment_id(pathlib.Path("A2_variant_surface.txt")) == "A2"
+
+    def test_empty_directory_raises(self, tmp_path):
+        empty = tmp_path / "results"
+        empty.mkdir()
+        with pytest.raises(FileNotFoundError):
+            collect_report(empty)
+
+    def test_titles_cover_all_experiments(self):
+        for exp in ("T1", "T6", "T8b", "T13", "A3"):
+            assert exp in EXPERIMENT_TITLES
+
+    def test_main_against_repo_results(self, capsys):
+        """If the repo's results/ exists (benchmarks were run), main()
+        prints the full report."""
+        repo_results = pathlib.Path(__file__).resolve().parents[2] / "results"
+        if not repo_results.is_dir():
+            pytest.skip("benchmarks not yet run")
+        assert main() == 0
+        out = capsys.readouterr().out
+        assert "experiment report" in out

@@ -1,0 +1,101 @@
+"""Tests for the statistical-test helpers."""
+
+import random
+
+import pytest
+
+from repro.analysis.stattests import (
+    AdvantageEstimate,
+    chi_squared_two_sample,
+    chi_squared_uniform,
+    empirical_advantage,
+)
+from repro.errors import ParameterError
+
+
+class TestChiSquaredUniform:
+    def test_uniform_sample_accepted(self):
+        rng = random.Random(1)
+        samples = [rng.randrange(8) for _ in range(4000)]
+        result = chi_squared_uniform(samples, 8)
+        assert not result.rejects_at(0.01)
+
+    def test_biased_sample_rejected(self):
+        rng = random.Random(2)
+        samples = [rng.randrange(4) for _ in range(2000)] + [0] * 500
+        result = chi_squared_uniform(samples, 4)
+        assert result.rejects_at(0.01)
+
+    def test_unseen_outcomes_counted(self):
+        # Samples concentrated on one outcome of a claimed 10-outcome support.
+        result = chi_squared_uniform([0] * 100, 10)
+        assert result.rejects_at(0.01)
+
+    def test_support_validation(self):
+        with pytest.raises(ParameterError):
+            chi_squared_uniform([0, 1, 2], 2)
+        with pytest.raises(ParameterError):
+            chi_squared_uniform([0], 1)
+
+    def test_p_value_in_range(self):
+        rng = random.Random(3)
+        result = chi_squared_uniform([rng.randrange(4) for _ in range(400)], 4)
+        assert 0.0 <= result.p_value <= 1.0
+
+
+class TestChiSquaredTwoSample:
+    def test_same_distribution_accepted(self):
+        rng = random.Random(4)
+        a = [rng.randrange(6) for _ in range(3000)]
+        b = [rng.randrange(6) for _ in range(3000)]
+        assert not chi_squared_two_sample(a, b).rejects_at(0.01)
+
+    def test_different_distributions_rejected(self):
+        rng = random.Random(5)
+        a = [rng.randrange(6) for _ in range(2000)]
+        b = [rng.choice([0, 0, 0, 1, 2, 3, 4, 5]) for _ in range(2000)]
+        assert chi_squared_two_sample(a, b).rejects_at(0.01)
+
+    def test_degenerate_single_outcome(self):
+        result = chi_squared_two_sample([7] * 10, [7] * 10)
+        assert result.p_value == 1.0
+
+
+class TestAdvantage:
+    def test_win_rate(self):
+        estimate = AdvantageEstimate(wins=60, trials=100)
+        assert estimate.win_rate == pytest.approx(0.6)
+        assert estimate.advantage == pytest.approx(0.1)
+
+    def test_fair_coin_consistent_with_no_advantage(self):
+        rng = random.Random(6)
+        estimate = empirical_advantage(rng.random() < 0.5 for _ in range(400))
+        assert estimate.is_consistent_with_no_advantage()
+
+    def test_biased_coin_detected(self):
+        estimate = AdvantageEstimate(wins=390, trials=400)
+        assert not estimate.is_consistent_with_no_advantage()
+
+    def test_confidence_interval_contains_estimate(self):
+        estimate = AdvantageEstimate(wins=30, trials=50)
+        low, high = estimate.confidence_interval()
+        assert low < estimate.win_rate < high
+
+    def test_empty_trials_rejected(self):
+        with pytest.raises(ParameterError):
+            empirical_advantage([])
+
+
+class TestFallbackChi2:
+    def test_fallback_matches_scipy(self):
+        """Our pure-Python chi-squared survival function should agree with
+        scipy to good precision."""
+        pytest.importorskip("scipy")
+        from scipy import stats
+
+        from repro.analysis.stattests import _upper_regularized_gamma
+
+        for stat, dof in ((0.5, 1), (3.2, 4), (10.0, 7), (25.0, 10), (1.0, 30)):
+            ours = _upper_regularized_gamma(dof / 2, stat / 2)
+            theirs = float(stats.chi2.sf(stat, dof))
+            assert ours == pytest.approx(theirs, rel=1e-8)

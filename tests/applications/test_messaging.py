@@ -1,0 +1,107 @@
+"""Tests for the application facades (section 1.1 scenarios)."""
+
+import random
+
+import pytest
+
+from repro.applications.messaging import DecryptionService, SharedKeySession
+from repro.errors import ProtocolError
+
+
+class TestSharedKeySession:
+    @pytest.fixture()
+    def session(self, small_params):
+        return SharedKeySession(small_params, random.Random(1))
+
+    def test_element_roundtrip(self, session, rng):
+        message = session.group.random_gt(rng)
+        assert session.decrypt(session.encrypt(message)) == message
+
+    def test_bytes_roundtrip(self, session):
+        payload = b"meet at the old mill at noon"
+        encapsulation, masked = session.encrypt_bytes(payload)
+        assert masked != payload
+        assert session.decrypt_bytes(encapsulation, masked) == payload
+
+    def test_third_party_can_encrypt(self, session, small_params, rng):
+        """Anyone with pk encrypts; only the processor pair decrypts."""
+        from repro.core.dlr import DLR
+
+        outsider = DLR(small_params)
+        message = session.group.random_gt(rng)
+        ciphertext = outsider.encrypt(session.public_key, message, rng)
+        assert session.decrypt(ciphertext) == message
+
+    def test_rekey_preserves_old_traffic(self, session, rng):
+        message = session.group.random_gt(rng)
+        ciphertext = session.encrypt(message)
+        for _ in range(3):
+            session.rekey_period()
+        assert session.decrypt(ciphertext) == message
+
+    def test_rekey_changes_shares(self, session):
+        before = session.scheme.share2_of(session.processor_b)
+        session.rekey_period()
+        assert session.scheme.share2_of(session.processor_b) != before
+
+    def test_message_counter(self, session, rng):
+        message = session.group.random_gt(rng)
+        session.decrypt(session.encrypt(message))
+        session.decrypt(session.encrypt(message))
+        assert session.messages_exchanged == 2
+
+
+class TestDecryptionService:
+    def test_serves_and_refreshes_on_schedule(self, small_params, rng):
+        service = DecryptionService(small_params, random.Random(2), refresh_every=2)
+        from repro.core.dlr import DLR
+
+        scheme = DLR(small_params)
+        for i in range(4):
+            message = service.group.random_gt(rng)
+            ciphertext = scheme.encrypt(service.public_key, message, rng)
+            assert service.decrypt(ciphertext) == message
+        assert service.decryptions_served == 4
+        assert service.refreshes_performed == 2
+        assert len(service.period_records) == 2
+
+    def test_refresh_every_1_runs_period_per_decryption(self, small_params, rng):
+        service = DecryptionService(small_params, random.Random(3), refresh_every=1)
+        message = service.group.random_gt(rng)
+        from repro.core.dlr import DLR
+
+        ciphertext = DLR(small_params).encrypt(service.public_key, message, rng)
+        assert service.decrypt(ciphertext) == message
+        assert service.refreshes_performed == 1
+
+    def test_leakage_surface_is_paper_sized(self, small_params):
+        """The optimal variant keeps P1's surface at m1 bits."""
+        service = DecryptionService(small_params, random.Random(4))
+        surface = service.leakage_surface_bits()
+        assert surface["main_processor"] == small_params.sk_comm_bits()
+        assert surface["auxiliary"] == small_params.sk2_bits()
+
+    def test_basic_variant_supported(self, small_params, rng):
+        service = DecryptionService(
+            small_params, random.Random(5), refresh_every=3, optimal=False
+        )
+        from repro.core.dlr import DLR
+
+        message = service.group.random_gt(rng)
+        ciphertext = DLR(small_params).encrypt(service.public_key, message, rng)
+        assert service.decrypt(ciphertext) == message
+
+    def test_invalid_schedule_rejected(self, small_params):
+        with pytest.raises(ProtocolError):
+            DecryptionService(small_params, random.Random(6), refresh_every=0)
+
+    def test_period_records_carry_snapshots(self, small_params, rng):
+        service = DecryptionService(small_params, random.Random(7), refresh_every=1)
+        from repro.core.dlr import DLR
+
+        ciphertext = DLR(small_params).encrypt(
+            service.public_key, service.group.random_gt(rng), rng
+        )
+        service.decrypt(ciphertext)
+        record = service.period_records[0]
+        assert record.snapshots[(1, "normal")].size_bits() == small_params.sk_comm_bits()

@@ -1,0 +1,78 @@
+"""Tests that the cost models carry the paper's cited numbers exactly."""
+
+import math
+
+from repro.baselines.cost_models import (
+    BKKV10,
+    COMPARISON_SCHEMES,
+    DHLW10,
+    DLWW11,
+    LLW11,
+    LRW11,
+    dlr_model,
+)
+
+
+class TestCitedNumbers:
+    """Section 1.2.1: refresh-leakage fractions as the paper reports them."""
+
+    def test_llw11_is_1_over_258(self):
+        assert LLW11.refresh_leakage_fn(128) == 1 / 258
+
+    def test_dlww11_is_1_over_672(self):
+        assert DLWW11.refresh_leakage_fn(128) == 1 / 672
+
+    def test_dhlw10_tolerates_none(self):
+        assert DHLW10.refresh_leakage_fn(128) == 0.0
+
+    def test_bkkv10_lrw11_are_o1(self):
+        for model in (BKKV10, LRW11):
+            values = [model.refresh_leakage_fn(n) for n in (16, 64, 256, 4096)]
+            assert values == sorted(values, reverse=True)  # decreasing
+            assert values[-1] < 0.1
+
+    def test_dlr_dominates_all_baselines_during_refresh(self):
+        """The paper's headline: (1/2 - o(1)) beats o(1), 1/258, 1/672, 0."""
+        ours = dlr_model()
+        for n in (64, 128, 256):
+            ours_rate = ours.refresh_leakage_fn(n)
+            for model in COMPARISON_SCHEMES:
+                assert ours_rate > model.refresh_leakage_fn(n)
+
+    def test_dlr_refresh_rate_approaches_half(self):
+        ours = dlr_model()
+        assert ours.refresh_leakage_fn(2**20) > 0.45
+        assert ours.refresh_leakage_fn(2**20) < 0.5
+
+
+class TestFootnote3:
+    """Footnote 3: efficiency comparison."""
+
+    def test_dlr_ciphertext_two_elements(self):
+        assert dlr_model().ciphertext_elements_fn(128) == 2.0
+
+    def test_dlr_two_exponentiations(self):
+        assert dlr_model().exponentiations_fn(128) == 2.0
+
+    def test_bkkv10_omega_n_growth(self):
+        assert BKKV10.ciphertext_elements_fn(256) > BKKV10.ciphertext_elements_fn(64) * 3
+
+    def test_lrw11_omega_1_growth(self):
+        assert LRW11.ciphertext_elements_fn(2**16) > LRW11.ciphertext_elements_fn(2**4)
+
+    def test_llw11_composite_order(self):
+        assert "composite" in LLW11.group_type
+        assert "4 primes" in LLW11.group_type
+
+    def test_only_dlr_is_distributed(self):
+        assert dlr_model().distributed
+        assert not any(m.distributed for m in COMPARISON_SCHEMES)
+
+    def test_bit_by_bit_encrypters(self):
+        assert BKKV10.encrypts == "bit-by-bit"
+        assert LLW11.encrypts == "bit-by-bit"
+        assert dlr_model().encrypts == "group elements"
+
+    def test_msk_leakage_column(self):
+        assert BKKV10.msk_leakage == "none allowed"
+        assert "1 - o(1)" in dlr_model().msk_leakage

@@ -1,0 +1,45 @@
+"""Unit tests for the ElGamal baseline."""
+
+import random
+
+from repro.baselines.elgamal import ElGamal
+
+
+class TestElGamal:
+    def test_roundtrip(self, small_group, rng):
+        scheme = ElGamal(small_group)
+        keypair = scheme.keygen(rng)
+        message = small_group.random_gt(rng)
+        assert scheme.decrypt(keypair, scheme.encrypt(keypair, message, rng)) == message
+
+    def test_encrypt_with_public_key_only(self, small_group, rng):
+        scheme = ElGamal(small_group)
+        keypair = scheme.keygen(rng)
+        message = small_group.random_gt(rng)
+        ct = scheme.encrypt(keypair.h, message, rng)
+        assert scheme.decrypt(keypair, ct) == message
+
+    def test_wrong_key_fails(self, small_group, rng):
+        scheme = ElGamal(small_group)
+        k1, k2 = scheme.keygen(rng), scheme.keygen(rng)
+        message = small_group.random_gt(rng)
+        assert scheme.decrypt(k2, scheme.encrypt(k1, message, rng)) != message
+
+    def test_decrypt_with_leaked_exponent(self, small_group, rng):
+        """The attack code path: knowing x decrypts everything."""
+        scheme = ElGamal(small_group)
+        keypair = scheme.keygen(rng)
+        message = small_group.random_gt(rng)
+        ct = scheme.encrypt(keypair, message, rng)
+        assert scheme.decrypt_with_exponent(keypair.x, ct) == message
+
+    def test_secret_memory_is_single_exponent(self, small_group, rng):
+        scheme = ElGamal(small_group)
+        keypair = scheme.keygen(rng)
+        assert len(keypair.secret_bits()) == small_group.scalar_bits()
+
+    def test_randomized(self, small_group, rng):
+        scheme = ElGamal(small_group)
+        keypair = scheme.keygen(rng)
+        message = small_group.random_gt(rng)
+        assert scheme.encrypt(keypair, message, rng) != scheme.encrypt(keypair, message, rng)

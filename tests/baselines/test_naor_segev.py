@@ -1,0 +1,76 @@
+"""Unit tests for the Naor-Segev bounded-leakage baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.naor_segev import NaorSegevPKE
+from repro.errors import ParameterError
+
+ELL = 4
+
+
+@pytest.fixture()
+def scheme(small_group):
+    return NaorSegevPKE(small_group, ELL)
+
+
+class TestRoundtrip:
+    def test_encrypt_decrypt(self, scheme, small_group, rng):
+        pk, sk = scheme.keygen(rng)
+        message = small_group.random_gt(rng)
+        assert scheme.decrypt(sk, scheme.encrypt(pk, message, rng)) == message
+
+    def test_wrong_key_fails(self, scheme, small_group, rng):
+        pk1, _ = scheme.keygen(rng)
+        _, sk2 = scheme.keygen(rng)
+        message = small_group.random_gt(rng)
+        assert scheme.decrypt(sk2, scheme.encrypt(pk1, message, rng)) != message
+
+    def test_pk_relation(self, scheme, small_group, rng):
+        pk, sk = scheme.keygen(rng)
+        h = small_group.gt_identity()
+        for g_i, x_i in zip(pk.generators, sk.x):
+            h = h * (g_i ** x_i)
+        assert h == pk.h
+
+    def test_ell_too_small(self, small_group):
+        with pytest.raises(ParameterError):
+            NaorSegevPKE(small_group, 1)
+
+
+class TestLeakageBounds:
+    def test_capacity_formula(self, scheme, small_group):
+        expected = (ELL - 1) * small_group.scalar_bits() - 2 * 40
+        assert scheme.leakage_capacity(epsilon_log2=40) == max(expected, 0)
+
+    def test_rate_approaches_one_with_ell(self, small_group):
+        rates = [
+            NaorSegevPKE(small_group, ell).leakage_rate(epsilon_log2=16)
+            for ell in (2, 4, 8, 16)
+        ]
+        assert rates == sorted(rates)
+        assert rates[-1] > 0.8
+
+    def test_key_bits(self, scheme, small_group):
+        assert scheme.key_bits() == ELL * small_group.scalar_bits()
+
+    def test_no_refresh_exists(self, scheme):
+        """Naor-Segev is *bounded* leakage: the API deliberately has no
+        refresh operation -- the gap DLR fills."""
+        assert not hasattr(scheme, "refresh")
+
+    def test_key_equivalence_class(self, scheme, small_group, rng):
+        """Many secret keys decrypt the same pk's ciphertexts (kernel
+        freedom) -- the redundancy that buys leakage resilience."""
+        pk, sk = scheme.keygen(rng)
+        message = small_group.random_gt(rng)
+        ct = scheme.encrypt(pk, message, rng)
+        assert scheme.decrypt(sk, ct) == message
+        # A different key with the same h-value (constructed by shifting
+        # along a relation) also works whenever h matches; we verify at
+        # least that decryption depends on sk only through the mask.
+        mask = small_group.gt_identity()
+        for a_i, x_i in zip(ct.a, sk.x):
+            mask = mask * (a_i ** x_i)
+        assert ct.b / mask == message

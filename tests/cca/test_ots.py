@@ -1,0 +1,75 @@
+"""Unit tests for Lamport one-time signatures."""
+
+import random
+
+import pytest
+
+from repro.cca.ots import DIGEST_BITS, LamportOTS, Signature, fingerprint_of_verify_key
+from repro.errors import ParameterError
+
+
+@pytest.fixture()
+def ots():
+    return LamportOTS()
+
+
+@pytest.fixture()
+def keypair(ots):
+    return ots.keygen(random.Random(1))
+
+
+class TestSignVerify:
+    def test_roundtrip(self, ots, keypair):
+        sig = ots.sign(keypair, b"hello")
+        assert ots.verify(keypair.verify_key, b"hello", sig)
+
+    def test_wrong_message_rejected(self, ots, keypair):
+        sig = ots.sign(keypair, b"hello")
+        assert not ots.verify(keypair.verify_key, b"goodbye", sig)
+
+    def test_wrong_key_rejected(self, ots, keypair):
+        other = ots.keygen(random.Random(2))
+        sig = ots.sign(keypair, b"hello")
+        assert not ots.verify(other.verify_key, b"hello", sig)
+
+    def test_tampered_signature_rejected(self, ots, keypair):
+        sig = ots.sign(keypair, b"hello")
+        tampered = Signature((b"\x00" * 32,) + sig.preimages[1:])
+        assert not ots.verify(keypair.verify_key, b"hello", tampered)
+
+    def test_truncated_signature_rejected(self, ots, keypair):
+        sig = ots.sign(keypair, b"hello")
+        assert not ots.verify(keypair.verify_key, b"hello", Signature(sig.preimages[:-1]))
+
+    def test_empty_message(self, ots, keypair):
+        sig = ots.sign(keypair, b"")
+        assert ots.verify(keypair.verify_key, b"", sig)
+
+    def test_signature_length(self, ots, keypair):
+        assert len(ots.sign(keypair, b"x").preimages) == DIGEST_BITS
+
+
+class TestKeygen:
+    def test_deterministic_with_seed(self, ots):
+        a = ots.keygen(random.Random(3))
+        b = ots.keygen(random.Random(3))
+        assert a.verify_key == b.verify_key
+
+    def test_distinct_seeds_distinct_keys(self, ots):
+        a = ots.keygen(random.Random(4))
+        b = ots.keygen(random.Random(5))
+        assert a.verify_key != b.verify_key
+
+
+class TestFingerprint:
+    def test_stable(self, keypair):
+        assert keypair.vk_fingerprint() == fingerprint_of_verify_key(keypair.verify_key)
+
+    def test_distinct_keys_distinct_fingerprints(self, ots):
+        a = ots.keygen(random.Random(6)).vk_fingerprint()
+        b = ots.keygen(random.Random(7)).vk_fingerprint()
+        assert a != b
+
+    def test_malformed_key_rejected(self):
+        with pytest.raises(ParameterError):
+            fingerprint_of_verify_key(((b"x",), (b"y",)))

@@ -1,0 +1,58 @@
+"""Unit tests for key/share/ciphertext value objects."""
+
+import random
+
+import pytest
+
+from repro.core.keys import Ciphertext, PublicKey, Share1, Share2
+
+
+class TestShare2:
+    def test_reduction(self, small_group):
+        p = small_group.p
+        share = Share2((p + 1, 2 * p + 5), p)
+        assert share.s == (1, 5)
+
+    def test_fixed_width_encoding(self, small_group):
+        p = small_group.p
+        a = Share2((0, 1), p)
+        b = Share2((p - 1, p - 2), p)
+        assert a.size_bits() == b.size_bits() == 2 * small_group.scalar_bits()
+
+    def test_equality(self, small_group):
+        p = small_group.p
+        assert Share2((1, 2), p) == Share2((1, 2), p)
+        assert Share2((1, 2), p) != Share2((2, 1), p)
+
+
+class TestShare1:
+    def test_encoding_size(self, small_group, rng):
+        elements = tuple(small_group.random_g(rng) for _ in range(3))
+        phi = small_group.random_g(rng)
+        share = Share1(a=elements, phi=phi)
+        assert share.size_bits() == 4 * small_group.g_element_bits()
+
+    def test_distinct_shares_distinct_encodings(self, small_group, rng):
+        a = Share1(a=(small_group.random_g(rng),), phi=small_group.random_g(rng))
+        b = Share1(a=(small_group.random_g(rng),), phi=small_group.random_g(rng))
+        assert a.to_bits() != b.to_bits()
+
+
+class TestCiphertext:
+    def test_two_group_elements(self, small_group, rng):
+        ct = Ciphertext(a=small_group.random_g(rng), b=small_group.random_gt(rng))
+        assert ct.size_group_elements() == 2
+
+    def test_encoding_size(self, small_group, rng):
+        ct = Ciphertext(a=small_group.random_g(rng), b=small_group.random_gt(rng))
+        assert len(ct.to_bits()) == (
+            small_group.g_element_bits() + small_group.gt_element_bits()
+        )
+
+
+class TestPublicKey:
+    def test_group_accessor(self, small_params, rng):
+        z = small_params.group.random_gt(rng)
+        pk = PublicKey(small_params, z)
+        assert pk.group is small_params.group
+        assert pk.to_bits() == z.to_bits()

@@ -1,0 +1,99 @@
+"""Unit tests for the DLR parameter schedule (section 5 preamble)."""
+
+import pytest
+
+from repro.core.params import DLRParams
+from repro.errors import ParameterError
+
+
+class TestSchedule:
+    def test_kappa_formula(self, small_group):
+        # kappa = 1 + ceil((lam + 2n)/log p); here n = log p = 32.
+        params = DLRParams(group=small_group, lam=32)
+        assert params.kappa == 1 + -(-(32 + 64) // 32)
+
+    def test_ell_formula(self, small_group):
+        params = DLRParams(group=small_group, lam=32)
+        assert params.ell == 7 + 3 * params.kappa + -(-2 * 32 // 32)
+
+    def test_kappa_grows_with_lambda(self, small_group):
+        kappas = [DLRParams(group=small_group, lam=lam).kappa for lam in (32, 128, 512)]
+        assert kappas == sorted(kappas)
+        assert kappas[0] < kappas[-1]
+
+    def test_lambda_positive_required(self, small_group):
+        with pytest.raises(ParameterError):
+            DLRParams(group=small_group, lam=0)
+
+    def test_epsilon_is_2_to_minus_n(self, small_group):
+        params = DLRParams(group=small_group, lam=32)
+        assert params.epsilon_log2 == params.n
+
+
+class TestDerivedSizes:
+    def test_m1_is_kappa_log_p(self, small_params):
+        assert small_params.sk_comm_bits() == small_params.kappa * small_params.log_p
+
+    def test_m2_is_ell_log_p(self, small_params):
+        assert small_params.sk2_bits() == small_params.ell * small_params.log_p
+
+    def test_sk1_bits_counts_ell_plus_one_elements(self, small_params):
+        assert small_params.sk1_bits() == (
+            (small_params.ell + 1) * small_params.group.g_element_bits()
+        )
+
+    def test_sk_comm_size_near_lambda_plus_3n(self, small_group):
+        """|sk_comm| = kappa log p ~ lambda + 3n (the Theorem 4.1 proof's
+        parameters setting)."""
+        for lam in (64, 128, 512):
+            params = DLRParams(group=small_group, lam=lam)
+            target = lam + 3 * params.n
+            assert target <= params.sk_comm_bits() <= target + 2 * params.log_p
+
+
+class TestTheoremBounds:
+    def test_b1_below_m1(self, small_params):
+        assert 0 < small_params.theorem_b1() < small_params.sk_comm_bits()
+
+    def test_b1_fraction_matches_formula(self, small_group):
+        params = DLRParams(group=small_group, lam=96)
+        m1 = params.sk_comm_bits()
+        expected = m1 * 96 // (96 + 3 * 32)
+        assert params.theorem_b1() == expected
+
+    def test_b2_is_full_share(self, small_params):
+        assert small_params.theorem_b2() == small_params.sk2_bits()
+
+
+class TestParameterAdvisor:
+    def test_target_rate_achieved(self, small_group):
+        for target in (0.5, 0.75, 0.9):
+            params = DLRParams.for_target_rate(small_group, target)
+            achieved = params.achieved_rho1()
+            # Integer rounding of kappa only ever *adds* key material, so
+            # the achieved rate can dip slightly below target; allow 10%.
+            assert achieved >= target * 0.9
+
+    def test_higher_target_higher_lambda(self, small_group):
+        lams = [
+            DLRParams.for_target_rate(small_group, t).lam
+            for t in (0.25, 0.5, 0.75, 0.95)
+        ]
+        assert lams == sorted(lams)
+        assert lams[0] < lams[-1]
+
+    def test_formula(self, small_group):
+        params = DLRParams.for_target_rate(small_group, 0.5)
+        # lambda = 3n * 0.5/0.5 = 3n
+        assert params.lam == 3 * small_group.params.n
+
+    def test_invalid_target(self, small_group):
+        with pytest.raises(ParameterError):
+            DLRParams.for_target_rate(small_group, 1.0)
+        with pytest.raises(ParameterError):
+            DLRParams.for_target_rate(small_group, 0.0)
+
+    def test_achieved_rho1_matches_theorem(self, small_params):
+        assert small_params.achieved_rho1() == (
+            small_params.theorem_b1() / small_params.sk_comm_bits()
+        )

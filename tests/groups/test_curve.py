@@ -1,0 +1,159 @@
+"""Unit tests for the supersingular curve arithmetic."""
+
+import random
+
+import pytest
+
+from repro.groups import curve
+from repro.groups.curve import INFINITY, Point
+from repro.groups.pairing_params import preset_params
+from repro.groups.sampling import random_subgroup_point
+
+
+@pytest.fixture(scope="module")
+def params():
+    return preset_params(16)
+
+
+def random_point(params, seed):
+    return random_subgroup_point(params, random.Random(seed))
+
+
+class TestPointBasics:
+    def test_infinity_on_curve(self, params):
+        assert curve.is_on_curve(INFINITY, params.q)
+
+    def test_random_points_on_curve(self, params):
+        for seed in range(5):
+            assert curve.is_on_curve(random_point(params, seed), params.q)
+
+    def test_negate(self, params):
+        point = random_point(params, 1)
+        neg = point.negate(params.q)
+        assert curve.is_on_curve(neg, params.q)
+        assert curve.add(point, neg, params.q) == INFINITY
+
+    def test_negate_infinity(self, params):
+        assert INFINITY.negate(params.q) == INFINITY
+
+
+class TestAddition:
+    def test_identity_element(self, params):
+        point = random_point(params, 2)
+        assert curve.add(point, INFINITY, params.q) == point
+        assert curve.add(INFINITY, point, params.q) == point
+
+    def test_commutative(self, params):
+        a, b = random_point(params, 3), random_point(params, 4)
+        assert curve.add(a, b, params.q) == curve.add(b, a, params.q)
+
+    def test_associative(self, params):
+        a, b, c = (random_point(params, s) for s in (5, 6, 7))
+        left = curve.add(curve.add(a, b, params.q), c, params.q)
+        right = curve.add(a, curve.add(b, c, params.q), params.q)
+        assert left == right
+
+    def test_double_matches_add_self(self, params):
+        point = random_point(params, 8)
+        assert curve.double(point, params.q) == curve.add(point, point, params.q)
+
+    def test_result_on_curve(self, params):
+        a, b = random_point(params, 9), random_point(params, 10)
+        assert curve.is_on_curve(curve.add(a, b, params.q), params.q)
+
+
+class TestScalarMul:
+    def test_zero_scalar(self, params):
+        point = random_point(params, 11)
+        assert curve.scalar_mul(point, 0, params.q) == INFINITY
+
+    def test_one_scalar(self, params):
+        point = random_point(params, 12)
+        assert curve.scalar_mul(point, 1, params.q) == point
+
+    def test_matches_repeated_addition(self, params):
+        point = random_point(params, 13)
+        acc = INFINITY
+        for k in range(8):
+            assert curve.scalar_mul(point, k, params.q) == acc
+            acc = curve.add(acc, point, params.q)
+
+    def test_order_p_annihilates(self, params):
+        point = random_point(params, 14)
+        assert curve.scalar_mul(point, params.p, params.q) == INFINITY
+
+    def test_distributive(self, params):
+        point = random_point(params, 15)
+        rng = random.Random(16)
+        a, b = rng.randrange(params.p), rng.randrange(params.p)
+        left = curve.scalar_mul(point, a + b, params.q)
+        right = curve.add(
+            curve.scalar_mul(point, a, params.q),
+            curve.scalar_mul(point, b, params.q),
+            params.q,
+        )
+        assert left == right
+
+    def test_order_reduction(self, params):
+        point = random_point(params, 17)
+        rng = random.Random(18)
+        k = rng.randrange(params.p)
+        assert curve.scalar_mul(point, k + params.p, params.q, order=params.p) == \
+            curve.scalar_mul(point, k, params.q)
+
+    def test_curve_order_q_plus_1(self, params):
+        # The full curve has q + 1 points; any point is annihilated by it.
+        rng = random.Random(19)
+        from repro.math.modular import is_quadratic_residue, sqrt_mod
+
+        while True:
+            x = rng.randrange(params.q)
+            rhs = (x * x * x + x) % params.q
+            if rhs and is_quadratic_residue(rhs, params.q):
+                point = Point(x, sqrt_mod(rhs, params.q), False)
+                break
+        assert curve.scalar_mul(point, params.q + 1, params.q) == INFINITY
+
+
+class TestJacobianEquivalence:
+    """The Jacobian fast path must agree with the affine reference on
+    every input class."""
+
+    def test_random_scalars(self, params):
+        rng = random.Random(20)
+        point = random_point(params, 21)
+        for _ in range(30):
+            k = rng.randrange(params.p)
+            assert curve.scalar_mul(point, k, params.q) == \
+                curve.scalar_mul_affine(point, k, params.q)
+
+    def test_edge_scalars(self, params):
+        point = random_point(params, 22)
+        for k in (0, 1, 2, 3, 4, params.p - 1, params.p):
+            assert curve.scalar_mul(point, k, params.q) == \
+                curve.scalar_mul_affine(point, k, params.q)
+
+    def test_infinity_input(self, params):
+        assert curve.scalar_mul(INFINITY, 12345, params.q) == INFINITY
+
+    def test_full_curve_points(self, params):
+        """Points outside the order-p subgroup (full q+1 order) multiply
+        identically under both paths."""
+        from repro.math.modular import is_quadratic_residue, sqrt_mod
+
+        rng = random.Random(23)
+        while True:
+            x = rng.randrange(params.q)
+            rhs = (x * x * x + x) % params.q
+            if rhs and is_quadratic_residue(rhs, params.q):
+                point = Point(x, sqrt_mod(rhs, params.q), False)
+                break
+        for k in (7, 1000, params.q // 3):
+            assert curve.scalar_mul(point, k, params.q) == \
+                curve.scalar_mul_affine(point, k, params.q)
+
+    def test_order_reduction_path(self, params):
+        point = random_point(params, 24)
+        k = params.p + 17
+        assert curve.scalar_mul(point, k, params.q, order=params.p) == \
+            curve.scalar_mul_affine(point, 17, params.q)

@@ -1,0 +1,103 @@
+"""Unit tests for the modified Tate pairing (the paper's section 2.1
+admissibility requirements, verified computationally)."""
+
+import random
+
+import pytest
+
+from repro.groups.pairing import tate_pairing
+from repro.math.fields import Fq2
+
+
+@pytest.fixture(scope="module")
+def group():
+    from repro.groups import preset_group
+
+    return preset_group(32)
+
+
+class TestAdmissibility:
+    def test_non_degenerate(self, group):
+        """e(g, g) must generate GT (requirement 2 of section 2.1)."""
+        z = group.pair(group.g, group.g)
+        assert not z.is_identity()
+        # Order exactly p (p prime: any non-identity element generates).
+        assert (z ** group.p).is_identity()
+
+    def test_bilinear_in_first_argument(self, group):
+        rng = random.Random(1)
+        z = group.pair(group.g, group.g)
+        for _ in range(3):
+            a = group.random_scalar(rng)
+            assert group.pair(group.g ** a, group.g) == z ** a
+
+    def test_bilinear_in_second_argument(self, group):
+        rng = random.Random(2)
+        z = group.pair(group.g, group.g)
+        for _ in range(3):
+            b = group.random_scalar(rng)
+            assert group.pair(group.g, group.g ** b) == z ** b
+
+    def test_bilinear_joint(self, group):
+        """e(u^a, v^b) = e(u, v)^{ab} for random u, v."""
+        rng = random.Random(3)
+        u, v = group.random_g(rng), group.random_g(rng)
+        a, b = group.random_scalar(rng), group.random_scalar(rng)
+        assert group.pair(u ** a, v ** b) == group.pair(u, v) ** (a * b)
+
+    def test_symmetry(self, group):
+        rng = random.Random(4)
+        u, v = group.random_g(rng), group.random_g(rng)
+        assert group.pair(u, v) == group.pair(v, u)
+
+    def test_identity_absorbing(self, group):
+        rng = random.Random(5)
+        u = group.random_g(rng)
+        assert group.pair(u, group.g_identity()).is_identity()
+        assert group.pair(group.g_identity(), u).is_identity()
+
+    def test_inverse_relation(self, group):
+        rng = random.Random(6)
+        u, v = group.random_g(rng), group.random_g(rng)
+        assert group.pair(u.inverse(), v) == group.pair(u, v).inverse()
+
+    def test_multiplicativity(self, group):
+        """e(u1 * u2, v) = e(u1, v) e(u2, v)."""
+        rng = random.Random(7)
+        u1, u2, v = (group.random_g(rng) for _ in range(3))
+        assert group.pair(u1 * u2, v) == group.pair(u1, v) * group.pair(u2, v)
+
+
+class TestRawPairing:
+    def test_result_in_mu_p(self, group):
+        """Raw pairing output lies in the order-p subgroup of F_{q^2}^*."""
+        params = group.params
+        raw = tate_pairing(group.g.point, group.g.point, params)
+        assert raw ** params.p == Fq2.one(params.q)
+        assert not (raw ** 1).is_zero()
+
+    def test_infinity_maps_to_one(self, group):
+        from repro.groups.curve import INFINITY
+
+        params = group.params
+        assert tate_pairing(INFINITY, group.g.point, params) == Fq2.one(params.q)
+        assert tate_pairing(group.g.point, INFINITY, params) == Fq2.one(params.q)
+
+    def test_pairing_with_self_nontrivial(self, group):
+        """The distortion map makes e(P, P) != 1 -- the type-1 property
+        the BB-style schemes rely on."""
+        rng = random.Random(8)
+        for _ in range(3):
+            point = group.random_g(rng)
+            assert not group.pair(point, point).is_identity()
+
+    def test_dlog_consistency_toy(self):
+        """On a toy group, check e(g^a, g^b) = e(g,g)^{ab} exhaustively
+        over a grid of exponents."""
+        from repro.groups import preset_group
+
+        toy = preset_group(16)
+        z = toy.pair(toy.g, toy.g)
+        for a in (1, 2, 3, 5):
+            for b in (1, 4, 7):
+                assert toy.pair(toy.g ** a, toy.g ** b) == z ** (a * b)

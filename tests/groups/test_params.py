@@ -1,0 +1,62 @@
+"""Unit tests for the parameters-generating algorithm G(1^n)."""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.groups.pairing_params import PairingParams, generate_params, preset_params
+from repro.math.primes import is_prime
+
+
+class TestGenerateParams:
+    @pytest.mark.parametrize("n", [16, 24, 32, 48])
+    def test_structure(self, n):
+        params = generate_params(n, random.Random(n))
+        assert params.p.bit_length() == n
+        assert is_prime(params.p)
+        assert is_prime(params.q)
+        assert params.q == params.h * params.p - 1
+        assert params.q % 4 == 3
+        assert params.h % 4 == 0
+
+    def test_p_divides_curve_order(self):
+        params = generate_params(32, random.Random(1))
+        assert (params.q + 1) % params.p == 0
+
+    def test_too_small_raises(self):
+        with pytest.raises(ParameterError):
+            generate_params(3)
+
+    def test_deterministic_given_rng(self):
+        a = generate_params(24, random.Random(9))
+        b = generate_params(24, random.Random(9))
+        assert a == b
+
+
+class TestPresetParams:
+    def test_cached_identity(self):
+        assert preset_params(16) is preset_params(16)
+
+    def test_distinct_sizes_distinct_params(self):
+        assert preset_params(16) != preset_params(32)
+
+    def test_log_p(self):
+        assert preset_params(32).log_p == 32
+
+    def test_gt_exponent(self):
+        params = preset_params(16)
+        assert params.gt_exponent() * params.p == params.q * params.q - 1
+
+
+class TestValidation:
+    def test_rejects_inconsistent_q(self):
+        good = preset_params(16)
+        with pytest.raises(ParameterError):
+            PairingParams(good.n, good.p, good.q + 4, good.h)
+
+    def test_rejects_composite_p(self):
+        good = preset_params(16)
+        # Construct q' = h' * p' - 1 with composite p'.
+        with pytest.raises(ParameterError):
+            PairingParams(good.n, good.p * 3, good.p * 3 * 4 - 1, 4)

@@ -1,0 +1,91 @@
+"""Tests for fixed-base precomputed exponentiation."""
+
+import random
+
+import pytest
+
+from repro.core.dlr import DLR
+from repro.errors import ParameterError
+from repro.groups.precompute import FixedBaseExp, PrecomputedEncryptor
+
+
+class TestFixedBaseExp:
+    def test_matches_plain_pow_g(self, small_group, rng):
+        table = FixedBaseExp(small_group.g, small_group.p, window=4)
+        for _ in range(10):
+            k = small_group.random_scalar(rng)
+            assert table.pow(k) == small_group.g ** k
+
+    def test_matches_plain_pow_gt(self, small_group, rng):
+        z = small_group.gt_generator()
+        table = FixedBaseExp(z, small_group.p, window=3)
+        for _ in range(10):
+            k = small_group.random_scalar(rng)
+            assert table.pow(k) == z ** k
+
+    def test_edge_exponents(self, small_group):
+        table = FixedBaseExp(small_group.g, small_group.p)
+        assert table.pow(0).is_identity()
+        assert table.pow(1) == small_group.g
+        assert table.pow(small_group.p).is_identity()
+        assert table.pow(small_group.p - 1) == small_group.g.inverse()
+
+    def test_random_base(self, small_group, rng):
+        base = small_group.random_g(rng)
+        table = FixedBaseExp(base, small_group.p, window=5)
+        k = small_group.random_scalar(rng)
+        assert table.pow(k) == base ** k
+
+    @pytest.mark.parametrize("window", [1, 2, 4, 8])
+    def test_all_windows_agree(self, small_group, rng, window):
+        k = small_group.random_scalar(rng)
+        table = FixedBaseExp(small_group.g, small_group.p, window=window)
+        assert table.pow(k) == small_group.g ** k
+
+    def test_invalid_window(self, small_group):
+        with pytest.raises(ParameterError):
+            FixedBaseExp(small_group.g, small_group.p, window=0)
+
+    def test_table_size(self, small_group):
+        table = FixedBaseExp(small_group.g, small_group.p, window=4)
+        assert table.table_elements() == table.digits * 16
+
+    def test_fewer_group_mults_than_ladder(self, small_group, rng):
+        """The point of precomputation: per-exponentiation multiplications
+        drop well below the double-and-add ladder's count."""
+        table = FixedBaseExp(small_group.g, small_group.p, window=4)
+        k = small_group.random_scalar(rng) | (1 << 30)  # force full length
+        before = small_group.counter.snapshot()
+        table.pow(k)
+        table_cost = small_group.counter.diff(before).g_mul
+        before = small_group.counter.snapshot()
+        _ = small_group.g ** k
+        # ladder runs inside __pow__: counts as 1 g_exp, so measure via a
+        # manual ladder instead
+        ladder_cost = int(1.5 * small_group.p.bit_length())
+        assert table_cost < ladder_cost / 3
+
+
+class TestPrecomputedEncryptor:
+    def test_matches_reference_encryption(self, small_params):
+        scheme = DLR(small_params)
+        rng = random.Random(1)
+        generation = scheme.generate(rng)
+        encryptor = PrecomputedEncryptor(generation.public_key)
+        message = scheme.group.random_gt(rng)
+        ciphertext = encryptor.encrypt(message, rng)
+        assert scheme.reference_decrypt(
+            generation.share1, generation.share2, ciphertext
+        ) == message
+
+    def test_many_encryptions(self, small_params):
+        scheme = DLR(small_params)
+        rng = random.Random(2)
+        generation = scheme.generate(rng)
+        encryptor = PrecomputedEncryptor(generation.public_key, window=5)
+        for _ in range(5):
+            message = scheme.group.random_gt(rng)
+            ciphertext = encryptor.encrypt(message, rng)
+            assert scheme.reference_decrypt(
+                generation.share1, generation.share2, ciphertext
+            ) == message

@@ -1,0 +1,128 @@
+"""Weil-pairing cross-check of the Miller machinery.
+
+The Weil implementation shares no shortcuts with the production Tate
+path (no denominator elimination, generic F_{q^2} curve arithmetic, no
+final exponentiation), so agreement on the pairing axioms is strong
+independent evidence for both.
+"""
+
+import random
+
+import pytest
+
+from repro.groups import curve, preset_group
+from repro.groups.weil import distort, general_miller, lift_base_point, weil_pairing
+from repro.math.fields import Fq2
+
+
+@pytest.fixture(scope="module")
+def group():
+    return preset_group(16)
+
+
+@pytest.fixture(scope="module")
+def params(group):
+    return group.params
+
+
+class TestWeilPairing:
+    def test_non_degenerate(self, group, params):
+        w = weil_pairing(group.g.point, group.g.point, params)
+        assert not w.is_one()
+        assert (w ** params.p).is_one()
+
+    def test_bilinearity_grid(self, group, params):
+        g = group.g.point
+        w = weil_pairing(g, g, params)
+        for a in (2, 3, 7):
+            for b in (5, 11):
+                left = weil_pairing(
+                    curve.scalar_mul(g, a, params.q),
+                    curve.scalar_mul(g, b, params.q),
+                    params,
+                )
+                assert left == w ** (a * b)
+
+    def test_symmetry(self, group, params):
+        rng = random.Random(1)
+        p = group.random_g(rng).point
+        q = group.random_g(rng).point
+        assert weil_pairing(p, q, params) == weil_pairing(q, p, params)
+
+    def test_identity_inputs(self, group, params):
+        from repro.groups.curve import INFINITY
+
+        assert weil_pairing(INFINITY, group.g.point, params).is_one()
+        assert weil_pairing(group.g.point, INFINITY, params).is_one()
+
+    def test_multiplicativity(self, group, params):
+        rng = random.Random(2)
+        p1 = group.random_g(rng).point
+        p2 = group.random_g(rng).point
+        q = group.random_g(rng).point
+        combined = curve.add(p1, p2, params.q)
+        assert weil_pairing(combined, q, params) == (
+            weil_pairing(p1, q, params) * weil_pairing(p2, q, params)
+        )
+
+    def test_consistent_with_tate_up_to_fixed_exponent(self, group, params):
+        """Two non-degenerate pairings on a cyclic group differ by a
+        fixed exponent k: find k from (g, g), verify on random points."""
+        rng = random.Random(3)
+        t_gg = group.pair(group.g, group.g).value
+        w_gg = weil_pairing(group.g.point, group.g.point, params)
+        k = None
+        acc = Fq2.one(params.q)
+        for i in range(params.p):
+            if acc == w_gg:
+                k = i
+                break
+            acc = acc * t_gg
+        assert k is not None and k != 0
+        for _ in range(2):
+            p = group.random_g(rng)
+            q = group.random_g(rng)
+            t = group.pair(p, q).value
+            w = weil_pairing(p.point, q.point, params)
+            assert w == t ** k
+
+
+class TestGeneralMiller:
+    def test_fp_of_distorted_self_nontrivial(self, group, params):
+        g = lift_base_point(group.g.point, params.q)
+        phi_g = distort(group.g.point, params.q)
+        value = general_miller(g, phi_g, params.p, params.q)
+        assert not value.is_zero()
+
+    def test_infinity_inputs(self, group, params):
+        g = lift_base_point(group.g.point, params.q)
+        assert general_miller(None, g, params.p, params.q).is_one()
+        assert general_miller(g, None, params.p, params.q).is_one()
+
+    def test_distortion_map_lands_on_curve(self, group, params):
+        """phi(P) satisfies y^2 = x^3 + x over F_{q^2}."""
+        rng = random.Random(4)
+        for _ in range(5):
+            point = group.random_g(rng).point
+            phi = distort(point, params.q)
+            assert phi is not None
+            x, y = phi
+            assert y * y == x * x * x + x
+
+    def test_distorted_point_is_independent(self, group, params):
+        """phi(P) is not a multiple of P (the whole point of the
+        distortion map): the modified self-pairing w(P, P) =
+        e_Weil(P, phi(P)) is nontrivial, which is impossible for linearly
+        dependent arguments (the Weil pairing is alternating)."""
+        w = weil_pairing(group.g.point, group.g.point, params)
+        assert not w.is_one()
+
+    def test_degenerate_evaluation_detected(self, group, params):
+        """Evaluating f_{p,P} *at P itself* (a point of the base divisor)
+        is undefined; the implementation refuses instead of returning a
+        wrong value."""
+        from repro.errors import GroupError
+
+        g = lift_base_point(group.g.point, params.q)
+        with pytest.raises(GroupError):
+            general_miller(g, g, params.p, params.q)

@@ -1,0 +1,83 @@
+"""Unit tests for the single-processor BB-style IBE substrate."""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ibe.boneh_boyen import BonehBoyenIBE
+
+N_ID = 6
+
+
+@pytest.fixture()
+def ibe(small_group):
+    return BonehBoyenIBE(small_group, n_id=N_ID)
+
+
+@pytest.fixture()
+def setup(ibe):
+    return ibe.setup(random.Random(1))
+
+
+class TestSetup:
+    def test_structure(self, ibe, setup):
+        pp, msk = setup
+        assert pp.n_id == N_ID
+        assert len(pp.u) == N_ID
+        assert pp.z == ibe.group.pair(pp.g1, pp.g2)
+
+    def test_msk_relation(self, ibe, setup):
+        """msk = g2^alpha with g1 = g^alpha: check e(g1, g2) = e(g, msk)."""
+        pp, msk = setup
+        assert ibe.group.pair(ibe.group.g, msk) == pp.z
+
+    def test_invalid_n_id(self, small_group):
+        with pytest.raises(ParameterError):
+            BonehBoyenIBE(small_group, n_id=0)
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, ibe, setup, rng):
+        pp, msk = setup
+        key = ibe.extract(pp, msk, "alice", rng)
+        message = ibe.group.random_gt(rng)
+        ct = ibe.encrypt(pp, "alice", message, rng)
+        assert ibe.decrypt(key, ct) == message
+
+    def test_wrong_identity_key_fails(self, ibe, setup, rng):
+        pp, msk = setup
+        key_bob = ibe.extract(pp, msk, "bob", rng)
+        message = ibe.group.random_gt(rng)
+        ct = ibe.encrypt(pp, "alice", message, rng)
+        assert ibe.decrypt(key_bob, ct) != message
+
+    def test_multiple_identities(self, ibe, setup, rng):
+        pp, msk = setup
+        for identity in ("alice", "bob", "carol"):
+            key = ibe.extract(pp, msk, identity, rng)
+            message = ibe.group.random_gt(rng)
+            ct = ibe.encrypt(pp, identity, message, rng)
+            assert ibe.decrypt(key, ct) == message
+
+    def test_extraction_randomized_but_functional(self, ibe, setup, rng):
+        """Two extractions of the same identity give different keys that
+        both decrypt."""
+        pp, msk = setup
+        key_a = ibe.extract(pp, msk, "alice", rng)
+        key_b = ibe.extract(pp, msk, "alice", rng)
+        assert key_a != key_b
+        message = ibe.group.random_gt(rng)
+        ct = ibe.encrypt(pp, "alice", message, rng)
+        assert ibe.decrypt(key_a, ct) == message
+        assert ibe.decrypt(key_b, ct) == message
+
+    def test_ciphertext_size(self, ibe, setup, rng):
+        pp, _ = setup
+        ct = ibe.encrypt(pp, "alice", ibe.group.random_gt(rng), rng)
+        assert ct.size_group_elements() == 2 + N_ID
+
+    def test_u_for_length_check(self, setup):
+        pp, _ = setup
+        with pytest.raises(ParameterError):
+            pp.u_for((0, 1))

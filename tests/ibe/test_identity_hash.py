@@ -1,0 +1,40 @@
+"""Unit tests for the identity hash H(ID)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ibe.identity_hash import hash_identity
+
+
+class TestHashIdentity:
+    def test_length(self):
+        for n_id in (1, 8, 16, 255, 300):
+            assert len(hash_identity("alice", n_id)) == n_id
+
+    def test_bits_only(self):
+        assert set(hash_identity("bob", 64)) <= {0, 1}
+
+    def test_deterministic(self):
+        assert hash_identity("carol", 32) == hash_identity("carol", 32)
+
+    def test_distinct_identities_differ(self):
+        assert hash_identity("alice", 64) != hash_identity("bob", 64)
+
+    def test_str_bytes_agreement(self):
+        assert hash_identity("dave", 32) == hash_identity(b"dave", 32)
+
+    def test_prefix_stability(self):
+        """Longer outputs extend shorter ones (counter-mode XOF)."""
+        short = hash_identity("eve", 16)
+        long = hash_identity("eve", 64)
+        assert long[:16] == short
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ParameterError):
+            hash_identity("x", 0)
+
+    def test_output_balanced(self):
+        """Roughly half the bits should be 1 over a long output."""
+        bits = hash_identity("some-long-identity", 1024)
+        ones = sum(bits)
+        assert 400 < ones < 624

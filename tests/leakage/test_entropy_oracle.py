@@ -1,0 +1,120 @@
+"""Tests for entropy-shrinking leakage accounting (footnote 1)."""
+
+import pytest
+
+from repro.errors import LeakageBudgetExceeded, ParameterError
+from repro.leakage.entropy_oracle import (
+    EntropyLeakageOracle,
+    entropy_loss,
+    uniform_secrets,
+)
+from repro.utils.bits import BitString
+
+
+def low_bit(secret: int) -> BitString:
+    return BitString(secret & 1, 1)
+
+
+def full_value(secret: int) -> BitString:
+    return BitString(secret, 8)
+
+
+def constant(secret: int) -> BitString:
+    return BitString(0b1010, 4)
+
+
+def long_but_cheap(secret: int) -> BitString:
+    """1000 output bits that depend only on one key bit."""
+    return BitString((secret & 1) * ((1 << 1000) - 1), 1000)
+
+
+class TestEntropyLoss:
+    def test_one_bit_leak_costs_one_bit(self):
+        secrets = uniform_secrets(range(256))
+        assert entropy_loss(secrets, low_bit) == pytest.approx(1.0)
+
+    def test_full_leak_costs_everything(self):
+        secrets = uniform_secrets(range(256))
+        assert entropy_loss(secrets, full_value) == pytest.approx(8.0)
+
+    def test_constant_leak_is_free(self):
+        secrets = uniform_secrets(range(256))
+        assert entropy_loss(secrets, constant) == pytest.approx(0.0)
+
+    def test_long_output_can_be_cheap(self):
+        """The key point of entropy accounting: output length is not the
+        cost."""
+        secrets = uniform_secrets(range(256))
+        assert entropy_loss(secrets, long_but_cheap) == pytest.approx(1.0)
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(ParameterError):
+            entropy_loss({}, low_bit)
+
+
+class TestEntropyOracle:
+    def test_within_budget(self):
+        oracle = EntropyLeakageOracle(2.0)
+        secrets = uniform_secrets(range(256))
+        out = oracle.leak(secrets, low_bit, 7)
+        assert out == BitString(1, 1)
+        assert oracle.remaining() == pytest.approx(1.0)
+
+    def test_long_cheap_leak_allowed(self):
+        """A 1000-bit output with 1 bit of entropy cost passes a 2-bit
+        entropy budget -- the length oracle would refuse it."""
+        oracle = EntropyLeakageOracle(2.0)
+        secrets = uniform_secrets(range(256))
+        out = oracle.leak(secrets, long_but_cheap, 3)
+        assert len(out) == 1000
+
+    def test_over_budget_refused(self):
+        oracle = EntropyLeakageOracle(4.0)
+        secrets = uniform_secrets(range(256))
+        with pytest.raises(LeakageBudgetExceeded):
+            oracle.leak(secrets, full_value, 5)
+
+    def test_cumulative_accounting(self):
+        oracle = EntropyLeakageOracle(1.5)
+        secrets = uniform_secrets(range(256))
+        oracle.leak(secrets, low_bit, 9)
+        with pytest.raises(LeakageBudgetExceeded):
+            oracle.leak(secrets, low_bit, 9)
+
+    def test_period_replenishes(self):
+        oracle = EntropyLeakageOracle(1.0)
+        secrets = uniform_secrets(range(256))
+        oracle.leak(secrets, low_bit, 1)
+        oracle.end_period()
+        oracle.leak(secrets, low_bit, 1)  # fresh budget, no raise
+        assert oracle.period == 1
+
+    def test_secret_outside_distribution_rejected(self):
+        oracle = EntropyLeakageOracle(8.0)
+        with pytest.raises(ParameterError):
+            oracle.leak(uniform_secrets(range(4)), low_bit, 77)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ParameterError):
+            EntropyLeakageOracle(-1.0)
+
+    def test_length_vs_entropy_comparison(self):
+        """Footnote 1's point, as a contrast: the length-based oracle
+        refuses what the entropy-based oracle correctly allows."""
+        from repro.leakage.functions import LeakageInput, PythonLeakage
+        from repro.leakage.oracle import LeakageBudget, LeakageOracle
+        from repro.protocol.memory import MemoryRegion
+
+        mem = MemoryRegion("m")
+        snap = mem.open_phase("t")
+        mem.store("secret", BitString(0b10110101, 8))
+        mem.close_phase()
+        length_oracle = LeakageOracle(LeakageBudget(0, 2, 2))
+        long_fn = PythonLeakage(
+            lambda inp: BitString(inp.secret_bits().bit(7) * ((1 << 1000) - 1), 1000),
+            1000,
+        )
+        with pytest.raises(LeakageBudgetExceeded):
+            length_oracle.leak(1, long_fn, LeakageInput(snap, []))
+        entropy_oracle = EntropyLeakageOracle(2.0)
+        entropy_oracle.leak(uniform_secrets(range(256)), long_but_cheap, 3)

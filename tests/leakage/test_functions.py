@@ -1,0 +1,184 @@
+"""Unit tests for leakage functions."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.leakage.functions import (
+    BitProjection,
+    HammingWeight,
+    HashLeakage,
+    InnerProductBits,
+    LeakageInput,
+    NullLeakage,
+    PrefixBits,
+    PythonLeakage,
+)
+from repro.protocol.memory import MemoryRegion
+from repro.utils.bits import BitString
+
+
+def make_input(bits: BitString) -> LeakageInput:
+    mem = MemoryRegion("m")
+    snap = mem.open_phase("t")
+    mem.store("secret", bits)
+    mem.close_phase()
+    return LeakageInput(snap, [])
+
+
+class TestPrefixBits:
+    def test_takes_prefix(self):
+        out = PrefixBits(3)(make_input(BitString(0b10110, 5)))
+        assert out == BitString(0b101, 3)
+
+    def test_shorter_memory_truncates(self):
+        out = PrefixBits(10)(make_input(BitString(0b11, 2)))
+        assert out == BitString(0b11, 2)
+
+    def test_zero_length(self):
+        assert len(PrefixBits(0)(make_input(BitString(0b1, 1)))) == 0
+
+
+class TestBitProjection:
+    def test_projects(self):
+        out = BitProjection([0, 2, 4])(make_input(BitString(0b10101, 5)))
+        assert list(out) == [1, 1, 1]
+
+    def test_out_of_range_indices_dropped(self):
+        out = BitProjection([0, 99])(make_input(BitString(0b1, 1)))
+        assert list(out) == [1]
+
+    def test_declared_length(self):
+        fn = BitProjection([1, 2, 3])
+        assert fn.output_length == 3
+
+
+class TestHammingWeight:
+    def test_weight(self):
+        fn = HammingWeight(memory_bits=8)
+        out = fn(make_input(BitString(0b10110100, 8)))
+        assert int(out) == 4
+
+    def test_output_length_logarithmic(self):
+        assert HammingWeight(memory_bits=1024).output_length == 11
+
+
+class TestInnerProduct:
+    def test_parity_of_selected_bits(self):
+        masks = [BitString(0b111, 3), BitString(0b100, 3)]
+        out = InnerProductBits(masks)(make_input(BitString(0b110, 3)))
+        assert list(out) == [0, 1]  # parity(1,1,0)=0; bit0=1
+
+    def test_length_is_mask_count(self):
+        fn = InnerProductBits([BitString(1, 1)] * 5)
+        assert fn.output_length == 5
+
+
+class TestNullAndHash:
+    def test_null(self):
+        out = NullLeakage()(make_input(BitString(0b1, 1)))
+        assert len(out) == 0
+
+    def test_hash_deterministic(self):
+        fn = HashLeakage(16)
+        x = make_input(BitString(0b1011, 4))
+        assert fn(x) == fn(x)
+
+    def test_hash_distinguishes_inputs(self):
+        fn = HashLeakage(32)
+        a = fn(make_input(BitString(0b1011, 4)))
+        b = fn(make_input(BitString(0b1010, 4)))
+        assert a != b
+
+
+class TestPythonLeakage:
+    def test_wraps_callable(self):
+        fn = PythonLeakage(lambda inp: inp.secret_bits()[:2], 2)
+        assert fn(make_input(BitString(0b111, 3))) == BitString(0b11, 2)
+
+    def test_length_cap_enforced(self):
+        cheat = PythonLeakage(lambda inp: inp.secret_bits(), 1)
+        with pytest.raises(ParameterError):
+            cheat(make_input(BitString(0b1111, 4)))
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ParameterError):
+            PythonLeakage(lambda inp: BitString.empty(), -1)
+
+
+class TestLeakageInput:
+    def test_secret_value_access(self):
+        mem = MemoryRegion("m")
+        snap = mem.open_phase("t")
+        mem.store("named", BitString(0b1, 1))
+        mem.close_phase()
+        inp = LeakageInput(snap, [])
+        assert inp.secret_value("named") == BitString(0b1, 1)
+
+
+class TestNoisyBits:
+    def _make(self, bits):
+        return make_input(bits)
+
+    def test_no_noise_matches_projection(self):
+        from repro.leakage.functions import NoisyBits
+
+        secret = BitString(0b10110, 5)
+        clean = NoisyBits([0, 2, 4], flip_prob=0.0)(make_input(secret))
+        assert clean == BitProjection([0, 2, 4])(make_input(secret))
+
+    def test_full_noise_flips_everything(self):
+        from repro.leakage.functions import NoisyBits
+
+        secret = BitString(0b11111, 5)
+        flipped = NoisyBits([0, 1, 2], flip_prob=1.0)(make_input(secret))
+        assert list(flipped) == [0, 0, 0]
+
+    def test_deterministic_given_seed(self):
+        from repro.leakage.functions import NoisyBits
+
+        secret = BitString(0b10101010, 8)
+        fn = NoisyBits(list(range(8)), flip_prob=0.5, seed=7)
+        assert fn(make_input(secret)) == fn(make_input(secret))
+
+    def test_invalid_probability(self):
+        from repro.leakage.functions import NoisyBits
+
+        with pytest.raises(ParameterError):
+            NoisyBits([0], flip_prob=1.5)
+
+    def test_length_bounded(self):
+        from repro.leakage.functions import NoisyBits
+
+        fn = NoisyBits([0, 1, 2, 3], flip_prob=0.3)
+        assert fn.output_length == 4
+
+
+class TestWordHammingWeights:
+    def test_weights_per_word(self):
+        from repro.leakage.functions import WordHammingWeights
+
+        secret = BitString(0b11110000_10101010, 16)
+        out = WordHammingWeights(words=2, word_bits=8)(make_input(secret))
+        # widths: 8.bit_length() = 4 bits per weight
+        first = out[:4]
+        second = out[4:]
+        assert int(first) == 4
+        assert int(second) == 4
+
+    def test_short_memory_truncates(self):
+        from repro.leakage.functions import WordHammingWeights
+
+        out = WordHammingWeights(words=4, word_bits=8)(make_input(BitString(0b111, 3)))
+        assert int(out) == 3  # single partial word
+
+    def test_invalid_args(self):
+        from repro.leakage.functions import WordHammingWeights
+
+        with pytest.raises(ParameterError):
+            WordHammingWeights(words=0)
+
+    def test_output_length(self):
+        from repro.leakage.functions import WordHammingWeights
+
+        fn = WordHammingWeights(words=3, word_bits=8)
+        assert fn.output_length == 3 * 4

@@ -1,0 +1,120 @@
+"""Unit tests for the Definition 3.2 leakage accounting."""
+
+import pytest
+
+from repro.errors import LeakageBudgetExceeded, ParameterError
+from repro.leakage.functions import LeakageInput, PrefixBits
+from repro.leakage.oracle import LeakageBudget, LeakageOracle
+from repro.protocol.memory import MemoryRegion
+from repro.utils.bits import BitString
+
+
+def snapshot_of(bits: BitString):
+    mem = MemoryRegion("m")
+    snap = mem.open_phase("t")
+    mem.store("secret", bits)
+    mem.close_phase()
+    return snap
+
+
+def leak_input(width: int = 64) -> LeakageInput:
+    return LeakageInput(snapshot_of(BitString((1 << width) - 1, width)), [])
+
+
+class TestBudget:
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            LeakageBudget(-1, 0, 0)
+
+    def test_for_device(self):
+        budget = LeakageBudget(1, 2, 3)
+        assert budget.for_device(1) == 2
+        assert budget.for_device(2) == 3
+
+    def test_for_device_invalid(self):
+        with pytest.raises(ParameterError):
+            LeakageBudget(0, 0, 0).for_device(3)
+
+
+class TestGenerationLeakage:
+    def test_within_budget(self):
+        oracle = LeakageOracle(LeakageBudget(8, 0, 0))
+        out = oracle.leak_generation(PrefixBits(8), leak_input())
+        assert len(out) == 8
+
+    def test_cumulative_bound(self):
+        oracle = LeakageOracle(LeakageBudget(8, 0, 0))
+        oracle.leak_generation(PrefixBits(5), leak_input())
+        with pytest.raises(LeakageBudgetExceeded):
+            oracle.leak_generation(PrefixBits(4), leak_input())
+
+    def test_rejected_after_periods_start(self):
+        oracle = LeakageOracle(LeakageBudget(8, 8, 8))
+        oracle.leak(1, PrefixBits(1), leak_input())
+        with pytest.raises(ParameterError):
+            oracle.leak_generation(PrefixBits(1), leak_input())
+
+
+class TestPeriodAccounting:
+    def test_normal_within_budget(self):
+        oracle = LeakageOracle(LeakageBudget(0, 10, 10))
+        out = oracle.leak(1, PrefixBits(10), leak_input())
+        assert len(out) == 10
+
+    def test_over_budget_aborts(self):
+        oracle = LeakageOracle(LeakageBudget(0, 10, 10))
+        with pytest.raises(LeakageBudgetExceeded):
+            oracle.leak(1, PrefixBits(11), leak_input())
+
+    def test_normal_plus_refresh_share_budget(self):
+        """The Def 3.2 check is L + |l| + |l_ref| <= b."""
+        oracle = LeakageOracle(LeakageBudget(0, 10, 10))
+        oracle.leak(1, PrefixBits(6), leak_input())
+        oracle.leak_refresh(1, PrefixBits(4), leak_input())
+        with pytest.raises(LeakageBudgetExceeded):
+            oracle.leak(1, PrefixBits(1), leak_input())
+
+    def test_devices_independent(self):
+        oracle = LeakageOracle(LeakageBudget(0, 4, 10))
+        oracle.leak(1, PrefixBits(4), leak_input())
+        out = oracle.leak(2, PrefixBits(10), leak_input())
+        assert len(out) == 10
+
+    def test_refresh_leakage_carries_to_next_period(self):
+        """Bits leaked during refresh count against the share they
+        created: L_i^{t+1} = |l_i^{t,Ref}|."""
+        oracle = LeakageOracle(LeakageBudget(0, 10, 10))
+        oracle.leak_refresh(1, PrefixBits(7), leak_input())
+        oracle.end_period()
+        assert oracle.carried(1) == 7
+        assert oracle.remaining(1) == 3
+        with pytest.raises(LeakageBudgetExceeded):
+            oracle.leak(1, PrefixBits(4), leak_input())
+
+    def test_budget_replenishes_after_period_without_refresh_leakage(self):
+        oracle = LeakageOracle(LeakageBudget(0, 10, 10))
+        oracle.leak(1, PrefixBits(10), leak_input())
+        oracle.end_period()
+        out = oracle.leak(1, PrefixBits(10), leak_input())
+        assert len(out) == 10
+
+    def test_total_leakage_unbounded_over_time(self):
+        """The defining feature of the continual model: per-period bounds,
+        unbounded total."""
+        oracle = LeakageOracle(LeakageBudget(0, 8, 8))
+        for _ in range(25):
+            oracle.leak(1, PrefixBits(8), leak_input())
+            oracle.end_period()
+        assert oracle.total_leaked_bits[1] == 200
+
+    def test_period_counter(self):
+        oracle = LeakageOracle(LeakageBudget(0, 1, 1))
+        assert oracle.period == 0
+        oracle.end_period()
+        oracle.end_period()
+        assert oracle.period == 2
+
+    def test_remaining_never_negative(self):
+        oracle = LeakageOracle(LeakageBudget(0, 5, 5))
+        oracle.leak(1, PrefixBits(5), leak_input())
+        assert oracle.remaining(1) == 0

@@ -1,0 +1,87 @@
+"""Unit tests for leakage-rate computation (section 3.2 / Theorem 4.1)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.leakage.oracle import LeakageBudget
+from repro.leakage.rates import LeakageRates, MemoryProfile, compute_rates, theoretical_b1
+
+
+class TestMemoryProfile:
+    def test_sizes(self):
+        profile = MemoryProfile(share_bits=100, normal_randomness_bits=20, refresh_randomness_bits=120)
+        assert profile.normal_bits == 120
+        assert profile.refresh_bits == 220
+
+
+class TestComputeRates:
+    def test_basic(self):
+        budget = LeakageBudget(b0=4, b1=50, b2=100)
+        p1 = MemoryProfile(share_bits=100, normal_randomness_bits=0, refresh_randomness_bits=100)
+        p2 = MemoryProfile(share_bits=100, normal_randomness_bits=0, refresh_randomness_bits=100)
+        rates = compute_rates(budget, generation_randomness_bits=40, profile1=p1, profile2=p2)
+        assert rates.rho_gen == pytest.approx(0.1)
+        assert rates.rho1 == pytest.approx(0.5)
+        assert rates.rho2 == pytest.approx(1.0)
+        assert rates.rho1_refresh == pytest.approx(0.25)
+        assert rates.rho2_refresh == pytest.approx(0.5)
+
+    def test_zero_denominator_rejected(self):
+        budget = LeakageBudget(0, 0, 0)
+        bad = MemoryProfile(0, 0, 0)
+        with pytest.raises(ParameterError):
+            compute_rates(budget, 1, bad, bad)
+
+    def test_as_tuple_ordering(self):
+        rates = LeakageRates(0.1, 0.2, 0.3, 0.4, 0.5)
+        assert rates.as_tuple() == (0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+class TestTheoremB1:
+    def test_formula(self):
+        # b1 = m1 * lam / (lam + c n)
+        assert theoretical_b1(m1_bits=120, n=10, lam=30, c=3) == 120 * 30 // 60
+
+    def test_approaches_m1_as_lambda_grows(self):
+        m1, n = 1000, 16
+        values = [theoretical_b1(m1, n, lam) for lam in (16, 64, 256, 4096)]
+        assert values == sorted(values)
+        assert values[-1] > 0.98 * m1
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ParameterError):
+            theoretical_b1(0, 1, 1)
+        with pytest.raises(ParameterError):
+            theoretical_b1(10, 0, 1)
+
+
+class TestDLRRatesMatchPaper:
+    """The headline numbers after Theorem 4.1, computed from DLRParams."""
+
+    def test_rho1_approaches_one(self, small_group):
+        from repro.core.params import DLRParams
+
+        previous = 0.0
+        for lam in (32, 128, 512, 2048):
+            params = DLRParams(group=small_group, lam=lam)
+            rho1 = params.theorem_b1() / params.sk_comm_bits()
+            assert rho1 >= previous
+            previous = rho1
+        assert previous > 0.9  # 1 - o(1)
+
+    def test_rho2_is_one(self, small_params):
+        assert small_params.theorem_b2() == small_params.sk2_bits()
+
+    def test_refresh_rates_half(self, small_params):
+        """During refresh the secret memory doubles, so the same budget is
+        a (1/2 - o(1))-fraction."""
+        budget = LeakageBudget(
+            0, small_params.theorem_b1(), small_params.theorem_b2()
+        )
+        m1, m2 = small_params.sk_comm_bits(), small_params.sk2_bits()
+        p1 = MemoryProfile(m1, 0, m1)  # refresh adds another key
+        p2 = MemoryProfile(m2, 0, m2)
+        rates = compute_rates(budget, 64, p1, p2)
+        assert rates.rho1_refresh < 0.5
+        assert rates.rho2_refresh == pytest.approx(0.5)
+        assert rates.rho1 == pytest.approx(rates.rho1_refresh * 2)

@@ -1,0 +1,147 @@
+"""Unit tests for the entropy toolkit (min-entropy, SD, LHL)."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.math.entropy import (
+    PairwiseIndependentHash,
+    average_min_entropy,
+    empirical_distribution,
+    lhl_extractable_bits,
+    lhl_required_entropy,
+    min_entropy,
+    shannon_entropy,
+    statistical_distance,
+)
+
+
+class TestMinEntropy:
+    def test_uniform(self):
+        dist = {i: 1 / 8 for i in range(8)}
+        assert min_entropy(dist) == pytest.approx(3.0)
+
+    def test_point_mass(self):
+        assert min_entropy({0: 1.0}) == pytest.approx(0.0)
+
+    def test_skewed(self):
+        dist = {0: 0.5, 1: 0.25, 2: 0.25}
+        assert min_entropy(dist) == pytest.approx(1.0)
+
+    def test_min_entropy_below_shannon(self):
+        dist = {0: 0.5, 1: 0.3, 2: 0.2}
+        assert min_entropy(dist) <= shannon_entropy(dist) + 1e-12
+
+
+class TestStatisticalDistance:
+    def test_identical(self):
+        dist = {0: 0.5, 1: 0.5}
+        assert statistical_distance(dist, dist) == 0.0
+
+    def test_disjoint(self):
+        assert statistical_distance({0: 1.0}, {1: 1.0}) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        a = {0: 0.7, 1: 0.3}
+        b = {0: 0.4, 1: 0.5, 2: 0.1}
+        assert statistical_distance(a, b) == pytest.approx(statistical_distance(b, a))
+
+    def test_triangle_inequality(self):
+        a = {0: 0.6, 1: 0.4}
+        b = {0: 0.5, 1: 0.5}
+        c = {0: 0.2, 1: 0.8}
+        assert statistical_distance(a, c) <= (
+            statistical_distance(a, b) + statistical_distance(b, c) + 1e-12
+        )
+
+    def test_known_value(self):
+        a = {0: 0.75, 1: 0.25}
+        b = {0: 0.25, 1: 0.75}
+        assert statistical_distance(a, b) == pytest.approx(0.5)
+
+
+class TestAverageMinEntropy:
+    def test_independent_case(self):
+        # X uniform on 4 values, Y independent: H~(X|Y) = H(X) = 2 bits.
+        joint = {(x, y): 1 / 8 for x in range(4) for y in range(2)}
+        assert average_min_entropy(joint) == pytest.approx(2.0)
+
+    def test_fully_determined(self):
+        # Y = X: no residual entropy.
+        joint = {(x, x): 1 / 4 for x in range(4)}
+        assert average_min_entropy(joint) == pytest.approx(0.0)
+
+    def test_one_bit_leak(self):
+        # X uniform on 4 values, Y = low bit: one bit lost.
+        joint = {(x, x & 1): 1 / 4 for x in range(4)}
+        assert average_min_entropy(joint) == pytest.approx(1.0)
+
+    def test_chain_rule_bound(self):
+        # H~(X|Y) >= H(X,Y)_min - log |supp Y| lower bound sanity.
+        rng = random.Random(1)
+        joint = {}
+        total = 0.0
+        for x in range(4):
+            for y in range(4):
+                w = rng.random()
+                joint[(x, y)] = w
+                total += w
+        joint = {k: v / total for k, v in joint.items()}
+        hxy = min_entropy(joint)
+        assert average_min_entropy(joint) >= hxy - 2 - 1e-9
+
+
+class TestLHL:
+    def test_roundtrip(self):
+        eps = 2**-10
+        k = 100.0
+        out = lhl_extractable_bits(k, eps)
+        assert lhl_required_entropy(out, eps) == pytest.approx(k)
+
+    def test_extractable_formula(self):
+        assert lhl_extractable_bits(60, 2**-10) == pytest.approx(40.0)
+
+    def test_bad_epsilon(self):
+        with pytest.raises(ParameterError):
+            lhl_extractable_bits(10, 1.5)
+
+    def test_pairwise_independence_exact(self):
+        # For fixed x != y, over random (a, b), the pair (h(x), h(y)) is
+        # uniform on Z_p^2: every target pair hit exactly once.
+        p = 11
+        x, y = 3, 7
+        from collections import Counter
+
+        counts = Counter()
+        for a in range(p):
+            for b in range(p):
+                counts[((a * x + b) % p, (a * y + b) % p)] += 1
+        assert len(counts) == p * p
+        assert set(counts.values()) == {1}
+
+    def test_lhl_extraction_statistically_close(self):
+        # Extract 2 bits from a 6-bit min-entropy source over Z_p; the
+        # output distribution should be near uniform.
+        p = 257
+        rng = random.Random(2)
+        source = [rng.randrange(64) for _ in range(4000)]  # uniform on 64 values
+        outputs = []
+        for x in source:
+            h = PairwiseIndependentHash(p, rng)
+            outputs.append(h.truncated(x, 2))
+        dist = empirical_distribution(outputs)
+        uniform = {i: 0.25 for i in range(4)}
+        assert statistical_distance(dist, uniform) < 0.05
+
+
+class TestEmpiricalDistribution:
+    def test_counts(self):
+        dist = empirical_distribution([1, 1, 2, 2, 2, 3])
+        assert dist[1] == pytest.approx(2 / 6)
+        assert dist[2] == pytest.approx(3 / 6)
+
+    def test_empty_raises(self):
+        with pytest.raises(ParameterError):
+            empirical_distribution([])

@@ -1,0 +1,119 @@
+"""Unit tests for F_q and F_{q^2}."""
+
+import random
+
+import pytest
+
+from repro.errors import GroupError, ParameterError
+from repro.math.fields import Fq, Fq2
+
+Q = 103  # 103 = 3 mod 4
+
+
+class TestFq:
+    def test_reduction_on_construction(self):
+        assert Fq(Q + 5, Q).value == 5
+        assert Fq(-1, Q).value == Q - 1
+
+    def test_add_sub(self):
+        a, b = Fq(50, Q), Fq(60, Q)
+        assert (a + b).value == 7
+        assert (a - b).value == (50 - 60) % Q
+
+    def test_mul_inverse(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            a = Fq(rng.randrange(1, Q), Q)
+            assert (a * a.inverse()).value == 1
+
+    def test_div(self):
+        a, b = Fq(10, Q), Fq(7, Q)
+        assert ((a / b) * b) == a
+
+    def test_pow_negative_exponent(self):
+        a = Fq(5, Q)
+        assert (a ** -2) == (a ** 2).inverse()
+
+    def test_sqrt(self):
+        a = Fq(12, Q)
+        square = a * a
+        root = square.sqrt()
+        assert root * root == square
+
+    def test_mixing_fields_raises(self):
+        with pytest.raises(GroupError):
+            Fq(1, 103) + Fq(1, 107)
+
+    def test_int_conversion(self):
+        assert int(Fq(42, Q)) == 42
+
+
+class TestFq2:
+    def test_requires_q_3_mod_4(self):
+        with pytest.raises(ParameterError):
+            Fq2(1, 1, 13)  # 13 = 1 mod 4
+
+    def test_i_squared_is_minus_one(self):
+        i = Fq2(0, 1, Q)
+        assert i * i == Fq2(-1, 0, Q)
+
+    def test_mul_against_definition(self):
+        rng = random.Random(2)
+        for _ in range(30):
+            a, b, c, d = (rng.randrange(Q) for _ in range(4))
+            left = Fq2(a, b, Q) * Fq2(c, d, Q)
+            assert left == Fq2((a * c - b * d) % Q, (a * d + b * c) % Q, Q)
+
+    def test_square_matches_mul(self):
+        rng = random.Random(3)
+        for _ in range(30):
+            x = Fq2(rng.randrange(Q), rng.randrange(Q), Q)
+            assert x.square() == x * x
+
+    def test_inverse(self):
+        rng = random.Random(4)
+        for _ in range(30):
+            x = Fq2(rng.randrange(Q), rng.randrange(Q), Q)
+            if x.is_zero():
+                continue
+            assert x * x.inverse() == Fq2.one(Q)
+
+    def test_zero_not_invertible(self):
+        with pytest.raises(GroupError):
+            Fq2.zero(Q).inverse()
+
+    def test_norm_multiplicative(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            x = Fq2(rng.randrange(Q), rng.randrange(Q), Q)
+            y = Fq2(rng.randrange(Q), rng.randrange(Q), Q)
+            assert (x * y).norm() == x.norm() * y.norm() % Q
+
+    def test_conjugate_is_frobenius(self):
+        # For q = 3 mod 4, x^q = conjugate(x).
+        rng = random.Random(6)
+        for _ in range(10):
+            x = Fq2(rng.randrange(Q), rng.randrange(Q), Q)
+            assert x ** Q == x.conjugate()
+
+    def test_multiplicative_group_order(self):
+        # x^(q^2 - 1) = 1 for all nonzero x.
+        rng = random.Random(7)
+        for _ in range(10):
+            x = Fq2(rng.randrange(Q), rng.randrange(Q), Q)
+            if x.is_zero():
+                continue
+            assert (x ** (Q * Q - 1)).is_one()
+
+    def test_pow_negative(self):
+        x = Fq2(3, 5, Q)
+        assert x ** -3 == (x ** 3).inverse()
+
+    def test_from_base_embedding(self):
+        a = Fq2.from_base(9, Q)
+        b = Fq2.from_base(11, Q)
+        assert (a * b).to_tuple() == (99, 0)
+
+    def test_division(self):
+        x, y = Fq2(3, 4, Q), Fq2(5, 6, Q)
+        assert (x / y) * y == x

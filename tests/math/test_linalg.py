@@ -1,0 +1,177 @@
+"""Unit tests for linear algebra over Z_p."""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError, SingularMatrixError
+from repro.math import linalg
+
+P = 101
+
+
+class TestBasicOps:
+    def test_identity_matmul(self):
+        rng = random.Random(1)
+        a = linalg.random_matrix(4, 4, P, rng)
+        eye = linalg.identity(4, P)
+        assert linalg.mat_mul(a, eye, P) == a
+        assert linalg.mat_mul(eye, a, P) == a
+
+    def test_matvec_matches_matmul(self):
+        rng = random.Random(2)
+        a = linalg.random_matrix(3, 5, P, rng)
+        x = linalg.random_vector(5, P, rng)
+        column = [[v] for v in x]
+        expected = [row[0] for row in linalg.mat_mul(a, column, P)]
+        assert linalg.mat_vec(a, x, P) == expected
+
+    def test_dot(self):
+        assert linalg.dot([1, 2, 3], [4, 5, 6], P) == (4 + 10 + 18) % P
+
+    def test_dot_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            linalg.dot([1], [1, 2], P)
+
+    def test_transpose(self):
+        a = [[1, 2, 3], [4, 5, 6]]
+        assert linalg.transpose(a) == [[1, 4], [2, 5], [3, 6]]
+        assert linalg.transpose(linalg.transpose(a)) == a
+
+
+class TestRank:
+    def test_identity_full_rank(self):
+        assert linalg.rank(linalg.identity(5, P), P) == 5
+
+    def test_zero_matrix(self):
+        assert linalg.rank(linalg.zeros(3, 4), P) == 0
+
+    def test_rank_one(self):
+        a = [[1, 2, 3], [2, 4, 6], [50, 100, 150]]
+        assert linalg.rank(a, P) == 1
+
+    def test_random_square_usually_full_rank(self):
+        rng = random.Random(3)
+        full = sum(
+            linalg.rank(linalg.random_matrix(4, 4, P, rng), P) == 4 for _ in range(50)
+        )
+        assert full >= 45  # probability of singular ~ 4/101
+
+    def test_rank_mod_p_differs_from_rationals(self):
+        # Rows dependent only modulo p.
+        a = [[1, 0], [P, 0]]
+        assert linalg.rank(a, P) == 1
+
+
+class TestInvert:
+    def test_inverse_roundtrip(self):
+        rng = random.Random(4)
+        for _ in range(10):
+            a = linalg.random_matrix(4, 4, P, rng)
+            if linalg.rank(a, P) < 4:
+                continue
+            inv = linalg.invert(a, P)
+            assert linalg.mat_mul(a, inv, P) == linalg.identity(4, P)
+
+    def test_singular_raises(self):
+        with pytest.raises(SingularMatrixError):
+            linalg.invert([[1, 2], [2, 4]], P)
+
+    def test_non_square_raises(self):
+        with pytest.raises(ParameterError):
+            linalg.invert([[1, 2, 3], [4, 5, 6]], P)
+
+
+class TestSolve:
+    def test_solution_satisfies_system(self):
+        rng = random.Random(5)
+        for _ in range(10):
+            a = linalg.random_matrix(3, 5, P, rng)
+            x_true = linalg.random_vector(5, P, rng)
+            b = linalg.mat_vec(a, x_true, P)
+            x = linalg.solve(a, b, P)
+            assert linalg.mat_vec(a, x, P) == b
+
+    def test_inconsistent_raises(self):
+        a = [[1, 0], [1, 0]]
+        with pytest.raises(SingularMatrixError):
+            linalg.solve(a, [1, 2], P)
+
+    def test_square_unique_solution(self):
+        a = [[2, 1], [1, 3]]
+        x_true = [7, 9]
+        b = linalg.mat_vec(a, x_true, P)
+        assert linalg.solve(a, b, P) == x_true
+
+
+class TestKernel:
+    def test_kernel_dimension(self):
+        rng = random.Random(6)
+        a = linalg.random_matrix(3, 7, P, rng)
+        r = linalg.rank(a, P)
+        basis = linalg.kernel_basis(a, P)
+        assert len(basis) == 7 - r
+
+    def test_kernel_vectors_annihilated(self):
+        rng = random.Random(7)
+        a = linalg.random_matrix(4, 6, P, rng)
+        for v in linalg.kernel_basis(a, P):
+            assert linalg.mat_vec(a, v, P) == [0] * 4
+
+    def test_full_rank_square_trivial_kernel(self):
+        eye = linalg.identity(4, P)
+        assert linalg.kernel_basis(eye, P) == []
+
+
+class TestSolveUniform:
+    def test_satisfies_system(self):
+        rng = random.Random(8)
+        a = linalg.random_matrix(2, 5, P, rng)
+        x_true = linalg.random_vector(5, P, rng)
+        b = linalg.mat_vec(a, x_true, P)
+        for _ in range(10):
+            x = linalg.solve_uniform(a, b, P, rng)
+            assert linalg.mat_vec(a, x, P) == b
+
+    def test_uniform_over_solution_space_small(self):
+        # 1 equation, 2 unknowns over Z_5: solution space has 5 points.
+        p = 5
+        a = [[1, 1]]
+        b = [3]
+        rng = random.Random(9)
+        seen = {tuple(linalg.solve_uniform(a, b, p, rng)) for _ in range(400)}
+        assert len(seen) == 5  # all points hit
+
+    def test_distribution_is_uniform(self):
+        p = 5
+        a = [[1, 2]]
+        b = [0]
+        rng = random.Random(10)
+        from collections import Counter
+
+        counts = Counter(
+            tuple(linalg.solve_uniform(a, b, p, rng)) for _ in range(2000)
+        )
+        assert len(counts) == 5
+        assert max(counts.values()) < 2 * min(counts.values())
+
+
+class TestRandomMatrixOfRank:
+    @pytest.mark.parametrize("target", [0, 1, 2, 3])
+    def test_rank_exact(self, target):
+        rng = random.Random(11)
+        a = linalg.random_matrix_of_rank(4, 5, target, P, rng)
+        assert linalg.rank(a, P) == target
+
+    def test_rank_too_big_raises(self):
+        with pytest.raises(ParameterError):
+            linalg.random_matrix_of_rank(2, 3, 3, P)
+
+    def test_matrix_klin_distinct_ranks_statistically(self):
+        # The matrix kLin assumption compares rank-i and rank-j matrices:
+        # they must actually differ as distributions.
+        rng = random.Random(12)
+        low = [linalg.rank(linalg.random_matrix_of_rank(3, 3, 1, P, rng), P) for _ in range(20)]
+        high = [linalg.rank(linalg.random_matrix_of_rank(3, 3, 3, P, rng), P) for _ in range(20)]
+        assert set(low) == {1}
+        assert set(high) == {3}

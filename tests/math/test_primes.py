@@ -1,0 +1,74 @@
+"""Unit tests for primality testing and prime generation."""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.math.primes import is_prime, next_prime, random_prime
+
+SMALL_PRIMES = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+
+
+class TestIsPrime:
+    def test_small_range_exhaustive(self):
+        for n in range(50):
+            assert is_prime(n) == (n in SMALL_PRIMES)
+
+    def test_carmichael_numbers_rejected(self):
+        # Fermat pseudoprimes that fool a^(n-1) = 1 tests.
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041):
+            assert not is_prime(carmichael)
+
+    def test_large_known_primes(self):
+        assert is_prime(2**61 - 1)  # Mersenne
+        assert is_prime(2**89 - 1)
+        assert is_prime((1 << 127) - 1)
+
+    def test_large_known_composites(self):
+        assert not is_prime(2**67 - 1)  # famous Mersenne composite
+        assert not is_prime((2**61 - 1) * (2**31 - 1))
+
+    def test_negative_and_edge(self):
+        assert not is_prime(-7)
+        assert not is_prime(0)
+        assert not is_prime(1)
+
+    def test_even_large(self):
+        assert not is_prime(10**30)
+
+
+class TestRandomPrime:
+    @pytest.mark.parametrize("bits", [8, 16, 32, 64, 128])
+    def test_bit_length_exact(self, bits):
+        rng = random.Random(1)
+        p = random_prime(bits, rng)
+        assert p.bit_length() == bits
+        assert is_prime(p)
+
+    def test_deterministic_with_seed(self):
+        assert random_prime(32, random.Random(7)) == random_prime(32, random.Random(7))
+
+    def test_too_small_raises(self):
+        with pytest.raises(ParameterError):
+            random_prime(1)
+
+
+class TestNextPrime:
+    def test_known_successors(self):
+        assert next_prime(1) == 2
+        assert next_prime(2) == 3
+        assert next_prime(3) == 5
+        assert next_prime(13) == 17
+        assert next_prime(89) == 97
+
+    def test_from_composite(self):
+        assert next_prime(90) == 97
+
+    def test_result_is_prime_and_greater(self):
+        rng = random.Random(2)
+        for _ in range(10):
+            n = rng.randrange(10**6)
+            p = next_prime(n)
+            assert p > n
+            assert is_prime(p)

@@ -1,0 +1,106 @@
+"""Property-based tests: field axioms of F_q and F_{q^2} (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.math.fields import Fq, Fq2
+
+Q = 1019  # 1019 = 3 mod 4, prime
+
+fq_elements = st.integers(min_value=0, max_value=Q - 1).map(lambda v: Fq(v, Q))
+fq2_elements = st.tuples(
+    st.integers(min_value=0, max_value=Q - 1),
+    st.integers(min_value=0, max_value=Q - 1),
+).map(lambda ab: Fq2(ab[0], ab[1], Q))
+
+COMMON = dict(max_examples=50, deadline=None)
+
+
+class TestFqAxioms:
+    @given(a=fq_elements, b=fq_elements)
+    @settings(**COMMON)
+    def test_addition_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(a=fq_elements, b=fq_elements, c=fq_elements)
+    @settings(**COMMON)
+    def test_multiplication_associative(self, a, b, c):
+        assert (a * b) * c == a * (b * c)
+
+    @given(a=fq_elements, b=fq_elements, c=fq_elements)
+    @settings(**COMMON)
+    def test_distributivity(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(a=fq_elements)
+    @settings(**COMMON)
+    def test_additive_inverse(self, a):
+        assert (a + (-a)).is_zero()
+
+    @given(a=fq_elements)
+    @settings(**COMMON)
+    def test_multiplicative_inverse(self, a):
+        if not a.is_zero():
+            assert (a * a.inverse()).value == 1
+
+    @given(a=fq_elements)
+    @settings(**COMMON)
+    def test_fermat(self, a):
+        assert (a ** Q) == a
+
+    @given(a=fq_elements)
+    @settings(**COMMON)
+    def test_sqrt_of_square(self, a):
+        square = a * a
+        if square.is_zero():
+            return
+        root = square.sqrt()
+        assert root * root == square
+
+
+class TestFq2Axioms:
+    @given(x=fq2_elements, y=fq2_elements)
+    @settings(**COMMON)
+    def test_multiplication_commutative(self, x, y):
+        assert x * y == y * x
+
+    @given(x=fq2_elements, y=fq2_elements, z=fq2_elements)
+    @settings(**COMMON)
+    def test_multiplication_associative(self, x, y, z):
+        assert (x * y) * z == x * (y * z)
+
+    @given(x=fq2_elements, y=fq2_elements, z=fq2_elements)
+    @settings(**COMMON)
+    def test_distributivity(self, x, y, z):
+        assert x * (y + z) == x * y + x * z
+
+    @given(x=fq2_elements)
+    @settings(**COMMON)
+    def test_square_matches_self_mul(self, x):
+        assert x.square() == x * x
+
+    @given(x=fq2_elements)
+    @settings(**COMMON)
+    def test_inverse(self, x):
+        if not x.is_zero():
+            assert (x * x.inverse()).is_one()
+
+    @given(x=fq2_elements, y=fq2_elements)
+    @settings(**COMMON)
+    def test_norm_multiplicative(self, x, y):
+        assert (x * y).norm() == x.norm() * y.norm() % Q
+
+    @given(x=fq2_elements)
+    @settings(**COMMON)
+    def test_conjugation_is_automorphism(self, x):
+        assert (x * x.conjugate()).b == 0  # norm is in the base field
+
+    @given(x=fq2_elements, k=st.integers(min_value=0, max_value=200))
+    @settings(**COMMON)
+    def test_pow_matches_repeated_mul(self, x, k):
+        if k > 8:
+            k %= 8
+        expected = Fq2.one(Q)
+        for _ in range(k):
+            expected = expected * x
+        assert x ** k == expected

@@ -1,0 +1,123 @@
+"""Property-based tests: the pairing-group laws (hypothesis).
+
+Uses the toy 16-bit group so each example costs microseconds.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.groups import preset_group
+
+GROUP = preset_group(16)
+P = GROUP.p
+
+scalars = st.integers(min_value=0, max_value=P - 1)
+seeds = st.integers(min_value=0, max_value=2**30)
+
+
+def element(seed):
+    return GROUP.random_g(random.Random(seed))
+
+
+def gt_element(seed):
+    return GROUP.random_gt(random.Random(seed))
+
+
+COMMON = dict(max_examples=40, deadline=None)
+
+
+class TestGroupLaws:
+    @given(a=seeds, b=seeds)
+    @settings(**COMMON)
+    def test_commutativity(self, a, b):
+        x, y = element(a), element(b)
+        assert x * y == y * x
+
+    @given(a=seeds, b=seeds, c=seeds)
+    @settings(**COMMON)
+    def test_associativity(self, a, b, c):
+        x, y, z = element(a), element(b), element(c)
+        assert (x * y) * z == x * (y * z)
+
+    @given(a=seeds)
+    @settings(**COMMON)
+    def test_inverse(self, a):
+        x = element(a)
+        assert (x * x.inverse()).is_identity()
+
+    @given(a=seeds, j=scalars, k=scalars)
+    @settings(**COMMON)
+    def test_exponent_addition(self, a, j, k):
+        x = element(a)
+        assert (x ** j) * (x ** k) == x ** ((j + k) % P)
+
+    @given(a=seeds, j=scalars, k=scalars)
+    @settings(**COMMON)
+    def test_exponent_multiplication(self, a, j, k):
+        x = element(a)
+        assert (x ** j) ** k == x ** (j * k % P)
+
+    @given(a=seeds)
+    @settings(**COMMON)
+    def test_order_divides_p(self, a):
+        assert (element(a) ** P).is_identity()
+
+
+class TestPairingProperties:
+    @given(a=seeds, b=seeds, j=scalars)
+    @settings(max_examples=20, deadline=None)
+    def test_bilinearity_left(self, a, b, j):
+        x, y = element(a), element(b)
+        assert GROUP.pair(x ** j, y) == GROUP.pair(x, y) ** j
+
+    @given(a=seeds, b=seeds, j=scalars)
+    @settings(max_examples=20, deadline=None)
+    def test_bilinearity_right(self, a, b, j):
+        x, y = element(a), element(b)
+        assert GROUP.pair(x, y ** j) == GROUP.pair(x, y) ** j
+
+    @given(a=seeds, b=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_symmetry(self, a, b):
+        x, y = element(a), element(b)
+        assert GROUP.pair(x, y) == GROUP.pair(y, x)
+
+    @given(a=seeds, b=seeds, c=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_left_multiplicativity(self, a, b, c):
+        x1, x2, y = element(a), element(b), element(c)
+        assert GROUP.pair(x1 * x2, y) == GROUP.pair(x1, y) * GROUP.pair(x2, y)
+
+
+class TestGTLaws:
+    @given(a=seeds, b=seeds)
+    @settings(**COMMON)
+    def test_commutativity(self, a, b):
+        x, y = gt_element(a), gt_element(b)
+        assert x * y == y * x
+
+    @given(a=seeds)
+    @settings(**COMMON)
+    def test_inverse(self, a):
+        x = gt_element(a)
+        assert (x / x).is_identity()
+
+    @given(a=seeds, j=scalars, k=scalars)
+    @settings(**COMMON)
+    def test_exponent_laws(self, a, j, k):
+        x = gt_element(a)
+        assert (x ** j) * (x ** k) == x ** ((j + k) % P)
+
+
+class TestJacobianProperty:
+    @given(a=seeds, k=scalars)
+    @settings(max_examples=40, deadline=None)
+    def test_jacobian_matches_affine(self, a, k):
+        from repro.groups import curve
+
+        point = element(a).point
+        params = GROUP.params
+        assert curve.scalar_mul(point, k, params.q) == \
+            curve.scalar_mul_affine(point, k, params.q)

@@ -1,0 +1,78 @@
+"""Property-based tests: linear algebra over Z_p (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.math import linalg
+
+P = 97
+
+matrices = st.tuples(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=2**30),
+).map(lambda dims: linalg.random_matrix(dims[0], dims[1], P, random.Random(dims[2])))
+
+COMMON = dict(max_examples=40, deadline=None)
+
+
+class TestLinalgProperties:
+    @given(a=matrices)
+    @settings(**COMMON)
+    def test_rank_bounded_by_dims(self, a):
+        assert 0 <= linalg.rank(a, P) <= min(len(a), len(a[0]))
+
+    @given(a=matrices)
+    @settings(**COMMON)
+    def test_rank_transpose_invariant(self, a):
+        assert linalg.rank(a, P) == linalg.rank(linalg.transpose(a), P)
+
+    @given(a=matrices)
+    @settings(**COMMON)
+    def test_rank_nullity(self, a):
+        cols = len(a[0])
+        assert linalg.rank(a, P) + len(linalg.kernel_basis(a, P)) == cols
+
+    @given(a=matrices, seed=st.integers(min_value=0, max_value=2**30))
+    @settings(**COMMON)
+    def test_solve_consistent_systems(self, a, seed):
+        rng = random.Random(seed)
+        x = linalg.random_vector(len(a[0]), P, rng)
+        b = linalg.mat_vec(a, x, P)
+        solution = linalg.solve(a, b, P)
+        assert linalg.mat_vec(a, solution, P) == b
+
+    @given(a=matrices, seed=st.integers(min_value=0, max_value=2**30))
+    @settings(**COMMON)
+    def test_solve_uniform_consistent(self, a, seed):
+        rng = random.Random(seed)
+        x = linalg.random_vector(len(a[0]), P, rng)
+        b = linalg.mat_vec(a, x, P)
+        solution = linalg.solve_uniform(a, b, P, rng)
+        assert linalg.mat_vec(a, solution, P) == b
+
+    @given(a=matrices)
+    @settings(**COMMON)
+    def test_kernel_vectors_in_kernel(self, a):
+        for v in linalg.kernel_basis(a, P):
+            assert all(x == 0 for x in linalg.mat_vec(a, v, P))
+
+    @given(seed=st.integers(min_value=0, max_value=2**30),
+           n=st.integers(min_value=1, max_value=4))
+    @settings(**COMMON)
+    def test_inverse_roundtrip_when_invertible(self, seed, n):
+        rng = random.Random(seed)
+        a = linalg.random_matrix(n, n, P, rng)
+        if linalg.rank(a, P) < n:
+            return
+        assert linalg.mat_mul(a, linalg.invert(a, P), P) == linalg.identity(n, P)
+
+    @given(seed=st.integers(min_value=0, max_value=2**30),
+           rank=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_random_matrix_of_rank(self, seed, rank):
+        rng = random.Random(seed)
+        a = linalg.random_matrix_of_rank(3, 4, rank, P, rng)
+        assert linalg.rank(a, P) == rank

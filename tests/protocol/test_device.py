@@ -1,0 +1,79 @@
+"""Unit tests for Device: sampling discipline and op attribution."""
+
+import random
+
+from repro.protocol.device import Device, _ScalarInMemory
+
+
+class TestSampling:
+    def test_sample_scalar_lands_in_secret_memory(self, small_group, rng):
+        device = Device("P1", small_group, rng)
+        value = device.sample_scalar("r")
+        stored = device.secret.read("r")
+        assert int(stored) == value
+
+    def test_sample_g_lands_in_secret_memory(self, small_group, rng):
+        device = Device("P1", small_group, rng)
+        element = device.sample_g("a")
+        assert device.secret.read("a") == element
+
+    def test_sample_gt_lands_in_secret_memory(self, small_group, rng):
+        device = Device("P1", small_group, rng)
+        element = device.sample_gt("m")
+        assert device.secret.read("m") == element
+
+    def test_devices_have_independent_streams(self, small_group):
+        seed = random.Random(1)
+        d1 = Device("P1", small_group, seed)
+        d2 = Device("P2", small_group, seed)
+        assert d1.sample_scalar("x") != d2.sample_scalar("x")
+
+    def test_same_name_same_parent_reproducible(self, small_group):
+        a = Device("P1", small_group, random.Random(2)).sample_scalar("x")
+        b = Device("P1", small_group, random.Random(2)).sample_scalar("x")
+        assert a == b
+
+
+class TestOpAttribution:
+    def test_computing_block_attributes_ops(self, small_group, rng):
+        device = Device("P1", small_group, rng)
+        with device.computing():
+            _ = small_group.g ** 5
+            small_group.pair(small_group.g, small_group.g)
+        assert device.ops.g_exp >= 1
+        assert device.ops.pairings == 1
+
+    def test_outside_block_not_attributed(self, small_group, rng):
+        device = Device("P1", small_group, rng)
+        _ = small_group.g ** 5
+        assert device.ops.g_exp == 0
+
+    def test_reset_ops(self, small_group, rng):
+        device = Device("P1", small_group, rng)
+        with device.computing():
+            _ = small_group.g ** 2
+        device.reset_ops()
+        assert device.ops.g_exp == 0
+
+    def test_nested_attribution_accumulates(self, small_group, rng):
+        device = Device("P1", small_group, rng)
+        with device.computing():
+            _ = small_group.g ** 2
+        with device.computing():
+            _ = small_group.g ** 3
+        assert device.ops.g_exp == 2
+
+
+class TestScalarInMemory:
+    def test_encoding_fixed_width(self, small_group):
+        p = small_group.p
+        a = _ScalarInMemory(1, p)
+        b = _ScalarInMemory(p - 1, p)
+        assert len(a.to_bits()) == len(b.to_bits())
+
+    def test_equality_with_int(self, small_group):
+        assert _ScalarInMemory(5, small_group.p) == 5
+
+    def test_reduction(self, small_group):
+        p = small_group.p
+        assert _ScalarInMemory(p + 3, p) == 3

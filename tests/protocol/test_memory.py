@@ -1,0 +1,165 @@
+"""Unit tests for memory regions and phase snapshots."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocol.memory import MemoryRegion
+from repro.utils.bits import BitString
+
+
+class TestSlots:
+    def test_store_read(self):
+        mem = MemoryRegion("m")
+        mem.store("x", BitString(1, 1))
+        assert mem.read("x") == BitString(1, 1)
+
+    def test_read_missing_raises(self):
+        with pytest.raises(ProtocolError):
+            MemoryRegion("m").read("nope")
+
+    def test_has(self):
+        mem = MemoryRegion("m")
+        assert not mem.has("x")
+        mem.store("x", BitString(0, 1))
+        assert mem.has("x")
+
+    def test_erase(self):
+        mem = MemoryRegion("m")
+        mem.store("x", BitString(0, 1))
+        mem.erase("x")
+        assert not mem.has("x")
+
+    def test_erase_missing_raises(self):
+        with pytest.raises(ProtocolError):
+            MemoryRegion("m").erase("ghost")
+
+    def test_erase_if_present_tolerant(self):
+        MemoryRegion("m").erase_if_present("ghost")
+
+    def test_clear(self):
+        mem = MemoryRegion("m")
+        mem.store("a", BitString(0, 1))
+        mem.store("b", BitString(1, 1))
+        mem.clear()
+        assert mem.names() == []
+
+    def test_rename(self):
+        mem = MemoryRegion("m")
+        mem.store("old", BitString(1, 1))
+        mem.rename("old", "new")
+        assert not mem.has("old")
+        assert mem.read("new") == BitString(1, 1)
+
+    def test_rename_missing_raises(self):
+        with pytest.raises(ProtocolError):
+            MemoryRegion("m").rename("ghost", "x")
+
+    def test_rename_collision_raises(self):
+        mem = MemoryRegion("m")
+        mem.store("a", BitString(0, 1))
+        mem.store("b", BitString(1, 1))
+        with pytest.raises(ProtocolError):
+            mem.rename("a", "b")
+
+
+class TestSerialization:
+    def test_size_bits(self):
+        mem = MemoryRegion("m")
+        mem.store("a", BitString(0b101, 3))
+        mem.store("b", BitString(0b11, 2))
+        assert mem.size_bits() == 5
+
+    def test_derived_excluded_from_bits(self):
+        mem = MemoryRegion("m")
+        mem.store("essential", BitString(0b1, 1))
+        mem.store("derived", BitString(0b1111, 4), derived=True)
+        assert mem.size_bits() == 1
+
+    def test_derived_flag_cleared_on_overwrite(self):
+        mem = MemoryRegion("m")
+        mem.store("x", BitString(1, 1), derived=True)
+        mem.store("x", BitString(1, 1))
+        assert mem.size_bits() == 1
+
+    def test_to_bits_order_stable(self):
+        mem = MemoryRegion("m")
+        mem.store("a", BitString(1, 1))
+        mem.store("b", BitString(0, 1))
+        assert mem.to_bits() == BitString(0b10, 2)
+
+
+class TestPhases:
+    def test_snapshot_seeds_with_existing_contents(self):
+        mem = MemoryRegion("m")
+        mem.store("pre", BitString(1, 1))
+        snap = mem.open_phase("p")
+        mem.close_phase()
+        assert snap.get("pre") == BitString(1, 1)
+
+    def test_snapshot_captures_stores_during_phase(self):
+        mem = MemoryRegion("m")
+        snap = mem.open_phase("p")
+        mem.store("mid", BitString(0b11, 2))
+        mem.close_phase()
+        assert snap.get("mid") == BitString(0b11, 2)
+
+    def test_snapshot_keeps_erased_values(self):
+        """The leakage input includes values that transited memory even
+        if erased before the phase closed."""
+        mem = MemoryRegion("m")
+        snap = mem.open_phase("p")
+        mem.store("fleeting", BitString(0b1, 1))
+        mem.erase("fleeting")
+        mem.close_phase()
+        assert snap.get("fleeting") == BitString(0b1, 1)
+
+    def test_snapshot_keeps_overwrite_history(self):
+        mem = MemoryRegion("m")
+        mem.store("x", BitString(0, 1))
+        snap = mem.open_phase("p")
+        mem.store("x", BitString(1, 1))
+        mem.close_phase()
+        assert snap.values["x"] == [BitString(0, 1), BitString(1, 1)]
+        assert len(snap.to_bits()) == 2
+
+    def test_derived_values_excluded_from_snapshot_bits(self):
+        mem = MemoryRegion("m")
+        snap = mem.open_phase("p")
+        mem.store("scratch", BitString(0b1111, 4), derived=True)
+        mem.store("key", BitString(0b1, 1))
+        mem.close_phase()
+        assert snap.size_bits() == 1
+        assert snap.get("scratch") == BitString(0b1111, 4)  # still inspectable
+
+    def test_rename_does_not_rerecord(self):
+        mem = MemoryRegion("m")
+        snap = mem.open_phase("p")
+        mem.store("tmp", BitString(0b1, 1))
+        mem.rename("tmp", "final")
+        mem.close_phase()
+        assert snap.size_bits() == 1
+
+    def test_nested_phase_rejected(self):
+        mem = MemoryRegion("m")
+        mem.open_phase("a")
+        with pytest.raises(ProtocolError):
+            mem.open_phase("b")
+
+    def test_close_without_open_rejected(self):
+        with pytest.raises(ProtocolError):
+            MemoryRegion("m").close_phase()
+
+    def test_phase_open_property(self):
+        mem = MemoryRegion("m")
+        assert not mem.phase_open
+        mem.open_phase("p")
+        assert mem.phase_open
+        mem.close_phase()
+        assert not mem.phase_open
+
+    def test_snapshot_get_missing_raises(self):
+        mem = MemoryRegion("m")
+        snap = mem.open_phase("p")
+        mem.close_phase()
+        with pytest.raises(ProtocolError):
+            snap.get("nope")

@@ -1,0 +1,113 @@
+"""Tests for secure storage on leaky devices (section 4.4)."""
+
+import random
+
+import pytest
+
+from repro.core.dlr import DLR
+from repro.errors import ProtocolError
+from repro.storage.leaky_store import LeakyStore
+
+
+@pytest.fixture()
+def store(small_params):
+    return LeakyStore(small_params, random.Random(1))
+
+
+class TestElementStorage:
+    def test_store_retrieve(self, store, rng):
+        value = store.group.random_gt(rng)
+        handle = store.store_element("k", value)
+        assert store.retrieve_element(handle) == value
+
+    def test_survives_refreshes(self, store, rng):
+        value = store.group.random_gt(rng)
+        handle = store.store_element("k", value)
+        for _ in range(4):
+            store.refresh()
+        assert store.retrieve_element(handle) == value
+        assert store.periods_completed == 4
+
+    def test_ciphertext_rerandomized_each_refresh(self, store, rng):
+        handle = store.store_element("k", store.group.random_gt(rng))
+        slot = f"stored_ciphertext.{handle.label}"
+        before = store.device1.public.read(slot)
+        store.refresh()
+        after = store.device1.public.read(slot)
+        assert before != after
+
+    def test_duplicate_label_rejected(self, store, rng):
+        store.store_element("k", store.group.random_gt(rng))
+        with pytest.raises(ProtocolError):
+            store.store_element("k", store.group.random_gt(rng))
+
+    def test_multiple_labels(self, store, rng):
+        values = {f"k{i}": store.group.random_gt(rng) for i in range(3)}
+        handles = {label: store.store_element(label, v) for label, v in values.items()}
+        store.refresh()
+        for label, value in values.items():
+            assert store.retrieve_element(handles[label]) == value
+        assert sorted(store.labels()) == sorted(values)
+
+    def test_wrong_handle_type(self, store, rng):
+        handle = store.store_element("k", store.group.random_gt(rng))
+        with pytest.raises(ProtocolError):
+            store.retrieve_bytes(handle)
+
+
+class TestByteStorage:
+    def test_store_retrieve(self, store):
+        payload = b"the launch codes are 0000"
+        handle = store.store_bytes("blob", payload)
+        assert store.retrieve_bytes(handle) == payload
+
+    def test_survives_refreshes(self, store):
+        payload = bytes(range(256))
+        handle = store.store_bytes("blob", payload)
+        for _ in range(3):
+            store.refresh()
+        assert store.retrieve_bytes(handle) == payload
+
+    def test_empty_payload(self, store):
+        handle = store.store_bytes("empty", b"")
+        assert store.retrieve_bytes(handle) == b""
+
+    def test_wrong_handle_type(self, store):
+        handle = store.store_bytes("blob", b"x")
+        with pytest.raises(ProtocolError):
+            store.retrieve_element(handle)
+
+    def test_pad_ciphertext_is_not_plaintext(self, store):
+        payload = b"super secret"
+        handle = store.store_bytes("blob", payload)
+        masked = store.device1.public.read(f"stored_pad_ciphertext.{handle.label}")
+        assert masked != payload
+
+
+class TestLeakySurface:
+    def test_run_leaky_period_snapshots(self, store, rng):
+        value = store.group.random_gt(rng)
+        handle = store.store_element("k", value)
+        record = store.run_leaky_period("k")
+        assert set(record.snapshots) == {
+            (1, "normal"), (1, "refresh"), (2, "normal"), (2, "refresh")
+        }
+        assert record.plaintext == value
+
+    def test_value_never_in_device_secret_memory(self, store, rng):
+        """The stored plaintext appears in no secret-memory slot: only the
+        ciphertext (public) and the key shares (secret) exist at rest."""
+        value = store.group.random_gt(rng)
+        store.store_element("k", value)
+        for region in (store.device1.secret, store.device2.secret):
+            for name in region.names():
+                assert region.read(name) != value
+
+    def test_basic_scheme_variant(self, small_params):
+        """The store also works over the basic (non-optimal) DLR."""
+        rng = random.Random(2)
+        store = LeakyStore(small_params, rng, scheme=DLR(small_params))
+        value = store.group.random_gt(rng)
+        handle = store.store_element("k", value)
+        store.refresh()
+        assert store.retrieve_element(handle) == value

@@ -1,0 +1,92 @@
+"""End-to-end tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def keydir(tmp_path):
+    out = tmp_path / "keys"
+    assert main(["keygen", "-n", "32", "--lam", "32", "--seed", "1",
+                 "--out-dir", str(out)]) == 0
+    return out
+
+
+class TestKeygen:
+    def test_files_created(self, keydir):
+        for name in ("public_key.json", "share1.json", "share2.json"):
+            assert (keydir / name).exists()
+
+    def test_public_key_parses(self, keydir):
+        envelope = json.loads((keydir / "public_key.json").read_text())
+        assert envelope["kind"] == "public_key"
+        assert envelope["data"]["params"]["lam"] == 32
+
+    def test_deterministic_with_seed(self, tmp_path):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        main(["keygen", "-n", "32", "--lam", "32", "--seed", "7", "--out-dir", str(a)])
+        main(["keygen", "-n", "32", "--lam", "32", "--seed", "7", "--out-dir", str(b)])
+        assert (a / "public_key.json").read_text() == (b / "public_key.json").read_text()
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, keydir, tmp_path, capsys):
+        pk = str(keydir / "public_key.json")
+        assert main(["random-message", "--pk", pk, "--seed", "2"]) == 0
+        message_hex = capsys.readouterr().out.strip()
+
+        ct = tmp_path / "ct.json"
+        assert main(["encrypt", "--pk", pk, "--message", message_hex,
+                     "--out", str(ct), "--seed", "3"]) == 0
+        capsys.readouterr()
+
+        assert main(["decrypt", "--pk", pk,
+                     "--share1", str(keydir / "share1.json"),
+                     "--share2", str(keydir / "share2.json"),
+                     "--ciphertext", str(ct), "--seed", "4"]) == 0
+        assert capsys.readouterr().out.strip() == message_hex
+
+    def test_refresh_then_decrypt(self, keydir, tmp_path, capsys):
+        pk = str(keydir / "public_key.json")
+        main(["random-message", "--pk", pk, "--seed", "5"])
+        message_hex = capsys.readouterr().out.strip()
+        ct = tmp_path / "ct.json"
+        main(["encrypt", "--pk", pk, "--message", message_hex, "--out", str(ct)])
+        capsys.readouterr()
+
+        share1_before = (keydir / "share1.json").read_text()
+        assert main(["refresh", "--pk", pk,
+                     "--share1", str(keydir / "share1.json"),
+                     "--share2", str(keydir / "share2.json"),
+                     "--in-place"]) == 0
+        capsys.readouterr()
+        assert (keydir / "share1.json").read_text() != share1_before
+
+        main(["decrypt", "--pk", pk,
+              "--share1", str(keydir / "share1.json"),
+              "--share2", str(keydir / "share2.json"),
+              "--ciphertext", str(ct)])
+        assert capsys.readouterr().out.strip() == message_hex
+
+    def test_refresh_to_new_files(self, keydir, capsys):
+        pk = str(keydir / "public_key.json")
+        assert main(["refresh", "--pk", pk,
+                     "--share1", str(keydir / "share1.json"),
+                     "--share2", str(keydir / "share2.json")]) == 0
+        capsys.readouterr()
+        assert (keydir / "share1.json.refreshed").exists()
+        assert (keydir / "share2.json.refreshed").exists()
+
+
+class TestInfo:
+    def test_reports_parameters(self, keydir, capsys):
+        assert main(["info", "--pk", str(keydir / "public_key.json")]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["security_parameter_n"] == 32
+        assert info["lambda"] == 32
+        assert info["kappa"] >= 2
+        assert info["b2_bits_per_period"] == info["m2_bits"]

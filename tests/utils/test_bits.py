@@ -1,0 +1,111 @@
+"""Unit tests for BitString."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.utils.bits import BitString, concat_all
+
+
+class TestConstruction:
+    def test_from_int(self):
+        b = BitString.from_int(0b101, 3)
+        assert len(b) == 3
+        assert list(b) == [1, 0, 1]
+
+    def test_leading_zeros_preserved(self):
+        b = BitString.from_int(1, 8)
+        assert list(b) == [0] * 7 + [1]
+
+    def test_value_too_large(self):
+        with pytest.raises(ParameterError):
+            BitString(8, 3)
+
+    def test_negative_value(self):
+        with pytest.raises(ParameterError):
+            BitString(-1, 4)
+
+    def test_from_bits(self):
+        assert BitString.from_bits([1, 1, 0]) == BitString(0b110, 3)
+
+    def test_from_bits_invalid(self):
+        with pytest.raises(ParameterError):
+            BitString.from_bits([0, 2])
+
+    def test_from_bytes_roundtrip(self):
+        data = b"\x01\xff\x42"
+        assert BitString.from_bytes(data).to_bytes() == data
+
+    def test_empty(self):
+        assert len(BitString.empty()) == 0
+
+
+class TestAccess:
+    def test_bit_indexing_msb_first(self):
+        b = BitString(0b1001, 4)
+        assert b.bit(0) == 1
+        assert b.bit(1) == 0
+        assert b.bit(3) == 1
+
+    def test_getitem_negative(self):
+        b = BitString(0b1001, 4)
+        assert b[-1] == 1
+        assert b[-2] == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitString(0, 3).bit(3)
+
+    def test_slice(self):
+        b = BitString(0b110101, 6)
+        piece = b[1:4]
+        assert isinstance(piece, BitString)
+        assert list(piece) == [1, 0, 1]
+
+    def test_slice_with_step_rejected(self):
+        with pytest.raises(ParameterError):
+            BitString(0b1111, 4)[::2]
+
+    def test_iteration(self):
+        assert list(BitString(0b0110, 4)) == [0, 1, 1, 0]
+
+
+class TestOps:
+    def test_concat(self):
+        a = BitString(0b10, 2)
+        b = BitString(0b011, 3)
+        assert a + b == BitString(0b10011, 5)
+
+    def test_concat_all(self):
+        pieces = [BitString(1, 1), BitString(0, 1), BitString(0b11, 2)]
+        assert concat_all(pieces) == BitString(0b1011, 4)
+
+    def test_concat_with_empty(self):
+        a = BitString(0b101, 3)
+        assert a + BitString.empty() == a
+        assert BitString.empty() + a == a
+
+    def test_xor(self):
+        a = BitString(0b1100, 4)
+        b = BitString(0b1010, 4)
+        assert a.xor(b) == BitString(0b0110, 4)
+
+    def test_xor_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            BitString(1, 1).xor(BitString(1, 2))
+
+    def test_hamming_weight(self):
+        assert BitString(0b1011, 4).hamming_weight() == 3
+        assert BitString(0, 16).hamming_weight() == 0
+
+    def test_project(self):
+        b = BitString(0b10110, 5)
+        assert list(b.project([0, 2, 4])) == [1, 1, 0]
+
+    def test_equality_includes_length(self):
+        assert BitString(1, 1) != BitString(1, 2)
+
+    def test_hashable(self):
+        assert len({BitString(1, 1), BitString(1, 1), BitString(1, 2)}) == 2
+
+    def test_int_conversion(self):
+        assert int(BitString(0b1101, 4)) == 13

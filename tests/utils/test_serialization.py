@@ -1,0 +1,93 @@
+"""Unit tests for canonical encoding."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.utils.bits import BitString
+from repro.utils.serialization import encode_any, encode_mod, encode_sequence, int_width
+
+
+class TestIntWidth:
+    def test_powers_of_two(self):
+        assert int_width(2) == 1
+        assert int_width(3) == 2
+        assert int_width(256) == 8
+        assert int_width(257) == 9
+
+    def test_minimum_one(self):
+        assert int_width(1) == 1
+
+
+class TestEncodeMod:
+    def test_fixed_width(self):
+        p = 101
+        for v in (0, 1, 50, 100):
+            assert len(encode_mod(v, p)) == 7
+
+    def test_reduction(self):
+        assert encode_mod(105, 101) == encode_mod(4, 101)
+
+    def test_distinct_values_distinct_encodings(self):
+        p = 101
+        encodings = {encode_mod(v, p) for v in range(p)}
+        assert len(encodings) == p
+
+
+class TestEncodeAny:
+    def test_bitstring_passthrough(self):
+        b = BitString(0b101, 3)
+        assert encode_any(b) is b
+
+    def test_bool(self):
+        assert encode_any(True) == BitString(1, 1)
+        assert encode_any(False) == BitString(0, 1)
+
+    def test_int(self):
+        encoded = encode_any(5)
+        assert int(encoded) == 5
+
+    def test_negative_int_raises(self):
+        with pytest.raises(ParameterError):
+            encode_any(-1)
+
+    def test_nested_sequences(self):
+        encoded = encode_any([BitString(1, 1), (BitString(0, 1), BitString(1, 1))])
+        assert list(encoded) == [1, 0, 1]
+
+    def test_bytes(self):
+        assert encode_any(b"\xff") == BitString(0xFF, 8)
+
+    def test_object_with_to_bits(self):
+        class Custom:
+            def to_bits(self):
+                return BitString(0b11, 2)
+
+        assert encode_any(Custom()) == BitString(0b11, 2)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ParameterError):
+            encode_any(3.14)
+
+    def test_encode_sequence(self):
+        out = encode_sequence([BitString(1, 1), BitString(1, 1)])
+        assert out == BitString(0b11, 2)
+
+
+class TestGroupElementEncodings:
+    def test_g1_roundtrip_distinct(self, small_group, rng):
+        elements = [small_group.random_g(rng) for _ in range(10)]
+        encodings = {e.to_bits() for e in elements}
+        assert len(encodings) == len(set(elements))
+
+    def test_g1_fixed_width(self, small_group, rng):
+        sizes = {len(small_group.random_g(rng).to_bits()) for _ in range(5)}
+        assert sizes == {small_group.g_element_bits()}
+
+    def test_gt_fixed_width(self, small_group, rng):
+        sizes = {len(small_group.random_gt(rng).to_bits()) for _ in range(5)}
+        assert sizes == {small_group.gt_element_bits()}
+
+    def test_identity_encoding_distinct(self, small_group, rng):
+        identity = small_group.g_identity()
+        other = small_group.random_g(rng)
+        assert identity.to_bits() != other.to_bits()

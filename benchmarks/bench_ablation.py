@@ -49,7 +49,7 @@ class TestCoinReuseAblation:
         before = group.counter.snapshot()
         benchmark.pedantic(combined, rounds=2, iterations=1)
         combined_ops = group.counter.diff(before)
-        combined_comm = channel.bytes_on_wire()
+        combined_comm = channel.bits_on_wire()
 
         # Separate flow on fresh devices.
         scheme2 = DLR(small_params)
@@ -62,7 +62,7 @@ class TestCoinReuseAblation:
             scheme2.decrypt_protocol(q1, q2, channel2, ciphertext2)
             scheme2.refresh_protocol(q1, q2, channel2)
         separate_ops = group.counter.diff(before)
-        separate_comm = channel2.bytes_on_wire()
+        separate_comm = channel2.bits_on_wire()
 
         rows = [
             ["combined (coin reuse, 2 periods)", combined_ops.pairings,

@@ -102,7 +102,7 @@ class TestEfficiencyTable:
             return scheme.run_period(p1, p2, channel, ciphertext)
 
         benchmark.pedantic(one_period, rounds=2, iterations=1)
-        total_bits = channel.bytes_on_wire()
+        total_bits = channel.bits_on_wire()
         benchmark.extra_info["communication_bits_per_period"] = total_bits
         # Communication is O(ell * kappa) group elements -- polynomial and
         # concretely small (sanity bound: a few hundred KB at 64-bit).

@@ -35,7 +35,7 @@ class TestLeakyStorage:
                 )
             assert store.retrieve_element(handle) == secret
 
-            comm_bits = store.channel.bytes_on_wire()
+            comm_bits = store.channel.bits_on_wire()
             rows.append(
                 [
                     n_bits,

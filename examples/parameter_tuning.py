@@ -45,7 +45,7 @@ def main() -> None:
         print(f"{params.achieved_rho1():>11.3f} {params.lam:>7} "
               f"{params.kappa:>6} {params.ell:>5} "
               f"{params.sk_comm_bits():>9}b {params.sk2_bits():>9}b "
-              f"{channel.bytes_on_wire():>11}b")
+              f"{channel.bits_on_wire():>11}b")
 
     # --- the encryption fast path ---------------------------------------
     params = DLRParams.for_target_rate(group, 0.75)

@@ -54,7 +54,7 @@ def main() -> None:
     print(f"decryption after refresh still correct: {decrypted == message}")
 
     # --- what the adversary sees ----------------------------------------
-    print(f"public transcript so far: {channel.bytes_on_wire()} bits "
+    print(f"public transcript so far: {channel.bits_on_wire()} bits "
           f"({len(channel.transcript())} messages) -- all of it is public")
     print("a leakage function on P2 sees only (s_1..s_ell); on P1 only "
           "(a_1..a_ell, Phi) -- never the master key g2^alpha in one place")

@@ -88,7 +88,7 @@ class TranscriptAdaptiveAdversary(Adversary):
         if period >= self.periods:
             return None
         assert self.view is not None
-        transcript_salt = self.view.channel.bytes_on_wire().to_bytes(8, "big")
+        transcript_salt = self.view.channel.bits_on_wire().to_bytes(8, "big")
         h1 = BitProjection(
             self._derived_indices(b"p1" + transcript_salt, self.bits_per_device, 4096)
         )

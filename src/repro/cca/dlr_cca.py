@@ -101,12 +101,15 @@ class DLRCCA2:
         ):
             raise DecryptionError("one-time signature verification failed")
 
-        self.ibe.extract_protocol(setup.public_params, device1, device2, channel, identity)
         try:
+            self.ibe.extract_protocol(
+                setup.public_params, device1, device2, channel, identity
+            )
             return self.ibe.decrypt_protocol_id(
                 device1, device2, channel, identity, ciphertext.inner
             )
         finally:
-            # The identity is single-use: erase its shares.
-            device1.secret.erase(_id_slot(1, identity))
-            device2.secret.erase(_id_slot(2, identity))
+            # The identity is single-use: its shares must not outlive
+            # this protocol on either the success or any error path.
+            device1.secret.erase_if_present(_id_slot(1, identity))
+            device2.secret.erase_if_present(_id_slot(2, identity))

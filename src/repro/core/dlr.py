@@ -26,11 +26,22 @@ Two protocol styles are provided:
 
 Device memory discipline: shares live in the devices' *secret* memory
 regions; every protocol secret (``sk_comm``, fresh share material) is
-stored there too while in use and explicitly erased afterwards, so phase
-snapshots faithfully capture the leakage surface.  HPSKE encryption
-coins, by contrast, are *public* randomness: they travel inside the
-ciphertexts, and the section 5.2 remark ensures they have no discrete
-logs that could sit in secret memory.
+stored there too while in use and erased on every exit path (success or
+exception, via ``Device.protocol_secrets``), so phase snapshots
+faithfully capture the leakage surface.  HPSKE encryption coins, by
+contrast, are *public* randomness: they travel inside the ciphertexts,
+and the section 5.2 remark ensures they have no discrete logs that
+could sit in secret memory.
+
+Crash safety: share rotation is *staged*.  During refresh each device
+parks its incoming share in a pending slot and commits -- erase old,
+promote pending -- only at the final ``ref.commit`` message boundary.
+If the protocol dies at any earlier (or that) boundary, both devices
+roll back to their old, mutually consistent shares and the period can
+simply be re-run (:meth:`DLR.run_period_resilient`); the failure
+surfaces as :class:`~repro.errors.RefreshAborted`.  An interrupted
+refresh can therefore never desync the two devices, and
+:meth:`DLR.verify_shares` succeeds after any abort.
 """
 
 from __future__ import annotations
@@ -42,7 +53,7 @@ from repro.core.hpske import HPSKE, HPSKECiphertext, HPSKEKey
 from repro.core.keys import Ciphertext, PublicKey, Share1, Share2
 from repro.core.params import DLRParams
 from repro.core.pss import PSS
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, RefreshAborted
 from repro.groups.bilinear import GTElement
 from repro.protocol.channel import Channel, Message
 from repro.protocol.device import Device
@@ -50,6 +61,9 @@ from repro.protocol.memory import PhaseSnapshot
 
 SK1_SLOT = "sk1"
 SK2_SLOT = "sk2"
+# Staged (not yet committed) incoming shares during a refresh.
+SK1_PENDING_SLOT = "sk1.pending"
+SK2_PENDING_SLOT = "sk2.pending"
 
 
 @dataclass
@@ -175,34 +189,36 @@ class DLR:
         """Run ``Dec_{pk, sk1, sk2}(c)`` and return the plaintext (at P1)."""
         share1 = self.share1_of(device1)
 
-        # Step 1 (P1): fresh sk_comm; send GT-encryptions of the paired values.
-        with device1.computing():
-            sk_comm = self.hpske_gt.keygen(device1.rng)
-            device1.secret.store("dec.sk_comm", sk_comm)
-            # The coins inside each ciphertext are *public* randomness --
-            # they are transmitted verbatim -- and are sampled with unknown
-            # discrete logs (section 5.2 remark), so nothing about them
-            # enters secret memory.
-            d_list = [
-                self.hpske_gt.encrypt(
-                    sk_comm, self.group.pair(ciphertext.a, a_i), device1.rng
+        # ``sk_comm`` must not outlive the protocol on *any* exit path.
+        with device1.protocol_secrets("dec.sk_comm"):
+            # Step 1 (P1): fresh sk_comm; send GT-encryptions of the
+            # paired values.
+            with device1.computing():
+                sk_comm = self.hpske_gt.keygen(device1.rng)
+                device1.secret.store("dec.sk_comm", sk_comm)
+                # The coins inside each ciphertext are *public* randomness --
+                # they are transmitted verbatim -- and are sampled with unknown
+                # discrete logs (section 5.2 remark), so nothing about them
+                # enters secret memory.
+                d_list = [
+                    self.hpske_gt.encrypt(
+                        sk_comm, self.group.pair(ciphertext.a, a_i), device1.rng
+                    )
+                    for a_i in share1.a
+                ]
+                d_phi = self.hpske_gt.encrypt(
+                    sk_comm, self.group.pair(ciphertext.a, share1.phi), device1.rng
                 )
-                for a_i in share1.a
-            ]
-            d_phi = self.hpske_gt.encrypt(
-                sk_comm, self.group.pair(ciphertext.a, share1.phi), device1.rng
-            )
-            d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
-        channel.send(device1.name, device2.name, "dec.d", (tuple(d_list), d_phi, d_b))
+                d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
+            channel.send(device1.name, device2.name, "dec.d", (tuple(d_list), d_phi, d_b))
 
-        # Step 2 (P2): blind combination using sk2; no secret randomness.
-        response = self._p2_decrypt_step(device2, tuple(d_list), d_phi, d_b)
-        channel.send(device2.name, device1.name, "dec.c_prime", response)
+            # Step 2 (P2): blind combination using sk2; no secret randomness.
+            response = self._p2_decrypt_step(device2, tuple(d_list), d_phi, d_b)
+            channel.send(device2.name, device1.name, "dec.c_prime", response)
 
-        # Step 3 (P1): decrypt the response, erase the protocol secrets.
-        with device1.computing():
-            plaintext = self.hpske_gt.decrypt(sk_comm, response)
-        device1.secret.erase("dec.sk_comm")
+            # Step 3 (P1): decrypt the response.
+            with device1.computing():
+                plaintext = self.hpske_gt.decrypt(sk_comm, response)
         assert isinstance(plaintext, GTElement)
         return plaintext
 
@@ -226,39 +242,55 @@ class DLR:
     # ------------------------------------------------------------------
 
     def refresh_protocol(self, device1: Device, device2: Device, channel: Channel) -> None:
-        """Run ``Ref_pk(sk1, sk2)``: both devices end with fresh shares."""
+        """Run ``Ref_pk(sk1, sk2)``: both devices end with fresh shares.
+
+        The rotation is staged: each device parks its incoming share in a
+        pending slot and commits only at the final ``ref.commit``
+        boundary.  On any mid-protocol failure both devices roll back to
+        their old shares and :class:`~repro.errors.RefreshAborted` is
+        raised (with the triggering exception as its cause).
+        """
         share1 = self.share1_of(device1)
         ell = self.params.ell
 
-        # Step 1 (P1): fresh a'_i; send (Enc'(a_i), Enc'(a'_i))_i, Enc'(Phi).
-        with device1.computing():
-            sk_comm = self.hpske_g.keygen(device1.rng)
-            device1.secret.store("ref.sk_comm", sk_comm)
-            fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
-            # Derived: the fresh a'_i are recoverable from sk_comm plus the
-            # public ciphertexts f'_i, so they are not "essential" secret
-            # memory in the section 3.2 sense.
-            device1.secret.store("ref.a_next", list(fresh_a), derived=True)
-            f_pairs = [
-                (
-                    self.hpske_g.encrypt(sk_comm, share1.a[i], device1.rng),
-                    self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng),
-                )
-                for i in range(ell)
-            ]
-            f_phi = self.hpske_g.encrypt(sk_comm, share1.phi, device1.rng)
-        channel.send(device1.name, device2.name, "ref.f", (tuple(f_pairs), f_phi))
+        try:
+            with device1.protocol_secrets("ref.sk_comm", "ref.a_next"):
+                # Step 1 (P1): fresh a'_i; send (Enc'(a_i), Enc'(a'_i))_i,
+                # Enc'(Phi).
+                with device1.computing():
+                    sk_comm = self.hpske_g.keygen(device1.rng)
+                    device1.secret.store("ref.sk_comm", sk_comm)
+                    fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
+                    # Derived: the fresh a'_i are recoverable from sk_comm plus
+                    # the public ciphertexts f'_i, so they are not "essential"
+                    # secret memory in the section 3.2 sense.
+                    device1.secret.store("ref.a_next", list(fresh_a), derived=True)
+                    f_pairs = [
+                        (
+                            self.hpske_g.encrypt(sk_comm, share1.a[i], device1.rng),
+                            self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng),
+                        )
+                        for i in range(ell)
+                    ]
+                    f_phi = self.hpske_g.encrypt(sk_comm, share1.phi, device1.rng)
+                channel.send(device1.name, device2.name, "ref.f", (tuple(f_pairs), f_phi))
 
-        # Step 2 (P2): fresh s'; send prod f'_i^{s'_i} / f_i^{s_i} * f_Phi.
-        response = self._p2_refresh_step(device2, tuple(f_pairs), f_phi)
-        channel.send(device2.name, device1.name, "ref.f_combined", response)
+                # Step 2 (P2): fresh s'; send prod f'_i^{s'_i} / f_i^{s_i} * f_Phi.
+                response = self._p2_refresh_step(device2, tuple(f_pairs), f_phi)
+                channel.send(device2.name, device1.name, "ref.f_combined", response)
 
-        # Step 3 (P1): decrypt Phi', install the new share, erase the old.
-        with device1.computing():
-            new_phi = self.hpske_g.decrypt(sk_comm, response)
-        device1.secret.store(SK1_SLOT, Share1(a=fresh_a, phi=new_phi))
-        device1.secret.erase("ref.sk_comm")
-        device1.secret.erase("ref.a_next")
+                # Step 3 (P1): decrypt Phi', stage the new share, commit both.
+                with device1.computing():
+                    new_phi = self.hpske_g.decrypt(sk_comm, response)
+                device1.secret.store(SK1_PENDING_SLOT, Share1(a=fresh_a, phi=new_phi))
+                channel.send(device1.name, device2.name, "ref.commit", True)
+                self._commit_refresh(device1, device2)
+        except Exception as exc:
+            if self._rollback_refresh(device1, device2):
+                raise RefreshAborted(
+                    "refresh aborted; both devices rolled back to their old shares"
+                ) from exc
+            raise
 
     def _p2_refresh_step(
         self,
@@ -266,7 +298,7 @@ class DLR:
         f_pairs: tuple[tuple[HPSKECiphertext, HPSKECiphertext], ...],
         f_phi: HPSKECiphertext,
     ) -> HPSKECiphertext:
-        """P2's refresh job: sample s', combine, and swap in the new share."""
+        """P2's refresh job: sample s', combine, and *stage* the new share."""
         share2 = self.share2_of(device2)
         with device2.computing():
             fresh_share = Share2(
@@ -276,10 +308,53 @@ class DLR:
             combined = f_phi
             for (f_old, f_new), s_old, s_new in zip(f_pairs, share2.s, fresh_share.s):
                 combined = combined * (f_new ** s_new) / (f_old ** s_old)
-        # P2 holds both shares until here -- its refresh secret memory is
-        # 2 m2 bits -- then the old one is overwritten (erased).
-        device2.secret.store(SK2_SLOT, fresh_share)
+        # P2 holds both shares from here until commit/rollback -- its
+        # refresh secret memory is 2 m2 bits.  The old share is replaced
+        # only when P1 confirms it decrypted Phi' (the ref.commit
+        # boundary); until then an abort rolls back to the old share.
+        device2.secret.store(SK2_PENDING_SLOT, fresh_share)
         return combined
+
+    # -- staged-rotation commit / rollback ------------------------------
+
+    @staticmethod
+    def _commit_share(device: Device, slot: str, pending_slot: str) -> None:
+        """Promote a staged share: erase the old, relabel the pending one
+        (rename does not re-record, so snapshots hold old + new exactly
+        once -- the paper's ``2 m`` refresh accounting)."""
+        device.secret.erase(slot)
+        device.secret.rename(pending_slot, slot)
+
+    def _commit_refresh(self, device1: Device, device2: Device) -> None:
+        """The commit point: both devices promote their pending shares."""
+        self._commit_share(device1, SK1_SLOT, SK1_PENDING_SLOT)
+        self._commit_share(device2, SK2_SLOT, SK2_PENDING_SLOT)
+
+    @staticmethod
+    def _rollback_refresh(device1: Device, device2: Device) -> bool:
+        """Discard any staged shares; the old ones stay installed.
+        Returns whether anything had been staged (i.e. a rotation was
+        actually rolled back)."""
+        staged = device1.secret.has(SK1_PENDING_SLOT) or device2.secret.has(
+            SK2_PENDING_SLOT
+        )
+        device1.secret.erase_if_present(SK1_PENDING_SLOT)
+        device2.secret.erase_if_present(SK2_PENDING_SLOT)
+        return staged
+
+    @staticmethod
+    def _abort_phases(
+        device1: Device, device2: Device
+    ) -> dict[tuple[int, str], PhaseSnapshot]:
+        """Close any phase snapshots left open by an aborted protocol and
+        return them keyed like :class:`PeriodRecord` snapshots."""
+        closed: dict[tuple[int, str], PhaseSnapshot] = {}
+        for index, device in ((1, device1), (2, device2)):
+            snapshot = device.secret.close_phase_if_open()
+            if snapshot is not None:
+                phase = "refresh" if snapshot.label.endswith(".refresh") else "normal"
+                closed[(index, phase)] = snapshot
+        return closed
 
     # ------------------------------------------------------------------
     # One faithful time period (section 5.2 remark: coin reuse)
@@ -294,73 +369,124 @@ class DLR:
     ) -> PeriodRecord:
         """Execute one full time period: decryption then refresh, with one
         ``sk_comm`` and the ``f_i -> d_i`` ciphertext reuse; returns the
-        phase snapshots for the leakage oracle."""
+        phase snapshots for the leakage oracle.
+
+        Crash-safe: an exception at any message boundary rolls back any
+        staged share rotation, erases every protocol secret, and closes
+        the open phase snapshots before propagating, so the period can be
+        re-run against intact shares (:meth:`run_period_resilient`).
+        """
         period = channel.current_period
         share1 = self.share1_of(device1)
         ell = self.params.ell
+        snapshots: dict[tuple[int, str], PhaseSnapshot] = {}
 
-        snap1 = device1.secret.open_phase(f"t{period}.normal")
-        snap2 = device2.secret.open_phase(f"t{period}.normal")
+        try:
+            with device1.protocol_secrets("period.sk_comm", "period.a_next"):
+                device1.secret.open_phase(f"t{period}.normal")
+                device2.secret.open_phase(f"t{period}.normal")
 
-        # P1 computes the refresh ciphertexts f_i first, then derives the
-        # decryption ciphertexts d_i by pairing with A (remark, section 5.2).
-        with device1.computing():
-            sk_comm = self.hpske_g.keygen(device1.rng)
-            device1.secret.store("period.sk_comm", sk_comm)
-            f_list = [
-                self.hpske_g.encrypt(sk_comm, a_i, device1.rng) for a_i in share1.a
-            ]
-            f_phi = self.hpske_g.encrypt(sk_comm, share1.phi, device1.rng)
+                # P1 computes the refresh ciphertexts f_i first, then derives
+                # the decryption ciphertexts d_i by pairing with A (remark,
+                # section 5.2).
+                with device1.computing():
+                    sk_comm = self.hpske_g.keygen(device1.rng)
+                    device1.secret.store("period.sk_comm", sk_comm)
+                    f_list = [
+                        self.hpske_g.encrypt(sk_comm, a_i, device1.rng) for a_i in share1.a
+                    ]
+                    f_phi = self.hpske_g.encrypt(sk_comm, share1.phi, device1.rng)
 
-            d_list = tuple(f_i.pair_with(ciphertext.a) for f_i in f_list)
-            d_phi = f_phi.pair_with(ciphertext.a)
-            d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
-        channel.send(device1.name, device2.name, "dec.d", (d_list, d_phi, d_b))
+                    d_list = tuple(f_i.pair_with(ciphertext.a) for f_i in f_list)
+                    d_phi = f_phi.pair_with(ciphertext.a)
+                    d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
+                channel.send(device1.name, device2.name, "dec.d", (d_list, d_phi, d_b))
 
-        response = self._p2_decrypt_step(device2, d_list, d_phi, d_b)
-        channel.send(device2.name, device1.name, "dec.c_prime", response)
+                response = self._p2_decrypt_step(device2, d_list, d_phi, d_b)
+                channel.send(device2.name, device1.name, "dec.c_prime", response)
 
-        with device1.computing():
-            plaintext = self.hpske_gt.decrypt(sk_comm, response)
-        assert isinstance(plaintext, GTElement)
-        channel.send(device1.name, device2.name, "dec.output", plaintext)
+                with device1.computing():
+                    plaintext = self.hpske_gt.decrypt(sk_comm, response)
+                assert isinstance(plaintext, GTElement)
+                channel.send(device1.name, device2.name, "dec.output", plaintext)
 
-        snapshots = {
-            (1, "normal"): device1.secret.close_phase(),
-            (2, "normal"): device2.secret.close_phase(),
-        }
+                snapshots[(1, "normal")] = device1.secret.close_phase()
+                snapshots[(2, "normal")] = device2.secret.close_phase()
 
-        # --- refresh phase (same sk_comm, f_i reused) -------------------
-        device1.secret.open_phase(f"t{period}.refresh")
-        device2.secret.open_phase(f"t{period}.refresh")
+                # --- refresh phase (same sk_comm, f_i reused) ---------------
+                device1.secret.open_phase(f"t{period}.refresh")
+                device2.secret.open_phase(f"t{period}.refresh")
 
-        with device1.computing():
-            fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
-            device1.secret.store("period.a_next", list(fresh_a), derived=True)
-            f_new = [
-                self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng)
-                for i in range(ell)
-            ]
-        f_pairs = tuple(zip(f_list, f_new))
-        channel.send(device1.name, device2.name, "ref.f", (f_pairs, f_phi))
+                with device1.computing():
+                    fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
+                    device1.secret.store("period.a_next", list(fresh_a), derived=True)
+                    f_new = [
+                        self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng)
+                        for i in range(ell)
+                    ]
+                f_pairs = tuple(zip(f_list, f_new))
+                channel.send(device1.name, device2.name, "ref.f", (f_pairs, f_phi))
 
-        response = self._p2_refresh_step(device2, f_pairs, f_phi)
-        channel.send(device2.name, device1.name, "ref.f_combined", response)
+                response = self._p2_refresh_step(device2, f_pairs, f_phi)
+                channel.send(device2.name, device1.name, "ref.f_combined", response)
 
-        with device1.computing():
-            new_phi = self.hpske_g.decrypt(sk_comm, response)
-        device1.secret.store(SK1_SLOT, Share1(a=fresh_a, phi=new_phi))
+                with device1.computing():
+                    new_phi = self.hpske_g.decrypt(sk_comm, response)
+                device1.secret.store(SK1_PENDING_SLOT, Share1(a=fresh_a, phi=new_phi))
+                channel.send(device1.name, device2.name, "ref.commit", True)
+                self._commit_refresh(device1, device2)
 
-        # Erase every protocol secret of the period.
-        device1.secret.erase("period.sk_comm")
-        device1.secret.erase("period.a_next")
+                # Erase every protocol secret of the period before the
+                # snapshots close (the slots must not seed the next phase).
+                device1.secret.erase("period.sk_comm")
+                device1.secret.erase("period.a_next")
 
-        snapshots[(1, "refresh")] = device1.secret.close_phase()
-        snapshots[(2, "refresh")] = device2.secret.close_phase()
+                snapshots[(1, "refresh")] = device1.secret.close_phase()
+                snapshots[(2, "refresh")] = device2.secret.close_phase()
+        except Exception as exc:
+            rolled_back = self._rollback_refresh(device1, device2)
+            snapshots.update(self._abort_phases(device1, device2))
+            if rolled_back:
+                raise RefreshAborted(
+                    f"time period {period} aborted during refresh; "
+                    "both devices rolled back to their old shares",
+                    period=period,
+                    snapshots=snapshots,
+                ) from exc
+            raise
 
         messages = channel.transcript(period)
         channel.advance_period()
         return PeriodRecord(period, plaintext, snapshots, messages)
+
+    def run_period_resilient(
+        self,
+        device1: Device,
+        device2: Device,
+        channel: Channel,
+        ciphertext: Ciphertext,
+        max_attempts: int = 3,
+    ) -> PeriodRecord:
+        """Drive one time period to completion across transient failures.
+
+        Each failed attempt leaves the devices with their rolled-back
+        (old, consistent) shares, so the period is simply re-run -- the
+        retry loop every deployment needs around a crash-prone channel.
+        Raises the last failure as :class:`~repro.errors.ProtocolError`
+        once ``max_attempts`` is exhausted.
+        """
+        if max_attempts < 1:
+            raise ProtocolError("max_attempts must be >= 1")
+        last_failure: ProtocolError | None = None
+        for _ in range(max_attempts):
+            try:
+                return self.run_period(device1, device2, channel, ciphertext)
+            except ProtocolError as exc:
+                last_failure = exc
+        raise ProtocolError(
+            f"time period {channel.current_period} did not complete "
+            f"within {max_attempts} attempts"
+        ) from last_failure
 
     # ------------------------------------------------------------------
     # One period with several decryptions (section 3.3 extension)
@@ -376,66 +502,83 @@ class DLR:
         """Like :meth:`run_period`, but with several decryption protocol
         executions inside one time period, all sharing one ``sk_comm``
         and one set of refresh ciphertexts ``f_i`` (each decryption pairs
-        them with its own ``A``)."""
+        them with its own ``A``).  Crash-safe the same way: any failure
+        rolls back the staged rotation and erases the period secrets."""
         period = channel.current_period
         share1 = self.share1_of(device1)
         ell = self.params.ell
+        snapshots: dict[tuple[int, str], PhaseSnapshot] = {}
 
-        device1.secret.open_phase(f"t{period}.normal")
-        device2.secret.open_phase(f"t{period}.normal")
+        try:
+            with device1.protocol_secrets("period.sk_comm", "period.a_next"):
+                device1.secret.open_phase(f"t{period}.normal")
+                device2.secret.open_phase(f"t{period}.normal")
 
-        with device1.computing():
-            sk_comm = self.hpske_g.keygen(device1.rng)
-            device1.secret.store("period.sk_comm", sk_comm)
-            f_list = [
-                self.hpske_g.encrypt(sk_comm, a_i, device1.rng) for a_i in share1.a
-            ]
-            f_phi = self.hpske_g.encrypt(sk_comm, share1.phi, device1.rng)
+                with device1.computing():
+                    sk_comm = self.hpske_g.keygen(device1.rng)
+                    device1.secret.store("period.sk_comm", sk_comm)
+                    f_list = [
+                        self.hpske_g.encrypt(sk_comm, a_i, device1.rng) for a_i in share1.a
+                    ]
+                    f_phi = self.hpske_g.encrypt(sk_comm, share1.phi, device1.rng)
 
-        plaintexts: list[GTElement] = []
-        for index, ciphertext in enumerate(ciphertexts):
-            with device1.computing():
-                d_list = tuple(f_i.pair_with(ciphertext.a) for f_i in f_list)
-                d_phi = f_phi.pair_with(ciphertext.a)
-                d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
-            channel.send(device1.name, device2.name, f"dec.{index}.d", (d_list, d_phi, d_b))
-            response = self._p2_decrypt_step(device2, d_list, d_phi, d_b)
-            channel.send(device2.name, device1.name, f"dec.{index}.c_prime", response)
-            with device1.computing():
-                plaintext = self.hpske_gt.decrypt(sk_comm, response)
-            assert isinstance(plaintext, GTElement)
-            channel.send(device1.name, device2.name, f"dec.{index}.output", plaintext)
-            plaintexts.append(plaintext)
+                plaintexts: list[GTElement] = []
+                for index, ciphertext in enumerate(ciphertexts):
+                    with device1.computing():
+                        d_list = tuple(f_i.pair_with(ciphertext.a) for f_i in f_list)
+                        d_phi = f_phi.pair_with(ciphertext.a)
+                        d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
+                    channel.send(
+                        device1.name, device2.name, f"dec.{index}.d", (d_list, d_phi, d_b)
+                    )
+                    response = self._p2_decrypt_step(device2, d_list, d_phi, d_b)
+                    channel.send(device2.name, device1.name, f"dec.{index}.c_prime", response)
+                    with device1.computing():
+                        plaintext = self.hpske_gt.decrypt(sk_comm, response)
+                    assert isinstance(plaintext, GTElement)
+                    channel.send(device1.name, device2.name, f"dec.{index}.output", plaintext)
+                    plaintexts.append(plaintext)
 
-        snapshots = {
-            (1, "normal"): device1.secret.close_phase(),
-            (2, "normal"): device2.secret.close_phase(),
-        }
+                snapshots[(1, "normal")] = device1.secret.close_phase()
+                snapshots[(2, "normal")] = device2.secret.close_phase()
 
-        device1.secret.open_phase(f"t{period}.refresh")
-        device2.secret.open_phase(f"t{period}.refresh")
+                device1.secret.open_phase(f"t{period}.refresh")
+                device2.secret.open_phase(f"t{period}.refresh")
 
-        with device1.computing():
-            fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
-            device1.secret.store("period.a_next", list(fresh_a), derived=True)
-            f_new = [
-                self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng)
-                for i in range(ell)
-            ]
-        f_pairs = tuple(zip(f_list, f_new))
-        channel.send(device1.name, device2.name, "ref.f", (f_pairs, f_phi))
+                with device1.computing():
+                    fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
+                    device1.secret.store("period.a_next", list(fresh_a), derived=True)
+                    f_new = [
+                        self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng)
+                        for i in range(ell)
+                    ]
+                f_pairs = tuple(zip(f_list, f_new))
+                channel.send(device1.name, device2.name, "ref.f", (f_pairs, f_phi))
 
-        response = self._p2_refresh_step(device2, f_pairs, f_phi)
-        channel.send(device2.name, device1.name, "ref.f_combined", response)
+                response = self._p2_refresh_step(device2, f_pairs, f_phi)
+                channel.send(device2.name, device1.name, "ref.f_combined", response)
 
-        with device1.computing():
-            new_phi = self.hpske_g.decrypt(sk_comm, response)
-        device1.secret.store(SK1_SLOT, Share1(a=fresh_a, phi=new_phi))
-        device1.secret.erase("period.sk_comm")
-        device1.secret.erase("period.a_next")
+                with device1.computing():
+                    new_phi = self.hpske_g.decrypt(sk_comm, response)
+                device1.secret.store(SK1_PENDING_SLOT, Share1(a=fresh_a, phi=new_phi))
+                channel.send(device1.name, device2.name, "ref.commit", True)
+                self._commit_refresh(device1, device2)
+                device1.secret.erase("period.sk_comm")
+                device1.secret.erase("period.a_next")
 
-        snapshots[(1, "refresh")] = device1.secret.close_phase()
-        snapshots[(2, "refresh")] = device2.secret.close_phase()
+                snapshots[(1, "refresh")] = device1.secret.close_phase()
+                snapshots[(2, "refresh")] = device2.secret.close_phase()
+        except Exception as exc:
+            rolled_back = self._rollback_refresh(device1, device2)
+            snapshots.update(self._abort_phases(device1, device2))
+            if rolled_back:
+                raise RefreshAborted(
+                    f"time period {period} aborted during refresh; "
+                    "both devices rolled back to their old shares",
+                    period=period,
+                    snapshots=snapshots,
+                ) from exc
+            raise
 
         messages = channel.transcript(period)
         channel.advance_period()

@@ -36,11 +36,11 @@ from __future__ import annotations
 
 import random
 
-from repro.core.dlr import DLR, GenerationResult, PeriodRecord
+from repro.core.dlr import DLR, SK2_PENDING_SLOT, GenerationResult, PeriodRecord
 from repro.core.hpske import HPSKECiphertext
 from repro.core.keys import Ciphertext, Share1, Share2
 from repro.core.params import DLRParams
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, RefreshAborted
 from repro.groups.bilinear import G1Element, GTElement
 from repro.protocol.channel import Channel
 from repro.protocol.device import Device
@@ -121,45 +121,70 @@ class OptimalDLR(DLR):
 
     def refresh_protocol(self, device1: Device, device2: Device, channel: Channel) -> None:
         """Refresh both the share *and* ``sk_comm``; P1 handles one clear
-        coordinate at a time."""
+        coordinate at a time.
+
+        Staged like the basic refresh: the new ``sk_comm`` and the new
+        public encrypted share are committed together with P2's staged
+        share only at the ``ref.commit`` boundary; any earlier failure
+        rolls both devices back (:class:`~repro.errors.RefreshAborted`).
+        """
         sk_comm_old = self._sk_comm_of(device1)
         encrypted_old = self.encrypted_share_of(device1)
         ell = self.params.ell
 
-        with device1.computing():
-            sk_comm_new = self.hpske_g.keygen(device1.rng)
-            device1.secret.store("sk_comm_next", sk_comm_new)
-            f_pairs = []
-            encrypted_new_a = []
-            for i in range(ell):
-                fresh = self.group.random_g(device1.rng)
-                device1.secret.store("scratch", fresh, derived=True)
-                # Under the old key: P2's combination input f'_i.
-                f_pairs.append(
-                    (encrypted_old[i], self.hpske_g.encrypt(sk_comm_old, fresh, device1.rng))
-                )
-                # Under the new key: the next public encrypted share.
-                encrypted_new_a.append(
-                    self.hpske_g.encrypt(sk_comm_new, fresh, device1.rng)
-                )
-                device1.secret.erase("scratch")
-            f_phi = encrypted_old[-1]
-        channel.send(device1.name, device2.name, "ref.f", (tuple(f_pairs), f_phi))
+        try:
+            with device1.protocol_secrets("sk_comm_next", "scratch"):
+                with device1.computing():
+                    sk_comm_new = self.hpske_g.keygen(device1.rng)
+                    device1.secret.store("sk_comm_next", sk_comm_new)
+                    f_pairs = []
+                    encrypted_new_a = []
+                    for i in range(ell):
+                        fresh = self.group.random_g(device1.rng)
+                        device1.secret.store("scratch", fresh, derived=True)
+                        # Under the old key: P2's combination input f'_i.
+                        f_pairs.append(
+                            (
+                                encrypted_old[i],
+                                self.hpske_g.encrypt(sk_comm_old, fresh, device1.rng),
+                            )
+                        )
+                        # Under the new key: the next public encrypted share.
+                        encrypted_new_a.append(
+                            self.hpske_g.encrypt(sk_comm_new, fresh, device1.rng)
+                        )
+                        device1.secret.erase("scratch")
+                    f_phi = encrypted_old[-1]
+                channel.send(device1.name, device2.name, "ref.f", (tuple(f_pairs), f_phi))
 
-        response = self._p2_refresh_step(device2, tuple(f_pairs), f_phi)
-        channel.send(device2.name, device1.name, "ref.f_combined", response)
+                response = self._p2_refresh_step(device2, tuple(f_pairs), f_phi)
+                channel.send(device2.name, device1.name, "ref.f_combined", response)
 
-        with device1.computing():
-            new_phi = self.hpske_g.decrypt(sk_comm_old, response)
-            device1.secret.store("scratch", new_phi, derived=True)
-            encrypted_phi = self.hpske_g.encrypt(sk_comm_new, new_phi, device1.rng)
-            device1.secret.erase("scratch")
-        device1.public.store(ENC_SHARE_SLOT, tuple(encrypted_new_a) + (encrypted_phi,))
-        # Swap in the new communication key: erase the old, relabel the new
-        # (rename does not re-record, so the refresh snapshot holds exactly
-        # the old key + the new key -- the paper's 2 m1 accounting).
-        device1.secret.erase(SK_COMM_SLOT)
-        device1.secret.rename("sk_comm_next", SK_COMM_SLOT)
+                with device1.computing():
+                    new_phi = self.hpske_g.decrypt(sk_comm_old, response)
+                    device1.secret.store("scratch", new_phi, derived=True)
+                    encrypted_phi = self.hpske_g.encrypt(sk_comm_new, new_phi, device1.rng)
+                    device1.secret.erase("scratch")
+                channel.send(device1.name, device2.name, "ref.commit", True)
+
+                # Commit point: the new public encrypted share, the new
+                # communication key, and P2's staged share flip together.
+                device1.public.store(
+                    ENC_SHARE_SLOT, tuple(encrypted_new_a) + (encrypted_phi,)
+                )
+                # Swap in the new communication key: erase the old, relabel
+                # the new (rename does not re-record, so the refresh snapshot
+                # holds exactly the old key + the new key -- the paper's 2 m1
+                # accounting).
+                device1.secret.erase(SK_COMM_SLOT)
+                device1.secret.rename("sk_comm_next", SK_COMM_SLOT)
+                self._commit_share(device2, SK2_SLOT, SK2_PENDING_SLOT)
+        except Exception as exc:
+            if self._rollback_refresh(device1, device2):
+                raise RefreshAborted(
+                    "refresh aborted; both devices rolled back to their old shares"
+                ) from exc
+            raise
 
     # ------------------------------------------------------------------
     # One faithful time period with snapshots
@@ -172,23 +197,33 @@ class OptimalDLR(DLR):
         channel: Channel,
         ciphertext: Ciphertext,
     ) -> PeriodRecord:
-        """Decryption + refresh as one period, with phase snapshots."""
+        """Decryption + refresh as one period, with phase snapshots.
+
+        Crash-safe: :meth:`refresh_protocol` stages and rolls back the
+        rotation; this wrapper additionally closes any open phase
+        snapshots on abort so the period can be re-run."""
         period = channel.current_period
+        snapshots: dict = {}
 
-        device1.secret.open_phase(f"t{period}.normal")
-        device2.secret.open_phase(f"t{period}.normal")
-        plaintext = self.decrypt_protocol(device1, device2, channel, ciphertext)
-        channel.send(device1.name, device2.name, "dec.output", plaintext)
-        snapshots = {
-            (1, "normal"): device1.secret.close_phase(),
-            (2, "normal"): device2.secret.close_phase(),
-        }
+        try:
+            device1.secret.open_phase(f"t{period}.normal")
+            device2.secret.open_phase(f"t{period}.normal")
+            plaintext = self.decrypt_protocol(device1, device2, channel, ciphertext)
+            channel.send(device1.name, device2.name, "dec.output", plaintext)
+            snapshots[(1, "normal")] = device1.secret.close_phase()
+            snapshots[(2, "normal")] = device2.secret.close_phase()
 
-        device1.secret.open_phase(f"t{period}.refresh")
-        device2.secret.open_phase(f"t{period}.refresh")
-        self.refresh_protocol(device1, device2, channel)
-        snapshots[(1, "refresh")] = device1.secret.close_phase()
-        snapshots[(2, "refresh")] = device2.secret.close_phase()
+            device1.secret.open_phase(f"t{period}.refresh")
+            device2.secret.open_phase(f"t{period}.refresh")
+            self.refresh_protocol(device1, device2, channel)
+            snapshots[(1, "refresh")] = device1.secret.close_phase()
+            snapshots[(2, "refresh")] = device2.secret.close_phase()
+        except Exception as exc:
+            snapshots.update(self._abort_phases(device1, device2))
+            if isinstance(exc, RefreshAborted):
+                exc.period = period
+                exc.snapshots.update(snapshots)
+            raise
 
         messages = channel.transcript(period)
         channel.advance_period()

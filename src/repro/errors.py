@@ -17,6 +17,40 @@ class ProtocolError(ReproError):
     """A 2-party protocol was driven incorrectly or received bad messages."""
 
 
+class FaultInjected(ProtocolError):
+    """An injected channel fault interrupted a protocol mid-flight.
+
+    Raised by :class:`~repro.protocol.faults.FaultyChannel` at a
+    configured message boundary; carries which message was hit and how.
+    """
+
+    def __init__(self, message: str, *, label: str | None = None, mode: str | None = None) -> None:
+        super().__init__(message)
+        self.label = label
+        self.mode = mode
+
+
+class RefreshAborted(ProtocolError):
+    """A staged share rotation was rolled back after a mid-protocol failure.
+
+    Both devices still hold their *old*, mutually consistent shares; the
+    interrupted period can simply be re-run.  ``snapshots`` holds any
+    phase snapshots that were open when the abort happened (the leakage
+    game still charges the adversary for aborted phases).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        period: int | None = None,
+        snapshots: dict | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.period = period
+        self.snapshots = snapshots if snapshots is not None else {}
+
+
 class LeakageBudgetExceeded(ReproError):
     """A leakage request exceeded the per-period budget (the challenger aborts)."""
 

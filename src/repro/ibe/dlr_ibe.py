@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from repro.core.dlr import DLR, SK2_SLOT
 from repro.core.keys import Share1, Share2
 from repro.core.params import DLRParams
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, RefreshAborted
 from repro.groups.bilinear import G1Element, GTElement
 from repro.ibe.boneh_boyen import BonehBoyenIBE, IBECiphertext, IBEPublicParams
 from repro.ibe.identity_hash import hash_identity
@@ -136,57 +136,65 @@ class DLRIBE(DLR):
         """Derive and install the identity key shares for ``identity``.
 
         Requires the master shares to be installed (``DLR.install``).
+        A mid-protocol failure erases any partially installed identity
+        share on either device (the master shares are never touched), so
+        extraction can simply be retried.
         """
         msk1 = self.share1_of(device1)
         ell = self.params.ell
         u_sel = pp.u_for(hash_identity(identity, self.n_id))
 
-        with device1.computing():
-            # BB randomness r_j: secret while the blinded M is formed.
-            r = [self.group.random_scalar(device1.rng) for _ in range(self.n_id)]
-            device1.secret.store("ext.r", Share2(tuple(r), self.group.p))
-            r_pub = tuple(self.group.g ** r_j for r_j in r)
-            blinding = msk1.phi
-            for u_j, r_j in zip(u_sel, r):
-                blinding = blinding * (u_j ** r_j)
+        try:
+            with device1.protocol_secrets("ext.r", "ext.sk_comm", "ext.a_next"):
+                with device1.computing():
+                    # BB randomness r_j: secret while the blinded M is formed.
+                    r = [self.group.random_scalar(device1.rng) for _ in range(self.n_id)]
+                    device1.secret.store("ext.r", Share2(tuple(r), self.group.p))
+                    r_pub = tuple(self.group.g ** r_j for r_j in r)
+                    blinding = msk1.phi
+                    for u_j, r_j in zip(u_sel, r):
+                        blinding = blinding * (u_j ** r_j)
 
-            sk_comm = self.hpske_g.keygen(device1.rng)
-            device1.secret.store("ext.sk_comm", sk_comm)
-            fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
-            device1.secret.store("ext.a_next", list(fresh_a), derived=True)
-            f_pairs = tuple(
-                (
-                    self.hpske_g.encrypt(sk_comm, msk1.a[i], device1.rng),
-                    self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng),
+                    sk_comm = self.hpske_g.keygen(device1.rng)
+                    device1.secret.store("ext.sk_comm", sk_comm)
+                    fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
+                    device1.secret.store("ext.a_next", list(fresh_a), derived=True)
+                    f_pairs = tuple(
+                        (
+                            self.hpske_g.encrypt(sk_comm, msk1.a[i], device1.rng),
+                            self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng),
+                        )
+                        for i in range(ell)
+                    )
+                    f_m = self.hpske_g.encrypt(sk_comm, blinding, device1.rng)
+                channel.send(device1.name, device2.name, "ext.f", (f_pairs, f_m))
+
+                # P2: identical shape to the refresh step, but the fresh
+                # scalars become the *identity* share, leaving the master
+                # share in place.
+                msk2 = self.share2_of(device2)
+                with device2.computing():
+                    id_share2 = Share2(
+                        tuple(self.group.random_scalar(device2.rng) for _ in range(ell)),
+                        self.group.p,
+                    )
+                    combined = f_m
+                    for (f_old, f_new), s_old, s_new in zip(f_pairs, msk2.s, id_share2.s):
+                        combined = combined * (f_new ** s_new) / (f_old ** s_old)
+                device2.secret.store(_id_slot(2, identity), id_share2)
+                channel.send(device2.name, device1.name, "ext.f_combined", combined)
+
+                with device1.computing():
+                    psi = self.hpske_g.decrypt(sk_comm, combined)
+                assert isinstance(psi, G1Element)
+                device1.secret.store(
+                    _id_slot(1, identity), IdentityShare1(r_pub=r_pub, a=fresh_a, psi=psi)
                 )
-                for i in range(ell)
-            )
-            f_m = self.hpske_g.encrypt(sk_comm, blinding, device1.rng)
-        channel.send(device1.name, device2.name, "ext.f", (f_pairs, f_m))
-
-        # P2: identical shape to the refresh step, but the fresh scalars
-        # become the *identity* share, leaving the master share in place.
-        msk2 = self.share2_of(device2)
-        with device2.computing():
-            id_share2 = Share2(
-                tuple(self.group.random_scalar(device2.rng) for _ in range(ell)),
-                self.group.p,
-            )
-            combined = f_m
-            for (f_old, f_new), s_old, s_new in zip(f_pairs, msk2.s, id_share2.s):
-                combined = combined * (f_new ** s_new) / (f_old ** s_old)
-        device2.secret.store(_id_slot(2, identity), id_share2)
-        channel.send(device2.name, device1.name, "ext.f_combined", combined)
-
-        with device1.computing():
-            psi = self.hpske_g.decrypt(sk_comm, combined)
-        assert isinstance(psi, G1Element)
-        device1.secret.store(
-            _id_slot(1, identity), IdentityShare1(r_pub=r_pub, a=fresh_a, psi=psi)
-        )
-        device1.secret.erase("ext.r")
-        device1.secret.erase("ext.sk_comm")
-        device1.secret.erase("ext.a_next")
+        except Exception:
+            # A half-installed identity key must not linger on either side.
+            device1.secret.erase_if_present(_id_slot(1, identity))
+            device2.secret.erase_if_present(_id_slot(2, identity))
+            raise
 
     # ------------------------------------------------------------------
     # 2-party identity decryption
@@ -203,36 +211,36 @@ class DLRIBE(DLR):
         """Decrypt a ciphertext for ``identity`` with its key shares."""
         share1 = self.identity_share1_of(device1, identity)
 
-        with device1.computing():
-            b_star = ciphertext.b
-            for c_j, r_j in zip(ciphertext.c, share1.r_pub):
-                b_star = b_star * self.group.pair(c_j, r_j)
+        with device1.protocol_secrets("iddec.sk_comm"):
+            with device1.computing():
+                b_star = ciphertext.b
+                for c_j, r_j in zip(ciphertext.c, share1.r_pub):
+                    b_star = b_star * self.group.pair(c_j, r_j)
 
-            sk_comm = self.hpske_gt.keygen(device1.rng)
-            device1.secret.store("iddec.sk_comm", sk_comm)
-            d_list = tuple(
-                self.hpske_gt.encrypt(
-                    sk_comm, self.group.pair(ciphertext.a, a_i), device1.rng
+                sk_comm = self.hpske_gt.keygen(device1.rng)
+                device1.secret.store("iddec.sk_comm", sk_comm)
+                d_list = tuple(
+                    self.hpske_gt.encrypt(
+                        sk_comm, self.group.pair(ciphertext.a, a_i), device1.rng
+                    )
+                    for a_i in share1.a
                 )
-                for a_i in share1.a
-            )
-            d_psi = self.hpske_gt.encrypt(
-                sk_comm, self.group.pair(ciphertext.a, share1.psi), device1.rng
-            )
-            d_b = self.hpske_gt.encrypt(sk_comm, b_star, device1.rng)
-        channel.send(device1.name, device2.name, "iddec.d", (d_list, d_psi, d_b))
+                d_psi = self.hpske_gt.encrypt(
+                    sk_comm, self.group.pair(ciphertext.a, share1.psi), device1.rng
+                )
+                d_b = self.hpske_gt.encrypt(sk_comm, b_star, device1.rng)
+            channel.send(device1.name, device2.name, "iddec.d", (d_list, d_psi, d_b))
 
-        id_share2 = self.identity_share2_of(device2, identity)
-        with device2.computing():
-            combined = d_b
-            for d_i, s_i in zip(d_list, id_share2.s):
-                combined = combined * (d_i ** s_i)
-            combined = combined / d_psi
-        channel.send(device2.name, device1.name, "iddec.c_prime", combined)
+            id_share2 = self.identity_share2_of(device2, identity)
+            with device2.computing():
+                combined = d_b
+                for d_i, s_i in zip(d_list, id_share2.s):
+                    combined = combined * (d_i ** s_i)
+                combined = combined / d_psi
+            channel.send(device2.name, device1.name, "iddec.c_prime", combined)
 
-        with device1.computing():
-            plaintext = self.hpske_gt.decrypt(sk_comm, combined)
-        device1.secret.erase("iddec.sk_comm")
+            with device1.computing():
+                plaintext = self.hpske_gt.decrypt(sk_comm, combined)
         assert isinstance(plaintext, GTElement)
         return plaintext
 
@@ -249,57 +257,82 @@ class DLRIBE(DLR):
         identity: str,
     ) -> None:
         """Refresh the identity key shares: fresh ``a''``, fresh ``s''``,
-        and re-randomized BB exponents ``r_j + delta_j``."""
+        and re-randomized BB exponents ``r_j + delta_j``.
+
+        Staged like the master refresh: both devices park their fresh
+        identity share in a pending slot and only swap it in at the
+        ``idref.commit`` boundary; any earlier failure rolls both back
+        to the old identity shares (:class:`~repro.errors.RefreshAborted`).
+        """
         share1 = self.identity_share1_of(device1, identity)
         ell = self.params.ell
         u_sel = pp.u_for(hash_identity(identity, self.n_id))
+        slot1 = _id_slot(1, identity)
+        slot2 = _id_slot(2, identity)
+        pending1 = slot1 + ".pending"
+        pending2 = slot2 + ".pending"
 
-        with device1.computing():
-            delta = [self.group.random_scalar(device1.rng) for _ in range(self.n_id)]
-            device1.secret.store("idref.delta", Share2(tuple(delta), self.group.p))
-            new_r_pub = tuple(
-                r_j * (self.group.g ** d_j) for r_j, d_j in zip(share1.r_pub, delta)
-            )
-            shift = share1.psi
-            for u_j, d_j in zip(u_sel, delta):
-                shift = shift * (u_j ** d_j)
+        try:
+            with device1.protocol_secrets("idref.delta", "idref.sk_comm", "idref.a_next"):
+                with device1.computing():
+                    delta = [self.group.random_scalar(device1.rng) for _ in range(self.n_id)]
+                    device1.secret.store("idref.delta", Share2(tuple(delta), self.group.p))
+                    new_r_pub = tuple(
+                        r_j * (self.group.g ** d_j) for r_j, d_j in zip(share1.r_pub, delta)
+                    )
+                    shift = share1.psi
+                    for u_j, d_j in zip(u_sel, delta):
+                        shift = shift * (u_j ** d_j)
 
-            sk_comm = self.hpske_g.keygen(device1.rng)
-            device1.secret.store("idref.sk_comm", sk_comm)
-            fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
-            device1.secret.store("idref.a_next", list(fresh_a), derived=True)
-            f_pairs = tuple(
-                (
-                    self.hpske_g.encrypt(sk_comm, share1.a[i], device1.rng),
-                    self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng),
+                    sk_comm = self.hpske_g.keygen(device1.rng)
+                    device1.secret.store("idref.sk_comm", sk_comm)
+                    fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
+                    device1.secret.store("idref.a_next", list(fresh_a), derived=True)
+                    f_pairs = tuple(
+                        (
+                            self.hpske_g.encrypt(sk_comm, share1.a[i], device1.rng),
+                            self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng),
+                        )
+                        for i in range(ell)
+                    )
+                    f_psi = self.hpske_g.encrypt(sk_comm, shift, device1.rng)
+                channel.send(device1.name, device2.name, "idref.f", (f_pairs, f_psi))
+
+                id_share2 = self.identity_share2_of(device2, identity)
+                with device2.computing():
+                    fresh_share = Share2(
+                        tuple(self.group.random_scalar(device2.rng) for _ in range(ell)),
+                        self.group.p,
+                    )
+                    combined = f_psi
+                    for (f_old, f_new), s_old, s_new in zip(
+                        f_pairs, id_share2.s, fresh_share.s
+                    ):
+                        combined = combined * (f_new ** s_new) / (f_old ** s_old)
+                device2.secret.store(pending2, fresh_share)
+                channel.send(device2.name, device1.name, "idref.f_combined", combined)
+
+                with device1.computing():
+                    new_psi = self.hpske_g.decrypt(sk_comm, combined)
+                assert isinstance(new_psi, G1Element)
+                device1.secret.store(
+                    pending1,
+                    IdentityShare1(r_pub=new_r_pub, a=fresh_a, psi=new_psi),
                 )
-                for i in range(ell)
-            )
-            f_psi = self.hpske_g.encrypt(sk_comm, shift, device1.rng)
-        channel.send(device1.name, device2.name, "idref.f", (f_pairs, f_psi))
+                channel.send(device1.name, device2.name, "idref.commit", True)
 
-        id_share2 = self.identity_share2_of(device2, identity)
-        with device2.computing():
-            fresh_share = Share2(
-                tuple(self.group.random_scalar(device2.rng) for _ in range(ell)),
-                self.group.p,
-            )
-            combined = f_psi
-            for (f_old, f_new), s_old, s_new in zip(f_pairs, id_share2.s, fresh_share.s):
-                combined = combined * (f_new ** s_new) / (f_old ** s_old)
-        device2.secret.store(_id_slot(2, identity), fresh_share)
-        channel.send(device2.name, device1.name, "idref.f_combined", combined)
-
-        with device1.computing():
-            new_psi = self.hpske_g.decrypt(sk_comm, combined)
-        assert isinstance(new_psi, G1Element)
-        device1.secret.store(
-            _id_slot(1, identity),
-            IdentityShare1(r_pub=new_r_pub, a=fresh_a, psi=new_psi),
-        )
-        device1.secret.erase("idref.delta")
-        device1.secret.erase("idref.sk_comm")
-        device1.secret.erase("idref.a_next")
+                self._commit_share(device1, slot1, pending1)
+                self._commit_share(device2, slot2, pending2)
+        except Exception as exc:
+            staged = device1.secret.has(pending1) or device2.secret.has(pending2)
+            device1.secret.erase_if_present(pending1)
+            device2.secret.erase_if_present(pending2)
+            if staged:
+                raise RefreshAborted(
+                    f"identity refresh for {identity!r} aborted; "
+                    "both devices rolled back to their old identity shares"
+                ) from exc
+            raise
 
     # ------------------------------------------------------------------
     # Share accessors / reference decryption

@@ -86,7 +86,12 @@ class PrefixBits(LeakageFunction):
 
 
 class BitProjection(LeakageFunction):
-    """Selected bit positions of the secret memory."""
+    """Selected bit positions of the secret memory.
+
+    Total: an index beyond the end of the snapshot reads as 0, so the
+    output is always exactly ``len(indices)`` bits -- the declared
+    ``output_length`` the oracle charges against.
+    """
 
     def __init__(self, indices: list[int]) -> None:
         super().__init__(len(indices))
@@ -94,8 +99,9 @@ class BitProjection(LeakageFunction):
 
     def evaluate(self, leak_input: LeakageInput) -> BitString:
         bits = leak_input.secret_bits()
-        valid = [i for i in self.indices if i < len(bits)]
-        return bits.project(valid)
+        return BitString.from_bits(
+            bits.bit(i) if i < len(bits) else 0 for i in self.indices
+        )
 
 
 class HammingWeight(LeakageFunction):
@@ -180,9 +186,9 @@ class NoisyBits(LeakageFunction):
         noise = _random.Random(self.seed)
         out = []
         for index in self.indices:
-            if index >= len(bits):
-                continue
-            bit = bits.bit(index)
+            # Total, like BitProjection: probing past the end reads 0
+            # (the noise draw still happens, keeping traces aligned).
+            bit = bits.bit(index) if index < len(bits) else 0
             if noise.random() < self.flip_prob:
                 bit ^= 1
             out.append(bit)

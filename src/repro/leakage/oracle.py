@@ -111,11 +111,33 @@ class LeakageOracle:
 
     # -- per-period leakage ---------------------------------------------------
 
+    def _account(self, device: int) -> _DeviceAccount:
+        if device not in self._accounts:
+            raise ParameterError(f"device index must be 1 or 2, got {device!r}")
+        return self._accounts[device]
+
+    @staticmethod
+    def _checked(function: LeakageFunction, leak_input: LeakageInput) -> BitString:
+        """Evaluate and enforce the declared output length.
+
+        The budget is charged by ``function.output_length`` *before*
+        evaluation, so a function that returns more bits than declared
+        would leak past the bound; one that returns fewer corrupts the
+        carry-over accounting.  Either is a malformed adversary query.
+        """
+        result = function(leak_input)
+        if len(result) != function.output_length:
+            raise ParameterError(
+                f"leakage function declared output_length={function.output_length}"
+                f" but returned {len(result)} bits"
+            )
+        return result
+
     def leak(self, device: int, function: LeakageFunction, leak_input: LeakageInput) -> BitString:
         """Evaluate ``h_i^t`` on the device's normal-operation snapshot."""
-        account = self._accounts[device]
+        account = self._account(device)
         account.charge_normal(function.output_length, f"P{device}")
-        result = function(leak_input)
+        result = self._checked(function, leak_input)
         self.total_leaked_bits[device] += len(result)
         return result
 
@@ -123,9 +145,9 @@ class LeakageOracle:
         self, device: int, function: LeakageFunction, leak_input: LeakageInput
     ) -> BitString:
         """Evaluate ``h_i^{t,Ref}`` on the device's refresh snapshot."""
-        account = self._accounts[device]
+        account = self._account(device)
         account.charge_refresh(function.output_length, f"P{device}")
-        result = function(leak_input)
+        result = self._checked(function, leak_input)
         self.total_leaked_bits[device] += len(result)
         return result
 

@@ -14,6 +14,15 @@ This package supplies those moving parts; the schemes in
 
 from repro.protocol.channel import Channel, Message
 from repro.protocol.device import Device
+from repro.protocol.faults import FaultRule, FaultyChannel
 from repro.protocol.memory import MemoryRegion, PhaseSnapshot
 
-__all__ = ["Channel", "Device", "MemoryRegion", "Message", "PhaseSnapshot"]
+__all__ = [
+    "Channel",
+    "Device",
+    "FaultRule",
+    "FaultyChannel",
+    "MemoryRegion",
+    "Message",
+    "PhaseSnapshot",
+]

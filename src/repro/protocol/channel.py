@@ -8,6 +8,7 @@ exposes per-time-period views.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.utils.bits import BitString, concat_all
@@ -54,9 +55,20 @@ class Channel:
     def transcript_bits(self, period: int | None = None) -> BitString:
         return concat_all(m.to_bits() for m in self.transcript(period))
 
-    def bytes_on_wire(self, period: int | None = None) -> int:
+    def bits_on_wire(self, period: int | None = None) -> int:
         """Total communication in bits (for the cost benchmarks)."""
         return len(self.transcript_bits(period))
+
+    def bytes_on_wire(self, period: int | None = None) -> int:
+        """Deprecated misnomer for :meth:`bits_on_wire` -- it has always
+        returned *bits*, never bytes."""
+        warnings.warn(
+            "Channel.bytes_on_wire returns bits and has been renamed to "
+            "bits_on_wire; the old name will be removed",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.bits_on_wire(period)
 
     def bits_by_label(self, period: int | None = None) -> dict[str, int]:
         """Communication breakdown per message label -- which protocol

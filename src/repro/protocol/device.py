@@ -65,6 +65,24 @@ class Device:
     # -- op-count attribution ---------------------------------------------
 
     @contextmanager
+    def protocol_secrets(self, *slots: str) -> Iterator[None]:
+        """Guarantee the named secret slots do not outlive the enclosing
+        protocol, on success *and* on every exception path.
+
+        Protocols store transient secrets (``sk_comm``, fresh share
+        material) under well-known slot names; wrapping the protocol body
+        in this context erases those slots on exit, so an exception
+        mid-protocol cannot leave them inflating the next phase
+        snapshot's leakage surface.  Slots that were already erased (or
+        renamed away, e.g. a committed pending share) are skipped.
+        """
+        try:
+            yield
+        finally:
+            for slot in slots:
+                self.secret.erase_if_present(slot)
+
+    @contextmanager
     def computing(self) -> Iterator[None]:
         """Attribute the group operations performed in this block to this
         device (used to quantify the P1 / P2 work asymmetry)."""

@@ -1,0 +1,189 @@
+"""Fault injection at protocol message boundaries.
+
+A real deployment of the 2-party protocols must survive the channel
+dying mid-protocol: a dropped message, a truncated frame, a stalled
+link.  :class:`FaultyChannel` wraps a
+:class:`~repro.protocol.channel.Channel` and fires configured
+:class:`FaultRule`\\ s at :meth:`send` boundaries, raising
+:class:`~repro.errors.FaultInjected` exactly where a crash would
+surface.  The schemes' abort paths (staged share commits, rollback,
+``try/finally`` secret erasure) are tested against every boundary this
+module can name.
+
+Fault modes:
+
+* ``drop`` -- the message never reaches the wire; the protocol dies at
+  the send.
+* ``truncate`` -- a bit-prefix of the message reaches the wire (it is
+  recorded on the public transcript -- the adversary sees partial
+  frames), then the protocol dies.
+* ``delay`` -- the message is delivered but a latency tick is recorded;
+  the synchronous protocol completes.  Used by soak tests to interleave
+  slow periods with failing ones.
+
+Rules are one-shot: after firing, a rule is spent, so a retry driver
+(``DLR.run_period_resilient``) naturally succeeds on the re-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FaultInjected, ParameterError
+from repro.protocol.channel import Channel, Message
+from repro.utils.bits import BitString
+from repro.utils.serialization import encode_any
+
+DROP = "drop"
+TRUNCATE = "truncate"
+DELAY = "delay"
+FAULT_MODES = (DROP, TRUNCATE, DELAY)
+
+# Message boundaries of the core protocols, for exhaustive fault sweeps.
+DECRYPT_BOUNDARIES = ("dec.d", "dec.c_prime")
+REFRESH_BOUNDARIES = ("ref.f", "ref.f_combined", "ref.commit")
+PERIOD_BOUNDARIES = ("dec.d", "dec.c_prime", "dec.output") + REFRESH_BOUNDARIES
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One configured fault.
+
+    ``label`` restricts the rule to messages with that label (``None``
+    matches every message); ``occurrence`` fires it on the k-th matching
+    send (1-based); ``period`` restricts matching to one time period.
+    ``keep_bits`` is how much of the encoded payload survives a
+    ``truncate``; ``delay_ticks`` is the latency a ``delay`` records.
+    """
+
+    mode: str = DROP
+    label: str | None = None
+    occurrence: int = 1
+    period: int | None = None
+    keep_bits: int = 0
+    delay_ticks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAULT_MODES:
+            raise ParameterError(f"unknown fault mode {self.mode!r}")
+        if self.occurrence < 1:
+            raise ParameterError("occurrence is 1-based and must be >= 1")
+        if self.keep_bits < 0 or self.delay_ticks < 0:
+            raise ParameterError("keep_bits and delay_ticks must be >= 0")
+
+
+class _ArmedRule:
+    """A rule plus its countdown of matching sends still to see."""
+
+    __slots__ = ("rule", "remaining", "spent")
+
+    def __init__(self, rule: FaultRule) -> None:
+        self.rule = rule
+        self.remaining = rule.occurrence
+        self.spent = False
+
+    def matches(self, label: str, period: int) -> bool:
+        if self.spent:
+            return False
+        if self.rule.label is not None and self.rule.label != label:
+            return False
+        if self.rule.period is not None and self.rule.period != period:
+            return False
+        return True
+
+
+@dataclass
+class FaultyChannel:
+    """A :class:`Channel` wrapper that injects faults at send boundaries.
+
+    Implements the full channel interface by delegation, so it is a
+    drop-in replacement wherever a ``Channel`` is expected.  Everything
+    that *does* reach the wire (including truncated frames) lands on the
+    inner channel's public transcript, faithfully modelling what an
+    adversary observes of an interrupted protocol.
+    """
+
+    inner: Channel = field(default_factory=Channel)
+    rules: list[FaultRule] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._armed = [_ArmedRule(rule) for rule in self.rules]
+        self.injected: list[tuple[FaultRule, str]] = []
+        self.delay_ticks = 0
+
+    # -- rule management ---------------------------------------------------
+
+    def add_rule(self, rule: FaultRule) -> None:
+        self.rules.append(rule)
+        self._armed.append(_ArmedRule(rule))
+
+    def clear_rules(self) -> None:
+        """Disarm every rule that has not fired yet."""
+        self.rules.clear()
+        self._armed.clear()
+
+    @classmethod
+    def dropping(
+        cls, label: str, occurrence: int = 1, inner: Channel | None = None
+    ) -> "FaultyChannel":
+        """A channel that drops the k-th message with the given label."""
+        channel = cls(inner=inner if inner is not None else Channel())
+        channel.add_rule(FaultRule(mode=DROP, label=label, occurrence=occurrence))
+        return channel
+
+    # -- channel interface -------------------------------------------------
+
+    @property
+    def messages(self) -> list[Message]:
+        return self.inner.messages
+
+    @property
+    def current_period(self) -> int:
+        return self.inner.current_period
+
+    def advance_period(self) -> None:
+        self.inner.advance_period()
+
+    def transcript(self, period: int | None = None) -> list[Message]:
+        return self.inner.transcript(period)
+
+    def transcript_bits(self, period: int | None = None) -> BitString:
+        return self.inner.transcript_bits(period)
+
+    def bits_on_wire(self, period: int | None = None) -> int:
+        return self.inner.bits_on_wire(period)
+
+    def bytes_on_wire(self, period: int | None = None) -> int:
+        return self.inner.bytes_on_wire(period)
+
+    def bits_by_label(self, period: int | None = None) -> dict[str, int]:
+        return self.inner.bits_by_label(period)
+
+    def send(self, sender: str, recipient: str, label: str, payload: object) -> object:
+        fired: _ArmedRule | None = None
+        for armed in self._armed:
+            if not armed.matches(label, self.inner.current_period):
+                continue
+            armed.remaining -= 1
+            if armed.remaining == 0 and fired is None:
+                armed.spent = True
+                fired = armed
+        if fired is None:
+            return self.inner.send(sender, recipient, label, payload)
+
+        rule = fired.rule
+        self.injected.append((rule, label))
+        if rule.mode == DELAY:
+            self.delay_ticks += rule.delay_ticks
+            return self.inner.send(sender, recipient, label, payload)
+        if rule.mode == TRUNCATE:
+            bits = encode_any(payload)
+            keep = bits[: min(rule.keep_bits, len(bits))]
+            # The partial frame is public: it goes on the transcript.
+            self.inner.send(sender, recipient, f"{label}.truncated", keep)
+            raise FaultInjected(
+                f"message {label!r} truncated to {len(keep)} of {len(bits)} bits",
+                label=label,
+                mode=TRUNCATE,
+            )
+        raise FaultInjected(f"message {label!r} dropped", label=label, mode=DROP)

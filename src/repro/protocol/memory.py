@@ -169,6 +169,13 @@ class MemoryRegion:
         self._active_phase = None
         return snapshot
 
+    def close_phase_if_open(self) -> PhaseSnapshot | None:
+        """Close the active phase if there is one (abort paths: a protocol
+        that dies mid-phase must not leave the region un-reopenable)."""
+        if self._active_phase is None:
+            return None
+        return self.close_phase()
+
     @property
     def phase_open(self) -> bool:
         return self._active_phase is not None

@@ -43,9 +43,11 @@ class TestBitProjection:
         out = BitProjection([0, 2, 4])(make_input(BitString(0b10101, 5)))
         assert list(out) == [1, 1, 1]
 
-    def test_out_of_range_indices_dropped(self):
+    def test_out_of_range_indices_read_zero(self):
+        # Total: indices past the end of memory read 0, so the output
+        # always has the declared length (the oracle charges it in full).
         out = BitProjection([0, 99])(make_input(BitString(0b1, 1)))
-        assert list(out) == [1]
+        assert list(out) == [1, 0]
 
     def test_declared_length(self):
         fn = BitProjection([1, 2, 3])

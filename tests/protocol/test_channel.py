@@ -33,16 +33,26 @@ class TestChannel:
         channel.send("P2", "P1", "b", BitString(0b1, 1))
         assert channel.transcript_bits() == BitString(0b101, 3)
 
-    def test_bytes_on_wire(self):
+    def test_bits_on_wire(self):
         channel = Channel()
         channel.send("P1", "P2", "a", BitString(0, 8))
-        assert channel.bytes_on_wire() == 8
+        assert channel.bits_on_wire() == 8
+
+    def test_bytes_on_wire_alias_deprecated(self):
+        import warnings
+
+        channel = Channel()
+        channel.send("P1", "P2", "a", BitString(0, 8))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert channel.bytes_on_wire() == channel.bits_on_wire() == 8
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
 
     def test_structured_payloads_encodable(self, small_group, rng):
         channel = Channel()
         element = small_group.random_g(rng)
         channel.send("P1", "P2", "g", (element, element))
-        assert channel.bytes_on_wire() == 2 * small_group.g_element_bits()
+        assert channel.bits_on_wire() == 2 * small_group.g_element_bits()
 
 
 class TestBitsByLabel:
@@ -53,7 +63,7 @@ class TestBitsByLabel:
         channel.send("P1", "P2", "a", BitString(0b111, 3))
         breakdown = channel.bits_by_label()
         assert breakdown == {"a": 5, "b": 1}
-        assert sum(breakdown.values()) == channel.bytes_on_wire()
+        assert sum(breakdown.values()) == channel.bits_on_wire()
 
     def test_per_period_breakdown(self):
         channel = Channel()

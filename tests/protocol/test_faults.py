@@ -1,0 +1,149 @@
+"""Unit tests for the fault-injection channel wrapper."""
+
+import pytest
+
+from repro.errors import FaultInjected, ParameterError
+from repro.protocol.channel import Channel
+from repro.protocol.faults import (
+    DECRYPT_BOUNDARIES,
+    DELAY,
+    DROP,
+    PERIOD_BOUNDARIES,
+    REFRESH_BOUNDARIES,
+    TRUNCATE,
+    FaultRule,
+    FaultyChannel,
+)
+from repro.utils.bits import BitString
+
+
+class TestFaultRule:
+    def test_defaults(self):
+        rule = FaultRule()
+        assert rule.mode == DROP
+        assert rule.label is None
+        assert rule.occurrence == 1
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ParameterError):
+            FaultRule(mode="explode")
+
+    def test_zero_occurrence_rejected(self):
+        with pytest.raises(ParameterError):
+            FaultRule(occurrence=0)
+
+    def test_negative_keep_bits_rejected(self):
+        with pytest.raises(ParameterError):
+            FaultRule(mode=TRUNCATE, keep_bits=-1)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ParameterError):
+            FaultRule(mode=DELAY, delay_ticks=-1)
+
+
+class TestBoundaryConstants:
+    def test_refresh_boundaries_include_commit(self):
+        assert "ref.commit" in REFRESH_BOUNDARIES
+
+    def test_period_boundaries_superset(self):
+        assert set(DECRYPT_BOUNDARIES) <= set(PERIOD_BOUNDARIES)
+        assert set(REFRESH_BOUNDARIES) <= set(PERIOD_BOUNDARIES)
+
+
+class TestDrop:
+    def test_matching_label_raises_and_nothing_on_wire(self):
+        channel = FaultyChannel.dropping("b")
+        channel.send("P1", "P2", "a", BitString(1, 1))
+        with pytest.raises(FaultInjected) as info:
+            channel.send("P1", "P2", "b", BitString(1, 1))
+        assert info.value.label == "b"
+        assert info.value.mode == DROP
+        assert [m.label for m in channel.transcript()] == ["a"]
+
+    def test_occurrence_counts_matching_sends(self):
+        channel = FaultyChannel.dropping("x", occurrence=3)
+        channel.send("P1", "P2", "x", BitString(1, 1))
+        channel.send("P1", "P2", "y", BitString(1, 1))  # non-matching
+        channel.send("P1", "P2", "x", BitString(1, 1))
+        with pytest.raises(FaultInjected):
+            channel.send("P1", "P2", "x", BitString(1, 1))
+
+    def test_rules_are_one_shot(self):
+        channel = FaultyChannel.dropping("x")
+        with pytest.raises(FaultInjected):
+            channel.send("P1", "P2", "x", BitString(1, 1))
+        # Spent: the same label now goes through.
+        channel.send("P1", "P2", "x", BitString(1, 1))
+        assert len(channel.transcript()) == 1
+
+    def test_period_restriction(self):
+        channel = FaultyChannel()
+        channel.add_rule(FaultRule(mode=DROP, label="x", period=1))
+        channel.send("P1", "P2", "x", BitString(1, 1))  # period 0: safe
+        channel.advance_period()
+        with pytest.raises(FaultInjected):
+            channel.send("P1", "P2", "x", BitString(1, 1))
+
+    def test_wildcard_label_matches_anything(self):
+        channel = FaultyChannel(rules=[FaultRule(mode=DROP)])
+        with pytest.raises(FaultInjected):
+            channel.send("P1", "P2", "whatever", BitString(1, 1))
+
+
+class TestTruncate:
+    def test_partial_frame_reaches_transcript(self):
+        channel = FaultyChannel()
+        channel.add_rule(FaultRule(mode=TRUNCATE, label="x", keep_bits=3))
+        with pytest.raises(FaultInjected) as info:
+            channel.send("P1", "P2", "x", BitString(0b10110, 5))
+        assert info.value.mode == TRUNCATE
+        (partial,) = channel.transcript()
+        assert partial.label == "x.truncated"
+        assert partial.payload == BitString(0b101, 3)
+
+    def test_keep_bits_clamped_to_payload(self):
+        channel = FaultyChannel()
+        channel.add_rule(FaultRule(mode=TRUNCATE, label="x", keep_bits=999))
+        with pytest.raises(FaultInjected):
+            channel.send("P1", "P2", "x", BitString(0b11, 2))
+        (partial,) = channel.transcript()
+        assert partial.payload == BitString(0b11, 2)
+
+
+class TestDelay:
+    def test_message_still_delivered(self):
+        channel = FaultyChannel()
+        channel.add_rule(FaultRule(mode=DELAY, label="x", delay_ticks=5))
+        payload = BitString(1, 1)
+        assert channel.send("P1", "P2", "x", payload) is payload
+        assert channel.delay_ticks == 5
+        assert [m.label for m in channel.transcript()] == ["x"]
+
+
+class TestChannelDelegation:
+    def test_is_drop_in_for_channel(self):
+        inner = Channel()
+        channel = FaultyChannel(inner=inner)
+        channel.send("P1", "P2", "a", BitString(0b10, 2))
+        channel.advance_period()
+        channel.send("P2", "P1", "b", BitString(1, 1))
+        assert channel.current_period == inner.current_period == 1
+        assert channel.bits_on_wire() == 3
+        assert channel.bits_by_label(0) == {"a": 2}
+        assert channel.transcript_bits(1) == BitString(1, 1)
+        assert channel.messages is inner.messages
+
+    def test_clear_rules_disarms(self):
+        channel = FaultyChannel.dropping("x")
+        channel.clear_rules()
+        channel.send("P1", "P2", "x", BitString(1, 1))
+        assert len(channel.transcript()) == 1
+
+    def test_injected_log_records_fired_rules(self):
+        channel = FaultyChannel.dropping("x")
+        with pytest.raises(FaultInjected):
+            channel.send("P1", "P2", "x", BitString(1, 1))
+        assert len(channel.injected) == 1
+        rule, label = channel.injected[0]
+        assert label == "x"
+        assert rule.mode == DROP

@@ -14,7 +14,7 @@ import random
 
 import pytest
 
-from repro.core.dlr import DLR
+from repro.core.dlr import DLR, combine_decrypt
 from repro.core.params import DLRParams
 from repro.groups import preset_group
 from repro.protocol.channel import Channel
@@ -99,7 +99,11 @@ class TestDeviceAsymmetry:
         d_b = scheme.hpske_gt.encrypt(sk_comm, ciphertext.b, p1.rng)
         p1.secret.erase("dec.sk_comm")
 
-        benchmark(lambda: scheme._p2_decrypt_step(p2, d_list, d_phi, d_b))
+        def p2_step():
+            with p2.computing():
+                return combine_decrypt(scheme.share2_of(p2), d_list, d_phi, d_b)
+
+        benchmark(p2_step)
 
     def test_p1_decryption_step_timing(self, benchmark, bench_params):
         """Wall-clock of P1's step (pairings + encryptions): the companion

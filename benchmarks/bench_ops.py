@@ -3,6 +3,13 @@
 Regenerates the performance substrate table: pairing, exponentiations,
 sampling, HPSKE operations, and the four scheme operations (Gen, Enc,
 2-party Dec, 2-party Ref), at the default 64-bit benchmark size.
+
+Also runnable as a script (``python benchmarks/bench_ops.py --smoke``):
+runs one full period of DLR and OptimalDLR on tiny parameters and emits
+a JSON report of per-party group-operation counts and bits-on-wire per
+message label, from the engine's ``TranscriptStats``.  CI uploads this
+as an artifact so communication/computation regressions show up in the
+numbers, not just in wall time.
 """
 
 import random
@@ -161,3 +168,94 @@ class TestSchemeOps:
             rounds=2,
             iterations=1,
         )
+
+
+# ---------------------------------------------------------------------------
+# Smoke mode: tiny-parameter op-count / bits-on-wire report for CI
+
+
+def smoke_report(group_bits: int = 32, lam: int = 32, seed: int = 7) -> dict:
+    """One full period of each scheme on tiny parameters, instrumented.
+
+    Returns a JSON-serializable report: per-party operation counts from
+    the engine transcript, bits on the wire per message label, and the
+    snapshot (leakage-surface) sizes.  Deterministic for a fixed seed.
+    """
+    from dataclasses import asdict
+
+    from repro.core.params import DLRParams
+    from repro.groups import preset_group
+
+    group = preset_group(group_bits)
+    params = DLRParams(group=group, lam=lam)
+    report = {
+        "group_bits": group_bits,
+        "lam": lam,
+        "ell": params.ell,
+        "kappa": params.kappa,
+        "seed": seed,
+        "schemes": {},
+    }
+    for name, scheme_cls in (("dlr", DLR), ("optimal", OptimalDLR)):
+        scheme = scheme_cls(params)
+        rng = random.Random(seed)
+        generation = scheme.generate(rng)
+        p1 = Device("P1", group, rng)
+        p2 = Device("P2", group, rng)
+        scheme.install(p1, p2, generation.share1, generation.share2)
+        channel = Channel()
+        ciphertext = scheme.encrypt(
+            generation.public_key, group.random_gt(rng), rng
+        )
+        record = scheme.run_period(p1, p2, channel, ciphertext)
+        stats = scheme.last_stats
+        report["schemes"][name] = {
+            "bits_on_wire": channel.bits_on_wire(),
+            "bits_by_label": channel.bits_by_label(0),
+            "ops_party1": asdict(stats.ops_for_party(1)),
+            "ops_party2": asdict(stats.ops_for_party(2)),
+            "snapshot_bits": {
+                f"p{party}.{phase}": len(snapshot.to_bits())
+                for (party, phase), snapshot in record.snapshots.items()
+            },
+            "steps": len(stats.steps),
+        }
+    return report
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the tiny-parameter smoke benchmark and emit JSON",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the JSON report here instead of stdout",
+    )
+    parser.add_argument("--group-bits", type=int, default=32)
+    parser.add_argument("--lam", type=int, default=32)
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error(
+            "the pytest-benchmark suite runs via pytest; "
+            "pass --smoke for the scripted report"
+        )
+    report = smoke_report(group_bits=args.group_bits, lam=args.lam)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        sys.stdout.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,8 +29,8 @@ from repro.errors import DecryptionError
 from repro.groups.bilinear import GTElement
 from repro.ibe.boneh_boyen import IBECiphertext
 from repro.ibe.dlr_ibe import DIBESetupResult, DLRIBE, _id_slot
-from repro.protocol.channel import Channel
 from repro.protocol.device import Device
+from repro.protocol.transport import Transport
 
 
 @dataclass(frozen=True)
@@ -82,7 +82,7 @@ class DLRCCA2:
         setup: DIBESetupResult,
         device1: Device,
         device2: Device,
-        channel: Channel,
+        channel: Transport,
         ciphertext: CCACiphertext,
     ) -> GTElement:
         """Verify, extract the one-shot identity key, decrypt, clean up.

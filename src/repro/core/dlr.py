@@ -8,9 +8,10 @@ The scheme is ``(Gen, Enc, Dec, Ref)``:
   secret ``g2^alpha``.
 * ``Enc_pk(m) = (g^t, m * e(g1, g2)^t)`` for ``m`` in ``GT``.
 * ``Dec`` and ``Ref`` are the 2-message 2-party protocols of the paper,
-  implemented here as explicit message flows between two
-  :class:`~repro.protocol.device.Device` objects over a public
-  :class:`~repro.protocol.channel.Channel`.
+  expressed as per-device step generators and driven by the
+  :class:`~repro.protocol.engine.ProtocolEngine` over a pluggable
+  :class:`~repro.protocol.transport.Transport` (in-memory, faulty, or
+  real sockets with the parties in separate threads).
 
 Two protocol styles are provided:
 
@@ -27,21 +28,22 @@ Two protocol styles are provided:
 Device memory discipline: shares live in the devices' *secret* memory
 regions; every protocol secret (``sk_comm``, fresh share material) is
 stored there too while in use and erased on every exit path (success or
-exception, via ``Device.protocol_secrets``), so phase snapshots
-faithfully capture the leakage surface.  HPSKE encryption coins, by
-contrast, are *public* randomness: they travel inside the ciphertexts,
-and the section 5.2 remark ensures they have no discrete logs that
-could sit in secret memory.
+exception -- the engine wraps each party in ``Device.protocol_secrets``),
+so phase snapshots faithfully capture the leakage surface.  HPSKE
+encryption coins, by contrast, are *public* randomness: they travel
+inside the ciphertexts, and the section 5.2 remark ensures they have no
+discrete logs that could sit in secret memory.
 
-Crash safety: share rotation is *staged*.  During refresh each device
-parks its incoming share in a pending slot and commits -- erase old,
-promote pending -- only at the final ``ref.commit`` message boundary.
-If the protocol dies at any earlier (or that) boundary, both devices
-roll back to their old, mutually consistent shares and the period can
-simply be re-run (:meth:`DLR.run_period_resilient`); the failure
-surfaces as :class:`~repro.errors.RefreshAborted`.  An interrupted
-refresh can therefore never desync the two devices, and
-:meth:`DLR.verify_shares` succeeds after any abort.
+Crash safety: share rotation is *staged*.  Each protocol declares its
+pending slots as :class:`~repro.protocol.engine.StagedShare` entries;
+the devices park incoming shares there and yield ``Commit()`` at the
+final ``ref.commit`` message boundary.  If the protocol dies at any
+earlier (or that) boundary, the engine rolls both devices back to their
+old, mutually consistent shares and the period can simply be re-run
+(:meth:`DLR.run_period_resilient`); the failure surfaces as
+:class:`~repro.errors.RefreshAborted`.  An interrupted refresh can
+therefore never desync the two devices, and :meth:`DLR.verify_shares`
+succeeds after any abort.
 """
 
 from __future__ import annotations
@@ -49,21 +51,65 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.core.hpske import HPSKE, HPSKECiphertext, HPSKEKey
+from repro.core.hpske import HPSKE, HPSKECiphertext
 from repro.core.keys import Ciphertext, PublicKey, Share1, Share2
 from repro.core.params import DLRParams
 from repro.core.pss import PSS
-from repro.errors import ProtocolError, RefreshAborted
+from repro.errors import ProtocolError
 from repro.groups.bilinear import GTElement
 from repro.protocol.channel import Channel, Message
 from repro.protocol.device import Device
+from repro.protocol.engine import (
+    Commit,
+    ProtocolEngine,
+    ProtocolSpec,
+    Recv,
+    Send,
+    StagedShare,
+    TranscriptStats,
+)
 from repro.protocol.memory import PhaseSnapshot
+from repro.protocol.transport import Transport
 
 SK1_SLOT = "sk1"
 SK2_SLOT = "sk2"
 # Staged (not yet committed) incoming shares during a refresh.
 SK1_PENDING_SLOT = "sk1.pending"
 SK2_PENDING_SLOT = "sk2.pending"
+
+#: The standard DLR share rotation, committed at ``ref.commit``.
+DLR_STAGED = (
+    StagedShare(1, SK1_SLOT, SK1_PENDING_SLOT),
+    StagedShare(2, SK2_SLOT, SK2_PENDING_SLOT),
+)
+
+REFRESH_ABORT_MESSAGE = "refresh aborted; both devices rolled back to their old shares"
+
+
+def combine_decrypt(
+    share2: Share2,
+    d_list: tuple[HPSKECiphertext, ...],
+    d_phi: HPSKECiphertext,
+    d_b: HPSKECiphertext,
+) -> HPSKECiphertext:
+    """P2's whole decryption job: ``d_B * prod_i d_i^{s_i} / d_Phi``."""
+    combined = d_b
+    for d_i, s_i in zip(d_list, share2.s):
+        combined = combined * (d_i ** s_i)
+    return combined / d_phi
+
+
+def combine_refresh(
+    share2: Share2,
+    fresh_share: Share2,
+    f_pairs: tuple[tuple[HPSKECiphertext, HPSKECiphertext], ...],
+    f_phi: HPSKECiphertext,
+) -> HPSKECiphertext:
+    """P2's refresh combination: ``prod f'_i^{s'_i} / f_i^{s_i} * f_Phi``."""
+    combined = f_phi
+    for (f_old, f_new), s_old, s_new in zip(f_pairs, share2.s, fresh_share.s):
+        combined = combined * (f_new ** s_new) / (f_old ** s_old)
+    return combined
 
 
 @dataclass
@@ -113,6 +159,8 @@ class DLR:
         self.hpske_g = HPSKE(self.group, params.kappa, space="G")
         self.hpske_gt = HPSKE(self.group, params.kappa, space="GT")
         self.pss = PSS(self.group, params.ell)
+        #: Per-step instrumentation of the last engine-driven protocol.
+        self.last_stats: TranscriptStats | None = None
 
     # ------------------------------------------------------------------
     # Gen / Enc (plain algorithms)
@@ -176,6 +224,83 @@ class DLR:
         return share
 
     # ------------------------------------------------------------------
+    # Engine plumbing
+    # ------------------------------------------------------------------
+
+    def _run_engine(self, spec: ProtocolSpec, transport: Transport) -> object:
+        """Drive one protocol spec; always publish its stats."""
+        engine = ProtocolEngine(transport)
+        try:
+            return engine.run(spec)
+        finally:
+            self.last_stats = engine.stats
+
+    # -- reusable P2 step generators (the "simple device" role) ---------
+
+    def _p2_decrypt_steps(self, device2: Device, prefix: str = "dec", share_of=None):
+        """P2's decryption step: receive ``<prefix>.d``, send the blind
+        combination; no secret randomness, no pairings."""
+        if share_of is None:
+            share_of = lambda: self.share2_of(device2)  # noqa: E731
+        message = yield Recv(f"{prefix}.d")
+        d_list, d_phi, d_b = message.payload
+        share2 = share_of()
+        with device2.computing():
+            response = combine_decrypt(share2, d_list, d_phi, d_b)
+        yield Send(f"{prefix}.c_prime", response)
+
+    def _p2_refresh_steps(
+        self,
+        device2: Device,
+        prefix: str = "ref",
+        pending_slot: str = SK2_PENDING_SLOT,
+        share_of=None,
+    ):
+        """P2's refresh step: sample fresh scalars, send the combination,
+        *stage* the new share, and commit at ``<prefix>.commit``.
+
+        P2 holds both shares from staging until commit/rollback -- its
+        refresh secret memory is ``2 m2`` bits.  The old share is
+        replaced only when P1 confirms it decrypted ``Phi'`` (the commit
+        boundary); until then an abort rolls back to the old share.
+        """
+        if share_of is None:
+            share_of = lambda: self.share2_of(device2)  # noqa: E731
+        message = yield Recv(f"{prefix}.f")
+        f_pairs, f_phi = message.payload
+        share2 = share_of()
+        with device2.computing():
+            fresh_share = Share2(
+                tuple(self.group.random_scalar(device2.rng) for _ in range(self.params.ell)),
+                self.group.p,
+            )
+            response = combine_refresh(share2, fresh_share, f_pairs, f_phi)
+        device2.secret.store(pending_slot, fresh_share)
+        yield Send(f"{prefix}.f_combined", response)
+        yield Recv(f"{prefix}.commit")
+        yield Commit()
+
+    def _p2_period_steps(
+        self,
+        device2: Device,
+        period: int,
+        snapshots: dict[tuple[int, str], PhaseSnapshot],
+    ):
+        """P2's whole time period: decrypt, observe the output, refresh --
+        with the two phase snapshots.  Identical for DLR and OptimalDLR
+        ("the changes to the protocols only involve P1's local
+        computations")."""
+        device2.secret.open_phase(f"t{period}.normal")
+        share2 = self.share2_of(device2)
+        yield from self._p2_decrypt_steps(device2, share_of=lambda: share2)
+        yield Recv("dec.output")
+        snapshots[(2, "normal")] = device2.secret.close_phase()
+
+        device2.secret.open_phase(f"t{period}.refresh")
+        yield from self._p2_refresh_steps(device2, share_of=lambda: share2)
+        snapshots[(2, "refresh")] = device2.secret.close_phase()
+
+    # ------------------------------------------------------------------
     # The decryption protocol (Construction 5.3 as printed)
     # ------------------------------------------------------------------
 
@@ -183,14 +308,13 @@ class DLR:
         self,
         device1: Device,
         device2: Device,
-        channel: Channel,
+        channel: Transport,
         ciphertext: Ciphertext,
     ) -> GTElement:
         """Run ``Dec_{pk, sk1, sk2}(c)`` and return the plaintext (at P1)."""
         share1 = self.share1_of(device1)
 
-        # ``sk_comm`` must not outlive the protocol on *any* exit path.
-        with device1.protocol_secrets("dec.sk_comm"):
+        def p1():
             # Step 1 (P1): fresh sk_comm; send GT-encryptions of the
             # paired values.
             with device1.computing():
@@ -210,151 +334,86 @@ class DLR:
                     sk_comm, self.group.pair(ciphertext.a, share1.phi), device1.rng
                 )
                 d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
-            channel.send(device1.name, device2.name, "dec.d", (tuple(d_list), d_phi, d_b))
-
-            # Step 2 (P2): blind combination using sk2; no secret randomness.
-            response = self._p2_decrypt_step(device2, tuple(d_list), d_phi, d_b)
-            channel.send(device2.name, device1.name, "dec.c_prime", response)
+            yield Send("dec.d", (tuple(d_list), d_phi, d_b))
 
             # Step 3 (P1): decrypt the response.
+            message = yield Recv("dec.c_prime")
             with device1.computing():
-                plaintext = self.hpske_gt.decrypt(sk_comm, response)
+                plaintext = self.hpske_gt.decrypt(sk_comm, message.payload)
+            return plaintext
+
+        spec = ProtocolSpec(
+            "dlr.decrypt",
+            device1,
+            device2,
+            p1,
+            lambda: self._p2_decrypt_steps(device2),
+            # ``sk_comm`` must not outlive the protocol on *any* exit path.
+            secrets1=("dec.sk_comm",),
+        )
+        plaintext = self._run_engine(spec, channel)
         assert isinstance(plaintext, GTElement)
         return plaintext
-
-    def _p2_decrypt_step(
-        self,
-        device2: Device,
-        d_list: tuple[HPSKECiphertext, ...],
-        d_phi: HPSKECiphertext,
-        d_b: HPSKECiphertext,
-    ) -> HPSKECiphertext:
-        """P2's whole decryption job: ``d_B * prod_i d_i^{s_i} / d_Phi``."""
-        share2 = self.share2_of(device2)
-        with device2.computing():
-            combined = d_b
-            for d_i, s_i in zip(d_list, share2.s):
-                combined = combined * (d_i ** s_i)
-            return combined / d_phi
 
     # ------------------------------------------------------------------
     # The refresh protocol (Construction 5.3 as printed)
     # ------------------------------------------------------------------
 
-    def refresh_protocol(self, device1: Device, device2: Device, channel: Channel) -> None:
+    def refresh_protocol(
+        self, device1: Device, device2: Device, channel: Transport
+    ) -> None:
         """Run ``Ref_pk(sk1, sk2)``: both devices end with fresh shares.
 
         The rotation is staged: each device parks its incoming share in a
         pending slot and commits only at the final ``ref.commit``
-        boundary.  On any mid-protocol failure both devices roll back to
-        their old shares and :class:`~repro.errors.RefreshAborted` is
-        raised (with the triggering exception as its cause).
+        boundary.  On any mid-protocol failure the engine rolls both
+        devices back to their old shares and
+        :class:`~repro.errors.RefreshAborted` is raised (with the
+        triggering exception as its cause).
         """
         share1 = self.share1_of(device1)
         ell = self.params.ell
 
-        try:
-            with device1.protocol_secrets("ref.sk_comm", "ref.a_next"):
-                # Step 1 (P1): fresh a'_i; send (Enc'(a_i), Enc'(a'_i))_i,
-                # Enc'(Phi).
-                with device1.computing():
-                    sk_comm = self.hpske_g.keygen(device1.rng)
-                    device1.secret.store("ref.sk_comm", sk_comm)
-                    fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
-                    # Derived: the fresh a'_i are recoverable from sk_comm plus
-                    # the public ciphertexts f'_i, so they are not "essential"
-                    # secret memory in the section 3.2 sense.
-                    device1.secret.store("ref.a_next", list(fresh_a), derived=True)
-                    f_pairs = [
-                        (
-                            self.hpske_g.encrypt(sk_comm, share1.a[i], device1.rng),
-                            self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng),
-                        )
-                        for i in range(ell)
-                    ]
-                    f_phi = self.hpske_g.encrypt(sk_comm, share1.phi, device1.rng)
-                channel.send(device1.name, device2.name, "ref.f", (tuple(f_pairs), f_phi))
+        def p1():
+            # Step 1 (P1): fresh a'_i; send (Enc'(a_i), Enc'(a'_i))_i,
+            # Enc'(Phi).
+            with device1.computing():
+                sk_comm = self.hpske_g.keygen(device1.rng)
+                device1.secret.store("ref.sk_comm", sk_comm)
+                fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
+                # Derived: the fresh a'_i are recoverable from sk_comm plus
+                # the public ciphertexts f'_i, so they are not "essential"
+                # secret memory in the section 3.2 sense.
+                device1.secret.store("ref.a_next", list(fresh_a), derived=True)
+                f_pairs = [
+                    (
+                        self.hpske_g.encrypt(sk_comm, share1.a[i], device1.rng),
+                        self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng),
+                    )
+                    for i in range(ell)
+                ]
+                f_phi = self.hpske_g.encrypt(sk_comm, share1.phi, device1.rng)
+            yield Send("ref.f", (tuple(f_pairs), f_phi))
 
-                # Step 2 (P2): fresh s'; send prod f'_i^{s'_i} / f_i^{s_i} * f_Phi.
-                response = self._p2_refresh_step(device2, tuple(f_pairs), f_phi)
-                channel.send(device2.name, device1.name, "ref.f_combined", response)
+            # Step 3 (P1): decrypt Phi', stage the new share, commit.
+            message = yield Recv("ref.f_combined")
+            with device1.computing():
+                new_phi = self.hpske_g.decrypt(sk_comm, message.payload)
+            device1.secret.store(SK1_PENDING_SLOT, Share1(a=fresh_a, phi=new_phi))
+            yield Send("ref.commit", True)
+            yield Commit()
 
-                # Step 3 (P1): decrypt Phi', stage the new share, commit both.
-                with device1.computing():
-                    new_phi = self.hpske_g.decrypt(sk_comm, response)
-                device1.secret.store(SK1_PENDING_SLOT, Share1(a=fresh_a, phi=new_phi))
-                channel.send(device1.name, device2.name, "ref.commit", True)
-                self._commit_refresh(device1, device2)
-        except Exception as exc:
-            if self._rollback_refresh(device1, device2):
-                raise RefreshAborted(
-                    "refresh aborted; both devices rolled back to their old shares"
-                ) from exc
-            raise
-
-    def _p2_refresh_step(
-        self,
-        device2: Device,
-        f_pairs: tuple[tuple[HPSKECiphertext, HPSKECiphertext], ...],
-        f_phi: HPSKECiphertext,
-    ) -> HPSKECiphertext:
-        """P2's refresh job: sample s', combine, and *stage* the new share."""
-        share2 = self.share2_of(device2)
-        with device2.computing():
-            fresh_share = Share2(
-                tuple(self.group.random_scalar(device2.rng) for _ in range(self.params.ell)),
-                self.group.p,
-            )
-            combined = f_phi
-            for (f_old, f_new), s_old, s_new in zip(f_pairs, share2.s, fresh_share.s):
-                combined = combined * (f_new ** s_new) / (f_old ** s_old)
-        # P2 holds both shares from here until commit/rollback -- its
-        # refresh secret memory is 2 m2 bits.  The old share is replaced
-        # only when P1 confirms it decrypted Phi' (the ref.commit
-        # boundary); until then an abort rolls back to the old share.
-        device2.secret.store(SK2_PENDING_SLOT, fresh_share)
-        return combined
-
-    # -- staged-rotation commit / rollback ------------------------------
-
-    @staticmethod
-    def _commit_share(device: Device, slot: str, pending_slot: str) -> None:
-        """Promote a staged share: erase the old, relabel the pending one
-        (rename does not re-record, so snapshots hold old + new exactly
-        once -- the paper's ``2 m`` refresh accounting)."""
-        device.secret.erase(slot)
-        device.secret.rename(pending_slot, slot)
-
-    def _commit_refresh(self, device1: Device, device2: Device) -> None:
-        """The commit point: both devices promote their pending shares."""
-        self._commit_share(device1, SK1_SLOT, SK1_PENDING_SLOT)
-        self._commit_share(device2, SK2_SLOT, SK2_PENDING_SLOT)
-
-    @staticmethod
-    def _rollback_refresh(device1: Device, device2: Device) -> bool:
-        """Discard any staged shares; the old ones stay installed.
-        Returns whether anything had been staged (i.e. a rotation was
-        actually rolled back)."""
-        staged = device1.secret.has(SK1_PENDING_SLOT) or device2.secret.has(
-            SK2_PENDING_SLOT
+        spec = ProtocolSpec(
+            "dlr.refresh",
+            device1,
+            device2,
+            p1,
+            lambda: self._p2_refresh_steps(device2),
+            secrets1=("ref.sk_comm", "ref.a_next"),
+            staged=DLR_STAGED,
+            abort_message=REFRESH_ABORT_MESSAGE,
         )
-        device1.secret.erase_if_present(SK1_PENDING_SLOT)
-        device2.secret.erase_if_present(SK2_PENDING_SLOT)
-        return staged
-
-    @staticmethod
-    def _abort_phases(
-        device1: Device, device2: Device
-    ) -> dict[tuple[int, str], PhaseSnapshot]:
-        """Close any phase snapshots left open by an aborted protocol and
-        return them keyed like :class:`PeriodRecord` snapshots."""
-        closed: dict[tuple[int, str], PhaseSnapshot] = {}
-        for index, device in ((1, device1), (2, device2)):
-            snapshot = device.secret.close_phase_if_open()
-            if snapshot is not None:
-                phase = "refresh" if snapshot.label.endswith(".refresh") else "normal"
-                closed[(index, phase)] = snapshot
-        return closed
+        self._run_engine(spec, channel)
 
     # ------------------------------------------------------------------
     # One faithful time period (section 5.2 remark: coin reuse)
@@ -364,7 +423,7 @@ class DLR:
         self,
         device1: Device,
         device2: Device,
-        channel: Channel,
+        channel: Transport,
         ciphertext: Ciphertext,
     ) -> PeriodRecord:
         """Execute one full time period: decryption then refresh, with one
@@ -381,79 +440,74 @@ class DLR:
         ell = self.params.ell
         snapshots: dict[tuple[int, str], PhaseSnapshot] = {}
 
-        try:
-            with device1.protocol_secrets("period.sk_comm", "period.a_next"):
-                device1.secret.open_phase(f"t{period}.normal")
-                device2.secret.open_phase(f"t{period}.normal")
+        def p1():
+            device1.secret.open_phase(f"t{period}.normal")
+            # P1 computes the refresh ciphertexts f_i first, then derives
+            # the decryption ciphertexts d_i by pairing with A (remark,
+            # section 5.2).
+            with device1.computing():
+                sk_comm = self.hpske_g.keygen(device1.rng)
+                device1.secret.store("period.sk_comm", sk_comm)
+                f_list = [
+                    self.hpske_g.encrypt(sk_comm, a_i, device1.rng) for a_i in share1.a
+                ]
+                f_phi = self.hpske_g.encrypt(sk_comm, share1.phi, device1.rng)
 
-                # P1 computes the refresh ciphertexts f_i first, then derives
-                # the decryption ciphertexts d_i by pairing with A (remark,
-                # section 5.2).
-                with device1.computing():
-                    sk_comm = self.hpske_g.keygen(device1.rng)
-                    device1.secret.store("period.sk_comm", sk_comm)
-                    f_list = [
-                        self.hpske_g.encrypt(sk_comm, a_i, device1.rng) for a_i in share1.a
-                    ]
-                    f_phi = self.hpske_g.encrypt(sk_comm, share1.phi, device1.rng)
+                d_list = tuple(f_i.pair_with(ciphertext.a) for f_i in f_list)
+                d_phi = f_phi.pair_with(ciphertext.a)
+                d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
+            yield Send("dec.d", (d_list, d_phi, d_b))
 
-                    d_list = tuple(f_i.pair_with(ciphertext.a) for f_i in f_list)
-                    d_phi = f_phi.pair_with(ciphertext.a)
-                    d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
-                channel.send(device1.name, device2.name, "dec.d", (d_list, d_phi, d_b))
+            message = yield Recv("dec.c_prime")
+            with device1.computing():
+                plaintext = self.hpske_gt.decrypt(sk_comm, message.payload)
+            assert isinstance(plaintext, GTElement)
+            yield Send("dec.output", plaintext)
+            snapshots[(1, "normal")] = device1.secret.close_phase()
 
-                response = self._p2_decrypt_step(device2, d_list, d_phi, d_b)
-                channel.send(device2.name, device1.name, "dec.c_prime", response)
+            # --- refresh phase (same sk_comm, f_i reused) ---------------
+            device1.secret.open_phase(f"t{period}.refresh")
+            with device1.computing():
+                fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
+                device1.secret.store("period.a_next", list(fresh_a), derived=True)
+                f_new = [
+                    self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng)
+                    for i in range(ell)
+                ]
+            f_pairs = tuple(zip(f_list, f_new))
+            yield Send("ref.f", (f_pairs, f_phi))
 
-                with device1.computing():
-                    plaintext = self.hpske_gt.decrypt(sk_comm, response)
-                assert isinstance(plaintext, GTElement)
-                channel.send(device1.name, device2.name, "dec.output", plaintext)
+            message = yield Recv("ref.f_combined")
+            with device1.computing():
+                new_phi = self.hpske_g.decrypt(sk_comm, message.payload)
+            device1.secret.store(SK1_PENDING_SLOT, Share1(a=fresh_a, phi=new_phi))
+            yield Send("ref.commit", True)
+            yield Commit()
 
-                snapshots[(1, "normal")] = device1.secret.close_phase()
-                snapshots[(2, "normal")] = device2.secret.close_phase()
+            # Erase every protocol secret of the period before the
+            # snapshots close (the slots must not seed the next phase).
+            device1.secret.erase("period.sk_comm")
+            device1.secret.erase("period.a_next")
+            snapshots[(1, "refresh")] = device1.secret.close_phase()
+            return plaintext
 
-                # --- refresh phase (same sk_comm, f_i reused) ---------------
-                device1.secret.open_phase(f"t{period}.refresh")
-                device2.secret.open_phase(f"t{period}.refresh")
-
-                with device1.computing():
-                    fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
-                    device1.secret.store("period.a_next", list(fresh_a), derived=True)
-                    f_new = [
-                        self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng)
-                        for i in range(ell)
-                    ]
-                f_pairs = tuple(zip(f_list, f_new))
-                channel.send(device1.name, device2.name, "ref.f", (f_pairs, f_phi))
-
-                response = self._p2_refresh_step(device2, f_pairs, f_phi)
-                channel.send(device2.name, device1.name, "ref.f_combined", response)
-
-                with device1.computing():
-                    new_phi = self.hpske_g.decrypt(sk_comm, response)
-                device1.secret.store(SK1_PENDING_SLOT, Share1(a=fresh_a, phi=new_phi))
-                channel.send(device1.name, device2.name, "ref.commit", True)
-                self._commit_refresh(device1, device2)
-
-                # Erase every protocol secret of the period before the
-                # snapshots close (the slots must not seed the next phase).
-                device1.secret.erase("period.sk_comm")
-                device1.secret.erase("period.a_next")
-
-                snapshots[(1, "refresh")] = device1.secret.close_phase()
-                snapshots[(2, "refresh")] = device2.secret.close_phase()
-        except Exception as exc:
-            rolled_back = self._rollback_refresh(device1, device2)
-            snapshots.update(self._abort_phases(device1, device2))
-            if rolled_back:
-                raise RefreshAborted(
-                    f"time period {period} aborted during refresh; "
-                    "both devices rolled back to their old shares",
-                    period=period,
-                    snapshots=snapshots,
-                ) from exc
-            raise
+        spec = ProtocolSpec(
+            "dlr.period",
+            device1,
+            device2,
+            p1,
+            lambda: self._p2_period_steps(device2, period, snapshots),
+            secrets1=("period.sk_comm", "period.a_next"),
+            staged=DLR_STAGED,
+            abort_message=(
+                f"time period {period} aborted during refresh; "
+                "both devices rolled back to their old shares"
+            ),
+            abort_period=period,
+            snapshots=snapshots,
+        )
+        plaintext = self._run_engine(spec, channel)
+        assert isinstance(plaintext, GTElement)
 
         messages = channel.transcript(period)
         channel.advance_period()
@@ -463,7 +517,7 @@ class DLR:
         self,
         device1: Device,
         device2: Device,
-        channel: Channel,
+        channel: Transport,
         ciphertext: Ciphertext,
         max_attempts: int = 3,
     ) -> PeriodRecord:
@@ -496,7 +550,7 @@ class DLR:
         self,
         device1: Device,
         device2: Device,
-        channel: Channel,
+        channel: Transport,
         ciphertexts: list[Ciphertext],
     ) -> MultiPeriodRecord:
         """Like :meth:`run_period`, but with several decryption protocol
@@ -509,76 +563,99 @@ class DLR:
         ell = self.params.ell
         snapshots: dict[tuple[int, str], PhaseSnapshot] = {}
 
-        try:
-            with device1.protocol_secrets("period.sk_comm", "period.a_next"):
-                device1.secret.open_phase(f"t{period}.normal")
-                device2.secret.open_phase(f"t{period}.normal")
+        def p1():
+            device1.secret.open_phase(f"t{period}.normal")
+            with device1.computing():
+                sk_comm = self.hpske_g.keygen(device1.rng)
+                device1.secret.store("period.sk_comm", sk_comm)
+                f_list = [
+                    self.hpske_g.encrypt(sk_comm, a_i, device1.rng) for a_i in share1.a
+                ]
+                f_phi = self.hpske_g.encrypt(sk_comm, share1.phi, device1.rng)
 
+            plaintexts: list[GTElement] = []
+            for index, ciphertext in enumerate(ciphertexts):
                 with device1.computing():
-                    sk_comm = self.hpske_g.keygen(device1.rng)
-                    device1.secret.store("period.sk_comm", sk_comm)
-                    f_list = [
-                        self.hpske_g.encrypt(sk_comm, a_i, device1.rng) for a_i in share1.a
-                    ]
-                    f_phi = self.hpske_g.encrypt(sk_comm, share1.phi, device1.rng)
-
-                plaintexts: list[GTElement] = []
-                for index, ciphertext in enumerate(ciphertexts):
-                    with device1.computing():
-                        d_list = tuple(f_i.pair_with(ciphertext.a) for f_i in f_list)
-                        d_phi = f_phi.pair_with(ciphertext.a)
-                        d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
-                    channel.send(
-                        device1.name, device2.name, f"dec.{index}.d", (d_list, d_phi, d_b)
-                    )
-                    response = self._p2_decrypt_step(device2, d_list, d_phi, d_b)
-                    channel.send(device2.name, device1.name, f"dec.{index}.c_prime", response)
-                    with device1.computing():
-                        plaintext = self.hpske_gt.decrypt(sk_comm, response)
-                    assert isinstance(plaintext, GTElement)
-                    channel.send(device1.name, device2.name, f"dec.{index}.output", plaintext)
-                    plaintexts.append(plaintext)
-
-                snapshots[(1, "normal")] = device1.secret.close_phase()
-                snapshots[(2, "normal")] = device2.secret.close_phase()
-
-                device1.secret.open_phase(f"t{period}.refresh")
-                device2.secret.open_phase(f"t{period}.refresh")
-
+                    d_list = tuple(f_i.pair_with(ciphertext.a) for f_i in f_list)
+                    d_phi = f_phi.pair_with(ciphertext.a)
+                    d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
+                yield Send(f"dec.{index}.d", (d_list, d_phi, d_b))
+                message = yield Recv(f"dec.{index}.c_prime")
                 with device1.computing():
-                    fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
-                    device1.secret.store("period.a_next", list(fresh_a), derived=True)
-                    f_new = [
-                        self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng)
-                        for i in range(ell)
-                    ]
-                f_pairs = tuple(zip(f_list, f_new))
-                channel.send(device1.name, device2.name, "ref.f", (f_pairs, f_phi))
+                    plaintext = self.hpske_gt.decrypt(sk_comm, message.payload)
+                assert isinstance(plaintext, GTElement)
+                yield Send(f"dec.{index}.output", plaintext)
+                plaintexts.append(plaintext)
 
-                response = self._p2_refresh_step(device2, f_pairs, f_phi)
-                channel.send(device2.name, device1.name, "ref.f_combined", response)
+            snapshots[(1, "normal")] = device1.secret.close_phase()
+            device1.secret.open_phase(f"t{period}.refresh")
+            with device1.computing():
+                fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
+                device1.secret.store("period.a_next", list(fresh_a), derived=True)
+                f_new = [
+                    self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng)
+                    for i in range(ell)
+                ]
+            f_pairs = tuple(zip(f_list, f_new))
+            yield Send("ref.f", (f_pairs, f_phi))
 
-                with device1.computing():
-                    new_phi = self.hpske_g.decrypt(sk_comm, response)
-                device1.secret.store(SK1_PENDING_SLOT, Share1(a=fresh_a, phi=new_phi))
-                channel.send(device1.name, device2.name, "ref.commit", True)
-                self._commit_refresh(device1, device2)
-                device1.secret.erase("period.sk_comm")
-                device1.secret.erase("period.a_next")
+            message = yield Recv("ref.f_combined")
+            with device1.computing():
+                new_phi = self.hpske_g.decrypt(sk_comm, message.payload)
+            device1.secret.store(SK1_PENDING_SLOT, Share1(a=fresh_a, phi=new_phi))
+            yield Send("ref.commit", True)
+            yield Commit()
+            device1.secret.erase("period.sk_comm")
+            device1.secret.erase("period.a_next")
+            snapshots[(1, "refresh")] = device1.secret.close_phase()
+            return plaintexts
 
-                snapshots[(1, "refresh")] = device1.secret.close_phase()
-                snapshots[(2, "refresh")] = device2.secret.close_phase()
-        except Exception as exc:
-            rolled_back = self._rollback_refresh(device1, device2)
-            snapshots.update(self._abort_phases(device1, device2))
-            if rolled_back:
-                raise RefreshAborted(
-                    f"time period {period} aborted during refresh; "
-                    "both devices rolled back to their old shares",
-                    period=period,
-                    snapshots=snapshots,
-                ) from exc
-            raise
+        def p2():
+            device2.secret.open_phase(f"t{period}.normal")
+            share2 = self.share2_of(device2)
+            # P2 does not know the decryption count up front: it answers
+            # ``dec.<i>.d`` messages until the refresh phase starts.
+            message = yield Recv()
+            while message.label != "ref.f":
+                if message.label.endswith(".d"):
+                    d_list, d_phi, d_b = message.payload
+                    with device2.computing():
+                        response = combine_decrypt(share2, d_list, d_phi, d_b)
+                    yield Send(message.label[:-1] + "c_prime", response)
+                message = yield Recv()
+            snapshots[(2, "normal")] = device2.secret.close_phase()
+
+            device2.secret.open_phase(f"t{period}.refresh")
+            f_pairs, f_phi = message.payload
+            with device2.computing():
+                fresh_share = Share2(
+                    tuple(self.group.random_scalar(device2.rng) for _ in range(ell)),
+                    self.group.p,
+                )
+                response = combine_refresh(share2, fresh_share, f_pairs, f_phi)
+            device2.secret.store(SK2_PENDING_SLOT, fresh_share)
+            yield Send("ref.f_combined", response)
+            yield Recv("ref.commit")
+            yield Commit()
+            snapshots[(2, "refresh")] = device2.secret.close_phase()
+
+        spec = ProtocolSpec(
+            "dlr.period_multi",
+            device1,
+            device2,
+            p1,
+            p2,
+            secrets1=("period.sk_comm", "period.a_next"),
+            staged=DLR_STAGED,
+            abort_message=(
+                f"time period {period} aborted during refresh; "
+                "both devices rolled back to their old shares"
+            ),
+            abort_period=period,
+            snapshots=snapshots,
+        )
+        plaintexts = self._run_engine(spec, channel)
+        assert isinstance(plaintexts, list)
 
         messages = channel.transcript(period)
         channel.advance_period()
@@ -593,7 +670,7 @@ class DLR:
         public_key: PublicKey,
         device1: Device,
         device2: Device,
-        channel: Channel,
+        channel: Transport,
         rng: random.Random,
     ) -> bool:
         """A cooperative self-test: do the current shares still decrypt

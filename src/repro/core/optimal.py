@@ -19,7 +19,8 @@ Theorem 4.1:
 * P2: ``m2 = ell log p`` normally, ``2 m2`` during refresh.
 
 Protocol adaptations (both remain 2-message protocols with the identical
-P2 role, so P2 stays the "simple device"):
+P2 role, so P2 stays the "simple device" -- P2's step generators are
+literally :class:`~repro.core.dlr.DLR`'s):
 
 * **Decryption**: the ``d_i`` are derived from the *public* encrypted
   share by pairing with ``A`` -- touching no secrets at all; only
@@ -30,31 +31,42 @@ P2 role, so P2 stays the "simple device"):
   share) and immediately erased.  After P2's response, ``Phi'`` is
   decrypted with the old key, re-encrypted under the new key, and erased;
   then the old key is erased.
+
+Crash safety rides on the engine's staged-commit machinery: the next
+``sk_comm`` is staged under ``sk_comm_next`` (with
+``signals_abort=False`` -- it is derived key material, recoverable from
+fresh coins, so losing it is not a rolled-back share rotation) and P2's
+share is staged as in the basic scheme; both flip at ``ref.commit``
+together with the new public encrypted share.
 """
 
 from __future__ import annotations
 
-import random
-
-from repro.core.dlr import DLR, SK2_PENDING_SLOT, GenerationResult, PeriodRecord
+from repro.core.dlr import DLR, SK2_PENDING_SLOT, PeriodRecord
 from repro.core.hpske import HPSKECiphertext
 from repro.core.keys import Ciphertext, Share1, Share2
-from repro.core.params import DLRParams
-from repro.errors import ProtocolError, RefreshAborted
+from repro.errors import ProtocolError
 from repro.groups.bilinear import G1Element, GTElement
-from repro.protocol.channel import Channel
 from repro.protocol.device import Device
+from repro.protocol.engine import Commit, ProtocolSpec, Recv, Send, StagedShare
+from repro.protocol.transport import Transport
 
 SK_COMM_SLOT = "sk_comm"
+SK_COMM_PENDING_SLOT = "sk_comm_next"
 ENC_SHARE_SLOT = "enc_sk1"
 SK2_SLOT = "sk2"
+
+#: The optimal-variant rotation: P1 swaps ``sk_comm`` (derived material,
+#: so its pending presence alone does not make an abort a rollback), P2
+#: swaps its scalar share exactly as in the basic scheme.
+OPTIMAL_STAGED = (
+    StagedShare(1, SK_COMM_SLOT, SK_COMM_PENDING_SLOT, signals_abort=False),
+    StagedShare(2, SK2_SLOT, SK2_PENDING_SLOT),
+)
 
 
 class OptimalDLR(DLR):
     """DLR with P1's secret memory reduced to ``sk_comm`` (+ one scratch)."""
-
-    def __init__(self, params: DLRParams) -> None:
-        super().__init__(params)
 
     # ------------------------------------------------------------------
     # Installation: encrypt sk1 into public memory
@@ -86,105 +98,113 @@ class OptimalDLR(DLR):
         return device.secret.read(SK_COMM_SLOT)
 
     # ------------------------------------------------------------------
-    # Decryption
+    # P1's step generators
     # ------------------------------------------------------------------
 
-    def decrypt_protocol(
-        self,
-        device1: Device,
-        device2: Device,
-        channel: Channel,
-        ciphertext: Ciphertext,
-    ) -> GTElement:
-        """Decrypt: the ``d_i`` come from pairing the *public* encrypted
-        share with ``A``; the ``Enc'`` homomorphism makes them valid
-        encryptions of ``e(A, a_i)`` under ``sk_comm``."""
+    def _p1_decrypt_steps(self, device1: Device, ciphertext: Ciphertext):
+        """P1's decryption step: the ``d_i`` come from pairing the
+        *public* encrypted share with ``A``; the ``Enc'`` homomorphism
+        makes them valid encryptions of ``e(A, a_i)`` under ``sk_comm``."""
         sk_comm = self._sk_comm_of(device1)
         encrypted = self.encrypted_share_of(device1)
         with device1.computing():
             d_all = tuple(f.pair_with(ciphertext.a) for f in encrypted)
             d_list, d_phi = d_all[:-1], d_all[-1]
             d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
-        channel.send(device1.name, device2.name, "dec.d", (d_list, d_phi, d_b))
+        yield Send("dec.d", (d_list, d_phi, d_b))
 
-        response = self._p2_decrypt_step(device2, d_list, d_phi, d_b)
-        channel.send(device2.name, device1.name, "dec.c_prime", response)
-
+        message = yield Recv("dec.c_prime")
         with device1.computing():
-            plaintext = self.hpske_gt.decrypt(sk_comm, response)
+            plaintext = self.hpske_gt.decrypt(sk_comm, message.payload)
         assert isinstance(plaintext, GTElement)
         return plaintext
 
-    # ------------------------------------------------------------------
-    # Refresh
-    # ------------------------------------------------------------------
-
-    def refresh_protocol(self, device1: Device, device2: Device, channel: Channel) -> None:
-        """Refresh both the share *and* ``sk_comm``; P1 handles one clear
-        coordinate at a time.
-
-        Staged like the basic refresh: the new ``sk_comm`` and the new
-        public encrypted share are committed together with P2's staged
-        share only at the ``ref.commit`` boundary; any earlier failure
-        rolls both devices back (:class:`~repro.errors.RefreshAborted`).
-        """
+    def _p1_refresh_steps(self, device1: Device):
+        """P1's refresh step: refresh the share *and* ``sk_comm``,
+        handling one clear coordinate at a time; stage the new key and
+        the new public encrypted share for the ``ref.commit`` boundary."""
         sk_comm_old = self._sk_comm_of(device1)
         encrypted_old = self.encrypted_share_of(device1)
         ell = self.params.ell
 
-        try:
-            with device1.protocol_secrets("sk_comm_next", "scratch"):
-                with device1.computing():
-                    sk_comm_new = self.hpske_g.keygen(device1.rng)
-                    device1.secret.store("sk_comm_next", sk_comm_new)
-                    f_pairs = []
-                    encrypted_new_a = []
-                    for i in range(ell):
-                        fresh = self.group.random_g(device1.rng)
-                        device1.secret.store("scratch", fresh, derived=True)
-                        # Under the old key: P2's combination input f'_i.
-                        f_pairs.append(
-                            (
-                                encrypted_old[i],
-                                self.hpske_g.encrypt(sk_comm_old, fresh, device1.rng),
-                            )
-                        )
-                        # Under the new key: the next public encrypted share.
-                        encrypted_new_a.append(
-                            self.hpske_g.encrypt(sk_comm_new, fresh, device1.rng)
-                        )
-                        device1.secret.erase("scratch")
-                    f_phi = encrypted_old[-1]
-                channel.send(device1.name, device2.name, "ref.f", (tuple(f_pairs), f_phi))
-
-                response = self._p2_refresh_step(device2, tuple(f_pairs), f_phi)
-                channel.send(device2.name, device1.name, "ref.f_combined", response)
-
-                with device1.computing():
-                    new_phi = self.hpske_g.decrypt(sk_comm_old, response)
-                    device1.secret.store("scratch", new_phi, derived=True)
-                    encrypted_phi = self.hpske_g.encrypt(sk_comm_new, new_phi, device1.rng)
-                    device1.secret.erase("scratch")
-                channel.send(device1.name, device2.name, "ref.commit", True)
-
-                # Commit point: the new public encrypted share, the new
-                # communication key, and P2's staged share flip together.
-                device1.public.store(
-                    ENC_SHARE_SLOT, tuple(encrypted_new_a) + (encrypted_phi,)
+        with device1.computing():
+            sk_comm_new = self.hpske_g.keygen(device1.rng)
+            device1.secret.store(SK_COMM_PENDING_SLOT, sk_comm_new)
+            f_pairs = []
+            encrypted_new_a = []
+            for i in range(ell):
+                fresh = self.group.random_g(device1.rng)
+                device1.secret.store("scratch", fresh, derived=True)
+                # Under the old key: P2's combination input f'_i.
+                f_pairs.append(
+                    (
+                        encrypted_old[i],
+                        self.hpske_g.encrypt(sk_comm_old, fresh, device1.rng),
+                    )
                 )
-                # Swap in the new communication key: erase the old, relabel
-                # the new (rename does not re-record, so the refresh snapshot
-                # holds exactly the old key + the new key -- the paper's 2 m1
-                # accounting).
-                device1.secret.erase(SK_COMM_SLOT)
-                device1.secret.rename("sk_comm_next", SK_COMM_SLOT)
-                self._commit_share(device2, SK2_SLOT, SK2_PENDING_SLOT)
-        except Exception as exc:
-            if self._rollback_refresh(device1, device2):
-                raise RefreshAborted(
-                    "refresh aborted; both devices rolled back to their old shares"
-                ) from exc
-            raise
+                # Under the new key: the next public encrypted share.
+                encrypted_new_a.append(
+                    self.hpske_g.encrypt(sk_comm_new, fresh, device1.rng)
+                )
+                device1.secret.erase("scratch")
+            f_phi = encrypted_old[-1]
+        yield Send("ref.f", (tuple(f_pairs), f_phi))
+
+        message = yield Recv("ref.f_combined")
+        with device1.computing():
+            new_phi = self.hpske_g.decrypt(sk_comm_old, message.payload)
+            device1.secret.store("scratch", new_phi, derived=True)
+            encrypted_phi = self.hpske_g.encrypt(sk_comm_new, new_phi, device1.rng)
+            device1.secret.erase("scratch")
+        yield Send("ref.commit", True)
+
+        # Commit point: the new public encrypted share, the new
+        # communication key (engine: erase old, rename pending -- the
+        # refresh snapshot holds exactly old key + new key, the paper's
+        # 2 m1 accounting), and P2's staged share flip together.
+        device1.public.store(ENC_SHARE_SLOT, tuple(encrypted_new_a) + (encrypted_phi,))
+        yield Commit()
+
+    # ------------------------------------------------------------------
+    # The protocols
+    # ------------------------------------------------------------------
+
+    def decrypt_protocol(
+        self,
+        device1: Device,
+        device2: Device,
+        channel: Transport,
+        ciphertext: Ciphertext,
+    ) -> GTElement:
+        spec = ProtocolSpec(
+            "optimal.decrypt",
+            device1,
+            device2,
+            lambda: self._p1_decrypt_steps(device1, ciphertext),
+            lambda: self._p2_decrypt_steps(device2),
+        )
+        plaintext = self._run_engine(spec, channel)
+        assert isinstance(plaintext, GTElement)
+        return plaintext
+
+    def refresh_protocol(
+        self, device1: Device, device2: Device, channel: Transport
+    ) -> None:
+        """Staged like the basic refresh: the new ``sk_comm`` and the new
+        public encrypted share are committed together with P2's staged
+        share only at the ``ref.commit`` boundary; any earlier failure
+        rolls both devices back (:class:`~repro.errors.RefreshAborted`)."""
+        spec = ProtocolSpec(
+            "optimal.refresh",
+            device1,
+            device2,
+            lambda: self._p1_refresh_steps(device1),
+            lambda: self._p2_refresh_steps(device2),
+            secrets1=(SK_COMM_PENDING_SLOT, "scratch"),
+            staged=OPTIMAL_STAGED,
+            abort_message="refresh aborted; both devices rolled back to their old shares",
+        )
+        self._run_engine(spec, channel)
 
     # ------------------------------------------------------------------
     # One faithful time period with snapshots
@@ -194,36 +214,43 @@ class OptimalDLR(DLR):
         self,
         device1: Device,
         device2: Device,
-        channel: Channel,
+        channel: Transport,
         ciphertext: Ciphertext,
     ) -> PeriodRecord:
         """Decryption + refresh as one period, with phase snapshots.
 
-        Crash-safe: :meth:`refresh_protocol` stages and rolls back the
-        rotation; this wrapper additionally closes any open phase
-        snapshots on abort so the period can be re-run."""
+        One engine run: P1's generator chains the decryption and refresh
+        steps (P2's is the shared DLR period generator), so the whole
+        period is crash-safe over any transport -- a failure rolls back
+        the staged rotation and closes the open phase snapshots."""
         period = channel.current_period
-        snapshots: dict = {}
+        snapshots: dict[tuple[int, str], object] = {}
 
-        try:
+        def p1():
             device1.secret.open_phase(f"t{period}.normal")
-            device2.secret.open_phase(f"t{period}.normal")
-            plaintext = self.decrypt_protocol(device1, device2, channel, ciphertext)
-            channel.send(device1.name, device2.name, "dec.output", plaintext)
+            plaintext = yield from self._p1_decrypt_steps(device1, ciphertext)
+            yield Send("dec.output", plaintext)
             snapshots[(1, "normal")] = device1.secret.close_phase()
-            snapshots[(2, "normal")] = device2.secret.close_phase()
 
             device1.secret.open_phase(f"t{period}.refresh")
-            device2.secret.open_phase(f"t{period}.refresh")
-            self.refresh_protocol(device1, device2, channel)
+            yield from self._p1_refresh_steps(device1)
             snapshots[(1, "refresh")] = device1.secret.close_phase()
-            snapshots[(2, "refresh")] = device2.secret.close_phase()
-        except Exception as exc:
-            snapshots.update(self._abort_phases(device1, device2))
-            if isinstance(exc, RefreshAborted):
-                exc.period = period
-                exc.snapshots.update(snapshots)
-            raise
+            return plaintext
+
+        spec = ProtocolSpec(
+            "optimal.period",
+            device1,
+            device2,
+            p1,
+            lambda: self._p2_period_steps(device2, period, snapshots),
+            secrets1=(SK_COMM_PENDING_SLOT, "scratch"),
+            staged=OPTIMAL_STAGED,
+            abort_message="refresh aborted; both devices rolled back to their old shares",
+            abort_period=period,
+            snapshots=snapshots,
+        )
+        plaintext = self._run_engine(spec, channel)
+        assert isinstance(plaintext, GTElement)
 
         messages = channel.transcript(period)
         channel.advance_period()

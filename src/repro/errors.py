@@ -17,6 +17,19 @@ class ProtocolError(ReproError):
     """A 2-party protocol was driven incorrectly or received bad messages."""
 
 
+class WireFormatError(ReproError):
+    """A payload could not be encoded to (or decoded from) the wire format."""
+
+
+class PeerDisconnected(ProtocolError):
+    """The remote party closed its transport endpoint mid-protocol.
+
+    Raised by threaded transports (:class:`~repro.protocol.transport.SocketTransport`)
+    when a read or write hits a closed socket -- typically because the
+    peer's protocol step failed and its runner shut the connection down.
+    """
+
+
 class FaultInjected(ProtocolError):
     """An injected channel fault interrupted a protocol mid-flight.
 

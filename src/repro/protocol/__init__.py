@@ -1,4 +1,4 @@
-"""Two-device runtime: memory regions, devices, the public channel.
+"""Two-device runtime: memory regions, devices, transports, the engine.
 
 The paper's model (section 3) views each device's memory as a *public*
 region (public key, public randomness, protocol inputs/outputs) and a
@@ -7,22 +7,49 @@ Leakage functions are applied to the secret region; the adversary sees
 the public region and the full communication transcript for free.
 
 This package supplies those moving parts; the schemes in
-:mod:`repro.core` are written as explicit message flows between two
-:class:`~repro.protocol.device.Device` objects over a
-:class:`~repro.protocol.channel.Channel`.
+:mod:`repro.core` are written as per-device step generators driven by
+the :class:`~repro.protocol.engine.ProtocolEngine` over a pluggable
+:class:`~repro.protocol.transport.Transport` (in-memory ``Channel``,
+fault-injecting ``FaultyTransport``, or ``SocketTransport`` with the
+parties in separate threads).
 """
 
 from repro.protocol.channel import Channel, Message
 from repro.protocol.device import Device
-from repro.protocol.faults import FaultRule, FaultyChannel
+from repro.protocol.engine import (
+    Commit,
+    ProtocolEngine,
+    ProtocolSpec,
+    Recv,
+    ReceivedMessage,
+    Send,
+    StagedShare,
+    StepStat,
+    TranscriptStats,
+)
+from repro.protocol.faults import FaultRule, FaultyChannel, FaultyTransport
 from repro.protocol.memory import MemoryRegion, PhaseSnapshot
+from repro.protocol.transport import InMemoryTransport, SocketTransport, Transport
 
 __all__ = [
     "Channel",
+    "Commit",
     "Device",
     "FaultRule",
     "FaultyChannel",
+    "FaultyTransport",
+    "InMemoryTransport",
     "MemoryRegion",
     "Message",
     "PhaseSnapshot",
+    "ProtocolEngine",
+    "ProtocolSpec",
+    "Recv",
+    "ReceivedMessage",
+    "Send",
+    "SocketTransport",
+    "StagedShare",
+    "StepStat",
+    "Transport",
+    "TranscriptStats",
 ]

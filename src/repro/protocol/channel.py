@@ -1,81 +1,18 @@
 """The public communication channel between the two devices.
 
-Everything sent over the channel is public: the adversary's view includes
-the full transcript ``comm^t`` (section 3.2), and leakage functions may
-depend on it.  The channel therefore records every message verbatim and
-exposes per-time-period views.
+Historic module: the original ``Channel`` grew into the transport
+hierarchy of :mod:`repro.protocol.transport`.  ``Channel`` is kept as
+the conventional name for the default in-process transport (it *is* an
+:class:`~repro.protocol.transport.InMemoryTransport`), and ``Message``
+is re-exported, so all existing imports keep working.
 """
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, field
+from repro.protocol.transport import InMemoryTransport, Message
 
-from repro.utils.bits import BitString, concat_all
-from repro.utils.serialization import encode_any
+__all__ = ["Channel", "Message"]
 
 
-@dataclass(frozen=True)
-class Message:
-    """One message on the public channel."""
-
-    sender: str
-    recipient: str
-    label: str
-    payload: object
-    period: int
-
-    def to_bits(self) -> BitString:
-        return encode_any(self.payload)
-
-
-@dataclass
-class Channel:
+class Channel(InMemoryTransport):
     """A reliable, authenticated, *public* channel with a full transcript."""
-
-    messages: list[Message] = field(default_factory=list)
-    current_period: int = 0
-
-    def send(self, sender: str, recipient: str, label: str, payload: object) -> object:
-        """Record and deliver a message; returns the payload for convenience."""
-        self.messages.append(
-            Message(sender, recipient, label, payload, self.current_period)
-        )
-        return payload
-
-    def advance_period(self) -> None:
-        self.current_period += 1
-
-    def transcript(self, period: int | None = None) -> list[Message]:
-        """All messages, or those of one time period."""
-        if period is None:
-            return list(self.messages)
-        return [m for m in self.messages if m.period == period]
-
-    def transcript_bits(self, period: int | None = None) -> BitString:
-        return concat_all(m.to_bits() for m in self.transcript(period))
-
-    def bits_on_wire(self, period: int | None = None) -> int:
-        """Total communication in bits (for the cost benchmarks)."""
-        return len(self.transcript_bits(period))
-
-    def bytes_on_wire(self, period: int | None = None) -> int:
-        """Deprecated misnomer for :meth:`bits_on_wire` -- it has always
-        returned *bits*, never bytes."""
-        warnings.warn(
-            "Channel.bytes_on_wire returns bits and has been renamed to "
-            "bits_on_wire; the old name will be removed",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.bits_on_wire(period)
-
-    def bits_by_label(self, period: int | None = None) -> dict[str, int]:
-        """Communication breakdown per message label -- which protocol
-        step costs what (used by the cost analyses)."""
-        breakdown: dict[str, int] = {}
-        for message in self.transcript(period):
-            breakdown[message.label] = breakdown.get(message.label, 0) + len(
-                message.to_bits()
-            )
-        return breakdown

@@ -2,13 +2,14 @@
 
 A real deployment of the 2-party protocols must survive the channel
 dying mid-protocol: a dropped message, a truncated frame, a stalled
-link.  :class:`FaultyChannel` wraps a
-:class:`~repro.protocol.channel.Channel` and fires configured
+link.  :class:`FaultyTransport` wraps any
+:class:`~repro.protocol.transport.Transport` and fires configured
 :class:`FaultRule`\\ s at :meth:`send` boundaries, raising
 :class:`~repro.errors.FaultInjected` exactly where a crash would
 surface.  The schemes' abort paths (staged share commits, rollback,
 ``try/finally`` secret erasure) are tested against every boundary this
-module can name.
+module can name -- over the in-memory transport and over real sockets
+with the parties in separate threads.
 
 Fault modes:
 
@@ -27,11 +28,11 @@ Rules are one-shot: after firing, a rule is spent, so a retry driver
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 
 from repro.errors import FaultInjected, ParameterError
-from repro.protocol.channel import Channel, Message
-from repro.utils.bits import BitString
+from repro.protocol.transport import InMemoryTransport, Message, Transport
 from repro.utils.serialization import encode_any
 
 DROP = "drop"
@@ -92,46 +93,56 @@ class _ArmedRule:
         return True
 
 
-@dataclass
-class FaultyChannel:
-    """A :class:`Channel` wrapper that injects faults at send boundaries.
+class FaultyTransport(Transport):
+    """A transport wrapper that injects faults at send boundaries.
 
-    Implements the full channel interface by delegation, so it is a
-    drop-in replacement wherever a ``Channel`` is expected.  Everything
-    that *does* reach the wire (including truncated frames) lands on the
-    inner channel's public transcript, faithfully modelling what an
-    adversary observes of an interrupted protocol.
+    Wraps any :class:`~repro.protocol.transport.Transport` (in-memory by
+    default) and delegates the entire transcript/stat surface to it, so
+    it is a drop-in replacement wherever a transport is expected.
+    Everything that *does* reach the wire (including truncated frames)
+    lands on the inner transport's public transcript, faithfully
+    modelling what an adversary observes of an interrupted protocol.
     """
 
-    inner: Channel = field(default_factory=Channel)
-    rules: list[FaultRule] = field(default_factory=list)
-
-    def __post_init__(self) -> None:
+    def __init__(
+        self,
+        inner: Transport | None = None,
+        rules: list[FaultRule] | None = None,
+    ) -> None:
+        self.inner = inner if inner is not None else InMemoryTransport()
+        self.rules = list(rules) if rules is not None else []
         self._armed = [_ArmedRule(rule) for rule in self.rules]
         self.injected: list[tuple[FaultRule, str]] = []
         self.delay_ticks = 0
+        self._rule_lock = threading.Lock()
 
     # -- rule management ---------------------------------------------------
 
     def add_rule(self, rule: FaultRule) -> None:
-        self.rules.append(rule)
-        self._armed.append(_ArmedRule(rule))
+        with self._rule_lock:
+            self.rules.append(rule)
+            self._armed.append(_ArmedRule(rule))
 
     def clear_rules(self) -> None:
         """Disarm every rule that has not fired yet."""
-        self.rules.clear()
-        self._armed.clear()
+        with self._rule_lock:
+            self.rules.clear()
+            self._armed.clear()
 
     @classmethod
     def dropping(
-        cls, label: str, occurrence: int = 1, inner: Channel | None = None
-    ) -> "FaultyChannel":
-        """A channel that drops the k-th message with the given label."""
-        channel = cls(inner=inner if inner is not None else Channel())
-        channel.add_rule(FaultRule(mode=DROP, label=label, occurrence=occurrence))
-        return channel
+        cls, label: str, occurrence: int = 1, inner: Transport | None = None
+    ) -> "FaultyTransport":
+        """A transport that drops the k-th message with the given label."""
+        transport = cls(inner=inner)
+        transport.add_rule(FaultRule(mode=DROP, label=label, occurrence=occurrence))
+        return transport
 
-    # -- channel interface -------------------------------------------------
+    # -- delegation of the transport surface -------------------------------
+
+    @property
+    def threaded(self) -> bool:  # type: ignore[override]
+        return self.inner.threaded
 
     @property
     def messages(self) -> list[Message]:
@@ -144,46 +155,58 @@ class FaultyChannel:
     def advance_period(self) -> None:
         self.inner.advance_period()
 
-    def transcript(self, period: int | None = None) -> list[Message]:
-        return self.inner.transcript(period)
+    def attach_group(self, group) -> None:
+        self.inner.attach_group(group)
 
-    def transcript_bits(self, period: int | None = None) -> BitString:
-        return self.inner.transcript_bits(period)
+    def record(self, sender: str, recipient: str, label: str, payload: object) -> Message:
+        return self.inner.record(sender, recipient, label, payload)
 
-    def bits_on_wire(self, period: int | None = None) -> int:
-        return self.inner.bits_on_wire(period)
+    def open(self, party_a: str, party_b: str) -> None:
+        self.inner.open(party_a, party_b)
 
-    def bytes_on_wire(self, period: int | None = None) -> int:
-        return self.inner.bytes_on_wire(period)
+    def recv(self, party: str) -> tuple[str, str, object]:
+        return self.inner.recv(party)
 
-    def bits_by_label(self, period: int | None = None) -> dict[str, int]:
-        return self.inner.bits_by_label(period)
+    def shutdown_party(self, party: str) -> None:
+        self.inner.shutdown_party(party)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    # -- the faulty send ---------------------------------------------------
 
     def send(self, sender: str, recipient: str, label: str, payload: object) -> object:
-        fired: _ArmedRule | None = None
-        for armed in self._armed:
-            if not armed.matches(label, self.inner.current_period):
-                continue
-            armed.remaining -= 1
-            if armed.remaining == 0 and fired is None:
-                armed.spent = True
-                fired = armed
+        with self._rule_lock:
+            fired: _ArmedRule | None = None
+            for armed in self._armed:
+                if not armed.matches(label, self.inner.current_period):
+                    continue
+                armed.remaining -= 1
+                if armed.remaining == 0 and fired is None:
+                    armed.spent = True
+                    fired = armed
+            if fired is not None:
+                self.injected.append((fired.rule, label))
         if fired is None:
             return self.inner.send(sender, recipient, label, payload)
 
         rule = fired.rule
-        self.injected.append((rule, label))
         if rule.mode == DELAY:
             self.delay_ticks += rule.delay_ticks
             return self.inner.send(sender, recipient, label, payload)
         if rule.mode == TRUNCATE:
             bits = encode_any(payload)
             keep = bits[: min(rule.keep_bits, len(bits))]
-            # The partial frame is public: it goes on the transcript.
-            self.inner.send(sender, recipient, f"{label}.truncated", keep)
+            # The partial frame is public: it goes on the transcript (but
+            # is never delivered to the peer -- the protocol dies here).
+            self.inner.record(sender, recipient, f"{label}.truncated", keep)
             raise FaultInjected(
                 f"message {label!r} truncated to {len(keep)} of {len(bits)} bits",
                 label=label,
                 mode=TRUNCATE,
             )
         raise FaultInjected(f"message {label!r} dropped", label=label, mode=DROP)
+
+
+#: Historic name for :class:`FaultyTransport` (it wrapped a ``Channel``).
+FaultyChannel = FaultyTransport

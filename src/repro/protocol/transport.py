@@ -1,0 +1,273 @@
+"""Pluggable transports carrying the public protocol channel.
+
+Everything sent between the two devices is public: the adversary's view
+includes the full transcript ``comm^t`` (section 3.2), and leakage
+functions may depend on it.  Every transport therefore records each
+message verbatim and exposes the same transcript/stat surface, defined
+exactly once on :class:`Transport`.
+
+Three implementations:
+
+* :class:`InMemoryTransport` -- the classic single-process channel (the
+  old ``Channel``).  Even in-process, payloads cross as *bytes*: the
+  sender's object is encoded with the wire codec and the receiver gets a
+  freshly decoded copy, so no mutable object is ever aliased between the
+  two devices' memories.
+* :class:`SocketTransport` -- P1 and P2 in separate threads over a local
+  ``socketpair``; frames are length-prefixed wire-codec bytes.
+* :class:`~repro.protocol.faults.FaultyTransport` -- wraps any transport
+  and injects faults at send boundaries.
+
+The transcript records the *sender-side* payload object (what was put on
+the wire), so transcript bits are independent of which transport carried
+them -- the golden-transcript tests pin this down.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import warnings
+from dataclasses import dataclass
+
+from repro.errors import PeerDisconnected, WireFormatError
+from repro.utils.bits import BitString, concat_all
+from repro.utils.serialization import WireCodec, encode_any, sniff_group
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message on the public channel."""
+
+    sender: str
+    recipient: str
+    label: str
+    payload: object
+    period: int
+
+    def to_bits(self) -> BitString:
+        return encode_any(self.payload)
+
+
+class Transport:
+    """Base transport: transcript recording plus the queryable stat surface.
+
+    Subclasses implement :meth:`send` (and, for ``threaded`` transports,
+    the endpoint management in :meth:`open`/:meth:`recv`/:meth:`close`).
+    The read API below -- ``transcript``, ``bits_on_wire``, ... -- is the
+    single implementation every transport (and every wrapper) shares.
+    """
+
+    #: Whether the two parties run in separate threads with blocking
+    #: ``recv`` (socket-style) rather than an in-process rendezvous.
+    threaded = False
+    #: Whether decoded group elements get the full subgroup check.
+    check_subgroup = False
+
+    def __init__(self) -> None:
+        self._messages: list[Message] = []
+        self._period = 0
+        self._group = None
+
+    # -- codec binding -----------------------------------------------------
+
+    def attach_group(self, group) -> None:
+        """Bind the codec to a bilinear group so group elements decode."""
+        if group is not None:
+            self._group = group
+
+    def _codec_for(self, payload: object = None) -> WireCodec:
+        group = self._group
+        if group is None:
+            group = sniff_group(payload)
+            self._group = group
+        return WireCodec(group, check_subgroup=self.check_subgroup)
+
+    # -- transcript recording ---------------------------------------------
+
+    @property
+    def messages(self) -> list[Message]:
+        return self._messages
+
+    @property
+    def current_period(self) -> int:
+        return self._period
+
+    def advance_period(self) -> None:
+        self._period += 1
+
+    def record(self, sender: str, recipient: str, label: str, payload: object) -> Message:
+        """Append a frame to the public transcript (sender-side payload)."""
+        message = Message(sender, recipient, label, payload, self.current_period)
+        self.messages.append(message)
+        return message
+
+    # -- sending / receiving ----------------------------------------------
+
+    def send(self, sender: str, recipient: str, label: str, payload: object) -> object:
+        raise NotImplementedError
+
+    def open(self, party_a: str, party_b: str) -> None:
+        """Set up per-party endpoints (threaded transports only)."""
+
+    def recv(self, party: str) -> tuple[str, str, object]:
+        """Blocking receive for ``party``: ``(sender, label, payload)``."""
+        raise NotImplementedError(f"{type(self).__name__} has no blocking recv")
+
+    def shutdown_party(self, party: str) -> None:
+        """Close one party's endpoint (signals EOF to the peer)."""
+
+    def close(self) -> None:
+        """Tear down any endpoints; the transcript stays readable."""
+
+    # -- the queryable stat surface (implemented once) ---------------------
+
+    def transcript(self, period: int | None = None) -> list[Message]:
+        """All messages, or those of one time period."""
+        if period is None:
+            return list(self.messages)
+        return [m for m in self.messages if m.period == period]
+
+    def transcript_bits(self, period: int | None = None) -> BitString:
+        return concat_all(m.to_bits() for m in self.transcript(period))
+
+    def bits_on_wire(self, period: int | None = None) -> int:
+        """Total communication in bits (for the cost benchmarks)."""
+        return len(self.transcript_bits(period))
+
+    def bytes_on_wire(self, period: int | None = None) -> int:
+        """Deprecated misnomer for :meth:`bits_on_wire` -- it has always
+        returned *bits*, never bytes."""
+        warnings.warn(
+            f"{type(self).__name__}.bytes_on_wire returns bits and has been "
+            "renamed to bits_on_wire; the old name will be removed",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.bits_on_wire(period)
+
+    def bits_by_label(self, period: int | None = None) -> dict[str, int]:
+        """Communication breakdown per message label -- which protocol
+        step costs what (used by the cost analyses)."""
+        breakdown: dict[str, int] = {}
+        for message in self.transcript(period):
+            breakdown[message.label] = breakdown.get(message.label, 0) + len(
+                message.to_bits()
+            )
+        return breakdown
+
+
+class InMemoryTransport(Transport):
+    """Reliable, authenticated, in-process transport with a full transcript.
+
+    ``send`` serializes the payload to bytes and returns a freshly
+    decoded copy -- the receiver never holds a reference into the
+    sender's memory.  Payload types outside the wire format (only
+    possible for ad-hoc test traffic, never for protocol messages) pass
+    through by reference, as the old ``Channel`` did.
+    """
+
+    def send(self, sender: str, recipient: str, label: str, payload: object) -> object:
+        self.record(sender, recipient, label, payload)
+        codec = self._codec_for(payload)
+        try:
+            wire = codec.encode(payload)
+        except WireFormatError:
+            return payload
+        return codec.decode(wire)
+
+
+class SocketTransport(Transport):
+    """P1 and P2 in separate threads over a local socket pair.
+
+    :meth:`open` creates one ``socketpair`` endpoint per party; frames
+    are ``[4-byte header length][JSON header][8-byte payload length]
+    [wire-codec payload]``.  A party whose protocol step fails closes
+    its endpoint, which surfaces at the peer's blocking read as
+    :class:`~repro.errors.PeerDisconnected`.  Decoded elements get the
+    full subgroup check -- these bytes crossed a real wire.
+    """
+
+    threaded = True
+    check_subgroup = True
+
+    def __init__(self, timeout: float = 30.0) -> None:
+        super().__init__()
+        self.timeout = timeout
+        self._endpoints: dict[str, socket.socket] = {}
+        self._lock = threading.Lock()
+
+    def open(self, party_a: str, party_b: str) -> None:
+        self.close()
+        end_a, end_b = socket.socketpair()
+        end_a.settimeout(self.timeout)
+        end_b.settimeout(self.timeout)
+        self._endpoints = {party_a: end_a, party_b: end_b}
+
+    def shutdown_party(self, party: str) -> None:
+        endpoint = self._endpoints.get(party)
+        if endpoint is not None:
+            try:
+                endpoint.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            endpoint.close()
+
+    def close(self) -> None:
+        for party in list(self._endpoints):
+            self.shutdown_party(party)
+        self._endpoints = {}
+
+    def _endpoint(self, party: str) -> socket.socket:
+        endpoint = self._endpoints.get(party)
+        if endpoint is None:
+            raise PeerDisconnected(
+                f"no open socket endpoint for {party!r}; call open() first"
+            )
+        return endpoint
+
+    def send(self, sender: str, recipient: str, label: str, payload: object) -> object:
+        codec = self._codec_for(payload)
+        wire = codec.encode(payload)  # sockets carry bytes, no fallback
+        header = json.dumps(
+            {"sender": sender, "recipient": recipient, "label": label}
+        ).encode("utf-8")
+        frame = (
+            len(header).to_bytes(4, "big")
+            + header
+            + len(wire).to_bytes(8, "big")
+            + wire
+        )
+        with self._lock:
+            self.record(sender, recipient, label, payload)
+            endpoint = self._endpoint(sender)
+        try:
+            endpoint.sendall(frame)
+        except OSError as exc:
+            raise PeerDisconnected(
+                f"send of {label!r} failed: peer endpoint is gone"
+            ) from exc
+        return payload
+
+    def _read_exact(self, endpoint: socket.socket, n: int, party: str) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < n:
+            try:
+                chunk = endpoint.recv(n - len(chunks))
+            except OSError as exc:
+                raise PeerDisconnected(f"{party} read failed mid-frame") from exc
+            if not chunk:
+                raise PeerDisconnected(f"{party} saw EOF from its peer")
+            chunks.extend(chunk)
+        return bytes(chunks)
+
+    def recv(self, party: str) -> tuple[str, str, object]:
+        with self._lock:
+            endpoint = self._endpoint(party)
+        header_len = int.from_bytes(self._read_exact(endpoint, 4, party), "big")
+        header = json.loads(self._read_exact(endpoint, header_len, party))
+        payload_len = int.from_bytes(self._read_exact(endpoint, 8, party), "big")
+        wire = self._read_exact(endpoint, payload_len, party)
+        payload = self._codec_for().decode(wire)
+        return header["sender"], header["label"], payload

@@ -13,6 +13,11 @@ the invariants the leakage model depends on:
 * no protocol secret (``*.sk_comm``, ``*.a_next``, pending shares)
   survives in secret memory after the protocol exits;
 * ``run_period_resilient`` completes the period on the retry.
+
+The whole suite runs twice: over the in-memory transport and over a
+real :class:`SocketTransport` with P1 and P2 in separate threads (a
+dying party closes its endpoint; the peer's blocking read surfaces the
+abort) -- the ``make_faulty`` fixture picks the wire.
 """
 
 import random
@@ -33,11 +38,26 @@ from repro.protocol.faults import (
     REFRESH_BOUNDARIES,
     TRUNCATE,
     FaultRule,
-    FaultyChannel,
+    FaultyTransport,
 )
+from repro.protocol.transport import SocketTransport
 from repro.utils.bits import BitString
 
 PROTOCOL_SECRET_SUFFIXES = (".sk_comm", ".a_next", ".pending", ".delta", ".r")
+
+
+@pytest.fixture(params=["memory", "socket"])
+def make_faulty(request):
+    """A factory for fault-injecting transports over both wires."""
+
+    def factory(*rules: FaultRule) -> FaultyTransport:
+        inner = SocketTransport(timeout=10.0) if request.param == "socket" else None
+        transport = FaultyTransport(inner=inner)
+        for rule in rules:
+            transport.add_rule(rule)
+        return transport
+
+    return factory
 
 
 def protocol_secret_names(device: Device) -> list[str]:
@@ -66,10 +86,9 @@ def make_setting(scheme, seed=1):
 class TestEveryBoundary:
     @pytest.mark.parametrize("label", PERIOD_BOUNDARIES)
     @pytest.mark.parametrize("mode", [DROP, TRUNCATE])
-    def test_fault_rolls_back_and_shares_still_verify(self, scheme, label, mode):
+    def test_fault_rolls_back_and_shares_still_verify(self, scheme, label, mode, make_faulty):
         generation, p1, p2, rng = make_setting(scheme)
-        channel = FaultyChannel()
-        channel.add_rule(FaultRule(mode=mode, label=label, keep_bits=4))
+        channel = make_faulty(FaultRule(mode=mode, label=label, keep_bits=4))
         ciphertext = scheme.encrypt(
             generation.public_key, scheme.group.random_gt(rng), rng
         )
@@ -99,11 +118,11 @@ class TestEveryBoundary:
         assert not p2.secret.phase_open
 
     @pytest.mark.parametrize("label", PERIOD_BOUNDARIES)
-    def test_post_abort_snapshots_hold_no_protocol_secrets(self, scheme, label):
+    def test_post_abort_snapshots_hold_no_protocol_secrets(self, scheme, label, make_faulty):
         """A snapshot of a phase opened *after* the abort sees only the
         (rolled-back) share -- the leakage surface of a fresh period."""
         generation, p1, p2, rng = make_setting(scheme)
-        channel = FaultyChannel.dropping(label)
+        channel = make_faulty(FaultRule(mode=DROP, label=label))
         ciphertext = scheme.encrypt(
             generation.public_key, scheme.group.random_gt(rng), rng
         )
@@ -117,11 +136,11 @@ class TestEveryBoundary:
         assert snap1.names() == [SK1_SLOT]
         assert snap2.names() == [SK2_SLOT]
 
-    def test_aborted_exception_carries_chargeable_snapshots(self, scheme):
+    def test_aborted_exception_carries_chargeable_snapshots(self, scheme, make_faulty):
         """The refresh-phase snapshot of an aborted period is still a
         leakage surface; RefreshAborted hands it to the game."""
         generation, p1, p2, rng = make_setting(scheme)
-        channel = FaultyChannel.dropping("ref.commit")
+        channel = make_faulty(FaultRule(mode=DROP, label="ref.commit"))
         ciphertext = scheme.encrypt(
             generation.public_key, scheme.group.random_gt(rng), rng
         )
@@ -134,9 +153,9 @@ class TestEveryBoundary:
 
 class TestResilientDriver:
     @pytest.mark.parametrize("label", REFRESH_BOUNDARIES)
-    def test_completes_on_retry_after_one_fault(self, scheme, label):
+    def test_completes_on_retry_after_one_fault(self, scheme, label, make_faulty):
         generation, p1, p2, rng = make_setting(scheme)
-        channel = FaultyChannel.dropping(label)
+        channel = make_faulty(FaultRule(mode=DROP, label=label))
         message = scheme.group.random_gt(rng)
         ciphertext = scheme.encrypt(generation.public_key, message, rng)
 
@@ -146,9 +165,9 @@ class TestResilientDriver:
         assert scheme.share1_of(p1) is not generation.share1
         assert scheme.verify_shares(generation.public_key, p1, p2, Channel(), rng)
 
-    def test_gives_up_after_max_attempts(self, scheme):
+    def test_gives_up_after_max_attempts(self, scheme, make_faulty):
         generation, p1, p2, rng = make_setting(scheme)
-        channel = FaultyChannel()
+        channel = make_faulty()
         for occurrence in range(1, 4):  # one fault per attempt
             channel.add_rule(
                 FaultRule(mode=DROP, label="ref.f", occurrence=occurrence)
@@ -171,13 +190,13 @@ class TestResilientDriver:
 
 
 class TestMultiPeriodSoak:
-    def test_random_fault_schedule(self, scheme):
+    def test_random_fault_schedule(self, scheme, make_faulty):
         """Many periods under a random mix of drops, truncations and
         delays: every failed period rolls back, every completed period
         decrypts correctly, and the shares verify throughout."""
         generation, p1, p2, rng = make_setting(scheme, seed=7)
         fault_rng = random.Random(42)
-        channel = FaultyChannel()
+        channel = make_faulty()
         completed = 0
         failed = 0
 
@@ -204,10 +223,10 @@ class TestMultiPeriodSoak:
         assert completed > 0 and failed > 0  # the schedule exercised both
         assert scheme.verify_shares(generation.public_key, p1, p2, Channel(), rng)
 
-    def test_refresh_protocol_standalone_rollback(self, scheme):
+    def test_refresh_protocol_standalone_rollback(self, scheme, make_faulty):
         """The bare refresh protocol (not run_period) also rolls back."""
         generation, p1, p2, rng = make_setting(scheme)
-        channel = FaultyChannel.dropping("ref.commit")
+        channel = make_faulty(FaultRule(mode=DROP, label="ref.commit"))
         with pytest.raises(RefreshAborted):
             scheme.refresh_protocol(p1, p2, channel)
         assert scheme.share1_of(p1) is generation.share1
@@ -215,9 +234,9 @@ class TestMultiPeriodSoak:
         assert scheme.share1_of(p1) is not generation.share1
         assert scheme.verify_shares(generation.public_key, p1, p2, Channel(), rng)
 
-    def test_run_period_multi_rolls_back(self, scheme):
+    def test_run_period_multi_rolls_back(self, scheme, make_faulty):
         generation, p1, p2, rng = make_setting(scheme)
-        channel = FaultyChannel.dropping("ref.f_combined")
+        channel = make_faulty(FaultRule(mode=DROP, label="ref.f_combined"))
         messages = [scheme.group.random_gt(rng) for _ in range(2)]
         cts = [scheme.encrypt(generation.public_key, m, rng) for m in messages]
         with pytest.raises(RefreshAborted):
@@ -229,7 +248,7 @@ class TestMultiPeriodSoak:
 
 class TestOptimalVariant:
     @pytest.mark.parametrize("label", REFRESH_BOUNDARIES)
-    def test_refresh_fault_rolls_back(self, small_params, label):
+    def test_refresh_fault_rolls_back(self, small_params, label, make_faulty):
         scheme = OptimalDLR(small_params)
         rng = random.Random(3)
         generation = scheme.generate(rng)
@@ -239,7 +258,7 @@ class TestOptimalVariant:
         old_encrypted = scheme.encrypted_share_of(p1)
         old_share2 = scheme.share2_of(p2)
 
-        channel = FaultyChannel.dropping(label)
+        channel = make_faulty(FaultRule(mode=DROP, label=label))
         with pytest.raises((RefreshAborted, FaultInjected)):
             scheme.refresh_protocol(p1, p2, channel)
 
@@ -258,7 +277,7 @@ class TestOptimalVariant:
 
 
 class TestIdentityRefreshRollback:
-    def test_identity_fault_rolls_back(self, small_params):
+    def test_identity_fault_rolls_back(self, small_params, make_faulty):
         from repro.ibe.dlr_ibe import DLRIBE, _id_slot
 
         dibe = DLRIBE(small_params, n_id=8)
@@ -266,7 +285,7 @@ class TestIdentityRefreshRollback:
         setup = dibe.setup(rng)
         p1 = Device("P1", dibe.group, rng)
         p2 = Device("P2", dibe.group, rng)
-        channel = FaultyChannel()
+        channel = make_faulty()
         dibe.install(p1, p2, setup.share1, setup.share2)
         dibe.extract_protocol(setup.public_params, p1, p2, channel, "alice")
         old1 = dibe.identity_share1_of(p1, "alice")

@@ -7,7 +7,7 @@ import random
 
 import pytest
 
-from repro.core.dlr import DLR, SK1_SLOT, SK2_SLOT
+from repro.core.dlr import DLR, SK1_SLOT, SK2_SLOT, combine_decrypt
 from repro.core.hpske import HPSKECiphertext
 from repro.core.optimal import OptimalDLR
 from repro.errors import GroupError, ProtocolError
@@ -110,12 +110,14 @@ class TestMessageTampering:
         tampered = (
             HPSKECiphertext(d_list[0].coins, d_list[0].body * evil),
         ) + d_list[1:]
-        response = scheme._p2_decrypt_step(p2, tampered, d_phi, d_b)
+        with p2.computing():
+            response = combine_decrypt(scheme.share2_of(p2), tampered, d_phi, d_b)
         assert scheme.hpske_gt.decrypt(sk_comm, response) != message
 
     def test_tampered_response_garbles_output(self, scheme, setting):
         message, sk_comm, d_list, d_phi, d_b, p2 = self._p1_decryption_inputs(scheme, setting)
-        response = scheme._p2_decrypt_step(p2, d_list, d_phi, d_b)
+        with p2.computing():
+            response = combine_decrypt(scheme.share2_of(p2), d_list, d_phi, d_b)
         rng = random.Random(6)
         tampered = HPSKECiphertext(
             response.coins, response.body * scheme.group.random_gt(rng)

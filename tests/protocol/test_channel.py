@@ -5,10 +5,14 @@ from repro.utils.bits import BitString
 
 
 class TestChannel:
-    def test_send_returns_payload(self):
+    def test_send_returns_decoded_copy(self):
+        """The receiver gets an equal payload, but never the sender's
+        object -- everything crosses the channel as wire bytes."""
         channel = Channel()
         payload = BitString(0b1, 1)
-        assert channel.send("P1", "P2", "msg", payload) is payload
+        delivered = channel.send("P1", "P2", "msg", payload)
+        assert delivered == payload
+        assert delivered is not payload
 
     def test_transcript_records_everything(self):
         channel = Channel()

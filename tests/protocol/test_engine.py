@@ -1,0 +1,373 @@
+"""Unit tests for the protocol engine: scheduling, commit/rollback,
+secret erasure, instrumentation -- exercised with toy step generators,
+independent of the real schemes."""
+
+import random
+
+import pytest
+
+from repro.errors import PeerDisconnected, ProtocolError, RefreshAborted
+from repro.protocol.device import Device
+from repro.protocol.engine import (
+    Commit,
+    ProtocolEngine,
+    ProtocolSpec,
+    Recv,
+    Send,
+    StagedShare,
+    abort_phases,
+)
+from repro.protocol.transport import InMemoryTransport, SocketTransport
+from repro.utils.bits import BitString
+
+
+@pytest.fixture()
+def devices(small_group):
+    rng = random.Random(11)
+    return Device("P1", small_group, rng), Device("P2", small_group, rng)
+
+
+def run(spec, transport=None):
+    engine = ProtocolEngine(transport if transport is not None else InMemoryTransport())
+    return engine.run(spec), engine
+
+
+def ping_pong_spec(d1, d2, **kwargs):
+    def p1():
+        reply = yield Recv("pong")
+        return reply.payload
+
+    def p2():
+        yield Send("pong", BitString(0b101, 3))
+
+    return ProtocolSpec("test.pingpong", d1, d2, p1, p2, **kwargs)
+
+
+class TestScheduling:
+    def test_round_trip_returns_party1_result(self, devices):
+        d1, d2 = devices
+
+        def p1():
+            yield Send("a", BitString(1, 1))
+            reply = yield Recv("b")
+            return reply.payload
+
+        def p2():
+            message = yield Recv("a")
+            assert message.payload == BitString(1, 1)
+            yield Send("b", BitString(0b11, 2))
+
+        result, _ = run(ProtocolSpec("test.rt", d1, d2, p1, p2))
+        assert result == BitString(0b11, 2)
+
+    def test_party2_can_speak_first(self, devices):
+        d1, d2 = devices
+        result, _ = run(ping_pong_spec(d1, d2))
+        assert result == BitString(0b101, 3)
+
+    def test_multi_round_interleaving(self, devices):
+        d1, d2 = devices
+        rounds = 4
+
+        def p1():
+            total = 0
+            for i in range(rounds):
+                yield Send("ask", i)
+                reply = yield Recv("ans")
+                total += reply.payload
+            return total
+
+        def p2():
+            for _ in range(rounds):
+                message = yield Recv("ask")
+                yield Send("ans", message.payload * 2)
+
+        result, engine = run(ProtocolSpec("test.rounds", d1, d2, p1, p2))
+        assert result == 2 * sum(range(rounds))
+        assert [s.label for s in engine.stats.sends()] == ["ask", "ans"] * rounds
+
+    def test_label_mismatch_raises(self, devices):
+        d1, d2 = devices
+
+        def p1():
+            yield Send("unexpected", BitString(1, 1))
+
+        def p2():
+            yield Recv("expected")
+
+        with pytest.raises(ProtocolError, match="expected"):
+            run(ProtocolSpec("test.mismatch", d1, d2, p1, p2))
+
+    def test_deadlock_detected(self, devices):
+        d1, d2 = devices
+
+        def starving():
+            yield Recv()
+
+        with pytest.raises(ProtocolError, match="deadlock"):
+            run(ProtocolSpec("test.deadlock", d1, d2, starving, starving))
+
+    def test_non_protocol_yield_rejected(self, devices):
+        d1, d2 = devices
+
+        def p1():
+            yield "not an operation"
+
+        def p2():
+            if False:
+                yield
+
+        with pytest.raises(ProtocolError, match="not a protocol operation"):
+            run(ProtocolSpec("test.badyield", d1, d2, p1, p2))
+
+
+class TestSecretErasure:
+    def test_secrets_erased_on_success(self, devices):
+        d1, d2 = devices
+
+        def p1():
+            d1.secret.store("tmp.key", BitString(1, 1))
+            yield Send("m", True)
+
+        def p2():
+            yield Recv("m")
+
+        run(ProtocolSpec("test.erase", d1, d2, p1, p2, secrets1=("tmp.key",)))
+        assert not d1.secret.has("tmp.key")
+
+    def test_secrets_erased_on_failure(self, devices):
+        d1, d2 = devices
+
+        def p1():
+            d1.secret.store("tmp.key", BitString(1, 1))
+            yield Send("m", True)
+            raise ValueError("boom")
+
+        def p2():
+            yield Recv("m")
+            yield Recv("never")
+
+        with pytest.raises(ValueError):
+            run(ProtocolSpec("test.erasefail", d1, d2, p1, p2, secrets1=("tmp.key",)))
+        assert not d1.secret.has("tmp.key")
+
+
+class TestCommitRollback:
+    def staged_spec(self, d1, d2, fail_before_commit):
+        d2.secret.store("share", BitString(0b0, 1))
+
+        def p1():
+            yield Send("new", BitString(0b1, 1))
+            yield Recv("ok")
+            if fail_before_commit:
+                raise RuntimeError("crash at the boundary")
+            yield Send("commit", True)
+
+        def p2():
+            message = yield Recv("new")
+            d2.secret.store("share.pending", message.payload)
+            yield Send("ok", True)
+            yield Recv("commit")
+            yield Commit()
+
+        return ProtocolSpec(
+            "test.staged",
+            d1,
+            d2,
+            p1,
+            p2,
+            staged=(StagedShare(2, "share", "share.pending"),),
+            abort_message="test rotation aborted",
+        )
+
+    def test_commit_promotes_pending(self, devices):
+        d1, d2 = devices
+        run(self.staged_spec(d1, d2, fail_before_commit=False))
+        assert d2.secret.read("share") == BitString(0b1, 1)
+        assert not d2.secret.has("share.pending")
+
+    def test_abort_rolls_back_and_raises_refresh_aborted(self, devices):
+        d1, d2 = devices
+        with pytest.raises(RefreshAborted) as info:
+            run(self.staged_spec(d1, d2, fail_before_commit=True))
+        assert isinstance(info.value.__cause__, RuntimeError)
+        assert d2.secret.read("share") == BitString(0b0, 1)
+        assert not d2.secret.has("share.pending")
+
+    def test_failure_before_staging_raises_original_error(self, devices):
+        d1, d2 = devices
+        d2.secret.store("share", BitString(0, 1))
+
+        def p1():
+            raise RuntimeError("immediate")
+            yield  # pragma: no cover
+
+        def p2():
+            yield Recv()
+
+        spec = ProtocolSpec(
+            "test.early",
+            d1,
+            d2,
+            p1,
+            p2,
+            staged=(StagedShare(2, "share", "share.pending"),),
+            abort_message="never raised",
+        )
+        with pytest.raises(RuntimeError, match="immediate"):
+            run(spec)
+
+    def test_non_signalling_staged_slot_does_not_upgrade_abort(self, devices):
+        """Pending *derived* material (signals_abort=False) is erased on
+        abort but does not turn the failure into RefreshAborted."""
+        d1, d2 = devices
+        d1.secret.store("key", BitString(0, 1))
+
+        def p1():
+            d1.secret.store("key.pending", BitString(1, 1))
+            yield Send("m", True)
+            raise RuntimeError("after staging")
+
+        def p2():
+            yield Recv("m")
+            yield Recv("never")
+
+        spec = ProtocolSpec(
+            "test.derived",
+            d1,
+            d2,
+            p1,
+            p2,
+            staged=(StagedShare(1, "key", "key.pending", signals_abort=False),),
+            abort_message="should not surface",
+        )
+        with pytest.raises(RuntimeError, match="after staging"):
+            run(spec)
+        assert d1.secret.read("key") == BitString(0, 1)
+        assert not d1.secret.has("key.pending")
+
+    def test_abort_erase_slots_cleared(self, devices):
+        d1, d2 = devices
+
+        def p1():
+            d1.secret.store("half.installed", BitString(1, 1))
+            yield Send("m", True)
+            raise RuntimeError("boom")
+
+        def p2():
+            yield Recv("m")
+            yield Recv("never")
+
+        spec = ProtocolSpec(
+            "test.aborterase",
+            d1,
+            d2,
+            p1,
+            p2,
+            abort_erase=((1, "half.installed"),),
+        )
+        with pytest.raises(RuntimeError):
+            run(spec)
+        assert not d1.secret.has("half.installed")
+
+    def test_abort_closes_open_phases_into_snapshots(self, devices):
+        d1, d2 = devices
+        snapshots = {}
+
+        def p1():
+            d1.secret.open_phase("t0.refresh")
+            yield Send("m", True)
+            raise RuntimeError("boom")
+
+        def p2():
+            yield Recv("m")
+            yield Recv("never")
+
+        spec = ProtocolSpec(
+            "test.phases", d1, d2, p1, p2, snapshots=snapshots
+        )
+        with pytest.raises(RuntimeError):
+            run(spec)
+        assert (1, "refresh") in snapshots
+        assert not d1.secret.phase_open
+
+
+class TestAbortPhases:
+    def test_labels_classified(self, devices):
+        d1, d2 = devices
+        d1.secret.open_phase("t3.refresh")
+        d2.secret.open_phase("t3.normal")
+        closed = abort_phases(d1, d2)
+        assert set(closed) == {(1, "refresh"), (2, "normal")}
+
+    def test_no_open_phase_is_empty(self, devices):
+        d1, d2 = devices
+        assert abort_phases(d1, d2) == {}
+
+
+class TestInstrumentation:
+    def test_stats_track_bits_and_labels(self, devices):
+        d1, d2 = devices
+        _, engine = run(ping_pong_spec(d1, d2))
+        stats = engine.stats
+        assert stats.protocol == "test.pingpong"
+        assert stats.bits_by_label() == {"pong": 3}
+        assert stats.bits_on_wire() == 3
+        assert stats.wall_seconds() >= 0.0
+
+    def test_inline_ops_attributed_per_party(self, devices, small_group):
+        d1, d2 = devices
+
+        def p1():
+            _ = small_group.g ** 5  # one counted exponentiation
+            yield Send("m", True)
+
+        def p2():
+            yield Recv("m")
+
+        _, engine = run(ProtocolSpec("test.ops", d1, d2, p1, p2))
+        assert engine.stats.ops_for_party(1).g_exp >= 1
+        assert engine.stats.ops_for_party(2).g_exp == 0
+        total = engine.stats.ops_total()
+        assert total.g_exp == engine.stats.ops_for_party(1).g_exp
+
+    def test_stats_match_transport_accounting(self, devices):
+        d1, d2 = devices
+        transport = InMemoryTransport()
+        _, engine = run(ping_pong_spec(d1, d2), transport)
+        assert engine.stats.bits_on_wire() == transport.bits_on_wire()
+        assert engine.stats.bits_by_label() == transport.bits_by_label()
+
+
+class TestThreaded:
+    def test_round_trip_over_sockets(self, devices):
+        d1, d2 = devices
+        result, engine = run(ping_pong_spec(d1, d2), SocketTransport(timeout=10.0))
+        assert result == BitString(0b101, 3)
+        # Threaded runs cannot attribute the shared op counter per step.
+        assert all(s.ops is None for s in engine.stats.steps)
+
+    def test_peer_failure_surfaces_original_error(self, devices):
+        """The party that dies first is the primary error; the peer's
+        PeerDisconnected is only a symptom."""
+        d1, d2 = devices
+
+        def p1():
+            yield Recv("never")
+
+        def p2():
+            raise RuntimeError("party 2 died")
+            yield  # pragma: no cover
+
+        spec = ProtocolSpec("test.peerdeath", d1, d2, p1, p2)
+        with pytest.raises(RuntimeError, match="party 2 died"):
+            run(spec, SocketTransport(timeout=10.0))
+
+    def test_disconnect_is_peer_disconnected(self, devices):
+        d1, d2 = devices
+        transport = SocketTransport(timeout=10.0)
+        transport.open("P1", "P2")
+        transport.shutdown_party("P1")
+        with pytest.raises(PeerDisconnected):
+            transport.recv("P2")
+        transport.close()

@@ -115,7 +115,7 @@ class TestDelay:
         channel = FaultyChannel()
         channel.add_rule(FaultRule(mode=DELAY, label="x", delay_ticks=5))
         payload = BitString(1, 1)
-        assert channel.send("P1", "P2", "x", payload) is payload
+        assert channel.send("P1", "P2", "x", payload) == payload
         assert channel.delay_ticks == 5
         assert [m.label for m in channel.transcript()] == ["x"]
 

@@ -12,7 +12,16 @@ Commands::
     repro-dlr decrypt --pk keys/public_key.json --share1 keys/share1.json \
                       --share2 keys/share2.json --ciphertext ct.json
     repro-dlr refresh --pk keys/public_key.json --share1 ... --share2 ... [--in-place]
+    repro-dlr supervise --pk keys/public_key.json --share1 ... --share2 ... \
+                        --periods 10 --seed 7 --checkpoint session.ckpt.json
+    repro-dlr supervise --resume --checkpoint session.ckpt.json
     repro-dlr info    --pk keys/public_key.json
+
+``supervise`` drives a whole multi-period lifecycle through the
+:mod:`repro.runtime` session supervisor: classified retries, durable
+checkpoints after every committed period (kill the process at any
+instant and ``--resume`` continues from the checkpoint), and a
+structured session log (``--log``).
 
 ``encrypt`` takes a GT element produced by ``random-message``; use
 ``random-message`` to mint one (printed as hex, decryption prints the
@@ -131,6 +140,73 @@ def cmd_refresh(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_supervise(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.optimal import OptimalDLR
+    from repro.ibe.dlr_ibe import DLRIBE
+    from repro.protocol.transport import InMemoryTransport, SocketTransport
+    from repro.runtime import RetryPolicy, SessionSupervisor
+
+    if args.wire == "socket":
+        transport = SocketTransport(timeout=args.timeout)
+    else:
+        transport = InMemoryTransport()
+    policy = RetryPolicy(max_attempts=args.max_attempts)
+
+    def on_commit(state) -> None:
+        # Flushed so a parent process (or a human tail) can watch
+        # progress in real time -- the kill/resume harness relies on it.
+        print(
+            f"period {state.next_period - 1} committed "
+            f"({state.remaining_periods} remaining)",
+            flush=True,
+        )
+        if args.pace > 0:
+            time.sleep(args.pace)
+
+    if args.resume:
+        if args.checkpoint is None:
+            print("--resume requires --checkpoint", file=sys.stderr)
+            return 2
+        supervisor = SessionSupervisor.resume(
+            args.checkpoint, transport, policy=policy, on_period_commit=on_commit
+        )
+        print(
+            f"resumed {supervisor.state.scheme} session at period "
+            f"{supervisor.state.next_period}/{supervisor.state.periods_total}",
+            flush=True,
+        )
+    else:
+        for required in ("pk", "share1", "share2"):
+            if getattr(args, required) is None:
+                print(f"--{required} is required unless --resume", file=sys.stderr)
+                return 2
+        public_key = _load_public_key(args.pk)
+        group = public_key.group
+        share1 = persist.loads(pathlib.Path(args.share1).read_text(), group)
+        share2 = persist.loads(pathlib.Path(args.share2).read_text(), group)
+        scheme_cls = {"dlr": DLR, "optimal": OptimalDLR, "dlribe": DLRIBE}[args.scheme]
+        supervisor = SessionSupervisor.start(
+            scheme_cls(public_key.params),
+            transport,
+            public_key=public_key,
+            share1=share1,
+            share2=share2,
+            periods=args.periods,
+            seed=args.seed,
+            checkpoint_path=args.checkpoint,
+            policy=policy,
+            on_period_commit=on_commit,
+        )
+    result = supervisor.run()
+    if args.log is not None:
+        persist.atomic_write_text(args.log, result.log.to_json())
+        print(f"wrote {args.log}")
+    print(json.dumps(result.log.to_dict()["summary"], indent=2))
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     public_key = _load_public_key(args.pk)
     params = public_key.params
@@ -193,6 +269,34 @@ def build_parser() -> argparse.ArgumentParser:
     ref.add_argument("--in-place", action="store_true")
     ref.add_argument("--seed", type=int, default=None)
     ref.set_defaults(fn=cmd_refresh)
+
+    sup = sub.add_parser(
+        "supervise",
+        help="drive a supervised multi-period lifecycle (checkpointed, resumable)",
+    )
+    sup.add_argument("--pk", default=None)
+    sup.add_argument("--share1", default=None)
+    sup.add_argument("--share2", default=None)
+    sup.add_argument("--scheme", choices=("dlr", "optimal", "dlribe"), default="dlr")
+    sup.add_argument("--periods", type=int, default=5)
+    sup.add_argument("--seed", type=int, default=0)
+    sup.add_argument("--checkpoint", default=None, help="durable checkpoint file")
+    sup.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from --checkpoint instead of starting fresh",
+    )
+    sup.add_argument("--wire", choices=("memory", "socket"), default="memory")
+    sup.add_argument("--timeout", type=float, default=30.0, help="socket timeout (s)")
+    sup.add_argument("--max-attempts", type=int, default=3)
+    sup.add_argument("--log", default=None, help="write the session log JSON here")
+    sup.add_argument(
+        "--pace",
+        type=float,
+        default=0.0,
+        help="sleep between periods (widens the crash window for drills)",
+    )
+    sup.set_defaults(fn=cmd_supervise)
 
     info = sub.add_parser("info", help="print parameters of a public key")
     info.add_argument("--pk", required=True)

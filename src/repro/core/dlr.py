@@ -223,6 +223,15 @@ class DLR:
             raise ProtocolError("P2 does not hold a Share2")
         return share
 
+    def snapshot_shares(self, device1: Device, device2: Device) -> tuple[Share1, Share2]:
+        """The committed share pair, in checkpointable (plain) form.
+
+        Subclasses whose P1 state is derived (OptimalDLR) override this
+        to recover the underlying plain share; :meth:`install` re-derives
+        the rest on resume.
+        """
+        return self.share1_of(device1), self.share2_of(device2)
+
     # ------------------------------------------------------------------
     # Engine plumbing
     # ------------------------------------------------------------------
@@ -521,26 +530,36 @@ class DLR:
         ciphertext: Ciphertext,
         max_attempts: int = 3,
     ) -> PeriodRecord:
-        """Drive one time period to completion across transient failures.
+        """Deprecated: one classified-retry period; use the session
+        supervisor (:class:`repro.runtime.SessionSupervisor`) for whole
+        lifecycles.
 
-        Each failed attempt leaves the devices with their rolled-back
-        (old, consistent) shares, so the period is simply re-run -- the
-        retry loop every deployment needs around a crash-prone channel.
-        Raises the last failure as :class:`~repro.errors.ProtocolError`
-        once ``max_attempts`` is exhausted.
+        Delegates to :func:`repro.runtime.drive_period_resilient`, so
+        unlike the old retry-anything loop it classifies each failure
+        first: only *transient* faults are retried; fatal and poisoned
+        faults (bad parameters, an exceeded leakage budget, undecodable
+        wire bytes) re-raise immediately as the original exception
+        rather than burning the attempt budget on a failure that cannot
+        heal.  Exhaustion still raises
+        :class:`~repro.errors.ProtocolError` with the last transient
+        failure as its cause.
         """
+        import warnings
+
+        warnings.warn(
+            "DLR.run_period_resilient is deprecated; drive lifecycles "
+            "through repro.runtime.SessionSupervisor (or "
+            "repro.runtime.drive_period_resilient for a single period)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if max_attempts < 1:
             raise ProtocolError("max_attempts must be >= 1")
-        last_failure: ProtocolError | None = None
-        for _ in range(max_attempts):
-            try:
-                return self.run_period(device1, device2, channel, ciphertext)
-            except ProtocolError as exc:
-                last_failure = exc
-        raise ProtocolError(
-            f"time period {channel.current_period} did not complete "
-            f"within {max_attempts} attempts"
-        ) from last_failure
+        from repro.runtime.policy import RetryPolicy
+        from repro.runtime.session import drive_period_resilient
+
+        policy = RetryPolicy(max_attempts=max_attempts, base_backoff=0.0, jitter=0.0)
+        return drive_period_resilient(self, device1, device2, channel, ciphertext, policy)
 
     # ------------------------------------------------------------------
     # One period with several decryptions (section 3.3 extension)

@@ -260,6 +260,16 @@ class OptimalDLR(DLR):
     # Test helpers
     # ------------------------------------------------------------------
 
+    def snapshot_shares(self, device1: Device, device2: Device) -> tuple[Share1, Share2]:
+        """Checkpointable form of the committed shares.
+
+        P1's live state is ``sk_comm`` + the public encrypted share;
+        a checkpoint stores the underlying *plain* ``sk1`` (recovered
+        here), and :meth:`install` re-derives a fresh ``sk_comm`` and
+        re-encrypts on resume.
+        """
+        return self.recover_share1(device1), self.share2_of(device2)
+
     def recover_share1(self, device1: Device) -> Share1:
         """Decrypt the public encrypted share (tests only -- the protocol
         never materializes the whole sk1)."""

@@ -30,6 +30,22 @@ class PeerDisconnected(ProtocolError):
     """
 
 
+class TransportTimeout(ProtocolError):
+    """A blocking transport operation exceeded its configured timeout.
+
+    Raised by :class:`~repro.protocol.transport.SocketTransport` when a
+    read or write does not complete within the socket timeout -- the
+    peer is silent but the connection is not known to be dead.  This is
+    the canonical *transient* fault: the session supervisor
+    (:mod:`repro.runtime`) retries it, unlike a raw ``socket.timeout``
+    which older code would have surfaced as an unclassifiable crash.
+    """
+
+    def __init__(self, message: str, *, timeout: float | None = None) -> None:
+        super().__init__(message)
+        self.timeout = timeout
+
+
 class FaultInjected(ProtocolError):
     """An injected channel fault interrupted a protocol mid-flight.
 

@@ -82,6 +82,17 @@ def _id_slot(device_index: int, identity: str) -> str:
     return f"id.{identity}.sk{device_index}"
 
 
+@dataclass
+class IdentityPeriodRecord:
+    """One identity-key time period (extract-if-absent, decrypt, refresh)."""
+
+    period: int
+    identity: str
+    plaintext: GTElement
+    extracted: bool  # whether this period had to (re-)extract the key
+    messages: list
+
+
 class DLRIBE(DLR):
     """The distributed leakage-resilient IBE."""
 
@@ -348,6 +359,47 @@ class DLRIBE(DLR):
             ),
         )
         self._run_engine(spec, channel)
+
+    # ------------------------------------------------------------------
+    # One identity-key time period (for the session supervisor)
+    # ------------------------------------------------------------------
+
+    def has_identity_key(self, device1: Device, device2: Device, identity: str) -> bool:
+        """Do both devices hold committed identity shares for ``identity``?"""
+        return device1.secret.has(_id_slot(1, identity)) and device2.secret.has(
+            _id_slot(2, identity)
+        )
+
+    def run_identity_period(
+        self,
+        pp: IBEPublicParams,
+        device1: Device,
+        device2: Device,
+        channel: Transport,
+        identity: str,
+        ciphertext: IBECiphertext,
+    ) -> IdentityPeriodRecord:
+        """One full *identity-key* time period: extract the key shares if
+        absent (first period, or after a resume -- identity keys are
+        derived material, re-extractable from the master shares and never
+        checkpointed), decrypt this period's traffic, refresh the
+        identity shares.
+
+        Crash-safe like :meth:`~repro.core.dlr.DLR.run_period`: a failed
+        extraction erases its partial shares, a failed refresh rolls both
+        devices back, so a supervisor simply re-runs the period.  The
+        channel period advances only on success.
+        """
+        period = channel.current_period
+        extracted = False
+        if not self.has_identity_key(device1, device2, identity):
+            self.extract_protocol(pp, device1, device2, channel, identity)
+            extracted = True
+        plaintext = self.decrypt_protocol_id(device1, device2, channel, identity, ciphertext)
+        self.refresh_identity_protocol(pp, device1, device2, channel, identity)
+        messages = channel.transcript(period)
+        channel.advance_period()
+        return IdentityPeriodRecord(period, identity, plaintext, extracted, messages)
 
     # ------------------------------------------------------------------
     # Share accessors / reference decryption

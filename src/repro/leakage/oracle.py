@@ -92,6 +92,9 @@ class LeakageOracle:
         self._generation_used = 0
         self.period = 0
         self.total_leaked_bits = {0: 0, 1: 0, 2: 0}
+        #: Per-period ledger of bits charged for *retried* protocol
+        #: attempts: ``{period: {device: bits}}`` (see :meth:`charge_retry`).
+        self.retry_ledger: dict[int, dict[int, int]] = {}
 
     # -- key generation phase ---------------------------------------------
 
@@ -150,6 +153,44 @@ class LeakageOracle:
         result = self._checked(function, leak_input)
         self.total_leaked_bits[device] += len(result)
         return result
+
+    def charge_retry(self, device: int, bits: int) -> None:
+        """Charge the partial transcript of a failed-then-retried
+        protocol attempt against the device's *current-period* budget.
+
+        A retry widens the adversary's view: the aborted attempt's
+        frames are on the public wire in addition to the successful
+        run's, and leakage functions may depend on the transcript.  The
+        session supervisor (:mod:`repro.runtime`) therefore books every
+        failed attempt's bits here *before* retrying; when the charge
+        does not fit, :class:`~repro.errors.LeakageBudgetExceeded`
+        propagates and the supervisor freezes instead of silently
+        handing the adversary more transcript.
+        """
+        if bits < 0:
+            raise ParameterError("retry charge must be >= 0")
+        if bits == 0:
+            # An attempt that died before putting anything on the wire
+            # widened nothing; keep the ledger free of empty entries so
+            # it stays in one-to-one balance with the session log.
+            return
+        account = self._account(device)
+        account.charge_normal(bits, f"P{device}")
+        ledger = self.retry_ledger.setdefault(self.period, {1: 0, 2: 0})
+        ledger[device] += bits
+        self.total_leaked_bits[device] += bits
+
+    def retry_charged(self, period: int | None = None, device: int | None = None) -> int:
+        """Total retry-charged bits, optionally filtered by period/device."""
+        total = 0
+        for p, per_device in self.retry_ledger.items():
+            if period is not None and p != period:
+                continue
+            for d, bits in per_device.items():
+                if device is not None and d != device:
+                    continue
+                total += bits
+        return total
 
     def end_period(self) -> None:
         """Close time period ``t``: refresh leakage carries to the new share."""

@@ -18,17 +18,28 @@ Fault modes:
 * ``truncate`` -- a bit-prefix of the message reaches the wire (it is
   recorded on the public transcript -- the adversary sees partial
   frames), then the protocol dies.
-* ``delay`` -- the message is delivered but a latency tick is recorded;
-  the synchronous protocol completes.  Used by soak tests to interleave
-  slow periods with failing ones.
+* ``delay`` -- the message is delivered but a latency tick is recorded
+  (and, with ``delay_seconds``, real wall time elapses before the bytes
+  move -- enough to trip a :class:`SocketTransport` read timeout on the
+  peer).  The synchronous protocol completes.
 
-Rules are one-shot: after firing, a rule is spent, so a retry driver
-(``DLR.run_period_resilient``) naturally succeeds on the re-run.
+Rules are one-shot *by default*: after firing, a rule is spent, so a
+retry driver (the :mod:`repro.runtime` session supervisor) naturally
+succeeds on the re-run.  Chaos schedules use the two extensions:
+
+* ``repeat=k`` fires the rule on up to ``k`` matching sends (``None``
+  means unlimited) instead of exactly one;
+* ``probability=p`` gates each would-be firing on a coin flip drawn
+  from the transport's *seeded* RNG (``FaultyTransport(seed=...)``) --
+  never the process-global ``random`` state, so a chaos soak replays
+  bit-for-bit from its seed.
 """
 
 from __future__ import annotations
 
+import random
 import threading
+import time
 from dataclasses import dataclass
 
 from repro.errors import FaultInjected, ParameterError
@@ -54,7 +65,15 @@ class FaultRule:
     matches every message); ``occurrence`` fires it on the k-th matching
     send (1-based); ``period`` restricts matching to one time period.
     ``keep_bits`` is how much of the encoded payload survives a
-    ``truncate``; ``delay_ticks`` is the latency a ``delay`` records.
+    ``truncate``; ``delay_ticks`` is the latency a ``delay`` records and
+    ``delay_seconds`` is real wall time the delayed send stalls for.
+
+    ``repeat`` is how many times the rule may fire in total (default 1,
+    the historic one-shot behaviour; ``None`` = unlimited).  Once a
+    rule's occurrence countdown is exhausted it stays *ripe*: every
+    later matching send is a firing opportunity until ``repeat`` runs
+    out.  ``probability`` gates each opportunity on a coin flip from the
+    transport's seeded RNG (1.0 = always fire).
     """
 
     mode: str = DROP
@@ -63,6 +82,9 @@ class FaultRule:
     period: int | None = None
     keep_bits: int = 0
     delay_ticks: int = 1
+    delay_seconds: float = 0.0
+    repeat: int | None = 1
+    probability: float = 1.0
 
     def __post_init__(self) -> None:
         if self.mode not in FAULT_MODES:
@@ -71,16 +93,23 @@ class FaultRule:
             raise ParameterError("occurrence is 1-based and must be >= 1")
         if self.keep_bits < 0 or self.delay_ticks < 0:
             raise ParameterError("keep_bits and delay_ticks must be >= 0")
+        if self.delay_seconds < 0:
+            raise ParameterError("delay_seconds must be >= 0")
+        if self.repeat is not None and self.repeat < 1:
+            raise ParameterError("repeat must be >= 1 (or None for unlimited)")
+        if not 0.0 < self.probability <= 1.0:
+            raise ParameterError("probability must be in (0, 1]")
 
 
 class _ArmedRule:
     """A rule plus its countdown of matching sends still to see."""
 
-    __slots__ = ("rule", "remaining", "spent")
+    __slots__ = ("rule", "remaining", "fires_left", "spent")
 
     def __init__(self, rule: FaultRule) -> None:
         self.rule = rule
         self.remaining = rule.occurrence
+        self.fires_left = rule.repeat  # None = unlimited
         self.spent = False
 
     def matches(self, label: str, period: int) -> bool:
@@ -90,6 +119,22 @@ class _ArmedRule:
             return False
         if self.rule.period is not None and self.rule.period != period:
             return False
+        return True
+
+    def offer(self, rng: random.Random) -> bool:
+        """One matching send: advance the countdown and decide whether
+        to fire.  A ripe rule whose probability coin comes up tails
+        passes the message through but stays ripe."""
+        if self.remaining > 0:
+            self.remaining -= 1
+        if self.remaining > 0:
+            return False
+        if self.rule.probability < 1.0 and rng.random() >= self.rule.probability:
+            return False
+        if self.fires_left is not None:
+            self.fires_left -= 1
+            if self.fires_left == 0:
+                self.spent = True
         return True
 
 
@@ -108,6 +153,7 @@ class FaultyTransport(Transport):
         self,
         inner: Transport | None = None,
         rules: list[FaultRule] | None = None,
+        seed: int | None = None,
     ) -> None:
         self.inner = inner if inner is not None else InMemoryTransport()
         self.rules = list(rules) if rules is not None else []
@@ -115,6 +161,10 @@ class FaultyTransport(Transport):
         self.injected: list[tuple[FaultRule, str]] = []
         self.delay_ticks = 0
         self._rule_lock = threading.Lock()
+        # Probability coins come from this instance's own generator --
+        # never the process-global ``random`` state -- so a seeded chaos
+        # schedule replays exactly.
+        self._rng = random.Random(seed)
 
     # -- rule management ---------------------------------------------------
 
@@ -181,9 +231,7 @@ class FaultyTransport(Transport):
             for armed in self._armed:
                 if not armed.matches(label, self.inner.current_period):
                     continue
-                armed.remaining -= 1
-                if armed.remaining == 0 and fired is None:
-                    armed.spent = True
+                if armed.offer(self._rng) and fired is None:
                     fired = armed
             if fired is not None:
                 self.injected.append((fired.rule, label))
@@ -193,6 +241,12 @@ class FaultyTransport(Transport):
         rule = fired.rule
         if rule.mode == DELAY:
             self.delay_ticks += rule.delay_ticks
+            if rule.delay_seconds > 0:
+                # Stall the frame for real: over a socket transport the
+                # peer's blocking read can hit its timeout first, which
+                # is exactly the silent-peer scenario the supervisor
+                # classifies as transient.
+                time.sleep(rule.delay_seconds)
             return self.inner.send(sender, recipient, label, payload)
         if rule.mode == TRUNCATE:
             bits = encode_any(payload)

@@ -31,7 +31,7 @@ import threading
 import warnings
 from dataclasses import dataclass
 
-from repro.errors import PeerDisconnected, WireFormatError
+from repro.errors import PeerDisconnected, TransportTimeout, WireFormatError
 from repro.utils.bits import BitString, concat_all
 from repro.utils.serialization import WireCodec, encode_any, sniff_group
 
@@ -244,6 +244,12 @@ class SocketTransport(Transport):
             endpoint = self._endpoint(sender)
         try:
             endpoint.sendall(frame)
+        except socket.timeout as exc:
+            raise TransportTimeout(
+                f"send of {label!r} timed out after {self.timeout}s "
+                "(peer not draining)",
+                timeout=self.timeout,
+            ) from exc
         except OSError as exc:
             raise PeerDisconnected(
                 f"send of {label!r} failed: peer endpoint is gone"
@@ -255,6 +261,13 @@ class SocketTransport(Transport):
         while len(chunks) < n:
             try:
                 chunk = endpoint.recv(n - len(chunks))
+            except socket.timeout as exc:
+                # The peer is silent, not known dead: a *transient* fault
+                # (the supervisor retries), never a raw socket.timeout.
+                raise TransportTimeout(
+                    f"{party} read no frame within {self.timeout}s",
+                    timeout=self.timeout,
+                ) from exc
             except OSError as exc:
                 raise PeerDisconnected(f"{party} read failed mid-frame") from exc
             if not chunk:

@@ -1,0 +1,74 @@
+"""The session runtime: supervised multi-period lifecycles.
+
+Public surface of the supervisor stack -- fault taxonomy, retry policy,
+durable checkpoints, structured session logs, and the
+:class:`SessionSupervisor` that ties them together over any scheme and
+any transport.
+"""
+
+from repro.runtime.checkpoint import (
+    CHECKPOINT_VERSION,
+    SCHEME_KINDS,
+    SessionState,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.runtime.journal import (
+    ABORTED,
+    EXHAUSTED,
+    FROZEN,
+    OK,
+    RETRY,
+    AttemptRecord,
+    PeriodSummary,
+    SessionLog,
+)
+from repro.runtime.policy import NO_RETRY, RetryPolicy
+from repro.runtime.session import (
+    SessionResult,
+    SessionSupervisor,
+    drive_period_resilient,
+    run_with_retries,
+    scheme_for_state,
+    scheme_kind_of,
+)
+from repro.runtime.taxonomy import (
+    CLASSIFICATIONS,
+    FATAL,
+    POISONED,
+    TRANSIENT,
+    classify_fault,
+    fault_name,
+    root_cause,
+)
+
+__all__ = [
+    "ABORTED",
+    "AttemptRecord",
+    "CHECKPOINT_VERSION",
+    "CLASSIFICATIONS",
+    "EXHAUSTED",
+    "FATAL",
+    "FROZEN",
+    "NO_RETRY",
+    "OK",
+    "POISONED",
+    "PeriodSummary",
+    "RETRY",
+    "RetryPolicy",
+    "SCHEME_KINDS",
+    "SessionLog",
+    "SessionResult",
+    "SessionState",
+    "SessionSupervisor",
+    "TRANSIENT",
+    "classify_fault",
+    "drive_period_resilient",
+    "fault_name",
+    "load_checkpoint",
+    "root_cause",
+    "run_with_retries",
+    "save_checkpoint",
+    "scheme_for_state",
+    "scheme_kind_of",
+]

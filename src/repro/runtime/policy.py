@@ -1,0 +1,68 @@
+"""Retry policy: bounded attempts, exponential backoff, seeded jitter.
+
+A deployment's recovery loop must terminate (attempt cap + wall-clock
+deadline), must not synchronize its retries with a flapping channel
+(jittered exponential backoff), and -- because this library's whole
+point is reproducible security experiments -- must draw its jitter from
+a *seeded* generator, never the process-global ``random`` state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a supervisor retries transient faults within one time period.
+
+    ``max_attempts`` caps the attempts per period (1 = no retries);
+    ``deadline`` is an optional wall-clock budget in seconds per period,
+    checked after every failed attempt.  Backoff before the k-th retry
+    is ``base_backoff * multiplier**(k-1)``, clamped to ``max_backoff``
+    and scaled by a uniform factor in ``[1-jitter, 1+jitter]`` drawn
+    from the caller-provided RNG.
+    """
+
+    max_attempts: int = 3
+    base_backoff: float = 0.05
+    multiplier: float = 2.0
+    max_backoff: float = 2.0
+    jitter: float = 0.1
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ParameterError("max_attempts must be >= 1")
+        if self.base_backoff < 0 or self.max_backoff < 0:
+            raise ParameterError("backoff bounds must be >= 0")
+        if self.multiplier < 1.0:
+            raise ParameterError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ParameterError("jitter must be in [0, 1)")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ParameterError("deadline must be positive (or None)")
+
+    def backoff(self, failures: int, rng: random.Random) -> float:
+        """Backoff before the next attempt, after ``failures`` failed
+        attempts (1-based: the first retry passes ``failures=1``)."""
+        if failures < 1:
+            raise ParameterError("failures must be >= 1")
+        raw = min(self.base_backoff * self.multiplier ** (failures - 1), self.max_backoff)
+        if self.jitter and raw > 0:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return raw
+
+    @staticmethod
+    def jitter_rng(seed: object, period: int) -> random.Random:
+        """The deterministic per-period jitter stream: re-derived from
+        ``(seed, period)`` alone, so a resumed session draws the same
+        backoffs as an uninterrupted one."""
+        return random.Random(f"{seed}/backoff/{period}")
+
+
+#: Retry-free policy (classification still applies; nothing is retried).
+NO_RETRY = RetryPolicy(max_attempts=1, base_backoff=0.0, jitter=0.0)

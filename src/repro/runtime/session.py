@@ -1,0 +1,454 @@
+"""The session supervisor: multi-period lifecycles that survive faults.
+
+The paper's schemes are *services*: a key pair lives through an
+unbounded sequence of time periods, each one decrypting under leakage
+and refreshing the shares, over a channel the adversary watches and a
+runtime that can crash.  :class:`SessionSupervisor` is the
+scheme-agnostic driver of that lifecycle for all three schemes
+(:class:`~repro.core.dlr.DLR`, :class:`~repro.core.optimal.OptimalDLR`,
+:class:`~repro.ibe.dlr_ibe.DLRIBE`) over any
+:class:`~repro.protocol.transport.Transport`:
+
+* faults are **classified** (:mod:`repro.runtime.taxonomy`) -- only
+  transient ones are retried; fatal ones abort with the original
+  exception; poisoned ones abort and quarantine the transcript;
+* retries follow a **policy** (:mod:`repro.runtime.policy`): attempt
+  caps, a wall-clock deadline, exponential backoff with seeded jitter;
+* every failed attempt's partial transcript is **charged against the
+  period's leakage budget** through
+  :meth:`~repro.leakage.oracle.LeakageOracle.charge_retry`; when the
+  budget cannot absorb another retry the supervisor *freezes* instead
+  of silently widening the adversary's view;
+* committed periods are **checkpointed durably**
+  (:mod:`repro.runtime.checkpoint`), so ``kill -9`` at any instant
+  resumes from the last committed period with consistent shares;
+* everything lands in a structured **session log**
+  (:mod:`repro.runtime.journal`).
+
+Determinism: all supervisor randomness (device RNGs, background
+traffic, backoff jitter) is derived from ``(session seed, period)``,
+never from global state, so a session resumed from a checkpoint
+replays exactly like an uninterrupted session started from that same
+checkpoint -- the property the kill/resume integration test pins down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time
+from dataclasses import dataclass
+from itertools import count
+from typing import Callable
+
+from repro.core.dlr import DLR, PeriodRecord
+from repro.core.keys import PublicKey, Share1, Share2
+from repro.core.optimal import OptimalDLR
+from repro.errors import LeakageBudgetExceeded, ParameterError, ProtocolError
+from repro.ibe.dlr_ibe import DLRIBE
+from repro.leakage.oracle import LeakageOracle
+from repro.protocol.device import Device
+from repro.protocol.transport import Transport
+from repro.runtime.checkpoint import SessionState, load_checkpoint, save_checkpoint
+from repro.runtime.journal import (
+    ABORTED,
+    EXHAUSTED,
+    FROZEN,
+    OK,
+    RETRY,
+    AttemptRecord,
+    PeriodSummary,
+    SessionLog,
+)
+from repro.runtime.policy import RetryPolicy
+from repro.runtime.taxonomy import FATAL, POISONED, classify_fault, fault_name
+
+
+def scheme_kind_of(scheme: DLR) -> str:
+    """The checkpoint kind string for a scheme instance."""
+    if isinstance(scheme, DLRIBE):
+        return "dlribe"
+    if isinstance(scheme, OptimalDLR):
+        return "optimal"
+    if isinstance(scheme, DLR):
+        return "dlr"
+    raise ParameterError(f"not a supervisable scheme: {type(scheme).__name__}")
+
+
+def scheme_for_state(state: SessionState) -> DLR:
+    """Rebuild the scheme named by a checkpoint from its parameters."""
+    params = state.public_key.params
+    if state.scheme == "optimal":
+        return OptimalDLR(params)
+    if state.scheme == "dlribe":
+        return DLRIBE(params)
+    return DLR(params)
+
+
+# ---------------------------------------------------------------------------
+# The classified retry loop (shared by the supervisor and the legacy shim)
+# ---------------------------------------------------------------------------
+
+
+def run_with_retries(
+    run_attempt: Callable[[], object],
+    *,
+    period: int,
+    policy: RetryPolicy,
+    transport: Transport,
+    log: SessionLog,
+    jitter_rng: random.Random,
+    oracle: LeakageOracle | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+    on_freeze: Callable[[], None] | None = None,
+) -> object:
+    """Drive ``run_attempt`` to success under the policy.
+
+    Transient faults back off and retry (each failed attempt's wire bits
+    charged to the oracle first); fatal faults re-raise unwrapped;
+    poisoned faults quarantine the period transcript and re-raise.
+    Exhausting the attempt cap or the deadline raises ``ProtocolError``
+    with the last transient fault as its cause.
+    """
+    deadline_at = None if policy.deadline is None else clock() + policy.deadline
+    for attempt in count(1):
+        bits_before = transport.bits_on_wire(period)
+        start = clock()
+        try:
+            result = run_attempt()
+        except Exception as exc:
+            wall = clock() - start
+            bits = transport.bits_on_wire(period) - bits_before
+            classification = classify_fault(exc)
+            name = fault_name(exc)
+            if classification == POISONED:
+                log.quarantine_transcript(period, name, transport.transcript(period))
+                log.record_attempt(
+                    AttemptRecord(period, attempt, ABORTED, name, classification, 0.0, bits, {}, wall)
+                )
+                raise
+            if classification == FATAL:
+                log.record_attempt(
+                    AttemptRecord(period, attempt, ABORTED, name, classification, 0.0, bits, {}, wall)
+                )
+                raise
+            # Transient: may we go again?
+            past_deadline = deadline_at is not None and clock() >= deadline_at
+            if attempt >= policy.max_attempts or past_deadline:
+                log.record_attempt(
+                    AttemptRecord(period, attempt, EXHAUSTED, name, classification, 0.0, bits, {}, wall)
+                )
+                reason = (
+                    f"its {policy.deadline}s deadline"
+                    if past_deadline
+                    else f"{policy.max_attempts} attempts"
+                )
+                raise ProtocolError(
+                    f"time period {period} did not complete within {reason}"
+                ) from exc
+            # The aborted attempt's frames are on the public wire: book
+            # them against the period budget *before* going again.
+            charged: dict[str, int] = {}
+            if oracle is not None:
+                try:
+                    for device_index in (1, 2):
+                        oracle.charge_retry(device_index, bits)
+                        charged[f"P{device_index}"] = bits
+                except LeakageBudgetExceeded:
+                    log.record_attempt(
+                        AttemptRecord(period, attempt, FROZEN, name, classification, 0.0, bits, charged, wall)
+                    )
+                    if on_freeze is not None:
+                        on_freeze()
+                    raise
+            backoff = policy.backoff(attempt, jitter_rng)
+            log.record_attempt(
+                AttemptRecord(period, attempt, RETRY, name, classification, backoff, bits, charged, wall)
+            )
+            if backoff > 0:
+                sleep(backoff)
+        else:
+            wall = clock() - start
+            bits = transport.bits_on_wire(period) - bits_before
+            log.record_attempt(
+                AttemptRecord(period, attempt, OK, None, None, 0.0, bits, {}, wall)
+            )
+            return result
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def drive_period_resilient(
+    scheme: DLR,
+    device1: Device,
+    device2: Device,
+    transport: Transport,
+    ciphertext,
+    policy: RetryPolicy,
+    *,
+    oracle: LeakageOracle | None = None,
+    log: SessionLog | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+) -> PeriodRecord:
+    """One classified-retry period on caller-owned devices.
+
+    This is the engine behind the deprecated
+    ``DLR.run_period_resilient`` shim; new code should use
+    :class:`SessionSupervisor` for whole lifecycles.
+    """
+    period = transport.current_period
+    log = log if log is not None else SessionLog(scheme=scheme_kind_of(scheme))
+    record = run_with_retries(
+        lambda: scheme.run_period(device1, device2, transport, ciphertext),
+        period=period,
+        policy=policy,
+        transport=transport,
+        log=log,
+        jitter_rng=RetryPolicy.jitter_rng("resilient", period),
+        oracle=oracle,
+        sleep=sleep,
+        clock=clock,
+    )
+    assert isinstance(record, PeriodRecord)
+    return record
+
+
+# ---------------------------------------------------------------------------
+# The supervisor
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SessionResult:
+    """What a completed (or partially completed) session run produced."""
+
+    state: SessionState
+    log: SessionLog
+
+    @property
+    def periods_completed(self) -> int:
+        return len(self.log.periods)
+
+
+class SessionSupervisor:
+    """Drives a multi-period lifecycle for one scheme over one transport.
+
+    Construct directly with a :class:`SessionState`, or via
+    :meth:`start` (fresh session) / :meth:`resume` (from a checkpoint
+    file).  ``sleep`` and ``clock`` are injectable so tests and the
+    chaos soak run backoff schedules in virtual time.
+
+    For :class:`~repro.ibe.dlr_ibe.DLRIBE` pass ``public_params`` (and
+    optionally ``identity``): each period then runs the *identity-key*
+    lifecycle -- extract (first period or after resume; identity keys
+    are derived material, re-derivable from the checkpointed master
+    shares), identity decryption, identity refresh.  Without
+    ``public_params`` a DLRIBE instance is supervised through its
+    inherited master-share lifecycle.
+    """
+
+    def __init__(
+        self,
+        scheme: DLR,
+        transport: Transport,
+        state: SessionState,
+        *,
+        policy: RetryPolicy | None = None,
+        oracle: LeakageOracle | None = None,
+        checkpoint_path=None,
+        log: SessionLog | None = None,
+        public_params=None,
+        identity: str = "alice",
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        on_period_commit: Callable[[SessionState], None] | None = None,
+    ) -> None:
+        if scheme_kind_of(scheme) != state.scheme:
+            raise ParameterError(
+                f"scheme {scheme_kind_of(scheme)!r} does not match "
+                f"checkpoint kind {state.scheme!r}"
+            )
+        self.scheme = scheme
+        self.transport = transport
+        self.state = state
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.oracle = oracle
+        self.checkpoint_path = checkpoint_path
+        self.log = log if log is not None else SessionLog(scheme=state.scheme, seed=state.seed)
+        self.public_params = public_params
+        self.identity = identity
+        self.frozen = False
+        self._sleep = sleep
+        self._clock = clock
+        self._on_period_commit = on_period_commit
+        self.device1: Device | None = None
+        self.device2: Device | None = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def start(
+        cls,
+        scheme: DLR,
+        transport: Transport,
+        *,
+        public_key: PublicKey,
+        share1: Share1,
+        share2: Share2,
+        periods: int,
+        seed: int,
+        checkpoint_path=None,
+        **kwargs,
+    ) -> "SessionSupervisor":
+        """A fresh session at period 0 (checkpointed immediately if a
+        path is given, so even a crash before the first period resumes)."""
+        state = SessionState(
+            scheme=scheme_kind_of(scheme),
+            seed=seed,
+            periods_total=periods,
+            next_period=0,
+            public_key=public_key,
+            share1=share1,
+            share2=share2,
+        )
+        if checkpoint_path is not None:
+            save_checkpoint(checkpoint_path, state)
+        return cls(scheme, transport, state, checkpoint_path=checkpoint_path, **kwargs)
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint_path,
+        transport: Transport,
+        *,
+        scheme: DLR | None = None,
+        **kwargs,
+    ) -> "SessionSupervisor":
+        """Rebuild a supervisor from a durable checkpoint.
+
+        The scheme is reconstructed from the checkpoint's embedded
+        parameters unless an instance is supplied (required for DLRIBE
+        identity lifecycles, which also need ``public_params``); with an
+        explicit scheme the checkpoint is decoded into *its* group so
+        resumed shares interoperate with the scheme's elements."""
+        state = load_checkpoint(
+            checkpoint_path, group=None if scheme is None else scheme.group
+        )
+        if scheme is None:
+            scheme = scheme_for_state(state)
+        return cls(scheme, transport, state, checkpoint_path=checkpoint_path, **kwargs)
+
+    # -- the lifecycle -----------------------------------------------------
+
+    def run(self) -> SessionResult:
+        """Drive all remaining periods to completion (or raise)."""
+        if self.frozen:
+            raise ProtocolError(
+                "session is frozen: a retry would have exceeded the leakage "
+                "budget; start a new period budget before resuming"
+            )
+        self._setup()
+        while not self.state.complete:
+            self._run_one_period()
+        return SessionResult(self.state, self.log)
+
+    def _setup(self) -> None:
+        """(Re)create the devices from committed state, deterministically
+        seeded by ``(seed, next_period)`` -- identical whether this run
+        is fresh, resumed after a crash, or a replay from the same
+        checkpoint."""
+        state = self.state
+        rng = random.Random(f"{state.seed}/devices/{state.next_period}")
+        self.device1 = Device("P1", self.scheme.group, rng)
+        self.device2 = Device("P2", self.scheme.group, rng)
+        self.scheme.install(self.device1, self.device2, state.share1, state.share2)
+        # Align the transport's and oracle's period counters with the
+        # absolute session period, so transcripts, fault rules with
+        # ``period=``, and ledger entries all key by the same number.
+        while self.transport.current_period < state.next_period:
+            self.transport.advance_period()
+        if self.oracle is not None:
+            while self.oracle.period < state.next_period:
+                self.oracle.end_period()
+
+    def _run_one_period(self) -> None:
+        period = self.state.next_period
+        run_with_retries(
+            lambda: self._attempt(period),
+            period=period,
+            policy=self.policy,
+            transport=self.transport,
+            log=self.log,
+            jitter_rng=RetryPolicy.jitter_rng(self.state.seed, period),
+            oracle=self.oracle,
+            sleep=self._sleep,
+            clock=self._clock,
+            on_freeze=self._freeze,
+        )
+        self._commit_period(period)
+
+    def _freeze(self) -> None:
+        self.frozen = True
+
+    def _attempt(self, period: int) -> object:
+        """One protocol attempt for one period.  Background traffic is
+        derived from ``(seed, period)`` only, so every attempt of a
+        period retries the *same* ciphertext -- and a resumed session
+        decrypts the same traffic as an uninterrupted one."""
+        assert self.device1 is not None and self.device2 is not None
+        traffic = random.Random(f"{self.state.seed}/traffic/{period}")
+        group = self.scheme.group
+        message = group.random_gt(traffic)
+        if isinstance(self.scheme, DLRIBE) and self.public_params is not None:
+            ciphertext = self.scheme.encrypt_to(
+                self.public_params, self.identity, message, traffic
+            )
+            record = self.scheme.run_identity_period(
+                self.public_params,
+                self.device1,
+                self.device2,
+                self.transport,
+                self.identity,
+                ciphertext,
+            )
+        else:
+            ciphertext = self.scheme.encrypt(self.state.public_key, message, traffic)
+            record = self.scheme.run_period(
+                self.device1, self.device2, self.transport, ciphertext
+            )
+        if record.plaintext != message:
+            raise ProtocolError(
+                f"time period {period}: decrypted plaintext does not match "
+                "the encrypted traffic -- shares have drifted"
+            )
+        return record
+
+    def _commit_period(self, period: int) -> None:
+        """A period completed: snapshot committed shares, checkpoint
+        durably, summarize into the log, roll the leakage period."""
+        assert self.device1 is not None and self.device2 is not None
+        if isinstance(self.scheme, DLRIBE) and self.public_params is not None:
+            # The identity lifecycle rotates derived identity keys; the
+            # checkpointed master shares are untouched by design.
+            share1, share2 = self.state.share1, self.state.share2
+        else:
+            share1, share2 = self.scheme.snapshot_shares(self.device1, self.device2)
+        transcript = self.transport.transcript_bits(period)
+        self.log.record_period(
+            PeriodSummary(
+                period=period,
+                attempts=len(self.log.attempts_for(period)),
+                bits_on_wire=len(transcript),
+                transcript_sha256=hashlib.sha256(transcript.to_bytes()).hexdigest(),
+            )
+        )
+        self.state.share1 = share1
+        self.state.share2 = share2
+        self.state.next_period = period + 1
+        if self.checkpoint_path is not None:
+            save_checkpoint(self.checkpoint_path, self.state)
+        if self.oracle is not None:
+            self.oracle.end_period()
+        if self._on_period_commit is not None:
+            self._on_period_commit(self.state)

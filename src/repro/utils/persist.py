@@ -16,6 +16,8 @@ is derived deterministically from the parameters, see
 from __future__ import annotations
 
 import json
+import os
+import pathlib
 from typing import Any
 
 from repro.core.keys import Ciphertext, PublicKey, Share1, Share2
@@ -129,6 +131,30 @@ def load_ciphertext(group: BilinearGroup, data: dict[str, Any]) -> Ciphertext:
     return Ciphertext(
         a=_g1_from_hex(group, data["a"]), b=_gt_from_hex(group, data["b"])
     )
+
+
+# ---------------------------------------------------------------------------
+# durable writes
+# ---------------------------------------------------------------------------
+
+
+def atomic_write_text(path: str | pathlib.Path, text: str) -> None:
+    """Write ``text`` to ``path`` so a crash leaves either the old file
+    or the new one -- never a torn half-write.
+
+    The text lands in a sibling temp file which is fsynced and then
+    ``os.replace``d over the destination (atomic on POSIX).  This is
+    what makes supervisor checkpoints safe against ``kill -9``: a
+    resumed session always reads a complete, internally consistent
+    checkpoint.
+    """
+    path = pathlib.Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
 
 
 # ---------------------------------------------------------------------------

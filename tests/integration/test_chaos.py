@@ -1,0 +1,273 @@
+"""Chaos harness: seeded fault soaks and a real kill -9 / resume drill.
+
+Two layers:
+
+* **Soak** -- every scheme on every wire runs a multi-period lifecycle
+  under seeded probabilistic fault injection.  The run must either
+  complete or abort through a *classified* fatal fault -- never hang,
+  never silently skip a period -- and the leakage ledger must balance:
+  every retried attempt's wire bits charged to the period it retried
+  in, on both devices.
+
+  ``CHAOS_PERIODS`` (env) overrides the period count so CI can run a
+  reduced smoke; ``CHAOS_LOG_DIR`` (env) makes each soak drop its
+  session-log JSON there as a build artifact.
+
+* **Kill drill** -- a supervisor subprocess drives a socket-wire
+  session and is SIGKILLed mid-lifecycle; two independent resumes from
+  the surviving checkpoint (the real file and a byte copy) must replay
+  identically and finish with shares that still decrypt.
+"""
+
+import json
+import os
+import pathlib
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.dlr import DLR
+from repro.core.keys import PublicKey
+from repro.core.optimal import OptimalDLR
+from repro.ibe.dlr_ibe import DLRIBE
+from repro.leakage.oracle import LeakageBudget, LeakageOracle
+from repro.protocol.faults import DROP, FaultRule, FaultyTransport
+from repro.protocol.transport import InMemoryTransport, SocketTransport
+from repro.runtime import (
+    RETRY,
+    TRANSIENT,
+    RetryPolicy,
+    SessionSupervisor,
+    load_checkpoint,
+)
+from repro.utils import persist
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+CHAOS_PERIODS = int(os.environ.get("CHAOS_PERIODS", "20"))
+CHAOS_LOG_DIR = os.environ.get("CHAOS_LOG_DIR")
+
+#: Transient faults a soak is allowed to see (and recover from).
+#: ``RefreshAborted`` is the transparent rollback wrapper -- it appears
+#: as the recorded fault name when an injected fault lands mid-refresh,
+#: while classification walks through it to the transient cause.
+TRANSIENT_FAULTS = {
+    "FaultInjected",
+    "TransportTimeout",
+    "PeerDisconnected",
+    "RefreshAborted",
+}
+
+
+def _wire(kind):
+    if kind == "socket":
+        return SocketTransport(timeout=10.0)
+    return InMemoryTransport()
+
+
+def _dump_log(result, name):
+    if CHAOS_LOG_DIR:
+        directory = pathlib.Path(CHAOS_LOG_DIR)
+        directory.mkdir(parents=True, exist_ok=True)
+        persist.atomic_write_text(directory / f"{name}.json", result.log.to_json())
+
+
+class TestChaosSoak:
+    """Seeded probabilistic faults over whole lifecycles.
+
+    Every send is a 5% drop candidate (seeded coin, unlimited repeats),
+    so most periods see at least one aborted attempt across the soak.
+    ``max_attempts=8`` makes the chance of exhausting a period
+    negligible -- and the seeds are fixed, so a pass is reproducible,
+    not lucky.
+    """
+
+    PARAMS = [
+        (scheme, wire)
+        for scheme in ("dlr", "optimal", "dlribe")
+        for wire in ("memory", "socket")
+    ]
+
+    @pytest.mark.parametrize("scheme_kind,wire_kind", PARAMS)
+    def test_soak_completes_with_balanced_ledger(
+        self, small_params, scheme_kind, wire_kind
+    ):
+        rng = random.Random(f"chaos/{scheme_kind}/{wire_kind}")
+        fault_seed = rng.randrange(2**32)
+        faulty = FaultyTransport(inner=_wire(wire_kind), seed=fault_seed)
+        faulty.add_rule(FaultRule(mode=DROP, probability=0.05, repeat=None))
+        # One guaranteed drop in period 0, so even a very short smoke
+        # (CHAOS_PERIODS in CI) exercises the retry/ledger path.
+        faulty.add_rule(FaultRule(mode=DROP, occurrence=2, period=0))
+
+        oracle = LeakageOracle(LeakageBudget(0, 10**7, 10**7))
+        policy = RetryPolicy(max_attempts=8, base_backoff=0.0, jitter=0.0)
+        kwargs = {}
+        if scheme_kind == "dlribe":
+            scheme = DLRIBE(small_params)
+            setup = scheme.setup(random.Random(3))
+            pk = PublicKey(small_params, setup.public_params.z)
+            share1, share2 = setup.share1, setup.share2
+            kwargs = {"public_params": setup.public_params, "identity": "chaos"}
+        else:
+            cls = OptimalDLR if scheme_kind == "optimal" else DLR
+            scheme = cls(small_params)
+            generation = scheme.generate(random.Random(3))
+            pk = generation.public_key
+            share1, share2 = generation.share1, generation.share2
+
+        supervisor = SessionSupervisor.start(
+            scheme,
+            faulty,
+            public_key=pk,
+            share1=share1,
+            share2=share2,
+            periods=CHAOS_PERIODS,
+            seed=rng.randrange(2**32),
+            policy=policy,
+            oracle=oracle,
+            **kwargs,
+        )
+        result = supervisor.run()
+        _dump_log(result, f"chaos-{scheme_kind}-{wire_kind}")
+
+        assert result.periods_completed == CHAOS_PERIODS
+        assert result.state.complete
+
+        log = result.log
+        # Only classified-transient faults appear; nothing unknown slipped
+        # through the taxonomy, nothing fatal was retried.
+        assert set(log.faults_by_classification()) <= {TRANSIENT}
+        for attempt in log.retried():
+            assert attempt.outcome == RETRY
+            assert attempt.fault in TRANSIENT_FAULTS
+
+        # Ledger balance: the oracle's per-period retry charges are
+        # exactly the log's (each retry charges BOTH devices the
+        # attempt's wire bits, so the log total is the two-device sum).
+        charged = log.charged_by_period()
+        assert set(oracle.retry_ledger) == set(charged)
+        for period, per_device in oracle.retry_ledger.items():
+            assert per_device[1] == per_device[2]  # symmetric charge
+            assert per_device[1] + per_device[2] == charged[period]
+        # ...and each period's charge is the sum of its retried attempts.
+        for period in charged:
+            expected = sum(
+                a.bits_on_wire * 2 for a in log.attempts_for(period) if a.outcome == RETRY
+            )
+            assert charged[period] == expected
+
+        # The soak is pointless if the coin never landed: the fixed
+        # seeds above do produce retries.
+        assert len(log.retried()) >= 1, "chaos soak saw no faults; seed is too tame"
+
+
+class TestKillResumeDrill:
+    """SIGKILL a supervisor subprocess mid-lifecycle, resume twice."""
+
+    PERIODS = 6
+    SEED = 21
+
+    def _spawn(self, args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "supervise", *args],
+            cwd=REPO_ROOT,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def _wait_for_period(self, checkpoint, minimum, deadline=120.0):
+        """Poll the (atomically written) checkpoint until it has committed
+        at least ``minimum`` periods."""
+        end = time.monotonic() + deadline
+        while time.monotonic() < end:
+            if checkpoint.exists():
+                state = json.loads(checkpoint.read_text())
+                if state["next_period"] >= minimum:
+                    return state["next_period"]
+            time.sleep(0.02)
+        raise AssertionError(f"checkpoint never reached period {minimum}")
+
+    def test_kill_dash_nine_then_resume(self, small_params, tmp_path):
+        scheme = DLR(small_params)
+        generation = scheme.generate(random.Random(6))
+        pk_path = tmp_path / "pk.json"
+        s1_path = tmp_path / "share1.json"
+        s2_path = tmp_path / "share2.json"
+        pk_path.write_text(persist.dumps("public_key", generation.public_key))
+        s1_path.write_text(persist.dumps("share1", generation.share1))
+        s2_path.write_text(persist.dumps("share2", generation.share2))
+        checkpoint = tmp_path / "session.ckpt.json"
+        checkpoint_copy = tmp_path / "session.ckpt.copy.json"
+
+        # The victim: socket wire, paced so the kill window between
+        # commits is wide and the SIGKILL lands mid-lifecycle.
+        victim = self._spawn(
+            [
+                "--pk", str(pk_path),
+                "--share1", str(s1_path),
+                "--share2", str(s2_path),
+                "--periods", str(self.PERIODS),
+                "--seed", str(self.SEED),
+                "--wire", "socket",
+                "--pace", "0.25",
+                "--checkpoint", str(checkpoint),
+            ]
+        )
+        try:
+            self._wait_for_period(checkpoint, 2)
+            os.kill(victim.pid, signal.SIGKILL)
+        finally:
+            victim.wait(timeout=30)
+
+        killed_at = json.loads(checkpoint.read_text())["next_period"]
+        assert 2 <= killed_at < self.PERIODS, "process finished before the kill"
+        shutil.copy(checkpoint, checkpoint_copy)
+
+        # Resume twice: from the surviving checkpoint and from its byte
+        # copy.  Both must finish, and -- the determinism contract --
+        # replay the remaining periods identically.
+        logs = {}
+        for name, ckpt in (("resumed", checkpoint), ("replayed", checkpoint_copy)):
+            log_path = tmp_path / f"{name}.log.json"
+            proc = self._spawn(
+                [
+                    "--resume",
+                    "--checkpoint", str(ckpt),
+                    "--wire", "socket",
+                    "--log", str(log_path),
+                ]
+            )
+            out, err = proc.communicate(timeout=300)
+            assert proc.returncode == 0, f"{name} run failed:\n{out}\n{err}"
+            logs[name] = json.loads(log_path.read_text())
+
+        resumed = logs["resumed"]["periods"]
+        replayed = logs["replayed"]["periods"]
+        assert [p["period"] for p in resumed] == list(range(killed_at, self.PERIODS))
+        assert [p["transcript_sha256"] for p in resumed] == [
+            p["transcript_sha256"] for p in replayed
+        ]
+
+        # Both final checkpoints hold the same committed shares...
+        final = load_checkpoint(checkpoint)
+        final_copy = load_checkpoint(checkpoint_copy)
+        assert final.complete and final_copy.complete
+        assert final.share2.s == final_copy.share2.s
+        assert final.share1.phi.to_bits() == final_copy.share1.phi.to_bits()
+
+        # ...and those shares still decrypt under the original key.
+        check = DLR(final.public_key.params)
+        rng = random.Random(1)
+        message = check.group.random_gt(rng)
+        ciphertext = check.encrypt(final.public_key, message, rng)
+        assert check.reference_decrypt(final.share1, final.share2, ciphertext) == message

@@ -1,5 +1,7 @@
 """Unit tests for the fault-injection channel wrapper."""
 
+import random
+
 import pytest
 
 from repro.errors import FaultInjected, ParameterError
@@ -117,6 +119,123 @@ class TestDelay:
         payload = BitString(1, 1)
         assert channel.send("P1", "P2", "x", payload) == payload
         assert channel.delay_ticks == 5
+        assert [m.label for m in channel.transcript()] == ["x"]
+
+
+class TestRepeat:
+    def test_repeat_fires_bounded_number_of_times(self):
+        channel = FaultyChannel()
+        channel.add_rule(FaultRule(mode=DROP, label="x", repeat=3))
+        for _ in range(3):
+            with pytest.raises(FaultInjected):
+                channel.send("P1", "P2", "x", BitString(1, 1))
+        # Spent after the third firing.
+        channel.send("P1", "P2", "x", BitString(1, 1))
+        assert len(channel.transcript()) == 1
+        assert len(channel.injected) == 3
+
+    def test_repeat_none_is_unlimited(self):
+        channel = FaultyChannel()
+        channel.add_rule(FaultRule(mode=DROP, label="x", repeat=None))
+        for _ in range(10):
+            with pytest.raises(FaultInjected):
+                channel.send("P1", "P2", "x", BitString(1, 1))
+
+    def test_repeat_respects_occurrence_warmup(self):
+        """The occurrence countdown still decides *when* the rule gets
+        ripe; repeat only decides how many firings follow."""
+        channel = FaultyChannel()
+        channel.add_rule(FaultRule(mode=DROP, label="x", occurrence=2, repeat=2))
+        channel.send("P1", "P2", "x", BitString(1, 1))  # occurrence 1: safe
+        with pytest.raises(FaultInjected):
+            channel.send("P1", "P2", "x", BitString(1, 1))
+        with pytest.raises(FaultInjected):
+            channel.send("P1", "P2", "x", BitString(1, 1))
+        channel.send("P1", "P2", "x", BitString(1, 1))  # spent
+        assert len(channel.injected) == 2
+
+    def test_invalid_repeat_rejected(self):
+        with pytest.raises(ParameterError):
+            FaultRule(repeat=0)
+
+
+class TestProbability:
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ParameterError):
+            FaultRule(probability=0.0)
+        with pytest.raises(ParameterError):
+            FaultRule(probability=1.5)
+
+    def test_seeded_coin_flips_replay_exactly(self):
+        """Two transports with the same seed make identical fire/pass
+        decisions -- the property every chaos soak leans on."""
+
+        def firing_pattern(seed):
+            channel = FaultyChannel(seed=seed)
+            channel.add_rule(
+                FaultRule(mode=DROP, label="x", probability=0.5, repeat=None)
+            )
+            pattern = []
+            for _ in range(40):
+                try:
+                    channel.send("P1", "P2", "x", BitString(1, 1))
+                    pattern.append(False)
+                except FaultInjected:
+                    pattern.append(True)
+            return pattern
+
+        first = firing_pattern(1234)
+        assert first == firing_pattern(1234)
+        assert any(first) and not all(first)  # p=0.5 over 40 flips
+        assert first != firing_pattern(999)
+
+    def test_coin_matches_reference_rng(self):
+        """The gate is exactly ``rng.random() < p`` on the transport's
+        own seeded generator -- one draw per ripe offer, none during the
+        occurrence warm-up."""
+        seed, p = 77, 0.3
+        channel = FaultyChannel(seed=seed)
+        channel.add_rule(
+            FaultRule(mode=DROP, label="x", occurrence=2, probability=p, repeat=None)
+        )
+        reference = random.Random(seed)
+        channel.send("P1", "P2", "x", BitString(1, 1))  # warm-up: no draw
+        for _ in range(20):
+            expected_fire = reference.random() < p
+            if expected_fire:
+                with pytest.raises(FaultInjected):
+                    channel.send("P1", "P2", "x", BitString(1, 1))
+            else:
+                channel.send("P1", "P2", "x", BitString(1, 1))
+
+    def test_tails_leaves_rule_ripe(self):
+        """A probability miss must not consume the rule: it keeps
+        offering on later sends until repeat runs out."""
+        channel = FaultyChannel(seed=5)
+        channel.add_rule(FaultRule(mode=DROP, label="x", probability=0.2, repeat=1))
+        fired = 0
+        for _ in range(200):
+            try:
+                channel.send("P1", "P2", "x", BitString(1, 1))
+            except FaultInjected:
+                fired += 1
+        assert fired == 1  # eventually fired exactly once, then spent
+
+
+class TestDelaySeconds:
+    def test_negative_delay_seconds_rejected(self):
+        with pytest.raises(ParameterError):
+            FaultRule(mode=DELAY, delay_seconds=-0.1)
+
+    def test_delay_seconds_stalls_then_delivers(self):
+        import time
+
+        channel = FaultyChannel()
+        channel.add_rule(FaultRule(mode=DELAY, label="x", delay_seconds=0.05))
+        start = time.monotonic()
+        payload = BitString(1, 1)
+        assert channel.send("P1", "P2", "x", payload) == payload
+        assert time.monotonic() - start >= 0.05
         assert [m.label for m in channel.transcript()] == ["x"]
 
 

@@ -8,7 +8,7 @@ import pytest
 
 from repro.core.dlr import DLR
 from repro.core.params import DLRParams
-from repro.errors import PeerDisconnected
+from repro.errors import FaultInjected, PeerDisconnected, ProtocolError, TransportTimeout
 from repro.protocol.channel import Channel
 from repro.protocol.device import Device
 from repro.protocol.transport import InMemoryTransport, SocketTransport
@@ -116,6 +116,100 @@ class TestSocketTransport:
             t.join()
         transport.close()
         assert len(transport.transcript()) == 2 * n
+
+
+class TestSilentPeer:
+    def test_silent_peer_recv_raises_transport_timeout(self):
+        """Nobody sends: the blocking read gives up after the configured
+        timeout with a classified TransportTimeout, never a raw
+        socket.timeout."""
+        transport = SocketTransport(timeout=0.1)
+        transport.open("P1", "P2")
+        with pytest.raises(TransportTimeout) as info:
+            transport.recv("P2")
+        transport.close()
+        assert info.value.timeout == 0.1
+        assert isinstance(info.value, ProtocolError)  # engine abort paths see it
+
+    def test_timeout_is_classified_transient(self):
+        from repro.runtime import TRANSIENT, classify_fault
+
+        assert classify_fault(TransportTimeout("silent", timeout=0.1)) == TRANSIENT
+
+    def test_shutdown_mid_recv_raises_peer_disconnected(self):
+        """A peer that dies while we block in recv surfaces promptly as
+        PeerDisconnected (EOF), not as a timeout."""
+        transport = SocketTransport(timeout=10.0)
+        transport.open("P1", "P2")
+        errors = []
+
+        def reader():
+            try:
+                transport.recv("P2")
+            except ProtocolError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        transport.shutdown_party("P1")
+        thread.join(timeout=5.0)
+        transport.close()
+        assert not thread.is_alive()
+        assert len(errors) == 1 and isinstance(errors[0], PeerDisconnected)
+
+    def test_supervisor_retries_silent_peer_and_completes(self, small_params):
+        """End to end: a delayed frame trips the peer's read timeout; the
+        engine surfaces the timeout (not the secondary disconnect), the
+        supervisor classifies it transient, retries, and the period
+        completes on the clean re-run."""
+        from repro.protocol.faults import DELAY, FaultRule, FaultyTransport
+        from repro.runtime import RetryPolicy, SessionSupervisor, TRANSIENT
+
+        scheme = DLR(small_params)
+        generation = scheme.generate(random.Random(8))
+        inner = SocketTransport(timeout=0.3)
+        faulty = FaultyTransport(inner=inner, seed=0)
+        # Stall one frame for longer than the socket timeout: the peer
+        # times out first (silent peer), the stalled sender then hits
+        # the closed endpoint.
+        faulty.add_rule(
+            FaultRule(mode=DELAY, label="dec.c_prime", delay_seconds=0.6)
+        )
+        supervisor = SessionSupervisor.start(
+            scheme,
+            faulty,
+            public_key=generation.public_key,
+            share1=generation.share1,
+            share2=generation.share2,
+            periods=1,
+            seed=13,
+            policy=RetryPolicy(base_backoff=0.0, jitter=0.0),
+        )
+        result = supervisor.run()
+        assert result.periods_completed == 1
+        retried = result.log.retried()
+        assert len(retried) == 1
+        assert retried[0].classification == TRANSIENT
+        assert retried[0].fault == "TransportTimeout"
+
+    def test_fault_beats_secondary_disconnect_in_classification(self, small_params):
+        """When one party dies of an injected fault and the other of the
+        resulting EOF, the surfaced error is the original fault."""
+        from repro.protocol.faults import DROP, FaultRule, FaultyTransport
+
+        scheme = DLR(small_params)
+        rng = random.Random(9)
+        generation = scheme.generate(rng)
+        p1 = Device("P1", scheme.group, rng)
+        p2 = Device("P2", scheme.group, rng)
+        scheme.install(p1, p2, generation.share1, generation.share2)
+        faulty = FaultyTransport(inner=SocketTransport(timeout=5.0))
+        faulty.add_rule(FaultRule(mode=DROP, label="dec.c_prime"))
+        ciphertext = scheme.encrypt(
+            generation.public_key, scheme.group.random_gt(rng), rng
+        )
+        with pytest.raises(FaultInjected):
+            scheme.run_period(p1, p2, faulty, ciphertext)
 
 
 class TestProtocolOverSockets:

@@ -1,0 +1,108 @@
+"""Unit tests for durable session checkpoints."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.dlr import DLR
+from repro.errors import ParameterError
+from repro.runtime import (
+    SessionState,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.runtime.checkpoint import dump_state, load_state
+
+
+@pytest.fixture()
+def state(small_params):
+    scheme = DLR(small_params)
+    generation = scheme.generate(random.Random(4))
+    return SessionState(
+        scheme="dlr",
+        seed=99,
+        periods_total=5,
+        next_period=2,
+        public_key=generation.public_key,
+        share1=generation.share1,
+        share2=generation.share2,
+    )
+
+
+class TestStateValidation:
+    def test_unknown_scheme_rejected(self, state):
+        with pytest.raises(ParameterError):
+            SessionState("mystery", 0, 1, 0, state.public_key, state.share1, state.share2)
+
+    def test_next_period_out_of_range_rejected(self, state):
+        with pytest.raises(ParameterError):
+            SessionState("dlr", 0, 3, 4, state.public_key, state.share1, state.share2)
+
+    def test_progress_properties(self, state):
+        assert not state.complete
+        assert state.remaining_periods == 3
+
+
+class TestRoundTrip:
+    def test_self_contained_round_trip(self, state, tmp_path):
+        path = tmp_path / "session.json"
+        save_checkpoint(path, state)
+        loaded = load_checkpoint(path)
+        assert loaded.scheme == "dlr"
+        assert loaded.seed == 99
+        assert loaded.next_period == 2
+        # Elements round-trip bit-exactly (fresh group, equal encodings).
+        assert loaded.share2.s == state.share2.s
+        assert loaded.share1.phi.to_bits() == state.share1.phi.to_bits()
+        assert loaded.public_key.z.to_bits() == state.public_key.z.to_bits()
+
+    def test_shares_stay_functional_after_round_trip(self, state, tmp_path):
+        """A resumed session must decrypt: reconstruct from the loaded
+        shares and check against a fresh encryption."""
+        path = tmp_path / "session.json"
+        save_checkpoint(path, state)
+        loaded = load_checkpoint(path)
+        scheme = DLR(loaded.public_key.params)
+        rng = random.Random(1)
+        message = scheme.group.random_gt(rng)
+        ciphertext = scheme.encrypt(loaded.public_key, message, rng)
+        assert scheme.reference_decrypt(loaded.share1, loaded.share2, ciphertext) == message
+
+    def test_load_into_existing_group(self, state, tmp_path):
+        path = tmp_path / "session.json"
+        save_checkpoint(path, state)
+        group = state.public_key.group
+        loaded = load_checkpoint(path, group=group)
+        # Elements decode into *that* group, so they interoperate.
+        assert loaded.public_key.group is group
+        assert loaded.share1.phi * group.g  # no GroupError
+
+    def test_load_into_mismatched_group_rejected(self, state, tmp_path):
+        from repro.groups import preset_group
+
+        path = tmp_path / "session.json"
+        save_checkpoint(path, state)
+        with pytest.raises(ParameterError):
+            load_checkpoint(path, group=preset_group(16))
+
+    def test_unsupported_version_rejected(self, state):
+        data = dump_state(state)
+        data["version"] = 999
+        with pytest.raises(ParameterError):
+            load_state(data)
+
+
+class TestAtomicity:
+    def test_no_temp_file_left_behind(self, state, tmp_path):
+        path = tmp_path / "session.json"
+        save_checkpoint(path, state)
+        save_checkpoint(path, state)  # overwrite path too
+        assert [p.name for p in tmp_path.iterdir()] == ["session.json"]
+
+    def test_checkpoint_is_valid_json_after_overwrite(self, state, tmp_path):
+        path = tmp_path / "session.json"
+        save_checkpoint(path, state)
+        state.next_period = 3
+        save_checkpoint(path, state)
+        assert json.loads(path.read_text())["next_period"] == 3

@@ -1,0 +1,65 @@
+"""Unit tests for the retry policy."""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.runtime import NO_RETRY, RetryPolicy
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_backoff": -0.1},
+            {"max_backoff": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": -0.1},
+            {"jitter": 1.0},
+            {"deadline": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            RetryPolicy(**kwargs)
+
+    def test_no_retry_is_single_attempt(self):
+        assert NO_RETRY.max_attempts == 1
+
+
+class TestBackoff:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base_backoff=0.1, multiplier=2.0, max_backoff=10.0, jitter=0.0)
+        rng = random.Random(0)
+        assert policy.backoff(1, rng) == pytest.approx(0.1)
+        assert policy.backoff(2, rng) == pytest.approx(0.2)
+        assert policy.backoff(3, rng) == pytest.approx(0.4)
+
+    def test_clamped_at_max_backoff(self):
+        policy = RetryPolicy(base_backoff=1.0, multiplier=10.0, max_backoff=2.5, jitter=0.0)
+        assert policy.backoff(5, random.Random(0)) == pytest.approx(2.5)
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_backoff=1.0, multiplier=1.0, jitter=0.2)
+        rng = random.Random(7)
+        for _ in range(100):
+            value = policy.backoff(1, rng)
+            assert 0.8 <= value <= 1.2
+
+    def test_zero_failures_rejected(self):
+        with pytest.raises(ParameterError):
+            RetryPolicy().backoff(0, random.Random(0))
+
+    def test_jitter_stream_is_deterministic_per_seed_and_period(self):
+        policy = RetryPolicy(base_backoff=0.5, jitter=0.3)
+        a = [policy.backoff(k, RetryPolicy.jitter_rng(42, 3)) for k in (1, 2, 3)]
+        b = [policy.backoff(k, RetryPolicy.jitter_rng(42, 3)) for k in (1, 2, 3)]
+        c = [policy.backoff(k, RetryPolicy.jitter_rng(42, 4)) for k in (1, 2, 3)]
+        assert a == b
+        assert a != c  # different period, different stream

@@ -1,0 +1,371 @@
+"""Unit tests for the classified retry loop and the session supervisor."""
+
+import random
+
+import pytest
+
+from repro.core.dlr import DLR
+from repro.core.keys import PublicKey
+from repro.core.optimal import OptimalDLR
+from repro.errors import (
+    FaultInjected,
+    LeakageBudgetExceeded,
+    ParameterError,
+    ProtocolError,
+    WireFormatError,
+)
+from repro.ibe.dlr_ibe import DLRIBE
+from repro.leakage.oracle import LeakageBudget, LeakageOracle
+from repro.protocol.faults import DROP, FaultRule, FaultyTransport
+from repro.protocol.transport import InMemoryTransport
+from repro.runtime import (
+    ABORTED,
+    EXHAUSTED,
+    FATAL,
+    FROZEN,
+    OK,
+    POISONED,
+    RETRY,
+    RetryPolicy,
+    SessionLog,
+    SessionState,
+    SessionSupervisor,
+    load_checkpoint,
+    run_with_retries,
+    scheme_for_state,
+    scheme_kind_of,
+)
+from repro.utils.bits import BitString
+
+
+# ---------------------------------------------------------------------------
+# run_with_retries
+# ---------------------------------------------------------------------------
+
+
+def _retry_kwargs(transport=None, **overrides):
+    kwargs = dict(
+        period=0,
+        policy=RetryPolicy(base_backoff=0.0, jitter=0.0),
+        transport=transport if transport is not None else InMemoryTransport(),
+        log=SessionLog(scheme="dlr"),
+        jitter_rng=random.Random(0),
+        sleep=lambda seconds: None,
+    )
+    kwargs.update(overrides)
+    return kwargs
+
+
+class TestRunWithRetries:
+    def test_success_first_try(self):
+        kwargs = _retry_kwargs()
+        result = run_with_retries(lambda: "done", **kwargs)
+        assert result == "done"
+        (record,) = kwargs["log"].attempts
+        assert record.outcome == OK
+
+    def test_transient_retries_until_success(self):
+        failures = iter([FaultInjected("drop"), FaultInjected("drop")])
+
+        def attempt():
+            try:
+                raise next(failures)
+            except StopIteration:
+                return "done"
+
+        kwargs = _retry_kwargs(policy=RetryPolicy(max_attempts=5, base_backoff=0.0, jitter=0.0))
+        assert run_with_retries(attempt, **kwargs) == "done"
+        outcomes = [a.outcome for a in kwargs["log"].attempts]
+        assert outcomes == [RETRY, RETRY, OK]
+
+    def test_fatal_raises_original_exception_unwrapped(self):
+        boom = ParameterError("bad ell")
+
+        def attempt():
+            raise boom
+
+        kwargs = _retry_kwargs()
+        with pytest.raises(ParameterError) as info:
+            run_with_retries(attempt, **kwargs)
+        assert info.value is boom  # not wrapped, not retried
+        (record,) = kwargs["log"].attempts
+        assert record.outcome == ABORTED and record.classification == FATAL
+
+    def test_poisoned_quarantines_transcript_then_raises(self):
+        transport = InMemoryTransport()
+
+        def attempt():
+            transport.send("P1", "P2", "dec.d", BitString(0b101, 3))
+            raise WireFormatError("garbage frame")
+
+        kwargs = _retry_kwargs(transport)
+        with pytest.raises(WireFormatError):
+            run_with_retries(attempt, **kwargs)
+        log = kwargs["log"]
+        (record,) = log.attempts
+        assert record.outcome == ABORTED and record.classification == POISONED
+        (entry,) = log.quarantine
+        assert entry["fault"] == "WireFormatError"
+        assert [f["label"] for f in entry["frames"]] == ["dec.d"]
+
+    def test_exhaustion_names_the_attempt_cap_and_chains_cause(self):
+        def attempt():
+            raise FaultInjected("always")
+
+        kwargs = _retry_kwargs(policy=RetryPolicy(max_attempts=2, base_backoff=0.0, jitter=0.0))
+        with pytest.raises(ProtocolError, match="did not complete within 2 attempts") as info:
+            run_with_retries(attempt, **kwargs)
+        assert isinstance(info.value.__cause__, FaultInjected)
+        outcomes = [a.outcome for a in kwargs["log"].attempts]
+        assert outcomes == [RETRY, EXHAUSTED]
+
+    def test_deadline_stops_retrying(self):
+        now = [0.0]
+
+        def clock():
+            now[0] += 10.0
+            return now[0]
+
+        kwargs = _retry_kwargs(
+            policy=RetryPolicy(max_attempts=100, base_backoff=0.0, jitter=0.0, deadline=5.0),
+            clock=clock,
+        )
+        with pytest.raises(ProtocolError, match="5.0s deadline"):
+            run_with_retries(lambda: (_ for _ in ()).throw(FaultInjected("x")), **kwargs)
+
+    def test_backoff_schedule_is_exponential(self):
+        sleeps = []
+        failures = iter(range(3))
+
+        def attempt():
+            try:
+                next(failures)
+            except StopIteration:
+                return "done"
+            raise FaultInjected("drop")
+
+        kwargs = _retry_kwargs(
+            policy=RetryPolicy(
+                max_attempts=10, base_backoff=0.1, multiplier=2.0, jitter=0.0
+            ),
+            sleep=sleeps.append,
+        )
+        run_with_retries(attempt, **kwargs)
+        assert sleeps == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_retry_charges_both_devices(self):
+        transport = InMemoryTransport()
+        oracle = LeakageOracle(LeakageBudget(0, 1000, 1000))
+        failures = iter([FaultInjected("drop")])
+
+        def attempt():
+            transport.send("P1", "P2", "dec.d", BitString(0b1111, 4))
+            try:
+                raise next(failures)
+            except StopIteration:
+                return "done"
+
+        kwargs = _retry_kwargs(transport, oracle=oracle)
+        run_with_retries(attempt, **kwargs)
+        assert oracle.retry_ledger == {0: {1: 4, 2: 4}}
+        retried = kwargs["log"].retried()
+        assert retried[0].charged_bits == {"P1": 4, "P2": 4}
+
+    def test_budget_overflow_freezes_instead_of_retrying(self):
+        transport = InMemoryTransport()
+        oracle = LeakageOracle(LeakageBudget(0, 2, 2))  # cannot absorb 4 bits
+        froze = []
+
+        def attempt():
+            transport.send("P1", "P2", "dec.d", BitString(0b1111, 4))
+            raise FaultInjected("drop")
+
+        kwargs = _retry_kwargs(transport, oracle=oracle, on_freeze=lambda: froze.append(True))
+        with pytest.raises(LeakageBudgetExceeded):
+            run_with_retries(attempt, **kwargs)
+        assert froze == [True]
+        (record,) = kwargs["log"].attempts
+        assert record.outcome == FROZEN
+
+
+# ---------------------------------------------------------------------------
+# Scheme-kind plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestSchemeKinds:
+    def test_kind_of_each_scheme(self, small_params):
+        assert scheme_kind_of(DLR(small_params)) == "dlr"
+        assert scheme_kind_of(OptimalDLR(small_params)) == "optimal"
+        assert scheme_kind_of(DLRIBE(small_params)) == "dlribe"
+
+    def test_non_scheme_rejected(self):
+        with pytest.raises(ParameterError):
+            scheme_kind_of(object())
+
+    def test_scheme_for_state_rebuilds_matching_kind(self, small_params):
+        scheme = OptimalDLR(small_params)
+        generation = scheme.generate(random.Random(3))
+        state = SessionState(
+            scheme="optimal",
+            seed=0,
+            periods_total=1,
+            next_period=0,
+            public_key=generation.public_key,
+            share1=generation.share1,
+            share2=generation.share2,
+        )
+        assert isinstance(scheme_for_state(state), OptimalDLR)
+
+    def test_supervisor_rejects_scheme_state_mismatch(self, small_params):
+        scheme = DLR(small_params)
+        generation = scheme.generate(random.Random(3))
+        state = SessionState(
+            scheme="optimal",
+            seed=0,
+            periods_total=1,
+            next_period=0,
+            public_key=generation.public_key,
+            share1=generation.share1,
+            share2=generation.share2,
+        )
+        with pytest.raises(ParameterError, match="does not match"):
+            SessionSupervisor(scheme, InMemoryTransport(), state)
+
+
+# ---------------------------------------------------------------------------
+# The supervisor lifecycle
+# ---------------------------------------------------------------------------
+
+
+class _Interrupt(Exception):
+    """Simulated crash between period commit and the next period."""
+
+
+class TestSupervisorLifecycle:
+    def _start(self, scheme, transport, *, seed=5, periods=3, **kwargs):
+        generation = scheme.generate(random.Random(1))
+        return SessionSupervisor.start(
+            scheme,
+            transport,
+            public_key=generation.public_key,
+            share1=generation.share1,
+            share2=generation.share2,
+            periods=periods,
+            seed=seed,
+            policy=RetryPolicy(base_backoff=0.0, jitter=0.0),
+            **kwargs,
+        )
+
+    def test_dlr_session_completes_and_checkpoints(self, small_params, tmp_path):
+        path = tmp_path / "dlr.json"
+        supervisor = self._start(DLR(small_params), InMemoryTransport(), checkpoint_path=path)
+        result = supervisor.run()
+        assert result.periods_completed == 3
+        assert result.state.complete
+        loaded = load_checkpoint(path)
+        assert loaded.next_period == 3 and loaded.complete
+        # Final checkpointed shares still decrypt.
+        scheme = DLR(loaded.public_key.params)
+        rng = random.Random(2)
+        message = scheme.group.random_gt(rng)
+        ciphertext = scheme.encrypt(loaded.public_key, message, rng)
+        assert scheme.reference_decrypt(loaded.share1, loaded.share2, ciphertext) == message
+
+    def test_optimal_session_completes(self, small_params):
+        supervisor = self._start(OptimalDLR(small_params), InMemoryTransport(), periods=2)
+        result = supervisor.run()
+        assert result.periods_completed == 2
+
+    def test_dlribe_identity_session_keeps_master_shares(self, small_params, tmp_path):
+        scheme = DLRIBE(small_params)
+        setup = scheme.setup(random.Random(1))
+        pk = PublicKey(small_params, setup.public_params.z)
+        path = tmp_path / "ibe.json"
+        supervisor = SessionSupervisor.start(
+            scheme,
+            InMemoryTransport(),
+            public_key=pk,
+            share1=setup.share1,
+            share2=setup.share2,
+            periods=2,
+            seed=5,
+            checkpoint_path=path,
+            public_params=setup.public_params,
+            identity="bob",
+            policy=RetryPolicy(base_backoff=0.0, jitter=0.0),
+        )
+        result = supervisor.run()
+        assert result.periods_completed == 2
+        # Identity keys rotate; the checkpointed *master* shares do not.
+        loaded = load_checkpoint(path)
+        assert loaded.share2.s == setup.share2.s
+        assert loaded.share1.phi.to_bits() == setup.share1.phi.to_bits()
+
+    def test_resume_replays_like_uninterrupted_run_from_checkpoint(
+        self, small_params, tmp_path
+    ):
+        """The determinism contract: interrupt after one committed
+        period, then drive the session to completion twice from copies
+        of that checkpoint -- the "crashed and resumed" run and the
+        "uninterrupted from the same checkpoint" run produce identical
+        per-period transcripts and identical final shares."""
+        import shutil
+
+        path = tmp_path / "ckpt.json"
+        copy = tmp_path / "ckpt-copy.json"
+
+        def interrupt_after_first(state):
+            if state.next_period == 1:
+                raise _Interrupt
+
+        interrupted = self._start(
+            DLR(small_params),
+            InMemoryTransport(),
+            checkpoint_path=path,
+            on_period_commit=interrupt_after_first,
+        )
+        with pytest.raises(_Interrupt):
+            interrupted.run()
+        shutil.copy(path, copy)
+
+        def finish(checkpoint):
+            supervisor = SessionSupervisor.resume(
+                checkpoint,
+                InMemoryTransport(),
+                policy=RetryPolicy(base_backoff=0.0, jitter=0.0),
+            )
+            result = supervisor.run()
+            return (
+                [p.transcript_sha256 for p in result.log.periods],
+                result.state.share2.s,
+            )
+
+        resumed_hashes, resumed_s = finish(path)
+        replay_hashes, replay_s = finish(copy)
+        assert resumed_hashes == replay_hashes
+        assert resumed_s == replay_s
+        assert [p.period for p in interrupted.log.periods] == [0]
+
+    def test_frozen_supervisor_refuses_to_run(self, small_params):
+        faulty = FaultyTransport(inner=InMemoryTransport(), seed=0)
+        # Drop the refresh message: the failed attempt has already put
+        # the decryption frames on the wire, and a 1-bit budget cannot
+        # absorb charging them for a retry.
+        faulty.add_rule(FaultRule(mode=DROP, label="ref.f"))
+        oracle = LeakageOracle(LeakageBudget(0, 1, 1))  # no room for any retry
+        supervisor = self._start(DLR(small_params), faulty, periods=1, oracle=oracle)
+        with pytest.raises(LeakageBudgetExceeded):
+            supervisor.run()
+        assert supervisor.frozen
+        with pytest.raises(ProtocolError, match="frozen"):
+            supervisor.run()
+
+    def test_transient_faults_do_not_stop_the_lifecycle(self, small_params):
+        faulty = FaultyTransport(inner=InMemoryTransport(), seed=0)
+        faulty.add_rule(FaultRule(mode=DROP, label="ref.f", period=1))
+        supervisor = self._start(DLR(small_params), faulty)
+        result = supervisor.run()
+        assert result.periods_completed == 3
+        retried = result.log.retried()
+        assert len(retried) == 1 and retried[0].period == 1

@@ -1,0 +1,114 @@
+"""Unit tests for the fault taxonomy."""
+
+import pytest
+
+from repro.errors import (
+    DecryptionError,
+    FaultInjected,
+    GroupError,
+    LeakageBudgetExceeded,
+    ParameterError,
+    PeerDisconnected,
+    ProtocolError,
+    RefreshAborted,
+    TransportTimeout,
+    WireFormatError,
+)
+from repro.runtime import (
+    CLASSIFICATIONS,
+    FATAL,
+    POISONED,
+    TRANSIENT,
+    classify_fault,
+    fault_name,
+    root_cause,
+)
+
+
+class TestClassificationTable:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            FaultInjected("dropped"),
+            TransportTimeout("silent", timeout=1.0),
+            PeerDisconnected("eof"),
+        ],
+    )
+    def test_transient(self, exc):
+        assert classify_fault(exc) == TRANSIENT
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            WireFormatError("bad frame"),
+            DecryptionError("integrity check failed"),
+        ],
+    )
+    def test_poisoned(self, exc):
+        assert classify_fault(exc) == POISONED
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            LeakageBudgetExceeded("P1", 10, 0),
+            ParameterError("bad ell"),
+            GroupError("mixing groups"),
+            ProtocolError("expected ref.f, got dec.d"),
+        ],
+    )
+    def test_fatal(self, exc):
+        assert classify_fault(exc) == FATAL
+
+    def test_unknown_exception_is_fatal(self):
+        assert classify_fault(ValueError("boom")) == FATAL
+
+    def test_constants(self):
+        assert set(CLASSIFICATIONS) == {TRANSIENT, FATAL, POISONED}
+
+
+class TestCauseChains:
+    def _chained(self, outer, inner):
+        try:
+            try:
+                raise inner
+            except Exception as exc:
+                raise outer from exc
+        except Exception as exc:
+            return exc
+
+    def test_refresh_aborted_is_transparent(self):
+        exc = self._chained(RefreshAborted("rolled back"), FaultInjected("drop"))
+        assert classify_fault(exc) == TRANSIENT
+
+    def test_refresh_aborted_over_poisoned_quarantines(self):
+        exc = self._chained(RefreshAborted("rolled back"), WireFormatError("junk"))
+        assert classify_fault(exc) == POISONED
+
+    def test_refresh_aborted_over_fatal_aborts(self):
+        exc = self._chained(RefreshAborted("rolled back"), ParameterError("bad"))
+        assert classify_fault(exc) == FATAL
+
+    def test_bare_refresh_aborted_is_transient(self):
+        # No recorded cause: the rollback restored consistent shares, so
+        # the period can simply re-run.
+        assert classify_fault(RefreshAborted("rolled back")) == TRANSIENT
+
+    def test_transient_buried_under_scheme_error(self):
+        exc = self._chained(ProtocolError("decrypt failed"), TransportTimeout("t"))
+        # The *outer* classification wins on the first concrete node: a
+        # ProtocolError that is not a wrapper classifies fatal before the
+        # walk reaches its cause -- except the walk checks the outer node
+        # first only for non-wrapper types.  The transparent wrapper is
+        # RefreshAborted, so this is fatal by design: the scheme said the
+        # protocol itself misbehaved.
+        assert classify_fault(exc) == FATAL
+
+    def test_root_cause_walks_to_the_bottom(self):
+        exc = self._chained(
+            RefreshAborted("rolled back"),
+            self._chained(ProtocolError("mid"), FaultInjected("drop")),
+        )
+        assert isinstance(root_cause(exc), FaultInjected)
+
+    def test_fault_name(self):
+        assert fault_name(TransportTimeout("t")) == "TransportTimeout"

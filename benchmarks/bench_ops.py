@@ -178,13 +178,16 @@ def smoke_report(group_bits: int = 32, lam: int = 32, seed: int = 7) -> dict:
     """One full period of each scheme on tiny parameters, instrumented.
 
     Returns a JSON-serializable report: per-party operation counts from
-    the engine transcript, bits on the wire per message label, and the
-    snapshot (leakage-surface) sizes.  Deterministic for a fixed seed.
+    the engine transcript, bits on the wire per message label, the
+    snapshot (leakage-surface) sizes, and the telemetry registry's
+    metrics snapshot for the period.  Deterministic for a fixed seed,
+    except the ``engine.step_wall_seconds`` histogram (timing).
     """
     from dataclasses import asdict
 
     from repro.core.params import DLRParams
     from repro.groups import preset_group
+    from repro.telemetry import metering
 
     group = preset_group(group_bits)
     params = DLRParams(group=group, lam=lam)
@@ -207,7 +210,8 @@ def smoke_report(group_bits: int = 32, lam: int = 32, seed: int = 7) -> dict:
         ciphertext = scheme.encrypt(
             generation.public_key, group.random_gt(rng), rng
         )
-        record = scheme.run_period(p1, p2, channel, ciphertext)
+        with metering() as registry:
+            record = scheme.run_period(p1, p2, channel, ciphertext)
         stats = scheme.last_stats
         report["schemes"][name] = {
             "bits_on_wire": channel.bits_on_wire(),
@@ -219,6 +223,7 @@ def smoke_report(group_bits: int = 32, lam: int = 32, seed: int = 7) -> dict:
                 for (party, phase), snapshot in record.snapshots.items()
             },
             "steps": len(stats.steps),
+            "metrics": registry.snapshot(),
         }
     return report
 

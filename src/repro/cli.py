@@ -15,13 +15,19 @@ Commands::
     repro-dlr supervise --pk keys/public_key.json --share1 ... --share2 ... \
                         --periods 10 --seed 7 --checkpoint session.ckpt.json
     repro-dlr supervise --resume --checkpoint session.ckpt.json
+    repro-dlr trace   trace.jsonl --top 10
+    repro-dlr metrics --log session.json
     repro-dlr info    --pk keys/public_key.json
 
 ``supervise`` drives a whole multi-period lifecycle through the
 :mod:`repro.runtime` session supervisor: classified retries, durable
 checkpoints after every committed period (kill the process at any
 instant and ``--resume`` continues from the checkpoint), and a
-structured session log (``--log``).
+structured session log (``--log``).  With ``--trace`` the lifecycle is
+span-traced to JSONL (digest it with ``trace``); with ``--budget``
+retries are charged against the Theorem 4.1 leakage budget and the
+dashboard is printed (and embedded per period in ``--log``, which
+``metrics`` renders).
 
 ``encrypt`` takes a GT element produced by ``random-message``; use
 ``random-message`` to mint one (printed as hex, decryption prints the
@@ -147,6 +153,7 @@ def cmd_supervise(args: argparse.Namespace) -> int:
     from repro.ibe.dlr_ibe import DLRIBE
     from repro.protocol.transport import InMemoryTransport, SocketTransport
     from repro.runtime import RetryPolicy, SessionSupervisor
+    from repro.telemetry import Tracer, install_tracer
 
     if args.wire == "socket":
         transport = SocketTransport(timeout=args.timeout)
@@ -199,11 +206,58 @@ def cmd_supervise(args: argparse.Namespace) -> int:
             policy=policy,
             on_period_commit=on_commit,
         )
-    result = supervisor.run()
+    if args.budget:
+        from repro.leakage.oracle import LeakageBudget, LeakageOracle
+
+        params = supervisor.state.public_key.params
+        supervisor.oracle = LeakageOracle(
+            LeakageBudget(b0=0, b1=params.theorem_b1(), b2=params.theorem_b2())
+        )
+    tracer = None
+    if args.trace is not None:
+        tracer = Tracer()
+        previous = install_tracer(tracer)
+    try:
+        result = supervisor.run()
+    finally:
+        if tracer is not None:
+            install_tracer(previous)
+    if tracer is not None:
+        tracer.export_jsonl(args.trace)
+        print(f"wrote {args.trace}")
     if args.log is not None:
         persist.atomic_write_text(args.log, result.log.to_json())
         print(f"wrote {args.log}")
+    if supervisor.oracle is not None:
+        from repro.telemetry import budget_dashboard, render_budget_dashboard
+
+        print(render_budget_dashboard(budget_dashboard(supervisor.oracle)))
     print(json.dumps(result.log.to_dict()["summary"], indent=2))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Digest a span-trace JSONL file: aggregate by name, hottest spans."""
+    from repro.telemetry import render_trace_report, validate_trace_file
+
+    try:
+        spans = validate_trace_file(args.file)
+    except ValueError as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 1
+    print(render_trace_report(spans, top=args.top))
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Render the per-period telemetry snapshots of a session log."""
+    from repro.telemetry import render_period_metrics
+
+    log_dict = json.loads(pathlib.Path(args.log).read_text())
+    if args.json:
+        print(json.dumps([p.get("metrics", {}) for p in log_dict.get("periods", [])], indent=2))
+        return 0
+    print(render_period_metrics(log_dict))
     return 0
 
 
@@ -296,7 +350,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="sleep between periods (widens the crash window for drills)",
     )
+    sup.add_argument(
+        "--trace",
+        default=None,
+        metavar="JSONL",
+        help="record a span trace of the whole lifecycle to this JSONL file",
+    )
+    sup.add_argument(
+        "--budget",
+        action="store_true",
+        help="account retries against the Theorem 4.1 leakage budget and "
+        "print the budget dashboard (embedded per period in --log)",
+    )
     sup.set_defaults(fn=cmd_supervise)
+
+    trace = sub.add_parser("trace", help="digest a span-trace JSONL file")
+    trace.add_argument("file", help="trace JSONL written by supervise --trace")
+    trace.add_argument("--top", type=int, default=10, help="hottest spans to list")
+    trace.set_defaults(fn=cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics", help="render per-period telemetry from a session log"
+    )
+    metrics.add_argument("--log", required=True, help="session log JSON (supervise --log)")
+    metrics.add_argument("--json", action="store_true", help="raw metrics snapshots as JSON")
+    metrics.set_defaults(fn=cmd_metrics)
 
     info = sub.add_parser("info", help="print parameters of a public key")
     info.add_argument("--pk", required=True)

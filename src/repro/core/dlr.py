@@ -70,6 +70,7 @@ from repro.protocol.engine import (
 )
 from repro.protocol.memory import PhaseSnapshot
 from repro.protocol.transport import Transport
+from repro.telemetry.tracer import traced
 
 SK1_SLOT = "sk1"
 SK2_SLOT = "sk2"
@@ -153,6 +154,10 @@ class PeriodRecord:
 class DLR:
     """The distributed leakage-resilient PKE scheme."""
 
+    #: Prefix for telemetry span names (``dlr.gen``, ``dlr.enc``, ...);
+    #: subclasses override so their spans are distinguishable.
+    span_kind = "dlr"
+
     def __init__(self, params: DLRParams) -> None:
         self.params = params
         self.group = params.group
@@ -166,6 +171,7 @@ class DLR:
     # Gen / Enc (plain algorithms)
     # ------------------------------------------------------------------
 
+    @traced("gen")
     def generate(self, rng: random.Random) -> GenerationResult:
         """``Gen(1^n)``: sample the key material and share the master key."""
         group = self.group
@@ -193,6 +199,7 @@ class DLR:
         share2 = Share2(s=key.sigma, p=group.p)
         return GenerationResult(public_key, share1, share2, randomness)
 
+    @traced("enc")
     def encrypt(
         self, public_key: PublicKey, message: GTElement, rng: random.Random
     ) -> Ciphertext:
@@ -313,6 +320,7 @@ class DLR:
     # The decryption protocol (Construction 5.3 as printed)
     # ------------------------------------------------------------------
 
+    @traced("dec")
     def decrypt_protocol(
         self,
         device1: Device,
@@ -368,6 +376,7 @@ class DLR:
     # The refresh protocol (Construction 5.3 as printed)
     # ------------------------------------------------------------------
 
+    @traced("ref")
     def refresh_protocol(
         self, device1: Device, device2: Device, channel: Transport
     ) -> None:

@@ -50,6 +50,7 @@ from repro.groups.bilinear import G1Element, GTElement
 from repro.protocol.device import Device
 from repro.protocol.engine import Commit, ProtocolSpec, Recv, Send, StagedShare
 from repro.protocol.transport import Transport
+from repro.telemetry.tracer import traced
 
 SK_COMM_SLOT = "sk_comm"
 SK_COMM_PENDING_SLOT = "sk_comm_next"
@@ -67,6 +68,8 @@ OPTIMAL_STAGED = (
 
 class OptimalDLR(DLR):
     """DLR with P1's secret memory reduced to ``sk_comm`` (+ one scratch)."""
+
+    span_kind = "optimal"
 
     # ------------------------------------------------------------------
     # Installation: encrypt sk1 into public memory
@@ -169,6 +172,7 @@ class OptimalDLR(DLR):
     # The protocols
     # ------------------------------------------------------------------
 
+    @traced("dec")
     def decrypt_protocol(
         self,
         device1: Device,
@@ -187,6 +191,7 @@ class OptimalDLR(DLR):
         assert isinstance(plaintext, GTElement)
         return plaintext
 
+    @traced("ref")
     def refresh_protocol(
         self, device1: Device, device2: Device, channel: Transport
     ) -> None:

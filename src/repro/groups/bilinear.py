@@ -44,8 +44,18 @@ class OperationCounter:
         for name in self.__dataclass_fields__:
             setattr(self, name, 0)
 
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a plain ``{name: count}`` dict (stable field
+        order), the shape telemetry snapshots and span attributes use."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    def nonzero(self) -> dict[str, int]:
+        """Only the counters that moved -- what a span records as its
+        ``ops`` attribute (empty dict = the step did no group work)."""
+        return {name: count for name, count in self.as_dict().items() if count}
+
     def snapshot(self) -> "OperationCounter":
-        return OperationCounter(**{name: getattr(self, name) for name in self.__dataclass_fields__})
+        return OperationCounter(**self.as_dict())
 
     def diff(self, earlier: "OperationCounter") -> "OperationCounter":
         """Return the operations performed since ``earlier`` was snapshot."""

@@ -45,6 +45,7 @@ from repro.protocol.device import Device
 from repro.protocol.engine import Commit, ProtocolSpec, Recv, Send, StagedShare
 from repro.protocol.memory import PhaseSnapshot
 from repro.protocol.transport import Transport
+from repro.telemetry.tracer import traced
 from repro.utils.bits import BitString, concat_all
 
 
@@ -96,6 +97,8 @@ class IdentityPeriodRecord:
 class DLRIBE(DLR):
     """The distributed leakage-resilient IBE."""
 
+    span_kind = "dlribe"
+
     def __init__(self, params, n_id: int = 16) -> None:
         super().__init__(params)
         self.n_id = n_id
@@ -105,6 +108,7 @@ class DLRIBE(DLR):
     # Setup (master key generation)
     # ------------------------------------------------------------------
 
+    @traced("setup")
     def setup(self, rng: random.Random) -> DIBESetupResult:
         """Master key generation: BB public parameters + DLR-style shares
         of ``msk = g2^alpha``."""
@@ -125,6 +129,7 @@ class DLRIBE(DLR):
     # Encryption (public operation, identical to BB)
     # ------------------------------------------------------------------
 
+    @traced("enc")
     def encrypt_to(
         self,
         pp: IBEPublicParams,
@@ -138,6 +143,7 @@ class DLRIBE(DLR):
     # 2-party identity key extraction
     # ------------------------------------------------------------------
 
+    @traced("extract")
     def extract_protocol(
         self,
         pp: IBEPublicParams,
@@ -221,6 +227,7 @@ class DLRIBE(DLR):
     # 2-party identity decryption
     # ------------------------------------------------------------------
 
+    @traced("dec_id")
     def decrypt_protocol_id(
         self,
         device1: Device,
@@ -277,6 +284,7 @@ class DLRIBE(DLR):
     # 2-party identity key refresh
     # ------------------------------------------------------------------
 
+    @traced("ref_id")
     def refresh_identity_protocol(
         self,
         pp: IBEPublicParams,

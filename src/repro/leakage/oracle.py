@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.errors import LeakageBudgetExceeded, ParameterError
 from repro.leakage.functions import LeakageFunction, LeakageInput
+from repro.telemetry.metrics import MetricsRegistry
 from repro.utils.bits import BitString
 
 
@@ -86,15 +87,18 @@ class LeakageOracle:
         oracle.end_period()                   # t <- t + 1
     """
 
-    def __init__(self, budget: LeakageBudget) -> None:
+    def __init__(self, budget: LeakageBudget, metrics: MetricsRegistry | None = None) -> None:
         self.budget = budget
         self._accounts = {1: _DeviceAccount(budget.b1), 2: _DeviceAccount(budget.b2)}
         self._generation_used = 0
         self.period = 0
         self.total_leaked_bits = {0: 0, 1: 0, 2: 0}
-        #: Per-period ledger of bits charged for *retried* protocol
-        #: attempts: ``{period: {device: bits}}`` (see :meth:`charge_retry`).
-        self.retry_ledger: dict[int, dict[int, int]] = {}
+        #: The oracle's bookkeeping substrate.  All charged bits land in
+        #: these instruments (``leakage.leaked_bits``,
+        #: ``leakage.retry_bits``); :attr:`retry_ledger` is a *view* over
+        #: them, not a second tally.  Pass a shared registry to merge the
+        #: oracle's numbers into a session-wide telemetry snapshot.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     # -- key generation phase ---------------------------------------------
 
@@ -110,6 +114,7 @@ class LeakageOracle:
         result = function(leak_input)
         self._generation_used += len(result)
         self.total_leaked_bits[0] += len(result)
+        self.metrics.counter("leakage.leaked_bits", phase="gen").inc(len(result))
         return result
 
     # -- per-period leakage ---------------------------------------------------
@@ -142,6 +147,9 @@ class LeakageOracle:
         account.charge_normal(function.output_length, f"P{device}")
         result = self._checked(function, leak_input)
         self.total_leaked_bits[device] += len(result)
+        self.metrics.counter(
+            "leakage.leaked_bits", phase="normal", device=str(device)
+        ).inc(len(result))
         return result
 
     def leak_refresh(
@@ -152,6 +160,9 @@ class LeakageOracle:
         account.charge_refresh(function.output_length, f"P{device}")
         result = self._checked(function, leak_input)
         self.total_leaked_bits[device] += len(result)
+        self.metrics.counter(
+            "leakage.leaked_bits", phase="refresh", device=str(device)
+        ).inc(len(result))
         return result
 
     def charge_retry(self, device: int, bits: int) -> None:
@@ -176,20 +187,39 @@ class LeakageOracle:
             return
         account = self._account(device)
         account.charge_normal(bits, f"P{device}")
-        ledger = self.retry_ledger.setdefault(self.period, {1: 0, 2: 0})
-        ledger[device] += bits
+        # The counter *is* the ledger: one instrument per (period, device)
+        # pair, reconstructed into dict shape by :attr:`retry_ledger`.
+        for d in (1, 2):
+            self.metrics.counter(
+                "leakage.retry_bits", device=str(d), period=str(self.period)
+            ).inc(bits if d == device else 0)
         self.total_leaked_bits[device] += bits
+
+    @property
+    def retry_ledger(self) -> dict[int, dict[int, int]]:
+        """``{period: {device: bits}}`` view over the registry's
+        ``leakage.retry_bits`` counters.  Periods appear once any retry
+        was charged in them; both devices are always present per period
+        (a device that never retried shows ``0``)."""
+        ledger: dict[int, dict[int, int]] = {}
+        for labels, counter in self.metrics.counters_named("leakage.retry_bits"):
+            period = int(labels["period"])
+            device = int(labels["device"])
+            ledger.setdefault(period, {})[device] = counter.value
+        return {
+            period: {device: ledger[period][device] for device in sorted(ledger[period])}
+            for period in sorted(ledger)
+        }
 
     def retry_charged(self, period: int | None = None, device: int | None = None) -> int:
         """Total retry-charged bits, optionally filtered by period/device."""
         total = 0
-        for p, per_device in self.retry_ledger.items():
-            if period is not None and p != period:
+        for labels, counter in self.metrics.counters_named("leakage.retry_bits"):
+            if period is not None and int(labels["period"]) != period:
                 continue
-            for d, bits in per_device.items():
-                if device is not None and d != device:
-                    continue
-                total += bits
+            if device is not None and int(labels["device"]) != device:
+                continue
+            total += counter.value
         return total
 
     def end_period(self) -> None:
@@ -205,3 +235,22 @@ class LeakageOracle:
 
     def carried(self, device: int) -> int:
         return self._accounts[device].carried
+
+    def account_view(self, device: int) -> dict[str, int]:
+        """Current-period accounting for one device, for the dashboard."""
+        account = self._account(device)
+        return {
+            "bound": account.bound,
+            "carried": account.carried,
+            "normal": account.period_normal,
+            "refresh": account.period_refresh,
+            "available": max(account.available(), 0),
+        }
+
+    def generation_view(self) -> dict[str, int]:
+        """Key-generation (``b0``) accounting, for the dashboard."""
+        return {
+            "b0": self.budget.b0,
+            "used": self._generation_used,
+            "remaining": self.budget.b0 - self._generation_used,
+        }

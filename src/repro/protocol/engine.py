@@ -50,6 +50,8 @@ from repro.groups.bilinear import OperationCounter
 from repro.protocol.device import Device
 from repro.protocol.memory import PhaseSnapshot
 from repro.protocol.transport import Transport
+from repro.telemetry.metrics import active_registry
+from repro.telemetry.tracer import NULL_SPAN, active_tracer
 from repro.utils.serialization import encode_any
 
 
@@ -178,7 +180,16 @@ class StepStat:
 
 @dataclass
 class TranscriptStats:
-    """Queryable per-step instrumentation of one engine run."""
+    """Queryable per-step instrumentation of one engine run.
+
+    Every query below is a *view* over the recorded steps -- there is no
+    second tally to drift out of sync.  When a telemetry registry is
+    active (:func:`repro.telemetry.metrics.active_registry`), the engine
+    additionally mirrors each step into the registry's ``engine.*``
+    instruments as it is recorded, so the registry's per-label bit
+    counters aggregate exactly the same numbers across protocol runs
+    (:meth:`publish` pushes a whole finished transcript the same way).
+    """
 
     protocol: str
     steps: list[StepStat] = field(default_factory=list)
@@ -207,17 +218,35 @@ class TranscriptStats:
         for step in self.steps:
             if step.party != party or step.ops is None:
                 continue
-            for name in total.__dataclass_fields__:
-                setattr(total, name, getattr(total, name) + getattr(step.ops, name))
+            for name, count in step.ops.as_dict().items():
+                setattr(total, name, getattr(total, name) + count)
         return total
 
     def ops_total(self) -> OperationCounter:
         total = OperationCounter()
         for party in (1, 2):
-            partial = self.ops_for_party(party)
-            for name in total.__dataclass_fields__:
-                setattr(total, name, getattr(total, name) + getattr(partial, name))
+            for name, count in self.ops_for_party(party).as_dict().items():
+                setattr(total, name, getattr(total, name) + count)
         return total
+
+    def publish(self, registry) -> None:
+        """Mirror this transcript's steps into a metrics registry (the
+        adapter the benchmarks use on already-finished runs)."""
+        for step in self.steps:
+            _publish_step(registry, self.protocol, step)
+
+
+def _publish_step(registry, protocol: str, step: StepStat) -> None:
+    """One step's worth of ``engine.*`` instruments."""
+    registry.counter("engine.steps", protocol=protocol, kind=step.kind).inc()
+    if step.kind == "send" and step.label is not None:
+        registry.counter("engine.bits_on_wire", label=step.label).inc(step.bits_on_wire)
+    registry.histogram("engine.step_wall_seconds", kind=step.kind).observe(
+        step.wall_seconds
+    )
+    if step.ops is not None:
+        for name, count in step.ops.nonzero().items():
+            registry.counter("engine.ops", op=name, party=step.party).inc(count)
 
 
 # ---------------------------------------------------------------------------
@@ -232,6 +261,7 @@ class ProtocolEngine:
         self.transport = transport
         self.stats = TranscriptStats("idle")
         self._stats_lock = threading.Lock()
+        self._span = NULL_SPAN
 
     # -- public entry point -------------------------------------------------
 
@@ -242,12 +272,24 @@ class ProtocolEngine:
         back, aborted phases closed, and either the original exception or
         a :class:`~repro.errors.RefreshAborted` (if a rotation was
         actually rolled back) propagates.
+
+        When a tracer is active the whole run becomes a
+        ``protocol.<name>`` span and every executed step a child
+        ``step.<kind>`` span (explicitly parented, so the per-party
+        threads of a socket run nest correctly).
         """
         self.transport.attach_group(spec.device1.group)
         self.stats = TranscriptStats(spec.name)
-        if self.transport.threaded:
-            return self._run_threaded(spec)
-        return self._run_inline(spec)
+        self._span = active_tracer().span(f"protocol.{spec.name}")
+        with self._span as span:
+            if self.transport.threaded:
+                result = self._run_threaded(spec)
+            else:
+                result = self._run_inline(spec)
+            span.annotate(
+                bits_on_wire=self.stats.bits_on_wire(), steps=len(self.stats.steps)
+            )
+        return result
 
     # -- commit / rollback (the single implementation) ----------------------
 
@@ -312,8 +354,26 @@ class ProtocolEngine:
             kind, label, bits = "commit", None, 0
         else:
             kind, label, bits = "return", None, 0
+        step = StepStat(party, kind, label, bits, wall, ops)
+        registry = active_registry()
         with self._stats_lock:
-            self.stats.record(StepStat(party, kind, label, bits, wall, ops))
+            self.stats.record(step)
+            if registry is not None:
+                # Under the stats lock: counter increments are not atomic
+                # and threaded runs record from both party threads.
+                _publish_step(registry, self.stats.protocol, step)
+        tracer = active_tracer()
+        if tracer.enabled:
+            attrs = {"party": party, "protocol": self.stats.protocol}
+            if label is not None:
+                attrs["label"] = label
+            if kind == "send":
+                attrs["bits"] = bits
+            if ops is not None:
+                nonzero = ops.nonzero()
+                if nonzero:
+                    attrs["ops"] = nonzero
+            tracer.record(f"step.{kind}", wall, parent=self._span, **attrs)
 
     # -- in-process scheduling ----------------------------------------------
 

@@ -36,6 +36,11 @@ from repro.utils.bits import BitString, concat_all
 from repro.utils.serialization import WireCodec, encode_any, sniff_group
 
 
+# One DeprecationWarning per process for the bytes_on_wire alias, no
+# matter how many transports a session creates.
+_BYTES_ON_WIRE_WARNED = False
+
+
 @dataclass(frozen=True)
 class Message:
     """One message on the public channel."""
@@ -137,15 +142,22 @@ class Transport:
         return len(self.transcript_bits(period))
 
     def bytes_on_wire(self, period: int | None = None) -> int:
-        """Deprecated misnomer for :meth:`bits_on_wire` -- it has always
-        returned *bits*, never bytes."""
-        warnings.warn(
-            f"{type(self).__name__}.bytes_on_wire returns bits and has been "
-            "renamed to bits_on_wire; the old name will be removed",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.bits_on_wire(period)
+        """Deprecated alias: whole *bytes* on the wire, i.e.
+        ``bits_on_wire() // 8`` (trailing partial bytes are not counted).
+
+        Historically this name returned bits; use :meth:`bits_on_wire`
+        for the exact figure.  The :class:`DeprecationWarning` is issued
+        once per process, not per call."""
+        global _BYTES_ON_WIRE_WARNED
+        if not _BYTES_ON_WIRE_WARNED:
+            _BYTES_ON_WIRE_WARNED = True
+            warnings.warn(
+                "Transport.bytes_on_wire is deprecated: it now returns whole "
+                "bytes (bits_on_wire() // 8); use bits_on_wire for bits",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return self.bits_on_wire(period) // 8
 
     def bits_by_label(self, period: int | None = None) -> dict[str, int]:
         """Communication breakdown per message label -- which protocol

@@ -46,6 +46,11 @@ class PeriodSummary:
     attempts: int
     bits_on_wire: int  # all attempts of the period, retries included
     transcript_sha256: str
+    #: Telemetry snapshot taken at commit time: per-label wire bits,
+    #: per-device retry charges, and (when an oracle supervises the
+    #: session) the leakage-budget dashboard.  Empty for unsupervised
+    #: logs and for logs written before this field existed.
+    metrics: dict = field(default_factory=dict)
 
 
 @dataclass

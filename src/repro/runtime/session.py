@@ -62,6 +62,8 @@ from repro.runtime.journal import (
 )
 from repro.runtime.policy import RetryPolicy
 from repro.runtime.taxonomy import FATAL, POISONED, classify_fault, fault_name
+from repro.telemetry.dashboard import budget_dashboard
+from repro.telemetry.tracer import active_tracer
 
 
 def scheme_kind_of(scheme: DLR) -> str:
@@ -112,8 +114,15 @@ def run_with_retries(
     with the last transient fault as its cause.
     """
     deadline_at = None if policy.deadline is None else clock() + policy.deadline
+    tracer = active_tracer()
     for attempt in count(1):
         bits_before = transport.bits_on_wire(period)
+        # Explicit __enter__/__exit__ rather than ``with``: the span must
+        # close on every outcome path *before* its annotations land, and
+        # the backoff sleep happens outside it (an attempt's span measures
+        # the attempt, not the waiting).
+        span = tracer.span("attempt", period=period, attempt=attempt)
+        span.__enter__()
         start = clock()
         try:
             result = run_attempt()
@@ -122,13 +131,18 @@ def run_with_retries(
             bits = transport.bits_on_wire(period) - bits_before
             classification = classify_fault(exc)
             name = fault_name(exc)
+            span.annotate(bits=bits, fault=name, classification=classification)
             if classification == POISONED:
+                span.annotate(outcome=ABORTED)
+                span.__exit__(None, None, None)
                 log.quarantine_transcript(period, name, transport.transcript(period))
                 log.record_attempt(
                     AttemptRecord(period, attempt, ABORTED, name, classification, 0.0, bits, {}, wall)
                 )
                 raise
             if classification == FATAL:
+                span.annotate(outcome=ABORTED)
+                span.__exit__(None, None, None)
                 log.record_attempt(
                     AttemptRecord(period, attempt, ABORTED, name, classification, 0.0, bits, {}, wall)
                 )
@@ -136,6 +150,8 @@ def run_with_retries(
             # Transient: may we go again?
             past_deadline = deadline_at is not None and clock() >= deadline_at
             if attempt >= policy.max_attempts or past_deadline:
+                span.annotate(outcome=EXHAUSTED)
+                span.__exit__(None, None, None)
                 log.record_attempt(
                     AttemptRecord(period, attempt, EXHAUSTED, name, classification, 0.0, bits, {}, wall)
                 )
@@ -156,6 +172,8 @@ def run_with_retries(
                         oracle.charge_retry(device_index, bits)
                         charged[f"P{device_index}"] = bits
                 except LeakageBudgetExceeded:
+                    span.annotate(outcome=FROZEN)
+                    span.__exit__(None, None, None)
                     log.record_attempt(
                         AttemptRecord(period, attempt, FROZEN, name, classification, 0.0, bits, charged, wall)
                     )
@@ -163,6 +181,8 @@ def run_with_retries(
                         on_freeze()
                     raise
             backoff = policy.backoff(attempt, jitter_rng)
+            span.annotate(outcome=RETRY, backoff_seconds=backoff)
+            span.__exit__(None, None, None)
             log.record_attempt(
                 AttemptRecord(period, attempt, RETRY, name, classification, backoff, bits, charged, wall)
             )
@@ -171,6 +191,8 @@ def run_with_retries(
         else:
             wall = clock() - start
             bits = transport.bits_on_wire(period) - bits_before
+            span.annotate(outcome=OK, bits=bits)
+            span.__exit__(None, None, None)
             log.record_attempt(
                 AttemptRecord(period, attempt, OK, None, None, 0.0, bits, {}, wall)
             )
@@ -374,19 +396,20 @@ class SessionSupervisor:
 
     def _run_one_period(self) -> None:
         period = self.state.next_period
-        run_with_retries(
-            lambda: self._attempt(period),
-            period=period,
-            policy=self.policy,
-            transport=self.transport,
-            log=self.log,
-            jitter_rng=RetryPolicy.jitter_rng(self.state.seed, period),
-            oracle=self.oracle,
-            sleep=self._sleep,
-            clock=self._clock,
-            on_freeze=self._freeze,
-        )
-        self._commit_period(period)
+        with active_tracer().span("period", period=period, scheme=self.state.scheme):
+            run_with_retries(
+                lambda: self._attempt(period),
+                period=period,
+                policy=self.policy,
+                transport=self.transport,
+                log=self.log,
+                jitter_rng=RetryPolicy.jitter_rng(self.state.seed, period),
+                oracle=self.oracle,
+                sleep=self._sleep,
+                clock=self._clock,
+                on_freeze=self._freeze,
+            )
+            self._commit_period(period)
 
     def _freeze(self) -> None:
         self.frozen = True
@@ -441,6 +464,7 @@ class SessionSupervisor:
                 attempts=len(self.log.attempts_for(period)),
                 bits_on_wire=len(transcript),
                 transcript_sha256=hashlib.sha256(transcript.to_bytes()).hexdigest(),
+                metrics=self._period_metrics(period),
             )
         )
         self.state.share1 = share1
@@ -452,3 +476,22 @@ class SessionSupervisor:
             self.oracle.end_period()
         if self._on_period_commit is not None:
             self._on_period_commit(self.state)
+
+    def _period_metrics(self, period: int) -> dict:
+        """The telemetry snapshot embedded in the period's log summary.
+
+        Taken at commit time, *before* the oracle rolls the period, so
+        the budget rows show the state that the period's last charge
+        left behind.  All numbers are views over existing ledgers --
+        the transport transcript and the oracle -- never fresh tallies.
+        """
+        metrics: dict = {
+            "bits_by_label": self.transport.bits_by_label(period),
+        }
+        if self.oracle is not None:
+            metrics["retry_charged_bits"] = {
+                f"P{device}": self.oracle.retry_charged(period=period, device=device)
+                for device in (1, 2)
+            }
+            metrics["budget"] = budget_dashboard(self.oracle)
+        return metrics

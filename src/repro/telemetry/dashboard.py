@@ -1,0 +1,172 @@
+"""The leakage-budget dashboard and trace digests.
+
+The paper's security argument is an accounting argument: per-device,
+per-phase leakage bits (``b0``/``b1``/``b2``), carry-over from the
+refresh that created the current share, and -- in a supervised session
+-- the bits charged for retried protocol attempts.  This module turns
+the live :class:`~repro.leakage.oracle.LeakageOracle` state (or the
+per-period metrics snapshots embedded in a
+:class:`~repro.runtime.journal.SessionLog`) into one reconciled,
+render-able view, and digests span traces into their hottest regions.
+
+Everything here is pure presentation over the oracle/registry numbers:
+the dashboard never keeps its own tallies, so it cannot drift from the
+ledgers it reports (the integration tests assert exact reconciliation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+# ---------------------------------------------------------------------------
+# Budget dashboard
+# ---------------------------------------------------------------------------
+
+
+def budget_dashboard(oracle) -> dict:
+    """Per-device budget consumption for the oracle's current period.
+
+    Numbers come straight from the oracle's accounts and its
+    registry-backed retry ledger; ``remaining`` is exactly
+    ``oracle.remaining(device)`` and ``retry_bits`` is exactly
+    ``oracle.retry_charged(period=oracle.period, device=...)``.
+    """
+    generation = oracle.generation_view()
+    devices = {}
+    for index in (1, 2):
+        view = oracle.account_view(index)
+        bound = view["bound"]
+        used = view["carried"] + view["normal"] + view["refresh"]
+        devices[f"P{index}"] = {
+            "bound": bound,
+            "carried": view["carried"],
+            "normal": view["normal"],
+            "refresh": view["refresh"],
+            "retry_bits": oracle.retry_charged(period=oracle.period, device=index),
+            "retry_bits_total": oracle.retry_charged(device=index),
+            "remaining": view["available"],
+            # How close this device is to a freeze: the fraction of its
+            # per-lifetime bound already consumed (1.0 = the next charge
+            # of any size freezes the session).
+            "freeze_proximity": (used / bound) if bound else 1.0,
+        }
+    return {
+        "period": oracle.period,
+        "generation": generation,
+        "devices": devices,
+    }
+
+
+def render_budget_dashboard(dash: dict) -> str:
+    """The dashboard as a fixed-width text table."""
+    lines = [f"leakage budget @ period {dash['period']}"]
+    header = (
+        f"  {'phase':<10}{'bound':>8}{'used':>8}{'carried':>9}"
+        f"{'retry':>7}{'remaining':>11}{'to-freeze':>11}"
+    )
+    lines.append(header)
+    gen = dash["generation"]
+    lines.append(
+        f"  {'Gen (b0)':<10}{gen['b0']:>8}{gen['used']:>8}{'-':>9}"
+        f"{'-':>7}{gen['remaining']:>11}{'-':>11}"
+    )
+    for name in sorted(dash["devices"]):
+        row = dash["devices"][name]
+        bound_label = "b1" if name == "P1" else "b2"
+        used = row["carried"] + row["normal"] + row["refresh"]
+        proximity = f"{100.0 * (1.0 - row['freeze_proximity']):.1f}%"
+        lines.append(
+            f"  {f'{name} ({bound_label})':<10}{row['bound']:>8}{used:>8}"
+            f"{row['carried']:>9}{row['retry_bits']:>7}{row['remaining']:>11}"
+            f"{proximity:>11}"
+        )
+    return "\n".join(lines)
+
+
+def render_period_metrics(log_dict: dict) -> str:
+    """Render the per-period metrics snapshots embedded in a serialized
+    :class:`~repro.runtime.journal.SessionLog` (``--log`` output of
+    ``repro-dlr supervise``)."""
+    lines = [
+        f"session: scheme={log_dict.get('scheme', '?')} "
+        f"seed={log_dict.get('seed')}"
+    ]
+    periods = log_dict.get("periods", [])
+    if not periods:
+        lines.append("  (no committed periods)")
+        return "\n".join(lines)
+    for period in periods:
+        metrics = period.get("metrics") or {}
+        lines.append(
+            f"period {period['period']}: attempts={period['attempts']} "
+            f"bits_on_wire={period['bits_on_wire']}"
+        )
+        for label, bits in sorted((metrics.get("bits_by_label") or {}).items()):
+            lines.append(f"    {label:<18}{bits:>8} bits")
+        retry = metrics.get("retry_charged_bits") or {}
+        if any(retry.values()):
+            charges = ", ".join(f"{k}={v}" for k, v in sorted(retry.items()))
+            lines.append(f"    retry charges: {charges}")
+        budget = metrics.get("budget")
+        if budget:
+            for line in render_budget_dashboard(budget).splitlines():
+                lines.append(f"    {line}")
+    total = sum(p["bits_on_wire"] for p in periods)
+    lines.append(f"total: {len(periods)} periods, {total} bits on wire")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Trace digests
+# ---------------------------------------------------------------------------
+
+
+def hottest_spans(spans: Iterable[dict], top: int = 10) -> list[dict]:
+    """The ``top`` longest individual spans of a validated trace,
+    longest first (ties broken by span id for determinism)."""
+    decorated = [
+        {**span, "duration": span["end"] - span["start"]} for span in spans
+    ]
+    decorated.sort(key=lambda s: (-s["duration"], s["id"]))
+    return decorated[:top]
+
+
+def span_summary(spans: Iterable[dict]) -> dict[str, dict]:
+    """Aggregate spans by name: count, total/max duration, total bits."""
+    summary: dict[str, dict] = {}
+    for span in spans:
+        duration = span["end"] - span["start"]
+        entry = summary.setdefault(
+            span["name"], {"count": 0, "total_seconds": 0.0, "max_seconds": 0.0, "bits": 0}
+        )
+        entry["count"] += 1
+        entry["total_seconds"] += duration
+        entry["max_seconds"] = max(entry["max_seconds"], duration)
+        bits = span["attrs"].get("bits")
+        if isinstance(bits, int):
+            entry["bits"] += bits
+    return summary
+
+
+def render_trace_report(spans: list[dict], top: int = 10) -> str:
+    """The ``repro-dlr trace`` report: aggregate table + hottest spans."""
+    lines = [f"{len(spans)} spans"]
+    lines.append(
+        f"  {'name':<24}{'count':>7}{'total s':>10}{'max s':>10}{'bits':>10}"
+    )
+    summary = span_summary(spans)
+    ordered = sorted(summary.items(), key=lambda kv: (-kv[1]["total_seconds"], kv[0]))
+    for name, entry in ordered:
+        lines.append(
+            f"  {name:<24}{entry['count']:>7}{entry['total_seconds']:>10.4f}"
+            f"{entry['max_seconds']:>10.4f}{entry['bits']:>10}"
+        )
+    lines.append(f"hottest {top} spans:")
+    for span in hottest_spans(spans, top):
+        parent = span["parent"] if span["parent"] is not None else "-"
+        lines.append(
+            f"  #{span['id']:<5} {span['name']:<24} {span['duration']:>10.6f}s"
+            f"  parent={parent}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,217 @@
+"""The process-local metrics registry: counters, gauges, histograms.
+
+One registry is one coherent, machine-readable view of where cycles,
+bytes, and budget bits go.  Instruments are identified by ``(name,
+labels)``; the same identity always returns the same instrument, so
+scattered instrumentation points aggregate instead of shadowing each
+other.  Everything is stdlib-only and deterministic:
+
+* counters and gauges hold exact ints/floats, no sampling;
+* histograms use **fixed bucket boundaries** chosen at creation --
+  never derived from observed values or wall-clock state -- so two
+  seeded runs bucket identically;
+* :meth:`MetricsRegistry.snapshot` orders every key, producing
+  byte-identical JSON for identical observation sequences.
+
+The registry absorbs the library's historically ad-hoc counters: the
+protocol engine publishes per-step counts/bits (mirroring
+``TranscriptStats``), the leakage oracle *stores* its retry ledger here
+(``LeakageOracle.retry_ledger`` is a view over this registry), and the
+benchmarks emit ``snapshot()`` next to their timing numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Default histogram boundaries for durations in seconds: sub-ms to
+#: minutes, fixed for the life of the library so snapshots compare
+#: across runs and versions.
+DEFAULT_SECONDS_BUCKETS = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0
+)
+
+LabelKey = tuple[str, tuple[tuple[str, object], ...]]
+
+
+def _key(name: str, labels: dict) -> LabelKey:
+    return (name, tuple(sorted(labels.items())))
+
+
+def label_text(key: LabelKey) -> str:
+    """Canonical flat spelling, e.g. ``engine.bits_on_wire{label=dec.d}``."""
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically non-decreasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge for levels")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level (can go up and down)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Cumulative-bucket histogram with fixed boundaries.
+
+    ``counts[i]`` counts observations ``<= boundaries[i]``; the final
+    extra bucket counts the overflow (``> boundaries[-1]``).
+    """
+
+    __slots__ = ("boundaries", "counts", "total", "count")
+
+    def __init__(self, boundaries=DEFAULT_SECONDS_BUCKETS) -> None:
+        ordered = tuple(boundaries)
+        if not ordered or list(ordered) != sorted(set(ordered)):
+            raise ValueError("histogram boundaries must be non-empty and strictly increasing")
+        self.boundaries = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        index = len(self.boundaries)
+        for i, bound in enumerate(self.boundaries):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Process-local instrument store, keyed by ``(name, labels)``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[LabelKey, Counter] = {}
+        self._gauges: dict[LabelKey, Gauge] = {}
+        self._histograms: dict[LabelKey, Histogram] = {}
+
+    # -- instrument access (get-or-create) ----------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = _key(name, labels)
+        with self._lock:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = _key(name, labels)
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, buckets=DEFAULT_SECONDS_BUCKETS, **labels) -> Histogram:
+        key = _key(name, labels)
+        with self._lock:
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                instrument = self._histograms[key] = Histogram(buckets)
+        return instrument
+
+    # -- queries ------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels) -> int:
+        """The counter's value, 0 if it was never incremented."""
+        instrument = self._counters.get(_key(name, labels))
+        return 0 if instrument is None else instrument.value
+
+    def counters_named(self, name: str) -> list[tuple[dict, Counter]]:
+        """All ``(labels, counter)`` pairs under one name, label-sorted."""
+        found = []
+        with self._lock:
+            for (candidate, labels), instrument in sorted(self._counters.items()):
+                if candidate == name:
+                    found.append((dict(labels), instrument))
+        return found
+
+    # -- snapshot -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable, deterministically ordered dump."""
+        with self._lock:
+            return {
+                "counters": {
+                    label_text(key): c.value for key, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    label_text(key): g.value for key, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    label_text(key): h.to_dict()
+                    for key, h in sorted(self._histograms.items())
+                },
+            }
+
+    def snapshot_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# The active registry (process-global, None by default)
+# ---------------------------------------------------------------------------
+
+_ACTIVE: MetricsRegistry | None = None
+
+
+def active_registry() -> MetricsRegistry | None:
+    """The installed registry, or ``None`` when metrics are off."""
+    return _ACTIVE
+
+
+def install_registry(registry: MetricsRegistry | None) -> MetricsRegistry | None:
+    """Install the process-wide registry; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    return previous
+
+
+@contextmanager
+def metering(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Scoped metrics collection: install, yield, restore."""
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = install_registry(registry)
+    try:
+        yield registry
+    finally:
+        install_registry(previous)

@@ -1,0 +1,416 @@
+"""The span tracer: nested, monotonic-clocked, JSONL-exportable.
+
+A :class:`Span` is one timed region of work -- a protocol run, one
+Send/Recv/Commit step, a time period, a retry attempt -- with a name, a
+parent, and a flat attribute dict.  A :class:`Tracer` hands out spans
+through a context-manager API::
+
+    tracer = Tracer()
+    with tracer.span("period", period=3):
+        with tracer.span("attempt", attempt=1) as attempt:
+            ...
+            attempt.annotate(outcome="ok")
+    tracer.export_jsonl("trace.jsonl")
+
+Design constraints (the reason this module exists instead of a
+dependency):
+
+* **Zero dependencies** -- stdlib only, like the rest of the library.
+* **Monotonic clocks** -- timestamps come from ``time.perf_counter``
+  and are only meaningful as durations and relative order within one
+  trace; no wall-clock time is ever recorded.
+* **Deterministic identity** -- span ids are sequential integers
+  allocated under a lock, never random, so two seeded runs produce
+  traces with identical ids, names, nesting, and attributes (only the
+  timing floats differ).
+* **Off-by-default-cheap** -- the module-level :data:`NULL_TRACER` is
+  installed by default; its :meth:`~NullTracer.span` returns a shared
+  no-op span, so instrumented code costs one global read and one
+  attribute check per instrumentation point when tracing is off (the
+  bench guard in ``tests/telemetry/test_tracer.py`` pins this down).
+* **Thread-correct nesting** -- the active-span stack is thread-local,
+  and an explicit ``parent=`` escape hatch lets the protocol engine
+  attach the per-party step spans of a *threaded* (socket) run to the
+  protocol span created on the driving thread.
+
+The JSONL schema (validated by :func:`validate_trace`):
+
+* line 1: ``{"record": "trace-header", "version": 1,
+  "clock": "perf_counter"}``
+* one line per span, in *finish* order: ``{"record": "span",
+  "id": int, "parent": int | null, "name": str, "start": float,
+  "end": float, "attrs": {...}}``
+
+Because spans are written when they finish, a parent's line appears
+*after* its children's; referential integrity therefore holds over the
+whole file, not line-by-line.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator
+
+TRACE_SCHEMA_VERSION = 1
+
+_SPAN_REQUIRED_KEYS = ("record", "id", "parent", "name", "start", "end", "attrs")
+
+
+class Span:
+    """One timed, named, attributed region of work."""
+
+    __slots__ = ("tracer", "span_id", "parent_id", "name", "attrs", "start", "end", "_ops_before")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        attrs: dict,
+    ) -> None:
+        self.tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.start: float | None = None
+        self.end: float | None = None
+        self._ops_before = None
+
+    def annotate(self, **attrs) -> "Span":
+        """Merge attributes into the span (usable until export)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        counter = self.tracer._counter
+        if counter is not None:
+            self._ops_before = counter.snapshot()
+        self.tracer._push(self)
+        self.start = self.tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = self.tracer._clock()
+        self.tracer._pop(self)
+        counter = self.tracer._counter
+        if counter is not None and self._ops_before is not None:
+            ops = counter.diff(self._ops_before).nonzero()
+            if ops:
+                self.attrs["ops"] = ops
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self.tracer._finish(self)
+        return False
+
+    @property
+    def duration(self) -> float:
+        if self.start is None or self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_record(self) -> dict:
+        return {
+            "record": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start if self.start is not None else 0.0,
+            "end": self.end if self.end is not None else 0.0,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id})"
+
+
+class _NullSpan:
+    """The shared no-op span: every method returns immediately."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def annotate(self, **attrs) -> "_NullSpan":
+        return self
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+
+#: The single no-op span every :class:`NullTracer` call returns.
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default, disabled tracer: everything is a shared no-op."""
+
+    enabled = False
+
+    def span(self, name: str, parent=None, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def record(self, name: str, seconds: float, parent=None, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def attach_counter(self, counter) -> None:
+        pass
+
+
+#: The process-wide disabled tracer (installed by default).
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects spans; thread-safe; exports the finished trace as JSONL."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._local = threading.local()
+        self._finished: list[Span] = []
+        #: Optional :class:`~repro.groups.bilinear.OperationCounter`;
+        #: when attached, every span records the group-operation delta
+        #: observed between its entry and exit as an ``ops`` attribute.
+        self._counter = None
+
+    # -- span construction --------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _allocate_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
+
+    def span(self, name: str, parent: Span | None = None, **attrs) -> Span:
+        """A new span; nest under ``parent`` (or this thread's current
+        open span when ``parent`` is omitted)."""
+        if parent is None:
+            parent = self.current()
+        parent_id = parent.span_id if isinstance(parent, Span) else None
+        return Span(self, self._allocate_id(), parent_id, name, attrs)
+
+    def record(self, name: str, seconds: float, parent: Span | None = None, **attrs) -> Span:
+        """Record an already-measured region as a completed span.
+
+        For instrumentation that measures durations itself (the protocol
+        engine times each step around a generator resume); the span's
+        interval is synthesized as ``[now - seconds, now]``.
+        """
+        span = self.span(name, parent=parent, **attrs)
+        span.end = self._clock()
+        span.start = span.end - seconds
+        self._finish(span)
+        return span
+
+    def attach_counter(self, counter) -> None:
+        """Attach a group :class:`~repro.groups.bilinear.OperationCounter`
+        whose per-span deltas land in each span's ``ops`` attribute."""
+        self._counter = counter
+
+    # -- stack discipline ---------------------------------------------------
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # pragma: no cover - misnested exit
+            stack.remove(span)
+
+    def current(self) -> Span | None:
+        """This thread's innermost open span, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def finished(self) -> list[Span]:
+        with self._lock:
+            return list(self._finished)
+
+    def spans_named(self, name: str) -> list[Span]:
+        return [s for s in self.finished if s.name == name]
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.finished if s.parent_id == span.span_id]
+
+    # -- export -------------------------------------------------------------
+
+    def header(self) -> dict:
+        return {
+            "record": "trace-header",
+            "version": TRACE_SCHEMA_VERSION,
+            "clock": "perf_counter",
+        }
+
+    def to_records(self) -> list[dict]:
+        return [self.header()] + [s.to_record() for s in self.finished]
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(r, sort_keys=True) for r in self.to_records()) + "\n"
+
+    def export_jsonl(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+
+# ---------------------------------------------------------------------------
+# The active tracer (process-global, NULL_TRACER by default)
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Tracer | NullTracer = NULL_TRACER
+
+
+def active_tracer() -> Tracer | NullTracer:
+    """The currently installed tracer (the no-op tracer by default)."""
+    return _ACTIVE
+
+
+def install_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
+    """Install ``tracer`` as the process-wide tracer; returns the previous
+    one (pass it back to restore)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+def uninstall_tracer() -> None:
+    """Back to the no-op tracer."""
+    install_tracer(NULL_TRACER)
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Scoped tracing: install a tracer, restore the previous on exit."""
+    tracer = tracer if tracer is not None else Tracer()
+    previous = install_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        install_tracer(previous)
+
+
+# ---------------------------------------------------------------------------
+# JSONL schema validation (shared by tests, the CLI, and CI)
+# ---------------------------------------------------------------------------
+
+
+def validate_trace(lines: Iterable[str]) -> list[dict]:
+    """Validate a trace's JSONL lines against the documented schema.
+
+    Returns the span records (header excluded).  Raises ``ValueError``
+    on any violation: missing/garbled header, unknown record types,
+    missing span keys, non-monotonic span intervals, duplicate ids, or
+    a parent reference to a span that is not in the file.
+    """
+    records = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append((number, json.loads(line)))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace line {number} is not valid JSON: {exc}") from exc
+    if not records:
+        raise ValueError("empty trace: expected a trace-header line")
+    _, header = records[0]
+    if header.get("record") != "trace-header":
+        raise ValueError("first trace record must be the trace-header")
+    if header.get("version") != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace version {header.get('version')!r} "
+            f"(expected {TRACE_SCHEMA_VERSION})"
+        )
+    spans = []
+    seen_ids = set()
+    for number, record in records[1:]:
+        if record.get("record") != "span":
+            raise ValueError(f"trace line {number}: unknown record type {record.get('record')!r}")
+        for key in _SPAN_REQUIRED_KEYS:
+            if key not in record:
+                raise ValueError(f"trace line {number}: span record missing {key!r}")
+        if not isinstance(record["name"], str) or not record["name"]:
+            raise ValueError(f"trace line {number}: span name must be a non-empty string")
+        if not isinstance(record["attrs"], dict):
+            raise ValueError(f"trace line {number}: span attrs must be an object")
+        if record["end"] < record["start"]:
+            raise ValueError(f"trace line {number}: span ends before it starts")
+        if record["id"] in seen_ids:
+            raise ValueError(f"trace line {number}: duplicate span id {record['id']}")
+        seen_ids.add(record["id"])
+        spans.append(record)
+    for record in spans:
+        parent = record["parent"]
+        if parent is not None and parent not in seen_ids:
+            raise ValueError(
+                f"span {record['id']} references unknown parent {parent}"
+            )
+    return spans
+
+
+def validate_trace_file(path) -> list[dict]:
+    """Validate a trace JSONL file; returns its span records."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_trace(handle)
+
+
+# ---------------------------------------------------------------------------
+# Method instrumentation
+# ---------------------------------------------------------------------------
+
+
+def traced(operation: str):
+    """Wrap a scheme method in a span named ``<span_kind>.<operation>``.
+
+    ``span_kind`` is read off the instance (``"dlr"``, ``"optimal"``,
+    ``"dlribe"`` -- the same kind strings the runtime checkpoints use).
+    With the no-op tracer installed the wrapper is a single attribute
+    check, keeping Gen/Enc on their untraced fast path.
+    """
+
+    def decorate(method):
+        import functools
+
+        @functools.wraps(method)
+        def wrapper(self, *args, **kwargs):
+            tracer = active_tracer()
+            if not tracer.enabled:
+                return method(self, *args, **kwargs)
+            kind = getattr(self, "span_kind", type(self).__name__.lower())
+            with tracer.span(f"{kind}.{operation}"):
+                return method(self, *args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -42,15 +42,26 @@ class TestChannel:
         channel.send("P1", "P2", "a", BitString(0, 8))
         assert channel.bits_on_wire() == 8
 
-    def test_bytes_on_wire_alias_deprecated(self):
+    def test_bytes_on_wire_alias_deprecated_warns_once(self):
         import warnings
 
+        from repro.protocol import transport as transport_module
+
         channel = Channel()
-        channel.send("P1", "P2", "a", BitString(0, 8))
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            assert channel.bytes_on_wire() == channel.bits_on_wire() == 8
-        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        channel.send("P1", "P2", "a", BitString(0, 12))
+        transport_module._BYTES_ON_WIRE_WARNED = False
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                # Whole bytes: 12 bits -> 1 byte, the partial byte dropped.
+                assert channel.bytes_on_wire() == channel.bits_on_wire() // 8 == 1
+                assert channel.bytes_on_wire() == 1
+            deprecations = [
+                w for w in caught if issubclass(w.category, DeprecationWarning)
+            ]
+            assert len(deprecations) == 1
+        finally:
+            transport_module._BYTES_ON_WIRE_WARNED = False
 
     def test_structured_payloads_encodable(self, small_group, rng):
         channel = Channel()

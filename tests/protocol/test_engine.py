@@ -338,6 +338,33 @@ class TestInstrumentation:
         assert engine.stats.bits_on_wire() == transport.bits_on_wire()
         assert engine.stats.bits_by_label() == transport.bits_by_label()
 
+    def test_empty_transcript(self):
+        """A fresh engine's stats answer every query, all zeros."""
+        stats = ProtocolEngine(InMemoryTransport()).stats
+        assert stats.bits_on_wire() == 0
+        assert stats.bits_by_label() == {}
+        assert stats.sends() == []
+        assert stats.wall_seconds() == 0.0
+        assert stats.ops_total().total_cost() == 0
+        for party in (1, 2):
+            assert stats.ops_for_party(party).nonzero() == {}
+
+    def test_ops_for_party_that_never_ran(self, devices):
+        """A party with no recorded steps reads as an all-zero counter,
+        not an error -- and does not perturb the totals."""
+        d1, d2 = devices
+
+        def p1():
+            yield Send("only", BitString(1, 1))
+
+        def p2():
+            yield Recv("only")
+
+        _, engine = run(ProtocolSpec("test.oneparty", d1, d2, p1, p2))
+        idle = engine.stats.ops_for_party(2)
+        assert idle.as_dict() == {name: 0 for name in idle.as_dict()}
+        assert engine.stats.ops_total().as_dict() == engine.stats.ops_for_party(1).as_dict()
+
 
 class TestThreaded:
     def test_round_trip_over_sockets(self, devices):

@@ -1,0 +1,149 @@
+"""Unit tests for the budget dashboard and trace digests: every number
+must reconcile exactly with the oracle/registry it views."""
+
+import pytest
+
+from repro.leakage.functions import LeakageInput, PrefixBits
+from repro.leakage.oracle import LeakageBudget, LeakageOracle
+from repro.protocol.memory import PhaseSnapshot
+from repro.telemetry.dashboard import (
+    budget_dashboard,
+    hottest_spans,
+    render_budget_dashboard,
+    render_period_metrics,
+    render_trace_report,
+    span_summary,
+)
+from repro.utils.bits import BitString
+
+
+def _leak_input(bits=64):
+    snapshot = PhaseSnapshot("test")
+    snapshot.record("state", BitString((1 << bits) - 1, bits))
+    return LeakageInput(snapshot, [])
+
+
+class TestBudgetDashboard:
+    def test_fresh_oracle_all_budget_remaining(self):
+        oracle = LeakageOracle(LeakageBudget(8, 16, 32))
+        dash = budget_dashboard(oracle)
+        assert dash["period"] == 0
+        assert dash["generation"] == {"b0": 8, "used": 0, "remaining": 8}
+        assert dash["devices"]["P1"]["remaining"] == 16
+        assert dash["devices"]["P2"]["remaining"] == 32
+        assert dash["devices"]["P1"]["freeze_proximity"] == 0.0
+
+    def test_rows_reconcile_with_oracle_after_charges(self):
+        oracle = LeakageOracle(LeakageBudget(8, 16, 32))
+        oracle.leak(1, PrefixBits(3), _leak_input())
+        oracle.charge_retry(1, 5)
+        oracle.charge_retry(2, 5)
+        dash = budget_dashboard(oracle)
+        p1 = dash["devices"]["P1"]
+        # normal = 3 leaked + 5 retry-charged; remaining mirrors the oracle.
+        assert p1["normal"] == 8
+        assert p1["retry_bits"] == 5
+        assert p1["remaining"] == oracle.remaining(1) == 8
+        assert p1["freeze_proximity"] == pytest.approx(8 / 16)
+        assert dash["devices"]["P2"]["retry_bits"] == 5
+
+    def test_retry_bits_split_by_period(self):
+        oracle = LeakageOracle(LeakageBudget(0, 100, 100))
+        oracle.charge_retry(1, 4)
+        oracle.end_period()
+        oracle.charge_retry(1, 6)
+        dash = budget_dashboard(oracle)
+        assert dash["period"] == 1
+        assert dash["devices"]["P1"]["retry_bits"] == 6  # current period only
+        assert dash["devices"]["P1"]["retry_bits_total"] == 10
+
+    def test_carry_over_appears_after_roll(self):
+        oracle = LeakageOracle(LeakageBudget(0, 16, 16))
+        oracle.leak_refresh(1, PrefixBits(2), _leak_input())
+        oracle.end_period()
+        dash = budget_dashboard(oracle)
+        assert dash["devices"]["P1"]["carried"] == 2
+        assert dash["devices"]["P1"]["remaining"] == 14
+
+    def test_render_contains_the_numbers(self):
+        oracle = LeakageOracle(LeakageBudget(8, 16, 32))
+        oracle.charge_retry(1, 3)
+        text = render_budget_dashboard(budget_dashboard(oracle))
+        assert "Gen (b0)" in text and "P1 (b1)" in text and "P2 (b2)" in text
+        assert "13" in text  # P1 remaining
+
+
+class TestRenderPeriodMetrics:
+    def test_renders_embedded_snapshots(self):
+        log_dict = {
+            "scheme": "dlr",
+            "seed": 7,
+            "periods": [
+                {
+                    "period": 0,
+                    "attempts": 2,
+                    "bits_on_wire": 100,
+                    "transcript_sha256": "ab",
+                    "metrics": {
+                        "bits_by_label": {"dec.d": 80, "ref.f": 20},
+                        "retry_charged_bits": {"P1": 4, "P2": 4},
+                    },
+                }
+            ],
+        }
+        text = render_period_metrics(log_dict)
+        assert "dec.d" in text and "80" in text
+        assert "retry charges: P1=4, P2=4" in text
+        assert "total: 1 periods, 100 bits on wire" in text
+
+    def test_tolerates_logs_without_metrics(self):
+        log_dict = {
+            "scheme": "dlr",
+            "periods": [
+                {"period": 0, "attempts": 1, "bits_on_wire": 10, "transcript_sha256": "x"}
+            ],
+        }
+        assert "period 0" in render_period_metrics(log_dict)
+
+    def test_empty_log(self):
+        assert "(no committed periods)" in render_period_metrics({"scheme": "dlr"})
+
+
+def _span(span_id, name, start, end, parent=None, **attrs):
+    return {
+        "record": "span",
+        "id": span_id,
+        "parent": parent,
+        "name": name,
+        "start": start,
+        "end": end,
+        "attrs": attrs,
+    }
+
+
+class TestTraceDigests:
+    def test_hottest_spans_sorted_by_duration_then_id(self):
+        spans = [
+            _span(0, "a", 0.0, 1.0),
+            _span(1, "b", 0.0, 3.0),
+            _span(2, "c", 0.0, 1.0),
+        ]
+        hottest = hottest_spans(spans, top=2)
+        assert [s["id"] for s in hottest] == [1, 0]  # tie 0-vs-2 broken by id
+
+    def test_summary_aggregates_counts_durations_bits(self):
+        spans = [
+            _span(0, "step.send", 0.0, 1.0, bits=8),
+            _span(1, "step.send", 0.0, 2.0, bits=4),
+            _span(2, "step.recv", 0.0, 0.5),
+        ]
+        summary = span_summary(spans)
+        assert summary["step.send"]["count"] == 2
+        assert summary["step.send"]["bits"] == 12
+        assert summary["step.send"]["max_seconds"] == pytest.approx(2.0)
+        assert summary["step.recv"]["bits"] == 0
+
+    def test_report_renders(self):
+        spans = [_span(0, "step.send", 0.0, 1.0, bits=8)]
+        text = render_trace_report(spans, top=1)
+        assert "1 spans" in text and "step.send" in text and "hottest" in text

@@ -1,0 +1,123 @@
+"""Unit tests for the metrics registry: instrument identity, histogram
+bucketing, deterministic snapshots, and the active-registry scope."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    label_text,
+    metering,
+)
+
+
+class TestCounters:
+    def test_same_identity_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", route="x")
+        b = registry.counter("hits", route="x")
+        assert a is b
+        a.inc()
+        b.inc(2)
+        assert registry.counter_value("hits", route="x") == 3
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.counter("bits", label="d", party="1").inc(5)
+        assert registry.counter_value("bits", party="1", label="d") == 5
+
+    def test_unknown_counter_reads_zero(self):
+        assert MetricsRegistry().counter_value("nope") == 0
+
+    def test_counters_only_go_up(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("n").inc(-1)
+
+    def test_counters_named_is_label_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("retry", period="1", device="2").inc(4)
+        registry.counter("retry", period="0", device="1").inc(2)
+        pairs = registry.counters_named("retry")
+        assert [labels for labels, _ in pairs] == [
+            {"device": "1", "period": "0"},
+            {"device": "2", "period": "1"},
+        ]
+        assert [c.value for _, c in pairs] == [2, 4]
+
+
+class TestGauges:
+    def test_set_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("level")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value == 2
+
+
+class TestHistograms:
+    def test_bucket_placement_and_overflow(self):
+        histogram = Histogram(boundaries=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            histogram.observe(value)
+        assert histogram.counts == [2, 1, 1]  # <=1.0, <=10.0, overflow
+        assert histogram.count == 4
+        assert histogram.total == pytest.approx(106.5)
+
+    def test_boundaries_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(boundaries=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(boundaries=())
+
+    def test_default_buckets_are_fixed_and_increasing(self):
+        assert list(DEFAULT_SECONDS_BUCKETS) == sorted(set(DEFAULT_SECONDS_BUCKETS))
+
+    def test_registry_keeps_first_boundaries(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("t", buckets=(1.0, 2.0))
+        again = registry.histogram("t", buckets=(9.0,))
+        assert again is first and first.boundaries == (1.0, 2.0)
+
+
+class TestSnapshot:
+    def test_snapshot_is_deterministically_ordered(self):
+        """Two registries fed the same observations in different orders
+        serialize byte-identically."""
+        one, two = MetricsRegistry(), MetricsRegistry()
+        for registry, order in ((one, (1, 2)), (two, (2, 1))):
+            for party in order:
+                registry.counter("ops", party=str(party)).inc(party)
+            registry.gauge("period").set(3)
+            registry.histogram("wall", buckets=(1.0,)).observe(0.5)
+        assert one.snapshot_json() == two.snapshot_json()
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("bits", label="dec.d").inc(8)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"bits{label=dec.d}": 8}
+        assert snap["gauges"] == {} and snap["histograms"] == {}
+
+    def test_label_text_spelling(self):
+        assert label_text(("plain", ())) == "plain"
+        assert (
+            label_text(("n", (("a", 1), ("b", "x")))) == "n{a=1,b=x}"
+        )
+
+
+class TestActiveRegistry:
+    def test_off_by_default(self):
+        assert active_registry() is None
+
+    def test_metering_scope(self):
+        with metering() as registry:
+            assert active_registry() is registry
+            registry.counter("in_scope").inc()
+        assert active_registry() is None
+        assert registry.counter_value("in_scope") == 1
+
+    def test_metering_accepts_shared_registry(self):
+        shared = MetricsRegistry()
+        with metering(shared) as registry:
+            assert registry is shared

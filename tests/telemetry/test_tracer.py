@@ -1,0 +1,258 @@
+"""Unit tests for the span tracer: nesting, determinism, JSONL schema,
+the no-op fast path, and the ``@traced`` method decorator."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.telemetry.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    active_tracer,
+    install_tracer,
+    traced,
+    tracing,
+    uninstall_tracer,
+    validate_trace,
+    validate_trace_file,
+)
+
+
+class TestSpans:
+    def test_nesting_assigns_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_ids_are_sequential_and_deterministic(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        assert [s.span_id for s in tracer.finished] == [1, 0, 2]  # finish order
+        assert sorted(s.span_id for s in tracer.finished) == [0, 1, 2]
+
+    def test_finish_order_children_before_parents(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        assert [s.name for s in tracer.finished] == ["child", "parent"]
+
+    def test_annotate_merges_attrs(self):
+        tracer = Tracer()
+        with tracer.span("s", fixed=1) as span:
+            span.annotate(extra="x")
+        assert span.attrs == {"fixed": 1, "extra": "x"}
+
+    def test_exception_marks_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (span,) = tracer.finished
+        assert span.attrs["error"] == "ValueError"
+
+    def test_monotonic_interval(self):
+        tracer = Tracer()
+        with tracer.span("timed"):
+            pass
+        (span,) = tracer.finished
+        assert span.end >= span.start
+        assert span.duration == span.end - span.start
+
+    def test_record_synthesizes_interval(self):
+        tracer = Tracer()
+        span = tracer.record("measured", 0.25, bits=8)
+        assert span.duration == pytest.approx(0.25)
+        assert span.attrs == {"bits": 8}
+        assert tracer.finished == [span]
+
+    def test_explicit_parent_crosses_threads(self):
+        """The thread-local stack does not leak across threads, but an
+        explicit parent= attaches a worker's span to the driver's."""
+        tracer = Tracer()
+        seen = {}
+
+        with tracer.span("driver") as driver:
+
+            def worker():
+                seen["implicit"] = tracer.current()
+                with tracer.span("step", parent=driver):
+                    pass
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+
+        assert seen["implicit"] is None  # no cross-thread implicit nesting
+        (step,) = tracer.spans_named("step")
+        assert step.parent_id == driver.span_id
+        assert tracer.children_of(driver) == [step]
+
+    def test_attached_counter_records_ops_delta(self, small_group, rng):
+        tracer = Tracer()
+        tracer.attach_counter(small_group.counter)
+        u = small_group.random_g(rng)
+        with tracer.span("exp"):
+            _ = u ** 7
+        (span,) = tracer.finished
+        assert span.attrs["ops"]["g_exp"] >= 1
+
+
+class TestExportAndSchema:
+    def test_jsonl_roundtrip_validates(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner", bits=3):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(path)
+        spans = validate_trace_file(path)
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {
+            "record": "trace-header",
+            "version": TRACE_SCHEMA_VERSION,
+            "clock": "perf_counter",
+        }
+
+    def test_missing_header_rejected(self):
+        line = json.dumps(
+            {"record": "span", "id": 0, "parent": None, "name": "x",
+             "start": 0.0, "end": 1.0, "attrs": {}}
+        )
+        with pytest.raises(ValueError, match="trace-header"):
+            validate_trace([line])
+
+    def test_wrong_version_rejected(self):
+        header = json.dumps({"record": "trace-header", "version": 999, "clock": "perf_counter"})
+        with pytest.raises(ValueError, match="version"):
+            validate_trace([header])
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            validate_trace([])
+
+    def _header(self):
+        return json.dumps(
+            {"record": "trace-header", "version": TRACE_SCHEMA_VERSION, "clock": "perf_counter"}
+        )
+
+    def _span(self, **overrides):
+        record = {"record": "span", "id": 0, "parent": None, "name": "x",
+                  "start": 0.0, "end": 1.0, "attrs": {}}
+        record.update(overrides)
+        return json.dumps(record)
+
+    def test_missing_key_rejected(self):
+        broken = {"record": "span", "id": 0, "parent": None, "name": "x",
+                  "start": 0.0, "attrs": {}}  # no "end"
+        with pytest.raises(ValueError, match="missing 'end'"):
+            validate_trace([self._header(), json.dumps(broken)])
+
+    def test_backwards_interval_rejected(self):
+        with pytest.raises(ValueError, match="ends before"):
+            validate_trace([self._header(), self._span(start=2.0, end=1.0)])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_trace([self._header(), self._span(id=0), self._span(id=0)])
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ValueError, match="unknown parent"):
+            validate_trace([self._header(), self._span(parent=42)])
+
+    def test_parent_may_appear_later_in_file(self):
+        """Finish-order export puts children first; integrity is checked
+        over the whole file."""
+        lines = [
+            self._header(),
+            self._span(id=1, parent=0, name="child"),
+            self._span(id=0, parent=None, name="parent"),
+        ]
+        assert [s["id"] for s in validate_trace(lines)] == [1, 0]
+
+
+class TestActiveTracer:
+    def test_null_tracer_by_default(self):
+        assert active_tracer() is NULL_TRACER
+        assert not active_tracer().enabled
+
+    def test_null_tracer_hands_out_the_shared_span(self):
+        assert NULL_TRACER.span("anything") is NULL_SPAN
+        assert NULL_TRACER.record("anything", 1.0) is NULL_SPAN
+        with NULL_SPAN as span:
+            assert span.annotate(x=1) is NULL_SPAN
+        assert NULL_SPAN.duration == 0.0
+
+    def test_tracing_scope_installs_and_restores(self):
+        with tracing() as tracer:
+            assert active_tracer() is tracer
+            assert tracer.enabled
+        assert active_tracer() is NULL_TRACER
+
+    def test_install_returns_previous(self):
+        tracer = Tracer()
+        previous = install_tracer(tracer)
+        try:
+            assert previous is NULL_TRACER
+            assert active_tracer() is tracer
+        finally:
+            uninstall_tracer()
+        assert active_tracer() is NULL_TRACER
+
+
+class _Operand:
+    span_kind = "toy"
+
+    @traced("op")
+    def op(self, x):
+        return x + 1
+
+    def plain(self, x):
+        return x + 1
+
+
+class TestTracedDecorator:
+    def test_span_named_by_kind_and_operation(self):
+        with tracing() as tracer:
+            assert _Operand().op(1) == 2
+        (span,) = tracer.finished
+        assert span.name == "toy.op"
+
+    def test_no_span_without_tracer(self):
+        instance = _Operand()
+        assert instance.op(1) == 2  # NULL_TRACER installed: no spans exist
+
+    def test_disabled_overhead_is_bounded(self):
+        """The bench guard for "off-by-default-cheap": with the no-op
+        tracer installed, a traced method costs at most a few times a
+        plain call (one global read + one attribute check), never a
+        span allocation.  The bound is deliberately loose -- it catches
+        accidental span construction on the disabled path (an order of
+        magnitude), not micro-regressions."""
+        instance = _Operand()
+        rounds = 20_000
+
+        def time_calls(fn):
+            best = float("inf")
+            for _ in range(5):
+                start = time.perf_counter()
+                for i in range(rounds):
+                    fn(i)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        plain = time_calls(instance.plain)
+        traced_off = time_calls(instance.op)
+        assert traced_off < plain * 10

@@ -82,6 +82,62 @@ class TestEncryptDecrypt:
         assert (keydir / "share2.json.refreshed").exists()
 
 
+class TestObservability:
+    @pytest.fixture()
+    def supervised(self, keydir, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        log = tmp_path / "session.json"
+        assert main(["supervise",
+                     "--pk", str(keydir / "public_key.json"),
+                     "--share1", str(keydir / "share1.json"),
+                     "--share2", str(keydir / "share2.json"),
+                     "--periods", "2", "--seed", "9",
+                     "--trace", str(trace), "--log", str(log),
+                     "--budget"]) == 0
+        out = capsys.readouterr().out
+        return trace, log, out
+
+    def test_supervise_writes_a_valid_trace(self, supervised):
+        from repro.telemetry import validate_trace_file
+
+        trace, _, out = supervised
+        assert f"wrote {trace}" in out
+        spans = validate_trace_file(trace)
+        assert {"period", "attempt", "step.send"} <= {s["name"] for s in spans}
+
+    def test_supervise_prints_the_budget_dashboard(self, supervised):
+        _, _, out = supervised
+        assert "P1 (b1)" in out and "P2 (b2)" in out
+
+    def test_trace_subcommand_digests_the_file(self, supervised, capsys):
+        trace, _, _ = supervised
+        assert main(["trace", str(trace), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "hottest" in out and "step.send" in out
+
+    def test_trace_subcommand_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"record": "span"}\n')
+        assert main(["trace", str(bad)]) == 1
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_metrics_subcommand_renders_period_snapshots(self, supervised, capsys):
+        _, log, _ = supervised
+        assert main(["metrics", "--log", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "period 0" in out and "period 1" in out
+        assert "dec.d" in out and "ref.f" in out
+        assert "P1 (b1)" in out  # embedded budget rows
+
+    def test_metrics_subcommand_json_mode(self, supervised, capsys):
+        _, log, _ = supervised
+        assert main(["metrics", "--log", str(log), "--json"]) == 0
+        snapshots = json.loads(capsys.readouterr().out)
+        assert len(snapshots) == 2
+        assert all("bits_by_label" in snap for snap in snapshots)
+        assert all(snap["budget"]["period"] == i for i, snap in enumerate(snapshots))
+
+
 class TestInfo:
     def test_reports_parameters(self, keydir, capsys):
         assert main(["info", "--pk", str(keydir / "public_key.json")]) == 0

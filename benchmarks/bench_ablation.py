@@ -64,10 +64,12 @@ class TestCoinReuseAblation:
         separate_ops = group.counter.diff(before)
         separate_comm = channel2.bits_on_wire()
 
+        combined_pairings = combined_ops.pairings + combined_ops.pairings_precomp
+        separate_pairings = separate_ops.pairings + separate_ops.pairings_precomp
         rows = [
-            ["combined (coin reuse, 2 periods)", combined_ops.pairings,
+            ["combined (coin reuse, 2 periods)", combined_pairings,
              combined_ops.gt_samples, combined_comm],
-            ["separate Dec+Ref (2 periods)", separate_ops.pairings,
+            ["separate Dec+Ref (2 periods)", separate_pairings,
              separate_ops.gt_samples, separate_comm],
         ]
         table_writer(
@@ -78,8 +80,9 @@ class TestCoinReuseAblation:
         )
         # The reuse eliminates almost all GT coin sampling...
         assert combined_ops.gt_samples < separate_ops.gt_samples
-        # ...at the price of more pairings (f_i pair_with A per coordinate).
-        assert combined_ops.pairings > separate_ops.pairings
+        # ...at the price of more pairings (f_i pair_with A per coordinate;
+        # with the fixed-argument schedule they land in pairings_precomp).
+        assert combined_pairings > separate_pairings
 
 
 class TestVariantAblation:

@@ -228,6 +228,50 @@ def smoke_report(group_bits: int = 32, lam: int = 32, seed: int = 7) -> dict:
     return report
 
 
+def _deterministic_view(report: dict) -> dict:
+    """The report minus its timing-derived fields.
+
+    Everything in the smoke report is a pure function of the seed except
+    the metrics histograms (``engine.step_wall_seconds`` holds wall-clock
+    samples), so comparisons strip those.
+    """
+    import copy
+
+    view = copy.deepcopy(report)
+    for scheme in view.get("schemes", {}).values():
+        metrics = scheme.get("metrics")
+        if isinstance(metrics, dict):
+            metrics.pop("histograms", None)
+    return view
+
+
+def check_against_baseline(report: dict, baseline: dict) -> list[str]:
+    """Compare the deterministic fields of two smoke reports.
+
+    Returns human-readable difference lines (empty means no drift).  Any
+    change in operation counts, bits on the wire, or snapshot sizes is a
+    regression (or an intentional change that must re-baseline).
+    """
+    fresh = _deterministic_view(report)
+    baseline = _deterministic_view(baseline)
+    problems: list[str] = []
+
+    def walk(path, a, b):
+        if isinstance(a, dict) and isinstance(b, dict):
+            for key in sorted(set(a) | set(b)):
+                if key not in a:
+                    problems.append(f"{path}.{key}: missing from fresh report")
+                elif key not in b:
+                    problems.append(f"{path}.{key}: not in baseline (re-baseline?)")
+                else:
+                    walk(f"{path}.{key}", a[key], b[key])
+        elif a != b:
+            problems.append(f"{path}: baseline {b!r} != fresh {a!r}")
+
+    walk("report", fresh, baseline)
+    return problems
+
+
 def main(argv=None) -> int:
     import argparse
     import json
@@ -244,6 +288,13 @@ def main(argv=None) -> int:
         default=None,
         help="write the JSON report here instead of stdout",
     )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="compare deterministic fields against a baseline JSON report "
+        "and exit non-zero on drift",
+    )
     parser.add_argument("--group-bits", type=int, default=32)
     parser.add_argument("--lam", type=int, default=32)
     args = parser.parse_args(argv)
@@ -259,6 +310,16 @@ def main(argv=None) -> int:
             handle.write(text + "\n")
     else:
         sys.stdout.write(text + "\n")
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        problems = check_against_baseline(report, baseline)
+        if problems:
+            sys.stderr.write("op-count drift vs baseline:\n")
+            for line in problems:
+                sys.stderr.write(f"  {line}\n")
+            return 1
+        sys.stderr.write("op counts match baseline\n")
     return 0
 
 

@@ -51,12 +51,13 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.core.hpske import HPSKE, HPSKECiphertext
+from repro.core.hpske import HPSKE, HPSKECiphertext, weighted_product
 from repro.core.keys import Ciphertext, PublicKey, Share1, Share2
 from repro.core.params import DLRParams
 from repro.core.pss import PSS
 from repro.errors import ProtocolError
-from repro.groups.bilinear import GTElement
+from repro.groups.bilinear import G1Element, GTElement
+from repro.groups.precompute import PrecomputedEncryptor
 from repro.protocol.channel import Channel, Message
 from repro.protocol.device import Device
 from repro.protocol.engine import (
@@ -93,11 +94,19 @@ def combine_decrypt(
     d_phi: HPSKECiphertext,
     d_b: HPSKECiphertext,
 ) -> HPSKECiphertext:
-    """P2's whole decryption job: ``d_B * prod_i d_i^{s_i} / d_Phi``."""
-    combined = d_b
-    for d_i, s_i in zip(d_list, share2.s):
-        combined = combined * (d_i ** s_i)
-    return combined / d_phi
+    """P2's whole decryption job: ``d_B * prod_i d_i^{s_i} / d_Phi``.
+
+    Evaluated as one coordinate-wise multi-exponentiation
+    (:func:`~repro.core.hpske.weighted_product`): ``d_B`` rides along
+    with exponent 1 and the trailing division folds in as exponent
+    ``p - 1``, so each of the ``kappa + 1`` coordinates costs a single
+    shared-squaring multiexp over ``ell + 2`` bases instead of ``ell``
+    separate exponentiations plus multiplications.
+    """
+    p = share2.p
+    return weighted_product(
+        (d_b, *d_list, d_phi), (1, *share2.s, p - 1)
+    )
 
 
 def combine_refresh(
@@ -106,11 +115,20 @@ def combine_refresh(
     f_pairs: tuple[tuple[HPSKECiphertext, HPSKECiphertext], ...],
     f_phi: HPSKECiphertext,
 ) -> HPSKECiphertext:
-    """P2's refresh combination: ``prod f'_i^{s'_i} / f_i^{s_i} * f_Phi``."""
-    combined = f_phi
+    """P2's refresh combination: ``prod f'_i^{s'_i} / f_i^{s_i} * f_Phi``.
+
+    One fused multi-exponentiation per coordinate: every divisor
+    ``f_i^{s_i}`` becomes a term with exponent ``p - s_i``.
+    """
+    p = share2.p
+    ciphertexts: list[HPSKECiphertext] = [f_phi]
+    exponents: list[int] = [1]
     for (f_old, f_new), s_old, s_new in zip(f_pairs, share2.s, fresh_share.s):
-        combined = combined * (f_new ** s_new) / (f_old ** s_old)
-    return combined
+        ciphertexts.append(f_new)
+        exponents.append(s_new)
+        ciphertexts.append(f_old)
+        exponents.append((p - s_old) % p)
+    return weighted_product(ciphertexts, exponents)
 
 
 @dataclass
@@ -206,6 +224,17 @@ class DLR:
         """``Enc_pk(m) = (g^t, m * e(g1, g2)^t)``."""
         t = self.group.random_scalar(rng)
         return Ciphertext(a=self.group.g ** t, b=message * (public_key.z ** t))
+
+    def encryptor(self, public_key: PublicKey, window: int = 4) -> PrecomputedEncryptor:
+        """An opt-in fixed-base encryptor for this public key.
+
+        Builds one-time windowed tables for ``g`` and ``z`` and then
+        encrypts with ``ceil(log p / w)`` multiplications per
+        exponentiation instead of a full double-and-add ladder --
+        worthwhile when many messages target the same key (the
+        break-even point is tabulated in docs/performance.md).
+        """
+        return PrecomputedEncryptor(public_key, window)
 
     # ------------------------------------------------------------------
     # Shares in device memory
@@ -337,18 +366,19 @@ class DLR:
             with device1.computing():
                 sk_comm = self.hpske_gt.keygen(device1.rng)
                 device1.secret.store("dec.sk_comm", sk_comm)
+                # Every pairing shares the left argument A = c.a, so run
+                # its Miller schedule once.
+                a_precomp = self.group.pairing_precomp(ciphertext.a)
                 # The coins inside each ciphertext are *public* randomness --
                 # they are transmitted verbatim -- and are sampled with unknown
                 # discrete logs (section 5.2 remark), so nothing about them
                 # enters secret memory.
                 d_list = [
-                    self.hpske_gt.encrypt(
-                        sk_comm, self.group.pair(ciphertext.a, a_i), device1.rng
-                    )
+                    self.hpske_gt.encrypt(sk_comm, a_precomp.pair(a_i), device1.rng)
                     for a_i in share1.a
                 ]
                 d_phi = self.hpske_gt.encrypt(
-                    sk_comm, self.group.pair(ciphertext.a, share1.phi), device1.rng
+                    sk_comm, a_precomp.pair(share1.phi), device1.rng
                 )
                 d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
             yield Send("dec.d", (tuple(d_list), d_phi, d_b))
@@ -471,8 +501,11 @@ class DLR:
                 ]
                 f_phi = self.hpske_g.encrypt(sk_comm, share1.phi, device1.rng)
 
-                d_list = tuple(f_i.pair_with(ciphertext.a) for f_i in f_list)
-                d_phi = f_phi.pair_with(ciphertext.a)
+                # One Miller schedule for A, reused across every f_i
+                # coordinate (kappa + 1 pairings per ciphertext).
+                a_precomp = self.group.pairing_precomp(ciphertext.a)
+                d_list = tuple(f_i.pair_with(a_precomp) for f_i in f_list)
+                d_phi = f_phi.pair_with(a_precomp)
                 d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
             yield Send("dec.d", (d_list, d_phi, d_b))
 
@@ -604,8 +637,9 @@ class DLR:
             plaintexts: list[GTElement] = []
             for index, ciphertext in enumerate(ciphertexts):
                 with device1.computing():
-                    d_list = tuple(f_i.pair_with(ciphertext.a) for f_i in f_list)
-                    d_phi = f_phi.pair_with(ciphertext.a)
+                    a_precomp = self.group.pairing_precomp(ciphertext.a)
+                    d_list = tuple(f_i.pair_with(a_precomp) for f_i in f_list)
+                    d_phi = f_phi.pair_with(a_precomp)
                     d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
                 yield Send(f"dec.{index}.d", (d_list, d_phi, d_b))
                 message = yield Recv(f"dec.{index}.c_prime")
@@ -730,9 +764,11 @@ class DLR:
         The protocols never do this; it pins down the functionality the
         2-party decryption must match.
         """
-        master = share1.phi
-        for a_i, s_i in zip(share1.a, share2.s):
-            master = master / (a_i ** s_i)
+        p = self.group.p
+        master = G1Element.multiexp(
+            (share1.phi, *share1.a),
+            (1, *((p - s_i) % p for s_i in share2.s)),
+        )
         return ciphertext.b / self.group.pair(ciphertext.a, master)
 
 

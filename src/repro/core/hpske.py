@@ -29,11 +29,48 @@ import random
 from dataclasses import dataclass
 
 from repro.errors import GroupError, ParameterError
-from repro.groups.bilinear import BilinearGroup, G1Element, GTElement
+from repro.groups.bilinear import BilinearGroup, G1Element, G1Precomp, GTElement
 from repro.utils.bits import BitString, concat_all
 from repro.utils.serialization import encode_mod
 
 Element = G1Element | GTElement
+
+
+def _multiexp(bases: tuple[Element, ...], exponents: tuple[int, ...]) -> Element:
+    if isinstance(bases[0], G1Element):
+        return G1Element.multiexp(bases, exponents)  # type: ignore[arg-type]
+    return GTElement.multiexp(bases, exponents)  # type: ignore[arg-type]
+
+
+def weighted_product(
+    ciphertexts: "tuple[HPSKECiphertext, ...] | list[HPSKECiphertext]",
+    exponents: tuple[int, ...] | list[int],
+) -> "HPSKECiphertext":
+    """``prod_i ciphertexts[i] ** exponents[i]`` coordinate-wise, each
+    coordinate evaluated as ONE multi-exponentiation.
+
+    This is the product/scalar homomorphism of Definition 5.1 in fused
+    form: the naive expression costs ``kappa + 1`` exponentiations *per
+    ciphertext*; here every coordinate shares its squaring chain across
+    all ciphertexts.  Division folds in for free -- an exponent of
+    ``p - 1`` is ``-1`` in the order-``p`` carrier groups -- which is how
+    the DLR combine steps express their trailing ``/ d_Phi``.
+    """
+    if not ciphertexts:
+        raise ParameterError("weighted_product needs at least one ciphertext")
+    if len(ciphertexts) != len(exponents):
+        raise ParameterError("one exponent per ciphertext required")
+    kappa = ciphertexts[0].kappa
+    for ciphertext in ciphertexts[1:]:
+        if ciphertext.kappa != kappa:
+            raise GroupError("HPSKE ciphertexts of different widths")
+    exponents = tuple(exponents)
+    coins = tuple(
+        _multiexp(tuple(c.coins[j] for c in ciphertexts), exponents)
+        for j in range(kappa)
+    )
+    body = _multiexp(tuple(c.body for c in ciphertexts), exponents)
+    return HPSKECiphertext(coins, body)
 
 
 @dataclass(frozen=True)
@@ -95,9 +132,19 @@ class HPSKECiphertext:
             tuple(c ** exponent for c in self.coins), self.body ** exponent
         )
 
-    def pair_with(self, point: G1Element) -> "HPSKECiphertext":
+    def pair_with(self, point: "G1Element | G1Precomp") -> "HPSKECiphertext":
         """Transport a ``G``-ciphertext of ``m`` to a ``GT``-ciphertext of
-        ``e(point, m)`` under the same key (the f_i -> d_i reuse)."""
+        ``e(point, m)`` under the same key (the f_i -> d_i reuse).
+
+        Accepts a :class:`~repro.groups.bilinear.G1Precomp` handle so a
+        caller pairing *many* ciphertexts against the same point (the
+        run-period ``d_i`` derivation) runs the Miller schedule once.
+        """
+        if isinstance(point, G1Precomp):
+            return HPSKECiphertext(
+                tuple(point.pair(c) for c in self.coins),  # type: ignore[arg-type]
+                point.pair(self.body),  # type: ignore[arg-type]
+            )
         group = point.group
         return HPSKECiphertext(
             tuple(group.pair(point, c) for c in self.coins),  # type: ignore[arg-type]
@@ -161,19 +208,22 @@ class HPSKE:
             coins = self.sample_coins(rng)
         if len(coins) != self.kappa:
             raise ParameterError("wrong number of coins")
-        mask = message
-        for coin, sigma in zip(coins, key.sigma):
-            mask = mask * (coin ** sigma)
+        # m * prod b_j^{sigma_j} as one multiexp (the message rides along
+        # with exponent 1).
+        mask = _multiexp((message, *coins), (1, *key.sigma))
         return HPSKECiphertext(coins, mask)
 
     def decrypt(self, key: HPSKEKey, ciphertext: HPSKECiphertext) -> Element:
         """``Dec'_{sk_comm}(b_1..b_kappa, b_0) = b_0 / prod b_j^{sigma_j}``."""
         if ciphertext.kappa != self.kappa:
             raise ParameterError("ciphertext width does not match scheme kappa")
-        body = ciphertext.body
-        for coin, sigma in zip(ciphertext.coins, key.sigma):
-            body = body / (coin ** sigma)
-        return body
+        # Division folds into the multiexp: x^{p - sigma} = x^{-sigma} in
+        # the order-p carrier groups.
+        p = self.group.p
+        return _multiexp(
+            (ciphertext.body, *ciphertext.coins),
+            (1, *((p - sigma) % p for sigma in key.sigma)),
+        )
 
     def ciphertext_bits(self) -> int:
         """Encoded size of one ciphertext (for communication accounting)."""

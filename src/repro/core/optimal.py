@@ -111,7 +111,10 @@ class OptimalDLR(DLR):
         sk_comm = self._sk_comm_of(device1)
         encrypted = self.encrypted_share_of(device1)
         with device1.computing():
-            d_all = tuple(f.pair_with(ciphertext.a) for f in encrypted)
+            # (ell + 1)(kappa + 1) pairings share the left argument A:
+            # run its Miller schedule once.
+            a_precomp = self.group.pairing_precomp(ciphertext.a)
+            d_all = tuple(f.pair_with(a_precomp) for f in encrypted)
             d_list, d_phi = d_all[:-1], d_all[-1]
             d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
         yield Send("dec.d", (d_list, d_phi, d_b))

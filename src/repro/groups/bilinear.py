@@ -16,11 +16,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Callable, Sequence, TypeVar
 
 from repro.errors import GroupError
-from repro.groups import curve
+from repro.groups import curve, fastops
 from repro.groups.curve import Point
-from repro.groups.pairing import tate_pairing
+from repro.groups.pairing import PairingPrecomp, tate_pairing
 from repro.groups.pairing_params import PairingParams
 from repro.groups.sampling import random_gt_value, random_subgroup_point
 from repro.math.fields import Fq2
@@ -28,15 +29,47 @@ from repro.utils.bits import BitString
 from repro.utils.serialization import int_width
 
 
+#: Relative cost of each counted operation, in units of one group
+#: multiplication.  Calibrated from the wall-clock kernel timings in
+#: ``benchmarks/bench_speed.py`` (see ``results/BENCH_speed.json``,
+#: ``cost_weights``); multiexp weights are *per folded term*, which is
+#: why they sit well below a standalone exponentiation.
+DEFAULT_COST_WEIGHTS: dict[str, int] = {
+    "g_mul": 1,
+    "g_exp": 30,
+    "g_multiexp": 14,
+    "gt_mul": 1,
+    "gt_exp": 27,
+    "gt_multiexp": 4,
+    "pairings": 73,
+    "pairings_precomp": 25,
+    "g_samples": 0,
+    "gt_samples": 0,
+}
+
+
 @dataclass
 class OperationCounter:
-    """Counts of expensive group operations since the last reset."""
+    """Counts of expensive group operations since the last reset.
+
+    ``g_multiexp`` / ``gt_multiexp`` count *folded terms*: one
+    ``multiexp`` over ``ell`` bases bumps the counter by ``ell`` (and
+    does not touch ``g_exp`` / ``gt_exp``), so the counter stays
+    proportional to problem size while recording that the terms were
+    evaluated on the shared-squaring kernel.  ``pairings_precomp``
+    counts pairings evaluated against a cached Miller schedule
+    (:meth:`BilinearGroup.pairing_precomp`), which cost roughly a third
+    of a full pairing.
+    """
 
     g_mul: int = 0
     g_exp: int = 0
+    g_multiexp: int = 0
     gt_mul: int = 0
     gt_exp: int = 0
+    gt_multiexp: int = 0
     pairings: int = 0
+    pairings_precomp: int = 0
     g_samples: int = 0
     gt_samples: int = 0
 
@@ -70,9 +103,50 @@ class OperationCounter:
     def exponentiations(self) -> int:
         return self.g_exp + self.gt_exp
 
-    def total_cost(self) -> int:
-        """A crude single-number cost: pairings are by far dominant."""
-        return self.g_mul + self.gt_mul + 10 * (self.g_exp + self.gt_exp) + 100 * self.pairings
+    def total_cost(self, weights: dict[str, int] | None = None) -> int:
+        """A single-number cost in group-multiplication units.
+
+        ``weights`` defaults to :data:`DEFAULT_COST_WEIGHTS` (calibrated
+        from measured kernel timings); pass a partial dict to override
+        individual weights, e.g. a fresh calibration from
+        ``benchmarks/bench_speed.py``.
+        """
+        effective = DEFAULT_COST_WEIGHTS
+        if weights is not None:
+            effective = {**DEFAULT_COST_WEIGHTS, **weights}
+        return sum(
+            effective.get(name, 0) * getattr(self, name)
+            for name in self.__dataclass_fields__
+        )
+
+
+_ElementT = TypeVar("_ElementT")
+
+
+def _collect_terms(
+    bases: "Sequence[_ElementT]",
+    exponents: Sequence[int],
+    is_identity: "Callable[[_ElementT], bool]",
+) -> tuple["BilinearGroup | None", list[tuple["_ElementT", int]]]:
+    """Shared multiexp front-end: validate, reduce exponents mod ``p``,
+    and drop trivial terms (zero exponent or identity base) -- neither
+    the fast kernels nor the naive ladder ever see them, matching the
+    ``**`` fast-path contract that identity walks are not counted."""
+    if len(bases) != len(exponents):
+        raise GroupError("multiexp: bases and exponents differ in length")
+    group: BilinearGroup | None = None
+    terms: list[tuple[_ElementT, int]] = []
+    for base, exponent in zip(bases, exponents):
+        base_group = base.group  # type: ignore[attr-defined]
+        if group is None:
+            group = base_group
+        elif base_group.params is not group.params:
+            raise GroupError("mixing elements of different groups")
+        reduced = exponent % group.params.p
+        if reduced == 0 or is_identity(base):
+            continue
+        terms.append((base, reduced))
+    return group, terms
 
 
 class G1Element:
@@ -113,6 +187,38 @@ class G1Element:
 
     def is_identity(self) -> bool:
         return self.point.is_infinity()
+
+    @classmethod
+    def multiexp(
+        cls, bases: "Sequence[G1Element]", exponents: Sequence[int]
+    ) -> "G1Element":
+        """``prod_i bases[i] ** exponents[i]`` on the shared-squaring kernel.
+
+        Counts ``len(bases)`` (after dropping trivial terms) on
+        ``g_multiexp`` instead of individual ``g_exp``; inside
+        :func:`repro.groups.fastops.reference_mode` it degrades to the
+        per-term ladder with the classic counter profile.  The result is
+        bit-identical either way.
+        """
+        group, terms = _collect_terms(
+            bases, exponents, lambda b: b.point.is_infinity()
+        )
+        if group is None:
+            raise GroupError("multiexp needs at least one base")
+        if not terms:
+            return group.g_identity()
+        if not fastops.enabled() or len(terms) == 1:
+            result = terms[0][0] ** terms[0][1]
+            for base, exponent in terms[1:]:
+                result = result * (base ** exponent)
+            return result
+        group.counter.g_multiexp += len(terms)
+        point = fastops.multiexp_points(
+            [base.point for base, _ in terms],
+            [exponent for _, exponent in terms],
+            group.params.q,
+        )
+        return G1Element(group, point)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, G1Element):
@@ -178,6 +284,32 @@ class GTElement:
     def is_identity(self) -> bool:
         return self.value.is_one()
 
+    @classmethod
+    def multiexp(
+        cls, bases: "Sequence[GTElement]", exponents: Sequence[int]
+    ) -> "GTElement":
+        """``prod_i bases[i] ** exponents[i]`` in ``GT`` on the
+        shared-squaring kernel; see :meth:`G1Element.multiexp` for the
+        counting contract (here ``gt_multiexp`` / ``gt_exp``)."""
+        group, terms = _collect_terms(bases, exponents, lambda b: b.value.is_one())
+        if group is None:
+            raise GroupError("multiexp needs at least one base")
+        if not terms:
+            return group.gt_identity()
+        if not fastops.enabled() or len(terms) == 1:
+            result = terms[0][0] ** terms[0][1]
+            for base, exponent in terms[1:]:
+                result = result * (base ** exponent)
+            return result
+        group.counter.gt_multiexp += len(terms)
+        q = group.params.q
+        a, b = fastops.multiexp_fq2(
+            [(base.value.a, base.value.b) for base, _ in terms],
+            [exponent for _, exponent in terms],
+            q,
+        )
+        return GTElement(group, Fq2(a, b, q))
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, GTElement):
             return NotImplemented
@@ -192,6 +324,43 @@ class GTElement:
 
     def __repr__(self) -> str:
         return f"GT({self.value.a} + {self.value.b}i)"
+
+
+class G1Precomp:
+    """Fixed-argument pairing handle: ``e(P, .)`` with ``P``'s Miller
+    schedule cached.
+
+    Obtained from :meth:`BilinearGroup.pairing_precomp`.  Each
+    :meth:`pair` evaluates the cached line coefficients against the new
+    right argument -- roughly a third of a full pairing -- and counts on
+    ``pairings_precomp`` instead of ``pairings``.  Inside
+    :func:`repro.groups.fastops.reference_mode` it degrades to full
+    pairings (same values, classic counter profile).  The schedule is
+    built lazily on the first fast evaluation, so constructing a handle
+    that is never used (or used only in reference mode) costs nothing.
+    """
+
+    __slots__ = ("element", "_schedule")
+
+    def __init__(self, element: G1Element) -> None:
+        self.element = element
+        self._schedule: PairingPrecomp | None = None
+
+    @property
+    def group(self) -> "BilinearGroup":
+        return self.element.group
+
+    def pair(self, right: G1Element) -> GTElement:
+        """``e(P, right)`` via the cached schedule."""
+        group = self.element.group
+        if right.group.params is not group.params:
+            raise GroupError("pairing elements from a different group")
+        if not fastops.enabled():
+            return group.pair(self.element, right)
+        if self._schedule is None:
+            self._schedule = PairingPrecomp(self.element.point, group.params)
+        group.counter.pairings_precomp += 1
+        return GTElement(group, self._schedule.pair_with(right.point))
 
 
 class BilinearGroup:
@@ -241,6 +410,28 @@ class BilinearGroup:
             raise GroupError("pairing elements from a different group")
         self.counter.pairings += 1
         return GTElement(self, tate_pairing(left.point, right.point, self.params))
+
+    def pairing_precomp(self, left: G1Element) -> G1Precomp:
+        """A fixed-argument handle for ``e(left, .)`` -- run the Miller
+        schedule for ``left`` once, evaluate against many right
+        arguments cheaply.  Pays for itself from the second pairing
+        sharing the same left argument (see docs/performance.md)."""
+        if left.group.params is not self.params:
+            raise GroupError("pairing elements from a different group")
+        return G1Precomp(left)
+
+    def multiexp(
+        self,
+        bases: Sequence[G1Element] | Sequence[GTElement],
+        exponents: Sequence[int],
+    ) -> G1Element | GTElement:
+        """Dispatch ``prod bases[i] ** exponents[i]`` to the right
+        element kernel by inspecting the first base."""
+        if not bases:
+            raise GroupError("multiexp needs at least one base")
+        if isinstance(bases[0], G1Element):
+            return G1Element.multiexp(bases, exponents)  # type: ignore[arg-type]
+        return GTElement.multiexp(bases, exponents)  # type: ignore[arg-type]
 
     # -- sampling ----------------------------------------------------------
 

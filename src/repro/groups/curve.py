@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import GroupError
-from repro.math.modular import inv_mod
+from repro.math.modular import batch_inv, inv_mod
 
 
 @dataclass(frozen=True, slots=True)
@@ -167,6 +167,35 @@ def _jacobian_scalar_mul(point: Point, scalar: int, q: int) -> _JacPoint:
     return result
 
 
+def _jacobian_add(p1: _JacPoint, p2: _JacPoint, q: int) -> _JacPoint:
+    """Full Jacobian + Jacobian addition (the Pippenger bucket kernel)."""
+    x1, y1, z1 = p1
+    x2, y2, z2 = p2
+    if z1 == 0:
+        return p2
+    if z2 == 0:
+        return p1
+    z1z1 = z1 * z1 % q
+    z2z2 = z2 * z2 % q
+    u1 = x1 * z2z2 % q
+    u2 = x2 * z1z1 % q
+    s1 = y1 * z2z2 * z2 % q
+    s2 = y2 * z1z1 * z1 % q
+    h = (u2 - u1) % q
+    r = (s2 - s1) % q
+    if h == 0:
+        if r == 0:
+            return _jacobian_double(p1, q)
+        return (1, 1, 0)
+    hh = h * h % q
+    hhh = h * hh % q
+    v = u1 * hh % q
+    x3 = (r * r - hhh - 2 * v) % q
+    y3 = (r * (v - x3) - s1 * hhh) % q
+    z3 = z1 * z2 * h % q
+    return (x3, y3, z3)
+
+
 def _jacobian_to_affine(p: _JacPoint, q: int) -> Point:
     x, y, z = p
     if z == 0:
@@ -174,3 +203,18 @@ def _jacobian_to_affine(p: _JacPoint, q: int) -> Point:
     z_inv = inv_mod(z, q)
     z_inv2 = z_inv * z_inv % q
     return Point(x * z_inv2 % q, y * z_inv2 * z_inv % q, False)
+
+
+def batch_to_affine(points: list[_JacPoint], q: int) -> list[Point]:
+    """Normalize many Jacobian points to affine with *one* modular
+    inversion (Montgomery's trick), instead of one per point.
+
+    Infinity entries (``Z = 0``) pass through as :data:`INFINITY`.
+    """
+    finite = [(i, p) for i, p in enumerate(points) if p[2] != 0]
+    inverses = batch_inv([p[2] for _, p in finite], q)
+    result: list[Point] = [INFINITY] * len(points)
+    for (i, (x, y, _)), z_inv in zip(finite, inverses):
+        z_inv2 = z_inv * z_inv % q
+        result[i] = Point(x * z_inv2 % q, y * z_inv2 * z_inv % q, False)
+    return result

@@ -1,0 +1,302 @@
+"""Fast group-arithmetic kernels: simultaneous multi-exponentiation.
+
+Every scheme operation bottoms out in products of powers --
+``prod_i x_i ** e_i`` over ``G`` or ``GT`` -- which the naive per-term
+square-and-multiply ladder evaluates with ``~1.5 log p`` group
+operations *per term*.  The kernels here share the squarings across all
+terms:
+
+* **Straus (interleaved window)** -- per-base tables of ``d * P_i``
+  (``d < 2^w``), one shared chain of ``w`` squarings per digit position.
+  The right choice for the ``ell <= ~50`` term counts the DLR combine
+  steps produce.  ``G`` tables are built in Jacobian form and normalised
+  to affine with a *single* batched inversion
+  (:func:`~repro.groups.curve.batch_to_affine`), so the main loop can
+  use cheap mixed additions.
+* **Pippenger (bucket method)** -- no per-base tables; per digit
+  position the bases are dropped into ``2^w - 1`` buckets and folded
+  with a running suffix sum.  Asymptotically better; selected
+  automatically above :data:`PIPPENGER_THRESHOLD` terms.
+
+Both operate on raw representations (Jacobian integer triples for the
+curve, integer pairs for ``F_{q^2}``) -- no element-object allocation in
+the hot loop.  The element-level entry points live on
+:class:`~repro.groups.bilinear.BilinearGroup` /
+:meth:`~repro.groups.bilinear.G1Element.multiexp`, which also maintain
+the ``g_multiexp`` / ``gt_multiexp`` operation counters.
+
+:func:`reference_mode` disables every fast path process-wide (kernels
+fall back to the naive per-term element ladders, fixed-argument pairing
+precomputation falls back to full pairings).  The benchmarks use it to
+measure honest before/after wall-clock on identical inputs, and the
+property tests use it to pin fast == naive.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import GroupError
+from repro.groups.curve import (
+    INFINITY,
+    Point,
+    _jacobian_add,
+    _jacobian_add_affine,
+    _jacobian_double,
+    _jacobian_to_affine,
+    batch_to_affine,
+)
+
+_RawFq2 = tuple[int, int]
+
+#: Term count above which the bucket method beats the interleaved
+#: window (tables grow linearly with terms, buckets do not).
+PIPPENGER_THRESHOLD = 64
+
+_enabled = True
+
+
+def enabled() -> bool:
+    """Are the fast kernels active (i.e. not in :func:`reference_mode`)?"""
+    return _enabled
+
+
+@contextmanager
+def reference_mode() -> Iterator[None]:
+    """Run everything on the naive reference paths inside the block.
+
+    Affects every fast kernel process-wide: ``multiexp`` degrades to the
+    per-term element ladder (counted as individual exponentiations,
+    exactly like the pre-kernel code), and
+    :meth:`~repro.groups.bilinear.G1Precomp.pair` degrades to full
+    pairings.  Results are bit-identical either way -- that is what the
+    golden-transcript and property tests pin.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = False
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+def _window_size(terms: int, bits: int) -> int:
+    """Straus window width minimising the group-operation count.
+
+    Cost model (in additions/multiplications): table build is
+    ``terms * (2^w - 2)``, the main loop does ``bits`` squarings plus
+    ``terms * (bits / w) * (1 - 2^-w)`` adds (a digit is zero with
+    probability ``2^-w``).  Short exponents push toward small windows --
+    the table must amortise within one pass.
+    """
+    best_w, best_cost = 1, None
+    for w in range(1, 8):
+        cost = terms * ((1 << w) - 2) + bits + terms * (bits / w) * (1 - 2.0 ** -w)
+        if best_cost is None or cost < best_cost:
+            best_w, best_cost = w, cost
+    return best_w
+
+
+def _bucket_window_size(terms: int, bits: int) -> int:
+    """Pippenger window width: per digit position the buckets cost
+    ``terms`` adds plus ``~2^{w+1}`` for the suffix-sum fold, across
+    ``bits / w`` positions."""
+    best_w, best_cost = 1, None
+    for w in range(1, 12):
+        cost = bits + (bits / w) * (terms + (1 << (w + 1)))
+        if best_cost is None or cost < best_cost:
+            best_w, best_cost = w, cost
+    return best_w
+
+
+# ---------------------------------------------------------------------------
+# G (curve) kernels
+
+
+def multiexp_points(
+    points: list[Point], exponents: list[int], q: int
+) -> Point:
+    """``prod_i exponents[i] * points[i]`` on the curve (additive view).
+
+    Callers must pre-reduce exponents to ``[1, order)`` and drop
+    zero/infinity terms; this chooses Straus or Pippenger by term count.
+    """
+    if len(points) != len(exponents):
+        raise GroupError("multiexp: bases and exponents differ in length")
+    if not points:
+        return INFINITY
+    if len(points) == 1:
+        return _scalar_mul_point(points[0], exponents[0], q)
+    if len(points) >= PIPPENGER_THRESHOLD:
+        return _pippenger_points(points, exponents, q)
+    return _straus_points(points, exponents, q)
+
+
+def _scalar_mul_point(point: Point, exponent: int, q: int) -> Point:
+    jac = (1, 1, 0)
+    ax, ay = point.x % q, point.y % q
+    for bit in bin(exponent)[2:]:
+        jac = _jacobian_double(jac, q)
+        if bit == "1":
+            jac = _jacobian_add_affine(jac, ax, ay, q)
+    return _jacobian_to_affine(jac, q)
+
+
+def _straus_points(points: list[Point], exponents: list[int], q: int) -> Point:
+    bits = max(e.bit_length() for e in exponents)
+    w = _window_size(len(points), bits)
+    mask = (1 << w) - 1
+    # Per-base tables of d*P for d in [1, 2^w), built in Jacobian form
+    # and normalised to affine in ONE batched inversion.
+    jac_entries = []
+    for point in points:
+        ax, ay = point.x % q, point.y % q
+        entry = (ax, ay, 1)
+        jac_entries.append(entry)
+        for _ in range(2, 1 << w):
+            entry = _jacobian_add_affine(entry, ax, ay, q)
+            jac_entries.append(entry)
+    affine = batch_to_affine(jac_entries, q)
+    row_len = (1 << w) - 1
+    tables = [affine[i * row_len : (i + 1) * row_len] for i in range(len(points))]
+
+    digits = -(-bits // w)
+    acc = (1, 1, 0)
+    for position in range(digits - 1, -1, -1):
+        if acc[2] != 0:
+            for _ in range(w):
+                acc = _jacobian_double(acc, q)
+        shift = position * w
+        for table, exponent in zip(tables, exponents):
+            digit = (exponent >> shift) & mask
+            if digit:
+                entry = table[digit - 1]
+                if not entry.is_infinity():
+                    acc = _jacobian_add_affine(acc, entry.x, entry.y, q)
+    return _jacobian_to_affine(acc, q)
+
+
+def _pippenger_points(points: list[Point], exponents: list[int], q: int) -> Point:
+    bits = max(e.bit_length() for e in exponents)
+    w = _bucket_window_size(len(points), bits)
+    mask = (1 << w) - 1
+    digits = -(-bits // w)
+    affine = [(p.x % q, p.y % q) for p in points]
+
+    acc = (1, 1, 0)
+    for position in range(digits - 1, -1, -1):
+        if acc[2] != 0:
+            for _ in range(w):
+                acc = _jacobian_double(acc, q)
+        shift = position * w
+        buckets: list[tuple[int, int, int] | None] = [None] * (1 << w)
+        for (ax, ay), exponent in zip(affine, exponents):
+            digit = (exponent >> shift) & mask
+            if digit:
+                current = buckets[digit]
+                buckets[digit] = (
+                    (ax, ay, 1)
+                    if current is None
+                    else _jacobian_add_affine(current, ax, ay, q)
+                )
+        # sum_d d * bucket[d] via the running suffix sum.
+        running = (1, 1, 0)
+        window_sum = (1, 1, 0)
+        for digit in range(mask, 0, -1):
+            bucket = buckets[digit]
+            if bucket is not None:
+                running = _jacobian_add(running, bucket, q)
+            if running[2] != 0:
+                window_sum = _jacobian_add(window_sum, running, q)
+        acc = _jacobian_add(acc, window_sum, q)
+    return _jacobian_to_affine(acc, q)
+
+
+# ---------------------------------------------------------------------------
+# GT (F_{q^2} subgroup) kernels
+
+
+def _fq2_mul(u: _RawFq2, v: _RawFq2, q: int) -> _RawFq2:
+    a, b = u
+    c, d = v
+    ac = a * c
+    bd = b * d
+    cross = (a + b) * (c + d) - ac - bd
+    return ((ac - bd) % q, cross % q)
+
+
+def _fq2_square(u: _RawFq2, q: int) -> _RawFq2:
+    a, b = u
+    return ((a - b) * (a + b) % q, 2 * a * b % q)
+
+
+def multiexp_fq2(values: list[_RawFq2], exponents: list[int], q: int) -> _RawFq2:
+    """``prod_i values[i] ** exponents[i]`` in ``F_{q^2}``.
+
+    Same contract as :func:`multiexp_points`: exponents pre-reduced to
+    ``[1, order)``, identity terms dropped by the caller.
+    """
+    if len(values) != len(exponents):
+        raise GroupError("multiexp: bases and exponents differ in length")
+    if not values:
+        return (1, 0)
+    if len(values) >= PIPPENGER_THRESHOLD:
+        return _pippenger_fq2(values, exponents, q)
+    return _straus_fq2(values, exponents, q)
+
+
+def _straus_fq2(values: list[_RawFq2], exponents: list[int], q: int) -> _RawFq2:
+    bits = max(e.bit_length() for e in exponents)
+    w = _window_size(len(values), bits)
+    mask = (1 << w) - 1
+    tables = []
+    for value in values:
+        row = [value]
+        for _ in range(2, 1 << w):
+            row.append(_fq2_mul(row[-1], value, q))
+        tables.append(row)
+
+    digits = -(-bits // w)
+    acc: _RawFq2 = (1, 0)
+    for position in range(digits - 1, -1, -1):
+        if acc != (1, 0):
+            for _ in range(w):
+                acc = _fq2_square(acc, q)
+        shift = position * w
+        for row, exponent in zip(tables, exponents):
+            digit = (exponent >> shift) & mask
+            if digit:
+                acc = _fq2_mul(acc, row[digit - 1], q)
+    return acc
+
+
+def _pippenger_fq2(values: list[_RawFq2], exponents: list[int], q: int) -> _RawFq2:
+    bits = max(e.bit_length() for e in exponents)
+    w = _bucket_window_size(len(values), bits)
+    mask = (1 << w) - 1
+    digits = -(-bits // w)
+
+    acc: _RawFq2 = (1, 0)
+    for position in range(digits - 1, -1, -1):
+        if acc != (1, 0):
+            for _ in range(w):
+                acc = _fq2_square(acc, q)
+        shift = position * w
+        buckets: list[_RawFq2 | None] = [None] * (1 << w)
+        for value, exponent in zip(values, exponents):
+            digit = (exponent >> shift) & mask
+            if digit:
+                current = buckets[digit]
+                buckets[digit] = value if current is None else _fq2_mul(current, value, q)
+        running: _RawFq2 = (1, 0)
+        window_sum: _RawFq2 = (1, 0)
+        for digit in range(mask, 0, -1):
+            bucket = buckets[digit]
+            if bucket is not None:
+                running = _fq2_mul(running, bucket, q)
+            if running != (1, 0):
+                window_sum = _fq2_mul(window_sum, running, q)
+        acc = _fq2_mul(acc, window_sum, q)
+    return acc

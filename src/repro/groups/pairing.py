@@ -14,21 +14,43 @@ divisor ``p(P) - p(O)``.  Properties (verified by the test-suite):
 * non-degenerate: ``e(g, g)`` generates the order-``p`` subgroup of
   ``F_{q^2}^*``.
 
-Implementation notes: we use *denominator elimination* -- vertical-line
-factors lie in ``F_q`` and are annihilated by the final exponentiation
-``(q - 1) * h`` (as ``(q^2-1)/p = (q-1)(q+1)/p = (q-1) h``) -- and the
-Frobenius ``z -> z^q`` is plain conjugation in ``F_{q^2}``, so the final
-exponentiation is ``(conj(z) / z)^h``.  The Miller loop works on raw
-integer pairs for speed; the public API wraps results in
-:class:`~repro.math.fields.Fq2`.
+Implementation notes: we use *denominator elimination* -- any factor
+lying in ``F_q`` is annihilated by the final exponentiation
+``(q - 1) * h`` (as ``(q^2-1)/p = (q-1)(q+1)/p = (q-1) h``, and
+``x^{q-1} = 1`` for ``x`` in ``F_q^*``) -- and the Frobenius
+``z -> z^q`` is plain conjugation in ``F_{q^2}``, so the final
+exponentiation is ``(conj(z) / z)^h``.
+
+The production Miller loop (:func:`miller_loop`) is **inversion-free**:
+the running point ``T`` is tracked in Jacobian coordinates and each line
+function is evaluated *scaled by its F_q denominator* (``2YZ^3`` for the
+tangent, ``Z^3 (x_P Z^2 - X)`` for the chord), which the final
+exponentiation eliminates along with the vertical lines.  The affine
+loop with one :func:`~repro.math.modular.inv_mod` per step is kept as
+:func:`miller_loop_affine` -- the reference the projective path is
+property-tested against.
+
+For the common "one fixed ``P`` against many ``Q``" pattern (the DLR
+decryption protocols pair one ciphertext component ``A`` against every
+share element) :class:`PairingPrecomp` runs the Miller doubling schedule
+once -- point arithmetic in Jacobian form, normalised to affine with a
+single batched inversion (:func:`~repro.math.modular.batch_inv`) --
+caches the affine line coefficients ``(lambda, ty - lambda*tx)`` per
+step, and then evaluates against each ``Q`` with two integer
+multiplications per step instead of a full curve walk.
 """
 
 from __future__ import annotations
 
-from repro.groups.curve import Point
+from repro.groups.curve import (
+    Point,
+    _jacobian_add_affine,
+    _jacobian_double,
+    batch_to_affine,
+)
 from repro.groups.pairing_params import PairingParams
 from repro.math.fields import Fq2
-from repro.math.modular import inv_mod
+from repro.math.modular import batch_inv, inv_mod
 
 _RawFq2 = tuple[int, int]
 
@@ -60,15 +82,20 @@ def _fq2_pow(u: _RawFq2, exponent: int, q: int) -> _RawFq2:
 
 def _fq2_inverse(u: _RawFq2, q: int) -> _RawFq2:
     a, b = u
-    norm_inv = inv_mod(a * a + b * b, q)
+    norm = a * a + b * b
+    if norm % q == 1:
+        # Norm-1 (unitary) elements -- every member of the order-p
+        # subgroup of F_{q^2}^* -- invert by conjugation, for free.
+        return (a % q, (-b) % q)
+    norm_inv = inv_mod(norm, q)
     return (a * norm_inv % q, (-b) * norm_inv % q)
 
 
-def miller_loop(p_point: Point, q_point: Point, params: PairingParams) -> _RawFq2:
-    """Evaluate the Miller function ``f_{p, P}`` at ``phi(Q)``.
+def miller_loop_affine(p_point: Point, q_point: Point, params: PairingParams) -> _RawFq2:
+    """The affine Miller loop: one modular inversion per doubling/add step.
 
-    Vertical-line factors are dropped (denominator elimination).  Returns
-    a raw ``F_{q^2}`` pair, *before* final exponentiation.
+    Reference implementation -- :func:`miller_loop` must agree with it up
+    to an ``F_q`` scalar (i.e. exactly, after final exponentiation).
     """
     q = params.q
     order = params.p
@@ -109,6 +136,173 @@ def miller_loop(p_point: Point, q_point: Point, params: PairingParams) -> _RawFq
                 ty = (slope * (tx - x3) - ty) % q
                 tx = x3
     return f
+
+
+def miller_loop(p_point: Point, q_point: Point, params: PairingParams) -> _RawFq2:
+    """Evaluate the Miller function ``f_{p, P}`` at ``phi(Q)``,
+    inversion-free.
+
+    ``T`` is tracked in Jacobian coordinates ``(X, Y, Z)`` with
+    ``tx = X/Z^2``, ``ty = Y/Z^3``; each line function is multiplied
+    through by its ``F_q`` denominator (tangent: ``2YZ^3``, chord:
+    ``Z^3 (x_P Z^2 - X)``), so the result differs from
+    :func:`miller_loop_affine` only by an ``F_q`` factor -- annihilated
+    by :func:`final_exponentiation` exactly like the vertical lines.
+    Returns a raw ``F_{q^2}`` pair, *before* final exponentiation.
+    """
+    q = params.q
+    order = params.p
+    if p_point.is_infinity() or q_point.is_infinity():
+        return (1, 0)
+    phi_x = (-q_point.x) % q
+    phi_y = q_point.y % q
+    neg_phi_y = (-phi_y) % q
+
+    f: _RawFq2 = (1, 0)
+    px, py = p_point.x % q, p_point.y % q
+    tx_, ty_, tz_ = px, py, 1  # T = P, Jacobian with Z = 1
+    t_infinity = False
+
+    bits = bin(order)[3:]
+    for bit in bits:
+        f = _fq2_square(f, q)
+        if not t_infinity:
+            # Tangent line at T, scaled by 2YZ^3 in F_q:
+            #   real = (3X^2 + Z^4)(phi_x Z^2 - X) + 2Y^2
+            #   imag = -phi_y * 2YZ^3
+            zz = tz_ * tz_ % q
+            m = (3 * tx_ * tx_ + zz * zz) % q  # a = 1 for y^2 = x^3 + x
+            scale = 2 * ty_ * tz_ * zz % q
+            line = (
+                (m * (phi_x * zz - tx_) + 2 * ty_ * ty_) % q,
+                neg_phi_y * scale % q,
+            )
+            f = _fq2_mul(f, line, q)
+            tx_, ty_, tz_ = _jacobian_double((tx_, ty_, tz_), q)
+        if bit == "1" and not t_infinity:
+            zz = tz_ * tz_ % q
+            zzz = zz * tz_ % q
+            h = (px * zz - tx_) % q
+            if h == 0 and (ty_ + py * zzz) % q == 0:
+                # T = -P: the chord is vertical, lies in F_q, eliminated.
+                t_infinity = True
+            else:
+                # Chord through T and P, scaled by Z^3 (px Z^2 - X):
+                #   real = (py Z^3 - Y)(phi_x Z^2 - X) + Y (px Z^2 - X)
+                #   imag = -phi_y * Z^3 (px Z^2 - X)
+                r = (py * zzz - ty_) % q
+                line = (
+                    (r * (phi_x * zz - tx_) + ty_ * h) % q,
+                    neg_phi_y * zzz * h % q,
+                )
+                f = _fq2_mul(f, line, q)
+                tx_, ty_, tz_ = _jacobian_add_affine((tx_, ty_, tz_), px, py, q)
+    return f
+
+
+class PairingPrecomp:
+    """The fixed-argument Miller schedule of one point ``P``.
+
+    Runs the doubling/addition schedule of ``f_{p, P}`` once, caching
+    per-step affine line coefficients ``(lambda, ty - lambda * tx)``;
+    :meth:`pair_with` then evaluates ``e(P, Q)`` for any ``Q`` without
+    touching the curve again.  Construction performs the whole schedule
+    with **two** modular inversions total: the step points are computed
+    in Jacobian form and normalised with one
+    :func:`~repro.math.modular.batch_inv`, and all slope denominators
+    are inverted with a second.
+
+    The cached schedule is ``O(log p)`` integer pairs; it pays for
+    itself from the second ``Q`` onwards (see docs/performance.md).
+    """
+
+    __slots__ = ("params", "steps", "_trivial")
+
+    def __init__(self, p_point: Point, params: PairingParams) -> None:
+        self.params = params
+        self._trivial = p_point.is_infinity()
+        #: Per loop iteration: (dbl_coeffs | None, add_coeffs | None);
+        #: ``None`` means the step only squares ``f`` (T at infinity) /
+        #: has no addition.  Coeffs are (lambda, ty - lambda * tx).
+        self.steps: list[tuple[tuple[int, int] | None, tuple[int, int] | None]] = []
+        if self._trivial:
+            return
+        q = params.q
+        px, py = p_point.x % q, p_point.y % q
+
+        # Pass 1: walk the schedule in Jacobian form, recording the point
+        # *before* each doubling / addition plus the step layout.
+        jac = (px, py, 1)
+        layout: list[tuple[bool, bool]] = []  # (has_double, has_add)
+        dbl_points = []
+        add_points = []
+        t_infinity = False
+        bits = bin(params.p)[3:]
+        for bit in bits:
+            has_double = not t_infinity
+            if has_double:
+                dbl_points.append(jac)
+                jac = _jacobian_double(jac, q)
+            has_add = False
+            if bit == "1" and not t_infinity:
+                zz = jac[2] * jac[2] % q
+                if (px * zz - jac[0]) % q == 0 and (jac[1] + py * zz * jac[2]) % q == 0:
+                    t_infinity = True  # T = -P: vertical chord, eliminated
+                else:
+                    has_add = True
+                    add_points.append(jac)
+                    jac = _jacobian_add_affine(jac, px, py, q)
+            layout.append((has_double, has_add))
+
+        # Pass 2: one batched normalisation for every step point ...
+        affine = batch_to_affine(dbl_points + add_points, q)
+        dbl_affine = affine[: len(dbl_points)]
+        add_affine = affine[len(dbl_points):]
+        # ... and one batched inversion for every slope denominator.
+        denominators = [2 * pt.y % q for pt in dbl_affine] + [
+            (px - pt.x) % q for pt in add_affine
+        ]
+        inverses = batch_inv(denominators, q)
+        dbl_inv = inverses[: len(dbl_affine)]
+        add_inv = inverses[len(dbl_affine):]
+
+        dbl_iter = iter(zip(dbl_affine, dbl_inv))
+        add_iter = iter(zip(add_affine, add_inv))
+        for has_double, has_add in layout:
+            dbl_coeffs = None
+            if has_double:
+                pt, d_inv = next(dbl_iter)
+                slope = (3 * pt.x * pt.x + 1) * d_inv % q
+                dbl_coeffs = (slope, (pt.y - slope * pt.x) % q)
+            add_coeffs = None
+            if has_add:
+                pt, d_inv = next(add_iter)
+                slope = (py - pt.y) * d_inv % q
+                add_coeffs = (slope, (pt.y - slope * pt.x) % q)
+            self.steps.append((dbl_coeffs, add_coeffs))
+
+    def miller_eval(self, q_point: Point) -> _RawFq2:
+        """``f_{p, P}(phi(Q))`` from the cached schedule (pre final exp)."""
+        if self._trivial or q_point.is_infinity():
+            return (1, 0)
+        q = self.params.q
+        phi_x = (-q_point.x) % q
+        neg_phi_y = (-q_point.y) % q
+        f: _RawFq2 = (1, 0)
+        for dbl_coeffs, add_coeffs in self.steps:
+            f = _fq2_square(f, q)
+            if dbl_coeffs is not None:
+                slope, offset = dbl_coeffs
+                f = _fq2_mul(f, ((slope * phi_x + offset) % q, neg_phi_y), q)
+            if add_coeffs is not None:
+                slope, offset = add_coeffs
+                f = _fq2_mul(f, ((slope * phi_x + offset) % q, neg_phi_y), q)
+        return f
+
+    def pair_with(self, q_point: Point) -> Fq2:
+        """The full pairing ``e(P, Q)`` via the cached schedule."""
+        raw = final_exponentiation(self.miller_eval(q_point), self.params)
+        return Fq2(raw[0], raw[1], self.params.q)
 
 
 def final_exponentiation(value: _RawFq2, params: PairingParams) -> _RawFq2:

@@ -36,15 +36,20 @@ class FixedBaseExp:
         self.window = window
         self.digits = -(-(order - 1).bit_length() // window)
         self._identity = base ** 0
-        # table[i][j] = base^(j * 2^{w i})
+        # table[i][j] = base^(j * 2^{w i}).  The top row only stores the
+        # digits an exponent < order can actually produce there --
+        # (order - 1) >> (w * (digits - 1)) -- instead of a full 2^w row.
         self.table: list[list[Element]] = []
+        full = (1 << window) - 1
         block = base
-        for _ in range(self.digits):
+        for i in range(self.digits):
+            limit = min(full, (order - 1) >> (window * i))
             row = [self._identity]
-            for j in range(1, 1 << window):
+            for j in range(1, limit + 1):
                 row.append(row[j - 1] * block)
             self.table.append(row)
-            block = row[-1] * block  # base^(2^{w(i+1)})
+            if i < self.digits - 1:
+                block = row[full] * block  # base^(2^{w(i+1)})
 
     def pow(self, exponent: int) -> Element:
         """Return ``base ** exponent`` using the table."""
@@ -59,7 +64,7 @@ class FixedBaseExp:
 
     def table_elements(self) -> int:
         """Number of precomputed elements (storage cost)."""
-        return self.digits * (1 << self.window)
+        return sum(len(row) for row in self.table)
 
 
 class PrecomputedEncryptor:

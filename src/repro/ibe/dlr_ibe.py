@@ -170,9 +170,9 @@ class DLRIBE(DLR):
                 r = [self.group.random_scalar(device1.rng) for _ in range(self.n_id)]
                 device1.secret.store("ext.r", Share2(tuple(r), self.group.p))
                 r_pub = tuple(self.group.g ** r_j for r_j in r)
-                blinding = msk1.phi
-                for u_j, r_j in zip(u_sel, r):
-                    blinding = blinding * (u_j ** r_j)
+                # Phi * prod_j u_j^{r_j} as one multiexp (Phi rides along
+                # with exponent 1).
+                blinding = G1Element.multiexp((msk1.phi, *u_sel), (1, *r))
 
                 sk_comm = self.hpske_g.keygen(device1.rng)
                 device1.secret.store("ext.sk_comm", sk_comm)
@@ -247,14 +247,15 @@ class DLRIBE(DLR):
 
                 sk_comm = self.hpske_gt.keygen(device1.rng)
                 device1.secret.store("iddec.sk_comm", sk_comm)
+                # One Miller schedule for A = c.a, reused over every a_i
+                # and Psi.
+                a_precomp = self.group.pairing_precomp(ciphertext.a)
                 d_list = tuple(
-                    self.hpske_gt.encrypt(
-                        sk_comm, self.group.pair(ciphertext.a, a_i), device1.rng
-                    )
+                    self.hpske_gt.encrypt(sk_comm, a_precomp.pair(a_i), device1.rng)
                     for a_i in share1.a
                 )
                 d_psi = self.hpske_gt.encrypt(
-                    sk_comm, self.group.pair(ciphertext.a, share1.psi), device1.rng
+                    sk_comm, a_precomp.pair(share1.psi), device1.rng
                 )
                 d_b = self.hpske_gt.encrypt(sk_comm, b_star, device1.rng)
             yield Send("iddec.d", (d_list, d_psi, d_b))
@@ -316,9 +317,7 @@ class DLRIBE(DLR):
                 new_r_pub = tuple(
                     r_j * (self.group.g ** d_j) for r_j, d_j in zip(share1.r_pub, delta)
                 )
-                shift = share1.psi
-                for u_j, d_j in zip(u_sel, delta):
-                    shift = shift * (u_j ** d_j)
+                shift = G1Element.multiexp((share1.psi, *u_sel), (1, *delta))
 
                 sk_comm = self.hpske_g.keygen(device1.rng)
                 device1.secret.store("idref.sk_comm", sk_comm)
@@ -434,9 +433,11 @@ class DLRIBE(DLR):
         ciphertext: IBECiphertext,
     ) -> GTElement:
         """Single-place decryption from the identity shares (tests only)."""
-        m = share1.psi
-        for a_i, s_i in zip(share1.a, share2.s):
-            m = m / (a_i ** s_i)
+        p = self.group.p
+        m = G1Element.multiexp(
+            (share1.psi, *share1.a),
+            (1, *((p - s_i) % p for s_i in share2.s)),
+        )
         numerator = ciphertext.b
         for c_j, r_j in zip(ciphertext.c, share1.r_pub):
             numerator = numerator * self.group.pair(c_j, r_j)

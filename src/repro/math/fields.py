@@ -137,6 +137,11 @@ class Fq2:
         n = self.norm()
         if n == 0:
             raise GroupError("0 is not invertible in F_{q^2}")
+        if n == 1:
+            # Unitary elements (every member of the order-p pairing
+            # subgroup, which lies in the norm-1 torus) invert by
+            # conjugation -- no modular inversion needed.
+            return Fq2(self.a, -self.b, self.q)
         n_inv = inv_mod(n, self.q)
         return Fq2(self.a * n_inv, -self.b * n_inv, self.q)
 

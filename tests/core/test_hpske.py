@@ -130,6 +130,87 @@ class TestHomomorphisms:
             ct * ct2
 
 
+class TestWeightedProduct:
+    """The fused multi-exponentiation form of the combine expression."""
+
+    def test_matches_sequential_ops(self, hpske_g, small_group, rng):
+        from repro.core.hpske import weighted_product
+
+        key = hpske_g.keygen(rng)
+        messages = [small_group.random_g(rng) for _ in range(5)]
+        scalars = [small_group.random_scalar(rng) for _ in range(5)]
+        cts = [hpske_g.encrypt(key, m, rng) for m in messages]
+        fused = weighted_product(cts, scalars)
+        sequential = cts[0] ** scalars[0]
+        for ct, s in zip(cts[1:], scalars[1:]):
+            sequential = sequential * (ct ** s)
+        assert fused == sequential
+
+    def test_division_folds_as_p_minus_one(self, hpske_g, small_group, rng):
+        """An exponent of p - 1 is a division -- the combine steps'
+        trailing ``/ d_Phi`` in fused form."""
+        from repro.core.hpske import weighted_product
+
+        p = small_group.p
+        key = hpske_g.keygen(rng)
+        c0 = hpske_g.encrypt(key, small_group.random_g(rng), rng)
+        c1 = hpske_g.encrypt(key, small_group.random_g(rng), rng)
+        assert weighted_product((c0, c1), (1, p - 1)) == c0 / c1
+
+    def test_decrypts_to_weighted_message_product(self, hpske_g, small_group, rng):
+        from repro.core.hpske import weighted_product
+
+        key = hpske_g.keygen(rng)
+        messages = [small_group.random_g(rng) for _ in range(4)]
+        scalars = [small_group.random_scalar(rng) for _ in range(4)]
+        cts = [hpske_g.encrypt(key, m, rng) for m in messages]
+        combined = weighted_product(cts, scalars)
+        expected = None
+        for m, s in zip(messages, scalars):
+            term = m ** s
+            expected = term if expected is None else expected * term
+        assert hpske_g.decrypt(key, combined) == expected
+
+    def test_empty_rejected(self):
+        from repro.core.hpske import weighted_product
+
+        with pytest.raises(ParameterError):
+            weighted_product((), ())
+
+    def test_length_mismatch_rejected(self, hpske_g, small_group, rng):
+        from repro.core.hpske import weighted_product
+
+        key = hpske_g.keygen(rng)
+        ct = hpske_g.encrypt(key, small_group.random_g(rng), rng)
+        with pytest.raises(ParameterError):
+            weighted_product((ct,), (1, 2))
+
+    def test_width_mismatch_rejected(self, hpske_g, small_group, rng):
+        from repro.core.hpske import weighted_product
+        from repro.errors import GroupError
+
+        key = hpske_g.keygen(rng)
+        ct = hpske_g.encrypt(key, small_group.random_g(rng), rng)
+        other = HPSKE(small_group, KAPPA + 1, "G")
+        ct2 = other.encrypt(other.keygen(rng), small_group.random_g(rng), rng)
+        with pytest.raises(GroupError):
+            weighted_product((ct, ct2), (1, 1))
+
+    def test_matches_reference_mode(self, hpske_gt, small_group, rng):
+        from repro.core.hpske import weighted_product
+        from repro.groups import fastops
+
+        key = hpske_gt.keygen(rng)
+        cts = [
+            hpske_gt.encrypt(key, small_group.random_gt(rng), rng) for _ in range(6)
+        ]
+        scalars = [small_group.random_scalar(rng) for _ in range(6)]
+        fast = weighted_product(cts, scalars)
+        with fastops.reference_mode():
+            reference = weighted_product(cts, scalars)
+        assert fast == reference
+
+
 class TestPairingTransport:
     def test_pair_with_transports_to_gt(self, small_group, rng):
         """The f_i -> d_i reuse (section 5.2 remark): a G-ciphertext of m

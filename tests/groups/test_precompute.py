@@ -48,7 +48,27 @@ class TestFixedBaseExp:
 
     def test_table_size(self, small_group):
         table = FixedBaseExp(small_group.g, small_group.p, window=4)
-        assert table.table_elements() == table.digits * 16
+        # Full 2^w rows except the top one, which is trimmed to the
+        # digits an exponent < order can actually produce there.
+        top_digits = (small_group.p - 1) >> (4 * (table.digits - 1))
+        expected = (table.digits - 1) * 16 + top_digits + 1
+        assert table.table_elements() == expected
+        assert table.table_elements() <= table.digits * 16
+
+    def test_trimmed_top_row_still_covers_max_exponent(self, small_group):
+        table = FixedBaseExp(small_group.g, small_group.p, window=4)
+        assert table.pow(small_group.p - 1) == small_group.g.inverse()
+
+    def test_dlr_encryptor_factory(self, small_params):
+        scheme = DLR(small_params)
+        rng = random.Random(3)
+        generation = scheme.generate(rng)
+        encryptor = scheme.encryptor(generation.public_key)
+        message = scheme.group.random_gt(rng)
+        ciphertext = encryptor.encrypt(message, rng)
+        assert scheme.reference_decrypt(
+            generation.share1, generation.share2, ciphertext
+        ) == message
 
     def test_fewer_group_mults_than_ladder(self, small_group, rng):
         """The point of precomputation: per-exponentiation multiplications

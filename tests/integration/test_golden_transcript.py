@@ -161,6 +161,54 @@ class TestOptimalGolden:
             assert _digest(snapshot_bits) == digest, key
 
 
+class TestFastKernelTransparency:
+    """The fast kernels (multiexp, pairing precomputation, projective
+    Miller loop) must be invisible in the adversary's view: the pinned
+    digests above are already exercised with the kernels active, and
+    these tests additionally pin fast == reference and memory == socket
+    byte-for-byte."""
+
+    def _run(self, seed=1234, transport=None):
+        scheme, rng, generation, p1, p2, channel, message, ciphertext = _setup(
+            DLR, seed
+        )
+        wire = transport if transport is not None else channel
+        record = scheme.run_period(p1, p2, wire, ciphertext)
+        assert record.plaintext == message
+        snapshot_digests = {
+            key: _digest(snapshot.to_bits())
+            for key, snapshot in record.snapshots.items()
+        }
+        return _digest(wire.transcript_bits(0)), snapshot_digests
+
+    def test_reference_mode_transcript_identical(self):
+        from repro.groups import fastops
+
+        fast_transcript, fast_snapshots = self._run()
+        with fastops.reference_mode():
+            reference_transcript, reference_snapshots = self._run()
+        assert fast_transcript == reference_transcript
+        assert fast_snapshots == reference_snapshots
+
+    def test_fast_transcript_matches_pinned_digest(self):
+        transcript, _ = self._run()
+        assert transcript == (
+            "9e5b8488f23b63d2597555c23ac7ad90c0306a1a886ac502fef10d8ede51f522"
+        )
+
+    def test_socket_wire_matches_pinned_digest(self):
+        """Same seed over a real socket pair: the kernels do not perturb
+        the framed byte stream either."""
+        from repro.protocol.transport import SocketTransport
+
+        transcript, snapshots = self._run(transport=SocketTransport(timeout=10.0))
+        assert transcript == (
+            "9e5b8488f23b63d2597555c23ac7ad90c0306a1a886ac502fef10d8ede51f522"
+        )
+        _, memory_snapshots = self._run()
+        assert snapshots == memory_snapshots
+
+
 class TestIBEGolden:
     def test_full_identity_lifecycle(self):
         group = preset_group(32)

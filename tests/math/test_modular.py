@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import ParameterError
 from repro.math.modular import (
+    batch_inv,
     crt_pair,
     inv_mod,
     is_quadratic_residue,
@@ -123,3 +124,37 @@ class TestCRT:
     def test_non_coprime_raises(self):
         with pytest.raises(ParameterError):
             crt_pair(1, 6, 2, 9)
+
+
+class TestBatchInv:
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_matches_inv_mod(self, p):
+        rng = random.Random(p)
+        values = [rng.randrange(1, p) for _ in range(min(50, p - 1))]
+        assert batch_inv(values, p) == [inv_mod(v, p) for v in values]
+
+    def test_single_element(self):
+        assert batch_inv([3], 7) == [inv_mod(3, 7)]
+
+    def test_empty(self):
+        assert batch_inv([], 101) == []
+
+    def test_unreduced_inputs(self):
+        p = 101
+        values = [p + 3, 2 * p + 7, -1]
+        assert batch_inv(values, p) == [inv_mod(v % p, p) for v in values]
+
+    def test_zero_raises_with_index(self):
+        with pytest.raises(ParameterError, match="index 2"):
+            batch_inv([3, 5, 0, 7], 101)
+
+    def test_multiple_of_p_raises(self):
+        with pytest.raises(ParameterError):
+            batch_inv([3, 202], 101)
+
+    def test_exhaustive_small_prime(self):
+        p = 43
+        values = list(range(1, p))
+        inverses = batch_inv(values, p)
+        for value, inverse in zip(values, inverses):
+            assert value * inverse % p == 1

@@ -1,0 +1,290 @@
+"""Load benchmark for the multi-session key service.
+
+Boots a :class:`~repro.service.server.KeyService` on loopback, opens
+one session per client stream, and drives all streams concurrently from
+threads; each stream encrypts locally and round-trips decrypt requests
+through the service.  Reports:
+
+* **invariants** -- exact accounting after the run: decrypt successes,
+  sessions created/resident, per-session period counters, and the
+  number of *lost metric increments* (expected minus observed counter
+  values, which must be zero).  These are machine-invariant and are
+  what ``--check`` gates on.
+* **latency** -- client-observed per-request wall-clock percentiles,
+  plus the service's own ``service.request_seconds`` histogram summary.
+* **throughput** -- requests/s over the loaded phase.  Recorded for
+  trend-watching, never gated (wall-clock is machine-dependent).
+
+Usage::
+
+    python benchmarks/bench_service.py                   # default load
+    python benchmarks/bench_service.py --smoke           # CI scale: 3 workers, 8 sessions
+    python benchmarks/bench_service.py --output results/BENCH_service.json
+    python benchmarks/bench_service.py --smoke --check results/BENCH_service.json
+
+``--check`` fails if any invariant differs from the scale-matched
+baseline section (a full-size baseline embeds a ``"smoke"``
+sub-report, mirroring ``bench_speed.py``), or if the fresh run lost
+even one metric increment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import threading
+import time
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_load(
+    *,
+    workers: int,
+    sessions: int,
+    requests_per_session: int,
+    group_bits: int,
+    lam: int,
+    seed: int,
+    checkpoint_dir,
+) -> dict:
+    from repro.service import KeyService, ServiceClient, SessionRegistry
+
+    registry = SessionRegistry(checkpoint_dir, capacity=sessions)
+    latencies: list[float] = []
+    latencies_lock = threading.Lock()
+    failures: list[BaseException] = []
+    barrier = threading.Barrier(sessions + 1)
+
+    with KeyService(registry, workers=workers, client_timeout=60.0) as service:
+
+        def stream(index: int) -> None:
+            try:
+                # Connect first, then rendezvous: a worker slot is only
+                # *held* once requests start flowing, so streams beyond
+                # the worker count queue behind the pool instead of
+                # deadlocking against streams parked on the barrier.
+                with ServiceClient(service.address, timeout=60.0) as client:
+                    rng = random.Random((seed << 16) ^ index)
+                    barrier.wait()  # all streams start the loaded phase together
+                    public_key = client.open_key(
+                        "bench", f"k{index}", n=group_bits, lam=lam, seed=seed + index
+                    )
+                    for _ in range(requests_per_session):
+                        message = public_key.group.random_gt(rng)
+                        started = time.perf_counter()
+                        recovered, _ = client.encrypt_and_decrypt(
+                            "bench", f"k{index}", message, rng
+                        )
+                        elapsed = time.perf_counter() - started
+                        if recovered != message:
+                            raise AssertionError(f"stream {index}: wrong plaintext")
+                        with latencies_lock:
+                            latencies.append(elapsed)
+            except BaseException as exc:  # noqa: BLE001 - reported in the report
+                failures.append(exc)
+                barrier.abort()
+
+        threads = [threading.Thread(target=stream, args=(i,)) for i in range(sessions)]
+        for thread in threads:
+            thread.start()
+        try:
+            barrier.wait()
+        except threading.BrokenBarrierError:
+            pass  # a stream failed during setup; its exception is re-raised below
+        loaded_start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        loaded_wall = time.perf_counter() - loaded_start
+
+        if failures:
+            raise failures[0]
+
+        metrics = service.metrics
+        expected_decrypts = sessions * requests_per_session
+        observed_decrypts = metrics.counter_value(
+            "service.requests", op="decrypt", outcome="ok"
+        )
+        snapshot = registry.snapshot()
+        per_session_periods = sorted(
+            row["next_period"] for row in snapshot["resident"]
+        )
+        service_hist = metrics.histogram(
+            "service.request_seconds", op="decrypt"
+        )
+        hist_dict = service_hist.to_dict()
+
+        report = {
+            "invariants": {
+                "expected_decrypts": expected_decrypts,
+                "observed_decrypt_ok": observed_decrypts,
+                "lost_metric_increments": expected_decrypts - observed_decrypts,
+                "sessions_created": metrics.counter_value("service.sessions_created"),
+                "sessions_active_at_end": metrics.gauge(
+                    "service.sessions_active"
+                ).value,
+                "per_session_periods_uniform": per_session_periods
+                == [requests_per_session] * sessions,
+                "histogram_count_matches": hist_dict["count"] == expected_decrypts,
+                "rejections": metrics.counter_value("service.rejections"),
+                "client_timeouts": metrics.counter_value("service.client_timeouts"),
+            },
+            "latency": {
+                "client_p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+                "client_p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+                "client_mean_ms": round(statistics.fmean(latencies) * 1000, 3),
+                "service_p50_s_bucket": service_hist.quantile(0.50),
+                "service_p99_s_bucket": service_hist.quantile(0.99),
+            },
+            "throughput": {
+                "loaded_wall_s": round(loaded_wall, 3),
+                "requests_per_s": round(expected_decrypts / loaded_wall, 2),
+            },
+        }
+    return report
+
+
+def service_report(
+    *,
+    workers: int,
+    sessions: int,
+    requests_per_session: int,
+    group_bits: int = 32,
+    lam: int = 32,
+    seed: int = 7,
+) -> dict:
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as checkpoint_dir:
+        report = {
+            "workers": workers,
+            "sessions": sessions,
+            "requests_per_session": requests_per_session,
+            "group_bits": group_bits,
+            "lam": lam,
+            "seed": seed,
+        }
+        report.update(
+            run_load(
+                workers=workers,
+                sessions=sessions,
+                requests_per_session=requests_per_session,
+                group_bits=group_bits,
+                lam=lam,
+                seed=seed,
+                checkpoint_dir=checkpoint_dir,
+            )
+        )
+    return report
+
+
+_SCALE_FIELDS = ("workers", "sessions", "requests_per_session", "group_bits", "lam")
+
+
+def _scale_matched_baseline(report: dict, baseline: dict) -> dict | None:
+    """The baseline section measured at the fresh report's load shape."""
+    scale = tuple(report.get(field) for field in _SCALE_FIELDS)
+    if tuple(baseline.get(field) for field in _SCALE_FIELDS) == scale:
+        return baseline
+    smoke = baseline.get("smoke")
+    if smoke and tuple(smoke.get(field) for field in _SCALE_FIELDS) == scale:
+        return smoke
+    return None
+
+
+def check_invariants(report: dict, baseline: dict) -> list[str]:
+    """Gate on exact accounting, never on wall-clock.
+
+    Fails if the fresh run lost metric increments, left ledgers
+    unbalanced, or disagrees with the scale-matched baseline on any
+    invariant field.
+    """
+    failures = []
+    fresh = report.get("invariants", {})
+    if fresh.get("lost_metric_increments") != 0:
+        failures.append(
+            f"lost {fresh.get('lost_metric_increments')} metric increments "
+            "(counter races or dropped requests)"
+        )
+    if not fresh.get("per_session_periods_uniform"):
+        failures.append("per-session period counters are not uniform")
+    matched = _scale_matched_baseline(report, baseline)
+    if matched is None:
+        scale = {field: report.get(field) for field in _SCALE_FIELDS}
+        failures.append(
+            f"baseline has no section at {scale} -- regenerate it with "
+            "`python benchmarks/bench_service.py --output results/BENCH_service.json`"
+        )
+        return failures
+    base = matched.get("invariants", {})
+    for name in sorted(set(fresh) & set(base)):
+        if fresh[name] != base[name]:
+            failures.append(f"invariant {name}: {fresh[name]!r} != baseline {base[name]!r}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI scale: 3 workers, 8 sessions, 2 requests each",
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--sessions", type=int, default=None)
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--output", default=None, help="write the JSON report here")
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="fail on lost increments or invariant drift vs this baseline JSON",
+    )
+    args = parser.parse_args(argv)
+
+    workers = args.workers or (3 if args.smoke else 4)
+    sessions = args.sessions or (8 if args.smoke else 16)
+    requests = args.requests or (2 if args.smoke else 4)
+
+    report = service_report(
+        workers=workers, sessions=sessions, requests_per_session=requests
+    )
+    if not args.smoke and (workers, sessions, requests) != (3, 8, 2):
+        # Full-size baselines embed the CI smoke scale so smoke runs
+        # have a scale-matched section to gate against.
+        report["smoke"] = service_report(
+            workers=3, sessions=8, requests_per_session=2
+        )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        sys.stdout.write(text + "\n")
+
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        failures = check_invariants(report, baseline)
+        if failures:
+            sys.stderr.write("service bench gate FAILED:\n")
+            for failure in failures:
+                sys.stderr.write(f"  {failure}\n")
+            return 1
+        sys.stderr.write(
+            f"service bench gate passed ({len(report['invariants'])} invariants, "
+            f"{report['throughput']['requests_per_s']} req/s)\n"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,8 @@ Commands::
     repro-dlr supervise --pk keys/public_key.json --share1 ... --share2 ... \
                         --periods 10 --seed 7 --checkpoint session.ckpt.json
     repro-dlr supervise --resume --checkpoint session.ckpt.json
+    repro-dlr serve   --checkpoint-dir service-state/ --workers 4 --port 0 \
+                      --announce service.addr
     repro-dlr trace   trace.jsonl --top 10
     repro-dlr metrics --log session.json
     repro-dlr info    --pk keys/public_key.json
@@ -236,6 +238,52 @@ def cmd_supervise(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-session key service until interrupted.
+
+    ``--announce FILE`` writes ``host port`` once the listener is bound
+    (the port is ephemeral with ``--port 0``), so test harnesses and
+    init scripts can wait for the file instead of polling the socket.
+    ``--max-requests N`` drains and exits after N requests -- the knob
+    the CLI test and the bench harness use for bounded runs.
+    """
+    from repro.service import KeyService, SessionRegistry
+
+    registry = SessionRegistry(
+        args.checkpoint_dir, capacity=args.capacity, budgeted=args.budget
+    )
+    service = KeyService(
+        registry,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        client_timeout=args.timeout,
+        max_requests=args.max_requests,
+    )
+    service.start()
+    host, port = service.address
+    print(f"serving on {host}:{port} ({args.workers} workers, "
+          f"capacity {args.capacity})", flush=True)
+    if args.announce is not None:
+        persist.atomic_write_text(args.announce, f"{host} {port}\n")
+    try:
+        service.wait()
+    except KeyboardInterrupt:
+        print("interrupted; draining", flush=True)
+    finally:
+        service.stop()
+    snapshot = service.metrics.snapshot()
+    print(json.dumps(
+        {
+            "requests_handled": service.requests_handled,
+            "counters": snapshot["counters"],
+        },
+        indent=2,
+        sort_keys=True,
+    ))
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Digest a span-trace JSONL file: aggregate by name, hottest spans."""
     from repro.telemetry import render_trace_report, validate_trace_file
@@ -363,6 +411,29 @@ def build_parser() -> argparse.ArgumentParser:
         "print the budget dashboard (embedded per period in --log)",
     )
     sup.set_defaults(fn=cmd_supervise)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-session key service (framed TCP, many keys)",
+    )
+    serve.add_argument("--checkpoint-dir", default="service-state",
+                       help="directory of per-key durable checkpoints")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 picks an ephemeral port (see --announce)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="request worker threads (concurrent sessions served)")
+    serve.add_argument("--capacity", type=int, default=64,
+                       help="max resident sessions before LRU eviction")
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       help="per-connection idle timeout (s); silent clients are dropped")
+    serve.add_argument("--max-requests", type=int, default=None,
+                       help="drain and exit after this many requests")
+    serve.add_argument("--announce", default=None, metavar="FILE",
+                       help="write 'host port' here once the listener is bound")
+    serve.add_argument("--no-budget", dest="budget", action="store_false",
+                       help="serve without leakage-budget admission control")
+    serve.set_defaults(fn=cmd_serve)
 
     trace = sub.add_parser("trace", help="digest a span-trace JSONL file")
     trace.add_argument("file", help="trace JSONL written by supervise --trace")

@@ -93,9 +93,54 @@ class LeakageBudgetExceeded(ReproError):
         )
 
 
+class CheckpointError(ReproError):
+    """A durable session checkpoint could not be read back.
+
+    Raised by :func:`repro.runtime.checkpoint.load_checkpoint` when the
+    file is truncated, not JSON, or structurally incomplete -- instead
+    of the raw ``json.JSONDecodeError`` / ``KeyError`` older code let
+    escape.  Classified *fatal* by the runtime taxonomy: re-reading the
+    same bytes reproduces the failure, so a service rehydrating an
+    evicted session must surface it as a clean per-key fault rather
+    than crash its worker.  ``path`` names the offending file.
+    """
+
+    def __init__(self, message: str, *, path=None) -> None:
+        super().__init__(message)
+        self.path = path
+
+
 class DecryptionError(ReproError):
     """Decryption failed (malformed ciphertext, failed signature check, ...)."""
 
 
 class SingularMatrixError(ReproError):
     """A matrix over Z_p was singular where an invertible one was required."""
+
+
+class ServiceError(ReproError):
+    """A key-service request failed; ``code`` is the machine-readable
+    reason from the response header (``unknown-key``, ``bad-request``,
+    ``rejected``, ``checkpoint-corrupt``, ``internal``, ...)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        super().__init__(f"[{code}] {message}")
+
+
+class AdmissionRejected(ServiceError):
+    """The key service refused to run a request, with a reason.
+
+    Admission control is tied to the session's leakage budget: a frozen
+    session (a retry would have exceeded the budget) or an exhausted
+    per-period budget rejects *before* any protocol bits hit the wire,
+    and a registry at capacity with every resident session busy rejects
+    rather than queue unboundedly.  ``reason`` is the human-readable
+    explanation echoed to the client.
+    """
+
+    def __init__(self, key: str, reason: str) -> None:
+        self.key = key
+        self.reason = reason
+        super(ServiceError, self).__init__(f"request for {key} rejected: {reason}")
+        self.code = "rejected"

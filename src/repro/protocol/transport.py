@@ -36,9 +36,67 @@ from repro.utils.bits import BitString, concat_all
 from repro.utils.serialization import WireCodec, encode_any, sniff_group
 
 
-# One DeprecationWarning per process for the bytes_on_wire alias, no
-# matter how many transports a session creates.
-_BYTES_ON_WIRE_WARNED = False
+# ---------------------------------------------------------------------------
+# Length-prefixed framing (shared by SocketTransport and repro.service)
+# ---------------------------------------------------------------------------
+#
+# One frame is ``[4-byte header length][JSON header][8-byte payload
+# length][payload bytes]``, both integers big-endian.  The header is a
+# flat JSON object (routing metadata); the payload is opaque bytes --
+# wire-codec protocol elements for the device channel, request/response
+# bodies for the key service.
+
+
+def encode_frame(header: dict, payload: bytes) -> bytes:
+    """Serialize one frame; the inverse of :func:`recv_frame`."""
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    return (
+        len(header_bytes).to_bytes(4, "big")
+        + header_bytes
+        + len(payload).to_bytes(8, "big")
+        + payload
+    )
+
+
+def read_exact(endpoint: socket.socket, n: int, who: str, timeout=None) -> bytes:
+    """Read exactly ``n`` bytes, classifying every socket failure.
+
+    A silent peer surfaces as :class:`~repro.errors.TransportTimeout`
+    (transient: the peer is slow, not known dead), a closed or broken
+    endpoint as :class:`~repro.errors.PeerDisconnected` -- never a raw
+    ``socket.timeout``/``OSError`` that a supervisor cannot classify.
+    """
+    chunks = bytearray()
+    while len(chunks) < n:
+        try:
+            chunk = endpoint.recv(n - len(chunks))
+        except socket.timeout as exc:
+            suffix = "" if timeout is None else f" within {timeout}s"
+            raise TransportTimeout(
+                f"{who} read no frame{suffix}", timeout=timeout
+            ) from exc
+        except OSError as exc:
+            raise PeerDisconnected(f"{who} read failed mid-frame") from exc
+        if not chunk:
+            raise PeerDisconnected(f"{who} saw EOF from its peer")
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def recv_frame(endpoint: socket.socket, who: str, timeout=None) -> tuple[dict, bytes]:
+    """Read one complete frame: ``(header, payload bytes)``."""
+    header_len = int.from_bytes(read_exact(endpoint, 4, who, timeout), "big")
+    try:
+        header = json.loads(read_exact(endpoint, header_len, who, timeout))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise WireFormatError(f"{who} received an undecodable frame header") from exc
+    if not isinstance(header, dict):
+        raise WireFormatError(
+            f"{who} received a non-object frame header ({type(header).__name__})"
+        )
+    payload_len = int.from_bytes(read_exact(endpoint, 8, who, timeout), "big")
+    payload = read_exact(endpoint, payload_len, who, timeout)
+    return header, payload
 
 
 @dataclass(frozen=True)
@@ -108,6 +166,20 @@ class Transport:
         self.messages.append(message)
         return message
 
+    def prune(self, before_period: int) -> int:
+        """Drop transcript messages from periods before ``before_period``.
+
+        Long-running services commit a period and never look at its
+        transcript again; without pruning the in-memory transcript grows
+        without bound.  Callers that need whole-lifecycle transcripts
+        (golden tests, leakage analyses) simply never prune.  Returns
+        the number of messages dropped.
+        """
+        kept = [m for m in self._messages if m.period >= before_period]
+        dropped = len(self._messages) - len(kept)
+        self._messages[:] = kept
+        return dropped
+
     # -- sending / receiving ----------------------------------------------
 
     def send(self, sender: str, recipient: str, label: str, payload: object) -> object:
@@ -146,17 +218,17 @@ class Transport:
         ``bits_on_wire() // 8`` (trailing partial bytes are not counted).
 
         Historically this name returned bits; use :meth:`bits_on_wire`
-        for the exact figure.  The :class:`DeprecationWarning` is issued
-        once per process, not per call."""
-        global _BYTES_ON_WIRE_WARNED
-        if not _BYTES_ON_WIRE_WARNED:
-            _BYTES_ON_WIRE_WARNED = True
-            warnings.warn(
-                "Transport.bytes_on_wire is deprecated: it now returns whole "
-                "bytes (bits_on_wire() // 8); use bits_on_wire for bits",
-                DeprecationWarning,
-                stacklevel=2,
-            )
+        for the exact figure.  Deduplication and visibility are entirely
+        the :mod:`warnings` machinery's: the default filter shows one
+        warning per call site, ``filterwarnings`` can silence or
+        escalate it, and no module-global flag leaks state across tests
+        or concurrent sessions."""
+        warnings.warn(
+            "Transport.bytes_on_wire is deprecated: it now returns whole "
+            "bytes (bits_on_wire() // 8); use bits_on_wire for bits",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.bits_on_wire(period) // 8
 
     def bits_by_label(self, period: int | None = None) -> dict[str, int]:
@@ -242,14 +314,8 @@ class SocketTransport(Transport):
     def send(self, sender: str, recipient: str, label: str, payload: object) -> object:
         codec = self._codec_for(payload)
         wire = codec.encode(payload)  # sockets carry bytes, no fallback
-        header = json.dumps(
-            {"sender": sender, "recipient": recipient, "label": label}
-        ).encode("utf-8")
-        frame = (
-            len(header).to_bytes(4, "big")
-            + header
-            + len(wire).to_bytes(8, "big")
-            + wire
+        frame = encode_frame(
+            {"sender": sender, "recipient": recipient, "label": label}, wire
         )
         with self._lock:
             self.record(sender, recipient, label, payload)
@@ -268,31 +334,9 @@ class SocketTransport(Transport):
             ) from exc
         return payload
 
-    def _read_exact(self, endpoint: socket.socket, n: int, party: str) -> bytes:
-        chunks = bytearray()
-        while len(chunks) < n:
-            try:
-                chunk = endpoint.recv(n - len(chunks))
-            except socket.timeout as exc:
-                # The peer is silent, not known dead: a *transient* fault
-                # (the supervisor retries), never a raw socket.timeout.
-                raise TransportTimeout(
-                    f"{party} read no frame within {self.timeout}s",
-                    timeout=self.timeout,
-                ) from exc
-            except OSError as exc:
-                raise PeerDisconnected(f"{party} read failed mid-frame") from exc
-            if not chunk:
-                raise PeerDisconnected(f"{party} saw EOF from its peer")
-            chunks.extend(chunk)
-        return bytes(chunks)
-
     def recv(self, party: str) -> tuple[str, str, object]:
         with self._lock:
             endpoint = self._endpoint(party)
-        header_len = int.from_bytes(self._read_exact(endpoint, 4, party), "big")
-        header = json.loads(self._read_exact(endpoint, header_len, party))
-        payload_len = int.from_bytes(self._read_exact(endpoint, 8, party), "big")
-        wire = self._read_exact(endpoint, payload_len, party)
+        header, wire = recv_frame(endpoint, party, timeout=self.timeout)
         payload = self._codec_for().decode(wire)
         return header["sender"], header["label"], payload

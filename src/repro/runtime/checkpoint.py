@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 from repro.core.keys import PublicKey, Share1, Share2
 from repro.core.params import DLRParams
-from repro.errors import ParameterError
+from repro.errors import CheckpointError, ParameterError
 from repro.utils import persist
 
 CHECKPOINT_VERSION = 1
@@ -88,27 +88,39 @@ def load_state(data: dict, group=None) -> SessionState:
     after checking the checkpoint was written under the same pairing
     parameters.
     """
+    if not isinstance(data, dict):
+        raise CheckpointError(
+            f"checkpoint payload must be a JSON object, got {type(data).__name__}"
+        )
     if data.get("version") != CHECKPOINT_VERSION:
         raise ParameterError("unsupported checkpoint version")
-    pk_data = data["public_key"]
-    params = persist.load_params(pk_data["params"])
-    if group is not None:
-        if group.params != params.group.params:
-            raise ParameterError(
-                "checkpoint pairing parameters do not match the supplied group"
-            )
-        params = DLRParams(group=group, lam=params.lam)
-    public_key = PublicKey(params, persist._gt_from_hex(params.group, pk_data["z"]))
-    group = params.group
-    return SessionState(
-        scheme=data["scheme"],
-        seed=data["seed"],
-        periods_total=data["periods_total"],
-        next_period=data["next_period"],
-        public_key=public_key,
-        share1=persist.load_share1(group, data["share1"]),
-        share2=persist.load_share2(data["share2"]),
-    )
+    try:
+        pk_data = data["public_key"]
+        params = persist.load_params(pk_data["params"])
+        if group is not None:
+            if group.params != params.group.params:
+                raise ParameterError(
+                    "checkpoint pairing parameters do not match the supplied group"
+                )
+            params = DLRParams(group=group, lam=params.lam)
+        public_key = PublicKey(params, persist._gt_from_hex(params.group, pk_data["z"]))
+        group = params.group
+        return SessionState(
+            scheme=data["scheme"],
+            seed=data["seed"],
+            periods_total=data["periods_total"],
+            next_period=data["next_period"],
+            public_key=public_key,
+            share1=persist.load_share1(group, data["share1"]),
+            share2=persist.load_share2(data["share2"]),
+        )
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        # A field is missing, the wrong shape, or un-decodable hex: the
+        # *file* is corrupt, which is a deterministic (fatal) runtime
+        # fault, never a raw KeyError crashing a rehydrating worker.
+        raise CheckpointError(
+            f"checkpoint is structurally invalid ({type(exc).__name__}: {exc})"
+        ) from exc
 
 
 def save_checkpoint(path: str | pathlib.Path, state: SessionState) -> None:
@@ -117,4 +129,36 @@ def save_checkpoint(path: str | pathlib.Path, state: SessionState) -> None:
 
 
 def load_checkpoint(path: str | pathlib.Path, group=None) -> SessionState:
-    return load_state(json.loads(pathlib.Path(path).read_text()), group=group)
+    """Load a checkpoint file, raising classified faults on damage.
+
+    A truncated, empty, or otherwise non-JSON file surfaces as
+    :class:`~repro.errors.CheckpointError` (fatal in the runtime
+    taxonomy) with the path in the message -- never a raw
+    ``json.JSONDecodeError``.  A missing file keeps raising
+    ``FileNotFoundError``: absence is an addressing error, not damage.
+    """
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        raise
+    except OSError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is unreadable ({exc})", path=path
+        ) from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is corrupt: not valid JSON at "
+            f"line {exc.lineno} column {exc.colno} (truncated write or "
+            "damaged file)",
+            path=path,
+        ) from exc
+    try:
+        return load_state(data, group=group)
+    except CheckpointError as exc:
+        if exc.path is None:
+            exc.path = path
+            exc.args = (f"checkpoint {path}: {exc.args[0]}",)
+        raise

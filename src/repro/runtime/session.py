@@ -394,11 +394,39 @@ class SessionSupervisor:
             while self.oracle.period < state.next_period:
                 self.oracle.end_period()
 
-    def _run_one_period(self) -> None:
+    def run_request(self, ciphertext=None) -> PeriodRecord:
+        """Serve one *request-driven* period: decrypt ``ciphertext`` (or
+        self-generated traffic when ``None``) and refresh the shares,
+        with the full classified-retry / budget-charge / checkpoint
+        machinery of a supervised period.
+
+        This is the entry point for the key service
+        (:mod:`repro.service`): an open-ended session serves one period
+        per client request, so ``periods_total`` grows as requests
+        arrive instead of being fixed up front.  Devices are created
+        lazily on the first request and reused afterwards -- a session
+        rehydrated from a checkpoint continues exactly like one that
+        stayed resident (same ``(seed, next_period)`` derivation as
+        :meth:`run`).
+        """
+        if self.frozen:
+            raise ProtocolError(
+                "session is frozen: a retry would have exceeded the leakage "
+                "budget; start a new period budget before resuming"
+            )
+        if self.device1 is None:
+            self._setup()
+        if self.state.complete:
+            self.state.periods_total = self.state.next_period + 1
+        record = self._run_one_period(ciphertext)
+        assert isinstance(record, PeriodRecord)
+        return record
+
+    def _run_one_period(self, ciphertext=None) -> object:
         period = self.state.next_period
         with active_tracer().span("period", period=period, scheme=self.state.scheme):
-            run_with_retries(
-                lambda: self._attempt(period),
+            record = run_with_retries(
+                lambda: self._attempt(period, ciphertext),
                 period=period,
                 policy=self.policy,
                 transport=self.transport,
@@ -410,23 +438,34 @@ class SessionSupervisor:
                 on_freeze=self._freeze,
             )
             self._commit_period(period)
+        return record
 
     def _freeze(self) -> None:
         self.frozen = True
 
-    def _attempt(self, period: int) -> object:
+    def _attempt(self, period: int, ciphertext=None) -> object:
         """One protocol attempt for one period.  Background traffic is
         derived from ``(seed, period)`` only, so every attempt of a
         period retries the *same* ciphertext -- and a resumed session
-        decrypts the same traffic as an uninterrupted one."""
+        decrypts the same traffic as an uninterrupted one.
+
+        With an explicit ``ciphertext`` (a request-driven period, see
+        :meth:`run_request`) the client's ciphertext is decrypted
+        instead of generated traffic; the plaintext-echo check is
+        skipped because the supervisor does not know the plaintext --
+        verifying the result is the requesting client's business.
+        """
         assert self.device1 is not None and self.device2 is not None
-        traffic = random.Random(f"{self.state.seed}/traffic/{period}")
-        group = self.scheme.group
-        message = group.random_gt(traffic)
+        message = None
+        if ciphertext is None:
+            traffic = random.Random(f"{self.state.seed}/traffic/{period}")
+            group = self.scheme.group
+            message = group.random_gt(traffic)
         if isinstance(self.scheme, DLRIBE) and self.public_params is not None:
-            ciphertext = self.scheme.encrypt_to(
-                self.public_params, self.identity, message, traffic
-            )
+            if ciphertext is None:
+                ciphertext = self.scheme.encrypt_to(
+                    self.public_params, self.identity, message, traffic
+                )
             record = self.scheme.run_identity_period(
                 self.public_params,
                 self.device1,
@@ -436,11 +475,12 @@ class SessionSupervisor:
                 ciphertext,
             )
         else:
-            ciphertext = self.scheme.encrypt(self.state.public_key, message, traffic)
+            if ciphertext is None:
+                ciphertext = self.scheme.encrypt(self.state.public_key, message, traffic)
             record = self.scheme.run_period(
                 self.device1, self.device2, self.transport, ciphertext
             )
-        if record.plaintext != message:
+        if message is not None and record.plaintext != message:
             raise ProtocolError(
                 f"time period {period}: decrypted plaintext does not match "
                 "the encrypted traffic -- shares have drifted"

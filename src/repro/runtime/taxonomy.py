@@ -36,6 +36,7 @@ quarantined.
 from __future__ import annotations
 
 from repro.errors import (
+    CheckpointError,
     DecryptionError,
     FaultInjected,
     GroupError,
@@ -57,8 +58,10 @@ CLASSIFICATIONS = (TRANSIENT, FATAL, POISONED)
 _TRANSIENT_TYPES = (FaultInjected, TransportTimeout, PeerDisconnected)
 #: Bytes that reached the public wire are suspect: abort + quarantine.
 _POISONED_TYPES = (WireFormatError, DecryptionError)
-#: Deterministic / state-level failures: retrying reproduces them.
-_FATAL_TYPES = (LeakageBudgetExceeded, ParameterError, GroupError)
+#: Deterministic / state-level failures: retrying reproduces them.  A
+#: corrupt checkpoint is fatal for the same reason a bad parameter is:
+#: re-reading the same damaged bytes can never succeed.
+_FATAL_TYPES = (LeakageBudgetExceeded, ParameterError, GroupError, CheckpointError)
 
 
 def root_cause(exc: BaseException) -> BaseException:

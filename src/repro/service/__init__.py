@@ -1,0 +1,22 @@
+"""Multi-session key service: many tenant keys, one daemon.
+
+The deployment shape the paper's two-device construction targets: a
+long-running service multiplexing concurrent DLR/OptimalDLR/DLRIBE
+sessions over a framed request protocol, with admission control tied to
+each session's leakage budget, checkpoint-backed eviction of idle
+sessions, and per-request telemetry.  See ``docs/service.md``.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.registry import SessionRegistry
+from repro.service.server import KeyService
+from repro.service.session import ManagedSession, SessionKey, StaleSessionError
+
+__all__ = [
+    "KeyService",
+    "ManagedSession",
+    "ServiceClient",
+    "SessionKey",
+    "SessionRegistry",
+    "StaleSessionError",
+]

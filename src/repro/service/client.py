@@ -1,0 +1,143 @@
+"""Loopback client for the key service.
+
+:class:`ServiceClient` speaks the service's framed request protocol
+over one TCP connection: requests are sequential per connection, so a
+load generator opens one client per concurrent stream.  Failure
+responses raise :class:`~repro.errors.ServiceError` carrying the
+machine-readable ``code`` from the response header
+(:class:`~repro.errors.AdmissionRejected` for ``rejected``), so callers
+can branch on *why* without parsing message text.
+
+The client never sees secret shares: it encrypts locally against the
+public key returned by :meth:`open_key`/:meth:`describe` and sends the
+ciphertext envelope; the service returns the recovered GT plaintext.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import AdmissionRejected, ServiceError
+from repro.groups.encoding import decode_gt
+from repro.protocol.transport import encode_frame, recv_frame
+from repro.utils import persist
+from repro.utils.bits import BitString
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.KeyService`."""
+
+    def __init__(self, address: tuple[str, int], *, timeout: float = 30.0) -> None:
+        self.address = address
+        self._socket = socket.create_connection(address, timeout=timeout)
+        #: ``tenant/key -> public_key`` from open/describe responses, so
+        #: encrypt helpers don't re-fetch the key on every request.
+        self._public_keys: dict[str, object] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._socket.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- raw request layer ---------------------------------------------------
+
+    def request(self, op: str, payload: bytes = b"", **fields) -> tuple[dict, bytes]:
+        """One framed round trip; returns the raw (header, payload)."""
+        self._socket.sendall(encode_frame({"op": op, **fields}, payload))
+        return recv_frame(self._socket, "client")
+
+    def call(self, op: str, payload: bytes = b"", **fields) -> tuple[dict, bytes]:
+        """Like :meth:`request`, but raises on a failure response."""
+        header, body = self.request(op, payload, **fields)
+        if not header.get("ok"):
+            code = header.get("code", "internal")
+            message = header.get("error", "request failed")
+            if code == "rejected":
+                raise AdmissionRejected(
+                    f"{fields.get('tenant')}/{fields.get('key')}", message
+                )
+            raise ServiceError(code, message)
+        return header, body
+
+    # -- operations ----------------------------------------------------------
+
+    def ping(self) -> bool:
+        header, _ = self.call("ping")
+        return bool(header["ok"])
+
+    def open_key(
+        self,
+        tenant: str,
+        key: str,
+        *,
+        scheme: str = "dlr",
+        n: int = 32,
+        lam: int = 32,
+        seed: int | None = None,
+    ):
+        """Create a key on the service; returns its public key."""
+        fields = {"tenant": tenant, "key": key, "scheme": scheme, "n": n, "lam": lam}
+        if seed is not None:
+            fields["seed"] = seed
+        _, body = self.call("open", **fields)
+        return self._remember(tenant, key, body)
+
+    def describe(self, tenant: str, key: str) -> tuple[dict, object]:
+        """Status header plus the public key of an existing key."""
+        header, body = self.call("describe", tenant=tenant, key=key)
+        return header, self._remember(tenant, key, body)
+
+    def public_key(self, tenant: str, key: str):
+        cached = self._public_keys.get(f"{tenant}/{key}")
+        if cached is None:
+            _, cached = self.describe(tenant, key)
+        return cached
+
+    def decrypt(self, tenant: str, key: str, ciphertext):
+        """Send a ciphertext for ``tenant/key``; returns the GT plaintext."""
+        public_key = self.public_key(tenant, key)
+        envelope = persist.dumps("ciphertext", ciphertext).encode("utf-8")
+        header, body = self.call("decrypt", envelope, tenant=tenant, key=key)
+        bits = BitString(int.from_bytes(body, "big"), header["plaintext_bits"])
+        return decode_gt(public_key.group, bits)
+
+    def encrypt_and_decrypt(self, tenant: str, key: str, message, rng):
+        """Encrypt ``message`` locally under the key's pk (DLR-style
+        ``Enc_pk``; both ``dlr`` and ``optimal`` use it), round-trip it
+        through the service, and return ``(recovered, period)``."""
+        public_key = self.public_key(tenant, key)
+        from repro.core.dlr import DLR  # deferred: keep client import-light
+
+        ciphertext = DLR(public_key.params).encrypt(public_key, message, rng)
+        envelope = persist.dumps("ciphertext", ciphertext).encode("utf-8")
+        header, body = self.call("decrypt", envelope, tenant=tenant, key=key)
+        bits = BitString(int.from_bytes(body, "big"), header["plaintext_bits"])
+        return decode_gt(public_key.group, bits), header["period"]
+
+    def refresh(self, tenant: str, key: str) -> int:
+        """Ask the service to roll the key's shares; returns the period."""
+        header, _ = self.call("refresh", tenant=tenant, key=key)
+        return header["period"]
+
+    def evict(self, tenant: str, key: str) -> bool:
+        header, _ = self.call("evict", tenant=tenant, key=key)
+        return bool(header["evicted"])
+
+    def stats(self) -> dict:
+        import json
+
+        _, body = self.call("stats")
+        return json.loads(body.decode("utf-8"))
+
+    # -- internals -----------------------------------------------------------
+
+    def _remember(self, tenant: str, key: str, body: bytes):
+        public_key = persist.loads(body.decode("utf-8"))
+        self._public_keys[f"{tenant}/{key}"] = public_key
+        return public_key

@@ -1,0 +1,335 @@
+"""The key-service daemon: framed requests over TCP, a worker pool,
+admission control, and per-request telemetry.
+
+:class:`KeyService` is the long-running deployment shape the paper's
+two-device scheme pays off in: one process serving *many* keys and
+*many* clients per period, threshold-KMS style.  The wire protocol is
+the same length-prefixed framing the device channel already uses
+(:func:`repro.protocol.transport.encode_frame` /
+:func:`~repro.protocol.transport.recv_frame`): a JSON header carrying
+``op``/``tenant``/``key`` plus opaque payload bytes (persist envelopes
+for ciphertexts and public keys, raw GT bits for plaintexts).
+
+Request routing: an accept loop hands each connection to a bounded
+``ThreadPoolExecutor``; a connection serves requests sequentially, so
+concurrency is *across* connections, capped by ``workers``.  Admission
+control runs before any protocol bits move: a frozen session, an
+exhausted leakage budget, or a registry at capacity with every resident
+session busy all reject with a machine-readable reason instead of
+queueing unboundedly (see :meth:`ManagedSession.admission_error
+<repro.service.session.ManagedSession.admission_error>`).
+
+Every response carries ``ok``; failures add ``code`` + ``error``:
+
+========================  ====================================================
+``bad-request``           malformed op/fields/payload, invalid names
+``unknown-key``           no such tenant/key (never created, or deleted)
+``rejected``              admission control refused (reason in ``error``)
+``checkpoint-corrupt``    the key's durable state is damaged (fatal per key)
+``protocol-error``        the two-party protocol failed fatally mid-request
+``internal``              anything else; the worker survives
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import (
+    AdmissionRejected,
+    CheckpointError,
+    ParameterError,
+    ProtocolError,
+    PeerDisconnected,
+    ServiceError,
+    TransportTimeout,
+    WireFormatError,
+)
+from repro.protocol.transport import encode_frame, recv_frame
+from repro.service.registry import SessionRegistry
+from repro.service.session import ManagedSession, StaleSessionError
+from repro.telemetry.metrics import MetricsRegistry
+from repro.utils import persist
+
+#: Histogram boundaries for request latency: service requests run two-
+#: party protocol periods, so the interesting range is ms to seconds.
+REQUEST_SECONDS_BUCKETS = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 15.0
+)
+
+
+class KeyService:
+    """A multi-session key service over a local TCP listener."""
+
+    def __init__(
+        self,
+        registry: SessionRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 4,
+        client_timeout: float = 30.0,
+        max_requests: int | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ParameterError("the service needs at least one worker")
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.client_timeout = client_timeout
+        self.max_requests = max_requests
+        #: Shared with the registry by default so one snapshot carries
+        #: both the request-level and residency-level instruments.
+        self.metrics = metrics if metrics is not None else registry.metrics
+        self.address: tuple[str, int] | None = None
+        self._listener: socket.socket | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+        self._requests_handled = 0
+        self._count_lock = threading.Lock()
+        self._connections: set[socket.socket] = set()
+        self._connections_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "KeyService":
+        if self._listener is not None:
+            raise ProtocolError("service already started")
+        self._listener = socket.create_server((self.host, self.port))
+        # Poll the listener so stop() is honored promptly.
+        self._listener.settimeout(0.2)
+        self.address = self._listener.getsockname()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-service"
+        )
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-service-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight requests,
+        checkpoint and evict every resident session."""
+        if self._listener is None:
+            return
+        self._stopping.set()
+        self._accept_thread.join()
+        self._listener.close()
+        # Unblock workers parked on silent clients, then drain the pool.
+        with self._connections_lock:
+            lingering = list(self._connections)
+        for connection in lingering:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        self._pool.shutdown(wait=True)
+        self.registry.evict_all()
+        self._listener = None
+        self._stopped.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the service begins stopping (``max_requests``
+        reached or :meth:`stop` called elsewhere)."""
+        return self._stopping.wait(timeout)
+
+    def __enter__(self) -> "KeyService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def requests_handled(self) -> int:
+        with self._count_lock:
+            return self._requests_handled
+
+    # -- connection handling -------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                connection, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            connection.settimeout(self.client_timeout)
+            with self._connections_lock:
+                self._connections.add(connection)
+            self._pool.submit(self._serve_connection, connection)
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        try:
+            while not self._stopping.is_set():
+                try:
+                    header, payload = recv_frame(
+                        connection, "service", timeout=self.client_timeout
+                    )
+                except PeerDisconnected:
+                    break  # client hung up between requests: normal
+                except TransportTimeout:
+                    # A silent client must not wedge a worker forever:
+                    # drop the connection and hand the thread back.
+                    self.metrics.counter("service.client_timeouts").inc()
+                    break
+                except WireFormatError as exc:
+                    self._respond(
+                        connection, {"ok": False, "code": "bad-request", "error": str(exc)}
+                    )
+                    break
+                response_header, response_payload = self._handle(header, payload)
+                if not self._respond(connection, response_header, response_payload):
+                    break
+                if self._bump_handled():
+                    break
+        finally:
+            with self._connections_lock:
+                self._connections.discard(connection)
+            connection.close()
+
+    def _respond(self, connection, header: dict, payload: bytes = b"") -> bool:
+        try:
+            connection.sendall(encode_frame(header, payload))
+            return True
+        except OSError:
+            return False
+
+    def _bump_handled(self) -> bool:
+        with self._count_lock:
+            self._requests_handled += 1
+            done = (
+                self.max_requests is not None
+                and self._requests_handled >= self.max_requests
+            )
+        if done:
+            # Trip the stop event only: the actual drain must happen on
+            # a non-worker thread (stop() joins the pool).
+            self._stopping.set()
+        return done
+
+    # -- request dispatch ----------------------------------------------------
+
+    def _handle(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        op = header.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        start = time.perf_counter()
+        outcome = "ok"
+        try:
+            if handler is None:
+                raise ServiceError("bad-request", f"unknown op {op!r}")
+            fields, body = handler(header, payload)
+            return {"ok": True, **fields}, body
+        except AdmissionRejected as exc:
+            outcome = "rejected"
+            self.metrics.counter("service.rejections").inc()
+            return {"ok": False, "code": exc.code, "error": exc.reason}, b""
+        except ServiceError as exc:
+            outcome = "error"
+            return {"ok": False, "code": exc.code, "error": str(exc)}, b""
+        except CheckpointError as exc:
+            outcome = "error"
+            return {"ok": False, "code": "checkpoint-corrupt", "error": str(exc)}, b""
+        except KeyError as exc:
+            outcome = "error"
+            return {"ok": False, "code": "unknown-key", "error": str(exc)}, b""
+        except (ParameterError, WireFormatError, ValueError) as exc:
+            outcome = "error"
+            return {"ok": False, "code": "bad-request", "error": str(exc)}, b""
+        except ProtocolError as exc:
+            outcome = "error"
+            return {"ok": False, "code": "protocol-error", "error": str(exc)}, b""
+        except Exception as exc:  # the worker must survive anything
+            outcome = "error"
+            return {
+                "ok": False,
+                "code": "internal",
+                "error": f"{type(exc).__name__}: {exc}",
+            }, b""
+        finally:
+            label = op if isinstance(op, str) else "invalid"
+            self.metrics.histogram(
+                "service.request_seconds", buckets=REQUEST_SECONDS_BUCKETS, op=label
+            ).observe(time.perf_counter() - start)
+            self.metrics.counter("service.requests", op=label, outcome=outcome).inc()
+
+    def _session(self, header: dict) -> ManagedSession:
+        return self.registry.get(header.get("tenant"), header.get("key"))
+
+    # -- operations ----------------------------------------------------------
+
+    def _op_ping(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        return {}, b""
+
+    def _op_open(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        session = self.registry.create(
+            header.get("tenant"),
+            header.get("key"),
+            scheme=header.get("scheme", "dlr"),
+            n=int(header.get("n", 32)),
+            lam=int(header.get("lam", 32)),
+            seed=header.get("seed"),
+        )
+        envelope = persist.dumps("public_key", session.public_key)
+        return {"scheme": session.scheme_kind, "period": 0}, envelope.encode("utf-8")
+
+    def _op_describe(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        session = self._session(header)
+        envelope = persist.dumps("public_key", session.public_key)
+        return {
+            "scheme": session.scheme_kind,
+            "next_period": session.next_period,
+            "frozen": session.frozen,
+        }, envelope.encode("utf-8")
+
+    def _serve_on(self, header: dict, serve) -> tuple[ManagedSession, object]:
+        # Between registry lookup and session lock the LRU sweep may
+        # evict the object we hold; re-resolve once (the second lookup
+        # rehydrates from the checkpoint the eviction just guaranteed).
+        for attempt in (1, 2):
+            session = self._session(header)
+            try:
+                return session, serve(session)
+            except StaleSessionError:
+                if attempt == 2:
+                    raise ServiceError(
+                        "internal", f"session {session.key} evicted twice mid-request"
+                    ) from None
+
+    def _op_decrypt(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        session = self._session(header)
+        ciphertext = persist.loads(payload.decode("utf-8"), session.group)
+        session, record = self._serve_on(header, lambda s: s.serve_decrypt(ciphertext))
+        bits = record.plaintext.to_bits()
+        return {
+            "period": record.period,
+            "plaintext_bits": len(bits),
+        }, bits.to_bytes()
+
+    def _op_refresh(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        session, record = self._serve_on(header, lambda s: s.serve_refresh())
+        return {"period": record.period}, b""
+
+    def _op_evict(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        evicted = self.registry.evict(header.get("tenant"), header.get("key"))
+        return {"evicted": evicted}, b""
+
+    def _op_stats(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        body = json.dumps(
+            {
+                "registry": self.registry.snapshot(),
+                "metrics": self.metrics.snapshot(),
+                "requests_handled": self.requests_handled,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        return {"sessions_active": self.registry.resident_count()}, body

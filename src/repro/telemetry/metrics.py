@@ -11,7 +11,11 @@ other.  Everything is stdlib-only and deterministic:
   never derived from observed values or wall-clock state -- so two
   seeded runs bucket identically;
 * :meth:`MetricsRegistry.snapshot` orders every key, producing
-  byte-identical JSON for identical observation sequences.
+  byte-identical JSON for identical observation sequences;
+* instruments are **thread-safe**: the registry lock guards
+  get-or-create, and each instrument carries its own lock for mutation
+  and reads, so concurrent sessions never lose increments or tear a
+  histogram mid-update (``tests/telemetry/test_metrics_hammer.py``).
 
 The registry absorbs the library's historically ad-hoc counters: the
 protocol engine publishes per-step counts/bits (mirroring
@@ -51,29 +55,49 @@ def label_text(key: LabelKey) -> str:
 
 
 class Counter:
-    """A monotonically non-decreasing integer."""
+    """A monotonically non-decreasing integer.
 
-    __slots__ = ("value",)
+    Mutation is lock-protected: instruments are shared across threads
+    (concurrent sessions all land in one registry) and an unlocked
+    ``self.value += amount`` is a read-modify-write whose atomicity is
+    an accident of the interpreter's preemption points (it loses
+    increments on CPython 3.10 and on free-threaded builds).  The lock
+    makes the contract explicit instead of interpreter-dependent.
+    """
+
+    __slots__ = ("_lock", "value")
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self.value = 0
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a gauge for levels")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A point-in-time level (can go up and down)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("_lock", "value")
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self.value = 0
 
     def set(self, value) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
+
+    def add(self, delta) -> None:
+        """Atomic read-modify-write.  ``gauge.set(gauge.value + 1)`` from
+        concurrent threads loses updates (the read and the write are
+        separate operations); level-tracking callers (e.g. the service's
+        sessions-active gauge) must use this instead."""
+        with self._lock:
+            self.value += delta
 
 
 class Histogram:
@@ -83,34 +107,58 @@ class Histogram:
     extra bucket counts the overflow (``> boundaries[-1]``).
     """
 
-    __slots__ = ("boundaries", "counts", "total", "count")
+    __slots__ = ("_lock", "boundaries", "counts", "total", "count")
 
     def __init__(self, boundaries=DEFAULT_SECONDS_BUCKETS) -> None:
         ordered = tuple(boundaries)
         if not ordered or list(ordered) != sorted(set(ordered)):
             raise ValueError("histogram boundaries must be non-empty and strictly increasing")
+        self._lock = threading.Lock()
         self.boundaries = ordered
         self.counts = [0] * (len(ordered) + 1)
         self.total = 0.0
         self.count = 0
 
     def observe(self, value: float) -> None:
+        # The bucket search needs no lock (boundaries are immutable);
+        # the three-field update must be one transaction or a concurrent
+        # observer/snapshot sees counts, total, and count disagree.
         index = len(self.boundaries)
         for i, bound in enumerate(self.boundaries):
             if value <= bound:
                 index = i
                 break
-        self.counts[index] += 1
-        self.total += value
-        self.count += 1
+        with self._lock:
+            self.counts[index] += 1
+            self.total += value
+            self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile from the cumulative
+        buckets: the smallest boundary whose cumulative count covers a
+        ``q`` fraction of observations (``inf`` when the quantile falls
+        in the overflow bucket, ``nan`` with no observations)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            if self.count == 0:
+                return float("nan")
+            rank = q * self.count
+            seen = 0
+            for i, bound in enumerate(self.boundaries):
+                seen += self.counts[i]
+                if seen >= rank:
+                    return bound
+            return float("inf")
 
     def to_dict(self) -> dict:
-        return {
-            "boundaries": list(self.boundaries),
-            "counts": list(self.counts),
-            "sum": self.total,
-            "count": self.count,
-        }
+        with self._lock:
+            return {
+                "boundaries": list(self.boundaries),
+                "counts": list(self.counts),
+                "sum": self.total,
+                "count": self.count,
+            }
 
 
 class MetricsRegistry:

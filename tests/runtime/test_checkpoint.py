@@ -6,7 +6,7 @@ import random
 import pytest
 
 from repro.core.dlr import DLR
-from repro.errors import ParameterError
+from repro.errors import CheckpointError, ParameterError
 from repro.runtime import (
     SessionState,
     load_checkpoint,
@@ -106,3 +106,76 @@ class TestAtomicity:
         state.next_period = 3
         save_checkpoint(path, state)
         assert json.loads(path.read_text())["next_period"] == 3
+
+
+class TestCorruptCheckpoints:
+    """Damage on disk surfaces as a classified, clearly-messaged
+    CheckpointError (fatal), never a raw JSONDecodeError/KeyError."""
+
+    def _saved(self, state, tmp_path):
+        path = tmp_path / "session.json"
+        save_checkpoint(path, state)
+        return path
+
+    def test_truncated_file_raises_checkpoint_error(self, state, tmp_path):
+        path = self._saved(state, tmp_path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(path)
+        assert str(path) in str(excinfo.value)
+        assert excinfo.value.path == path
+
+    def test_empty_file_raises_checkpoint_error(self, state, tmp_path):
+        path = tmp_path / "session.json"
+        path.write_text("")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_non_object_payload_raises_checkpoint_error(self, state, tmp_path):
+        path = tmp_path / "session.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_missing_field_raises_checkpoint_error(self, state, tmp_path):
+        path = self._saved(state, tmp_path)
+        data = json.loads(path.read_text())
+        del data["share1"]
+        path.write_text(json.dumps(data))
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(path)
+        assert "KeyError" in str(excinfo.value)
+
+    def test_undecodable_element_raises_checkpoint_error(self, state, tmp_path):
+        path = self._saved(state, tmp_path)
+        data = json.loads(path.read_text())
+        data["public_key"]["z"] = "zz-not-hex"
+        path.write_text(json.dumps(data))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_missing_file_keeps_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "never-written.json")
+
+    def test_corruption_is_classified_fatal(self, state, tmp_path):
+        """The service must abort rehydration, not hot-loop retries."""
+        from repro.runtime import FATAL, classify_fault
+
+        path = self._saved(state, tmp_path)
+        path.write_text(path.read_text()[:40])
+        try:
+            load_checkpoint(path)
+        except CheckpointError as exc:
+            assert classify_fault(exc) == FATAL
+        else:  # pragma: no cover
+            raise AssertionError("corrupt checkpoint loaded")
+
+    def test_version_mismatch_stays_parameter_error(self, state, tmp_path):
+        path = self._saved(state, tmp_path)
+        data = json.loads(path.read_text())
+        data["version"] = 999
+        path.write_text(json.dumps(data))
+        with pytest.raises(ParameterError):
+            load_checkpoint(path)

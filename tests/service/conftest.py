@@ -1,0 +1,28 @@
+"""Service-suite fixtures: a registry on a tmp dir and a running service.
+
+Sessions use the 32-bit ``small`` preset (one period is tens of
+milliseconds), so multi-session concurrency tests stay in CI budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import KeyService, ServiceClient, SessionRegistry
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return SessionRegistry(tmp_path / "state", capacity=16)
+
+
+@pytest.fixture()
+def service(registry):
+    with KeyService(registry, workers=4, client_timeout=10.0) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(service):
+    with ServiceClient(service.address, timeout=10.0) as connected:
+        yield connected

@@ -1,0 +1,113 @@
+"""Concurrency hammer for the metrics instruments.
+
+The registry ``_lock`` only ever guarded get-or-create; instrument
+*mutation* used to be bare ``self.value += amount`` / triple-field
+histogram updates.  Those read-modify-writes are atomic only by
+accident of the interpreter's preemption points: on CPython 3.10 (which
+checks the eval breaker per instruction) and on free-threaded builds
+the unlocked code loses counter increments and tears
+``counts``/``total``/``count``; 3.11+ GIL builds merely happen not to
+preempt inside a straight-line statement.  These tests pin the
+*contract* -- exact balance and coherent snapshots under maximal
+contention -- so the fix can never regress to interpreter-dependent
+luck.  The gauge read-modify-write (``set(value + delta)``) loses
+updates on every interpreter; :meth:`Gauge.add` is the atomic form.
+"""
+
+import sys
+import threading
+
+import pytest
+
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+
+THREADS = 8
+ITERATIONS = 20_000
+
+
+@pytest.fixture()
+def contended():
+    """Maximize preemption for the duration of one test."""
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(previous)
+
+
+def hammer(worker) -> None:
+    barrier = threading.Barrier(THREADS)
+
+    def run():
+        barrier.wait()
+        for i in range(ITERATIONS):
+            worker(i)
+
+    threads = [threading.Thread(target=run) for _ in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestCounterHammer:
+    def test_no_lost_increments(self, contended):
+        registry = MetricsRegistry()
+        counter = registry.counter("hammer.requests")
+        hammer(lambda i: counter.inc(1 if i % 2 else 3))
+        assert counter.value == THREADS * (ITERATIONS // 2) * 4
+
+    def test_shared_get_or_create_aggregates(self, contended):
+        """Every thread resolves the instrument itself: the (name,
+        labels) identity must hand all of them the same counter."""
+        registry = MetricsRegistry()
+        hammer(lambda i: registry.counter("hammer.by_label", op="dec").inc())
+        assert registry.counter_value("hammer.by_label", op="dec") == THREADS * ITERATIONS
+
+
+class TestGaugeHammer:
+    def test_add_is_atomic(self, contended):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("hammer.level")
+        hammer(lambda i: gauge.add(1 if i % 2 == 0 else -1))
+        assert gauge.value == 0
+
+
+class TestHistogramHammer:
+    def test_no_lost_observations(self, contended):
+        histogram = Histogram(boundaries=(1.0, 2.0, 4.0))
+        hammer(lambda i: histogram.observe(float(i % 5)))
+        assert histogram.count == THREADS * ITERATIONS
+        assert sum(histogram.counts) == histogram.count
+        # Exact float arithmetic: every observed value is a small integer.
+        assert histogram.total == THREADS * sum(range(5)) * (ITERATIONS // 5)
+
+    def test_snapshot_never_tears(self, contended):
+        """A reader polling ``to_dict`` concurrently with writers must
+        always see counts, sum, and count mutually consistent -- the
+        three fields change under one lock or not at all."""
+        histogram = Histogram(boundaries=(1.0, 2.0))
+        stop = threading.Event()
+        torn = []
+
+        def read():
+            while not stop.is_set():
+                seen = histogram.to_dict()
+                if sum(seen["counts"]) != seen["count"]:
+                    torn.append(seen)
+                    return
+                # Every observation is exactly 1.0: sum tracks count.
+                if seen["sum"] != float(seen["count"]):
+                    torn.append(seen)
+                    return
+
+        reader = threading.Thread(target=read)
+        reader.start()
+        try:
+            hammer(lambda i: histogram.observe(1.0))
+        finally:
+            stop.set()
+            reader.join()
+        assert not torn
+        assert histogram.count == THREADS * ITERATIONS

@@ -9,6 +9,14 @@ Arithmetic is plain affine addition with one modular inverse per
 operation; scalar multiplication is double-and-add.  This is deliberately
 simple, constant-factor-honest Python -- adequate for the parameter sizes
 the reproduction targets and easy to audit against the textbook formulas.
+
+The Jacobian kernels are written against plain integer operators, so
+they run unchanged on whatever type the active
+:mod:`field backend <repro.math.backend>` computes with: each kernel
+entry point lifts the modulus and coordinates once
+(:meth:`~repro.math.backend.FieldBackend.lift`), and every value that
+escapes into a :class:`Point` is unlifted back to a canonical
+:class:`int`.
 """
 
 from __future__ import annotations
@@ -16,7 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import GroupError
-from repro.math.modular import batch_inv, inv_mod
+from repro.math.backend import active_backend
+from repro.math.modular import inv_mod
 
 
 @dataclass(frozen=True, slots=True)
@@ -158,7 +167,9 @@ def _jacobian_add_affine(p: _JacPoint, ax: int, ay: int, q: int) -> _JacPoint:
 
 
 def _jacobian_scalar_mul(point: Point, scalar: int, q: int) -> _JacPoint:
-    ax, ay = point.x % q, point.y % q
+    lift = active_backend().lift
+    q = lift(q)
+    ax, ay = lift(point.x) % q, lift(point.y) % q
     result: _JacPoint = (1, 1, 0)
     for bit in bin(scalar)[2:]:
         result = _jacobian_double(result, q)
@@ -200,9 +211,11 @@ def _jacobian_to_affine(p: _JacPoint, q: int) -> Point:
     x, y, z = p
     if z == 0:
         return INFINITY
-    z_inv = inv_mod(z, q)
+    backend = active_backend()
+    z_inv = backend.inv_mod(z, q)
     z_inv2 = z_inv * z_inv % q
-    return Point(x * z_inv2 % q, y * z_inv2 * z_inv % q, False)
+    unlift = backend.unlift
+    return Point(unlift(x * z_inv2 % q), unlift(y * z_inv2 * z_inv % q), False)
 
 
 def batch_to_affine(points: list[_JacPoint], q: int) -> list[Point]:
@@ -211,10 +224,13 @@ def batch_to_affine(points: list[_JacPoint], q: int) -> list[Point]:
 
     Infinity entries (``Z = 0``) pass through as :data:`INFINITY`.
     """
+    backend = active_backend()
+    unlift = backend.unlift
+    q = backend.lift(q)
     finite = [(i, p) for i, p in enumerate(points) if p[2] != 0]
-    inverses = batch_inv([p[2] for _, p in finite], q)
+    inverses = backend.batch_inv([p[2] for _, p in finite], q)
     result: list[Point] = [INFINITY] * len(points)
     for (i, (x, y, _)), z_inv in zip(finite, inverses):
         z_inv2 = z_inv * z_inv % q
-        result[i] = Point(x * z_inv2 % q, y * z_inv2 * z_inv % q, False)
+        result[i] = Point(unlift(x * z_inv2 % q), unlift(y * z_inv2 * z_inv % q), False)
     return result

@@ -47,6 +47,8 @@ from repro.groups.curve import (
     _jacobian_to_affine,
     batch_to_affine,
 )
+from repro.groups.windows import bucket_window, straus_window
+from repro.math.backend import active_backend
 
 _RawFq2 = tuple[int, int]
 
@@ -82,34 +84,9 @@ def reference_mode() -> Iterator[None]:
         _enabled = previous
 
 
-def _window_size(terms: int, bits: int) -> int:
-    """Straus window width minimising the group-operation count.
-
-    Cost model (in additions/multiplications): table build is
-    ``terms * (2^w - 2)``, the main loop does ``bits`` squarings plus
-    ``terms * (bits / w) * (1 - 2^-w)`` adds (a digit is zero with
-    probability ``2^-w``).  Short exponents push toward small windows --
-    the table must amortise within one pass.
-    """
-    best_w, best_cost = 1, None
-    for w in range(1, 8):
-        cost = terms * ((1 << w) - 2) + bits + terms * (bits / w) * (1 - 2.0 ** -w)
-        if best_cost is None or cost < best_cost:
-            best_w, best_cost = w, cost
-    return best_w
-
-
-def _bucket_window_size(terms: int, bits: int) -> int:
-    """Pippenger window width: per digit position the buckets cost
-    ``terms`` adds plus ``~2^{w+1}`` for the suffix-sum fold, across
-    ``bits / w`` positions."""
-    best_w, best_cost = 1, None
-    for w in range(1, 12):
-        cost = bits + (bits / w) * (terms + (1 << (w + 1)))
-        if best_cost is None or cost < best_cost:
-            best_w, best_cost = w, cost
-    return best_w
-
+# Window widths come from the shared backend-aware cost models in
+# :mod:`repro.groups.windows` (formerly duplicated inline here and in
+# precompute.FixedBaseExp).
 
 # ---------------------------------------------------------------------------
 # G (curve) kernels
@@ -135,8 +112,10 @@ def multiexp_points(
 
 
 def _scalar_mul_point(point: Point, exponent: int, q: int) -> Point:
+    lift = active_backend().lift
+    q = lift(q)
     jac = (1, 1, 0)
-    ax, ay = point.x % q, point.y % q
+    ax, ay = lift(point.x) % q, lift(point.y) % q
     for bit in bin(exponent)[2:]:
         jac = _jacobian_double(jac, q)
         if bit == "1":
@@ -146,13 +125,15 @@ def _scalar_mul_point(point: Point, exponent: int, q: int) -> Point:
 
 def _straus_points(points: list[Point], exponents: list[int], q: int) -> Point:
     bits = max(e.bit_length() for e in exponents)
-    w = _window_size(len(points), bits)
+    w = straus_window(len(points), bits)
+    lift = active_backend().lift
+    q = lift(q)
     mask = (1 << w) - 1
     # Per-base tables of d*P for d in [1, 2^w), built in Jacobian form
     # and normalised to affine in ONE batched inversion.
     jac_entries = []
     for point in points:
-        ax, ay = point.x % q, point.y % q
+        ax, ay = lift(point.x) % q, lift(point.y) % q
         entry = (ax, ay, 1)
         jac_entries.append(entry)
         for _ in range(2, 1 << w):
@@ -180,10 +161,12 @@ def _straus_points(points: list[Point], exponents: list[int], q: int) -> Point:
 
 def _pippenger_points(points: list[Point], exponents: list[int], q: int) -> Point:
     bits = max(e.bit_length() for e in exponents)
-    w = _bucket_window_size(len(points), bits)
+    w = bucket_window(len(points), bits)
+    lift = active_backend().lift
+    q = lift(q)
     mask = (1 << w) - 1
     digits = -(-bits // w)
-    affine = [(p.x % q, p.y % q) for p in points]
+    affine = [(lift(p.x) % q, lift(p.y) % q) for p in points]
 
     acc = (1, 1, 0)
     for position in range(digits - 1, -1, -1):
@@ -218,20 +201,6 @@ def _pippenger_points(points: list[Point], exponents: list[int], q: int) -> Poin
 # GT (F_{q^2} subgroup) kernels
 
 
-def _fq2_mul(u: _RawFq2, v: _RawFq2, q: int) -> _RawFq2:
-    a, b = u
-    c, d = v
-    ac = a * c
-    bd = b * d
-    cross = (a + b) * (c + d) - ac - bd
-    return ((ac - bd) % q, cross % q)
-
-
-def _fq2_square(u: _RawFq2, q: int) -> _RawFq2:
-    a, b = u
-    return ((a - b) * (a + b) % q, 2 * a * b % q)
-
-
 def multiexp_fq2(values: list[_RawFq2], exponents: list[int], q: int) -> _RawFq2:
     """``prod_i values[i] ** exponents[i]`` in ``F_{q^2}``.
 
@@ -249,13 +218,19 @@ def multiexp_fq2(values: list[_RawFq2], exponents: list[int], q: int) -> _RawFq2
 
 def _straus_fq2(values: list[_RawFq2], exponents: list[int], q: int) -> _RawFq2:
     bits = max(e.bit_length() for e in exponents)
-    w = _window_size(len(values), bits)
+    w = straus_window(len(values), bits)
+    backend = active_backend()
+    fq2_mul, fq2_square = backend.fq2_mul, backend.fq2_square
+    if not backend.native_ints:
+        lift = backend.lift
+        q = lift(q)
+        values = [(lift(a), lift(b)) for a, b in values]
     mask = (1 << w) - 1
     tables = []
     for value in values:
         row = [value]
         for _ in range(2, 1 << w):
-            row.append(_fq2_mul(row[-1], value, q))
+            row.append(fq2_mul(row[-1], value, q))
         tables.append(row)
 
     digits = -(-bits // w)
@@ -263,18 +238,24 @@ def _straus_fq2(values: list[_RawFq2], exponents: list[int], q: int) -> _RawFq2:
     for position in range(digits - 1, -1, -1):
         if acc != (1, 0):
             for _ in range(w):
-                acc = _fq2_square(acc, q)
+                acc = fq2_square(acc, q)
         shift = position * w
         for row, exponent in zip(tables, exponents):
             digit = (exponent >> shift) & mask
             if digit:
-                acc = _fq2_mul(acc, row[digit - 1], q)
-    return acc
+                acc = fq2_mul(acc, row[digit - 1], q)
+    return (backend.unlift(acc[0]), backend.unlift(acc[1]))
 
 
 def _pippenger_fq2(values: list[_RawFq2], exponents: list[int], q: int) -> _RawFq2:
     bits = max(e.bit_length() for e in exponents)
-    w = _bucket_window_size(len(values), bits)
+    w = bucket_window(len(values), bits)
+    backend = active_backend()
+    fq2_mul, fq2_square = backend.fq2_mul, backend.fq2_square
+    if not backend.native_ints:
+        lift = backend.lift
+        q = lift(q)
+        values = [(lift(a), lift(b)) for a, b in values]
     mask = (1 << w) - 1
     digits = -(-bits // w)
 
@@ -282,21 +263,21 @@ def _pippenger_fq2(values: list[_RawFq2], exponents: list[int], q: int) -> _RawF
     for position in range(digits - 1, -1, -1):
         if acc != (1, 0):
             for _ in range(w):
-                acc = _fq2_square(acc, q)
+                acc = fq2_square(acc, q)
         shift = position * w
         buckets: list[_RawFq2 | None] = [None] * (1 << w)
         for value, exponent in zip(values, exponents):
             digit = (exponent >> shift) & mask
             if digit:
                 current = buckets[digit]
-                buckets[digit] = value if current is None else _fq2_mul(current, value, q)
+                buckets[digit] = value if current is None else fq2_mul(current, value, q)
         running: _RawFq2 = (1, 0)
         window_sum: _RawFq2 = (1, 0)
         for digit in range(mask, 0, -1):
             bucket = buckets[digit]
             if bucket is not None:
-                running = _fq2_mul(running, bucket, q)
+                running = fq2_mul(running, bucket, q)
             if running != (1, 0):
-                window_sum = _fq2_mul(window_sum, running, q)
-        acc = _fq2_mul(acc, window_sum, q)
-    return acc
+                window_sum = fq2_mul(window_sum, running, q)
+        acc = fq2_mul(acc, window_sum, q)
+    return (backend.unlift(acc[0]), backend.unlift(acc[1]))

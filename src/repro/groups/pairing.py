@@ -49,46 +49,18 @@ from repro.groups.curve import (
     batch_to_affine,
 )
 from repro.groups.pairing_params import PairingParams
+from repro.math.backend import active_backend
 from repro.math.fields import Fq2
-from repro.math.modular import batch_inv, inv_mod
+from repro.math.modular import batch_inv
 
 _RawFq2 = tuple[int, int]
 
-
-def _fq2_mul(u: _RawFq2, v: _RawFq2, q: int) -> _RawFq2:
-    a, b = u
-    c, d = v
-    ac = a * c
-    bd = b * d
-    cross = (a + b) * (c + d) - ac - bd
-    return ((ac - bd) % q, cross % q)
-
-
-def _fq2_square(u: _RawFq2, q: int) -> _RawFq2:
-    a, b = u
-    return ((a - b) * (a + b) % q, 2 * a * b % q)
-
-
-def _fq2_pow(u: _RawFq2, exponent: int, q: int) -> _RawFq2:
-    result: _RawFq2 = (1, 0)
-    base = u
-    while exponent:
-        if exponent & 1:
-            result = _fq2_mul(result, base, q)
-        base = _fq2_square(base, q)
-        exponent >>= 1
-    return result
-
-
-def _fq2_inverse(u: _RawFq2, q: int) -> _RawFq2:
-    a, b = u
-    norm = a * a + b * b
-    if norm % q == 1:
-        # Norm-1 (unitary) elements -- every member of the order-p
-        # subgroup of F_{q^2}^* -- invert by conjugation, for free.
-        return (a % q, (-b) % q)
-    norm_inv = inv_mod(norm, q)
-    return (a * norm_inv % q, (-b) * norm_inv % q)
+# The raw F_{q^2} kernels (lazy-reduction Karatsuba product, square,
+# ladder pow, unitary-shortcut inverse) live on the field backend
+# (:meth:`~repro.math.backend.FieldBackend.fq2_mul` and friends); each
+# Miller-loop entry point lifts its operands once and binds the backend
+# methods to locals, then unlifts at the return boundary so raw pairs
+# escaping to callers are always canonical ints.
 
 
 def miller_loop_affine(p_point: Point, q_point: Point, params: PairingParams) -> _RawFq2:
@@ -97,17 +69,20 @@ def miller_loop_affine(p_point: Point, q_point: Point, params: PairingParams) ->
     Reference implementation -- :func:`miller_loop` must agree with it up
     to an ``F_q`` scalar (i.e. exactly, after final exponentiation).
     """
-    q = params.q
     order = params.p
     if p_point.is_infinity() or q_point.is_infinity():
         return (1, 0)
+    backend = active_backend()
+    fq2_mul, fq2_square = backend.fq2_mul, backend.fq2_square
+    inv_mod, lift = backend.inv_mod, backend.lift
+    q = lift(params.q)
     # phi(Q) = (-x_Q, i * y_Q): affine x in F_q, purely imaginary y.
-    phi_x = (-q_point.x) % q
-    phi_y = q_point.y % q
+    phi_x = lift(-q_point.x) % q
+    phi_y = lift(q_point.y) % q
     neg_phi_y = (-phi_y) % q
 
     f: _RawFq2 = (1, 0)
-    tx, ty = p_point.x % q, p_point.y % q
+    tx, ty = lift(p_point.x) % q, lift(p_point.y) % q
     px, py = tx, ty
     t_infinity = False
 
@@ -117,13 +92,13 @@ def miller_loop_affine(p_point: Point, q_point: Point, params: PairingParams) ->
             # Doubling step: tangent line at T evaluated at phi(Q).
             slope = (3 * tx * tx + 1) * inv_mod(2 * ty, q) % q
             line = ((slope * (phi_x - tx) + ty) % q, neg_phi_y)
-            f = _fq2_mul(_fq2_square(f, q), line, q)
+            f = fq2_mul(fq2_square(f, q), line, q)
             # T <- 2T
             x3 = (slope * slope - 2 * tx) % q
             ty = (slope * (tx - x3) - ty) % q
             tx = x3
         else:
-            f = _fq2_square(f, q)
+            f = fq2_square(f, q)
         if bit == "1" and not t_infinity:
             if tx == px and (ty + py) % q == 0:
                 # T = -P: the chord is vertical, lies in F_q, eliminated.
@@ -131,11 +106,11 @@ def miller_loop_affine(p_point: Point, q_point: Point, params: PairingParams) ->
             else:
                 slope = (py - ty) * inv_mod(px - tx, q) % q
                 line = ((slope * (phi_x - tx) + ty) % q, neg_phi_y)
-                f = _fq2_mul(f, line, q)
+                f = fq2_mul(f, line, q)
                 x3 = (slope * slope - tx - px) % q
                 ty = (slope * (tx - x3) - ty) % q
                 tx = x3
-    return f
+    return (backend.unlift(f[0]), backend.unlift(f[1]))
 
 
 def miller_loop(p_point: Point, q_point: Point, params: PairingParams) -> _RawFq2:
@@ -150,22 +125,25 @@ def miller_loop(p_point: Point, q_point: Point, params: PairingParams) -> _RawFq
     by :func:`final_exponentiation` exactly like the vertical lines.
     Returns a raw ``F_{q^2}`` pair, *before* final exponentiation.
     """
-    q = params.q
     order = params.p
     if p_point.is_infinity() or q_point.is_infinity():
         return (1, 0)
-    phi_x = (-q_point.x) % q
-    phi_y = q_point.y % q
+    backend = active_backend()
+    fq2_mul, fq2_square = backend.fq2_mul, backend.fq2_square
+    lift = backend.lift
+    q = lift(params.q)
+    phi_x = lift(-q_point.x) % q
+    phi_y = lift(q_point.y) % q
     neg_phi_y = (-phi_y) % q
 
     f: _RawFq2 = (1, 0)
-    px, py = p_point.x % q, p_point.y % q
+    px, py = lift(p_point.x) % q, lift(p_point.y) % q
     tx_, ty_, tz_ = px, py, 1  # T = P, Jacobian with Z = 1
     t_infinity = False
 
     bits = bin(order)[3:]
     for bit in bits:
-        f = _fq2_square(f, q)
+        f = fq2_square(f, q)
         if not t_infinity:
             # Tangent line at T, scaled by 2YZ^3 in F_q:
             #   real = (3X^2 + Z^4)(phi_x Z^2 - X) + 2Y^2
@@ -177,7 +155,7 @@ def miller_loop(p_point: Point, q_point: Point, params: PairingParams) -> _RawFq
                 (m * (phi_x * zz - tx_) + 2 * ty_ * ty_) % q,
                 neg_phi_y * scale % q,
             )
-            f = _fq2_mul(f, line, q)
+            f = fq2_mul(f, line, q)
             tx_, ty_, tz_ = _jacobian_double((tx_, ty_, tz_), q)
         if bit == "1" and not t_infinity:
             zz = tz_ * tz_ % q
@@ -195,9 +173,9 @@ def miller_loop(p_point: Point, q_point: Point, params: PairingParams) -> _RawFq
                     (r * (phi_x * zz - tx_) + ty_ * h) % q,
                     neg_phi_y * zzz * h % q,
                 )
-                f = _fq2_mul(f, line, q)
+                f = fq2_mul(f, line, q)
                 tx_, ty_, tz_ = _jacobian_add_affine((tx_, ty_, tz_), px, py, q)
-    return f
+    return (backend.unlift(f[0]), backend.unlift(f[1]))
 
 
 class PairingPrecomp:
@@ -227,8 +205,9 @@ class PairingPrecomp:
         self.steps: list[tuple[tuple[int, int] | None, tuple[int, int] | None]] = []
         if self._trivial:
             return
-        q = params.q
-        px, py = p_point.x % q, p_point.y % q
+        lift = active_backend().lift
+        q = lift(params.q)
+        px, py = lift(p_point.x) % q, lift(p_point.y) % q
 
         # Pass 1: walk the schedule in Jacobian form, recording the point
         # *before* each doubling / addition plus the step layout.
@@ -254,7 +233,11 @@ class PairingPrecomp:
                     jac = _jacobian_add_affine(jac, px, py, q)
             layout.append((has_double, has_add))
 
-        # Pass 2: one batched normalisation for every step point ...
+        # Pass 2 runs on canonical ints: batch_to_affine unlifts its
+        # output, and the cached step coefficients must be plain ints.
+        q = params.q
+        px, py = p_point.x % q, p_point.y % q
+        # One batched normalisation for every step point ...
         affine = batch_to_affine(dbl_points + add_points, q)
         dbl_affine = affine[: len(dbl_points)]
         add_affine = affine[len(dbl_points):]
@@ -285,36 +268,44 @@ class PairingPrecomp:
         """``f_{p, P}(phi(Q))`` from the cached schedule (pre final exp)."""
         if self._trivial or q_point.is_infinity():
             return (1, 0)
-        q = self.params.q
-        phi_x = (-q_point.x) % q
-        neg_phi_y = (-q_point.y) % q
+        backend = active_backend()
+        fq2_mul, fq2_square = backend.fq2_mul, backend.fq2_square
+        lift = backend.lift
+        q = lift(self.params.q)
+        phi_x = lift(-q_point.x) % q
+        neg_phi_y = lift(-q_point.y) % q
         f: _RawFq2 = (1, 0)
         for dbl_coeffs, add_coeffs in self.steps:
-            f = _fq2_square(f, q)
+            f = fq2_square(f, q)
             if dbl_coeffs is not None:
                 slope, offset = dbl_coeffs
-                f = _fq2_mul(f, ((slope * phi_x + offset) % q, neg_phi_y), q)
+                f = fq2_mul(f, ((slope * phi_x + offset) % q, neg_phi_y), q)
             if add_coeffs is not None:
                 slope, offset = add_coeffs
-                f = _fq2_mul(f, ((slope * phi_x + offset) % q, neg_phi_y), q)
-        return f
+                f = fq2_mul(f, ((slope * phi_x + offset) % q, neg_phi_y), q)
+        return (backend.unlift(f[0]), backend.unlift(f[1]))
 
     def pair_with(self, q_point: Point) -> Fq2:
         """The full pairing ``e(P, Q)`` via the cached schedule."""
         raw = final_exponentiation(self.miller_eval(q_point), self.params)
-        return Fq2(raw[0], raw[1], self.params.q)
+        return Fq2._from_reduced(raw[0], raw[1], self.params.q)
 
 
 def final_exponentiation(value: _RawFq2, params: PairingParams) -> _RawFq2:
     """Raise to ``(q^2 - 1)/p = (q - 1) * h`` using Frobenius = conjugation."""
-    q = params.q
-    a, b = value
+    backend = active_backend()
+    lift = backend.lift
+    q = lift(params.q)
+    a, b = lift(value[0]) % q, lift(value[1]) % q
     conjugate: _RawFq2 = (a, (-b) % q)
-    powered_q_minus_1 = _fq2_mul(conjugate, _fq2_inverse(value, q), q)
-    return _fq2_pow(powered_q_minus_1, params.h, q)
+    powered_q_minus_1 = backend.fq2_mul(
+        conjugate, backend.fq2_inverse((a, b), q), q
+    )
+    raw = backend.fq2_pow(powered_q_minus_1, params.h, q)
+    return (backend.unlift(raw[0]), backend.unlift(raw[1]))
 
 
 def tate_pairing(p_point: Point, q_point: Point, params: PairingParams) -> Fq2:
     """The full modified Tate pairing ``e(P, Q)`` as an ``F_{q^2}`` element."""
     raw = final_exponentiation(miller_loop(p_point, q_point, params), params)
-    return Fq2(raw[0], raw[1], params.q)
+    return Fq2._from_reduced(raw[0], raw[1], params.q)

@@ -18,6 +18,7 @@ from typing import TypeVar
 
 from repro.errors import ParameterError
 from repro.groups.bilinear import G1Element, GTElement
+from repro.groups.windows import fixed_base_window
 
 Element = TypeVar("Element", G1Element, GTElement)
 
@@ -26,10 +27,14 @@ class FixedBaseExp:
     """Precomputed windowed exponentiation for one fixed base.
 
     ``window`` trades table size (``ceil(bits/w) * 2^w`` elements) for
-    multiplications per exponentiation (``ceil(bits/w)``).
+    multiplications per exponentiation (``ceil(bits/w)``); pass
+    ``window=None`` to pick the width from the shared backend-aware cost
+    model (:func:`repro.groups.windows.fixed_base_window`).
     """
 
-    def __init__(self, base: Element, order: int, window: int = 4) -> None:
+    def __init__(self, base: Element, order: int, window: int | None = 4) -> None:
+        if window is None:
+            window = fixed_base_window((order - 1).bit_length())
         if window < 1 or window > 16:
             raise ParameterError("window must be in [1, 16]")
         self.order = order
@@ -74,7 +79,7 @@ class PrecomputedEncryptor:
     when many encryptions target one public key.
     """
 
-    def __init__(self, public_key, window: int = 4) -> None:
+    def __init__(self, public_key, window: int | None = 4) -> None:
         group = public_key.group
         self.group = group
         self.public_key = public_key

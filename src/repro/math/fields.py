@@ -9,6 +9,17 @@ distortion map.
 Elements are small immutable value objects; arithmetic returns new
 elements.  For hot loops the elliptic-curve code works on raw integer
 pairs instead, but every public API trades in these classes.
+
+All arithmetic routes through the active field backend
+(:mod:`repro.math.backend`); stored coordinates are always canonical
+:class:`int` in ``[0, q)``, whatever type the backend computes with.
+Internally the arithmetic uses the **trusted constructors**
+:meth:`Fq._from_reduced` / :meth:`Fq2._from_reduced`, which skip the
+``__post_init__`` re-reduction (and, for ``Fq2``, the ``q % 4``
+re-validation) the public constructors perform -- results of a modular
+reduction are already canonical, and re-reducing them on every
+construction is measurable in hot loops.  Only code that guarantees
+``0 <= value < q`` may call them.
 """
 
 from __future__ import annotations
@@ -16,7 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import GroupError, ParameterError
-from repro.math.modular import inv_mod, sqrt_mod
+from repro.math.backend import active_backend
+from repro.math.modular import sqrt_mod
 
 
 @dataclass(frozen=True, slots=True)
@@ -29,39 +41,60 @@ class Fq:
     def __post_init__(self) -> None:
         object.__setattr__(self, "value", self.value % self.q)
 
+    @classmethod
+    def _from_reduced(cls, value: int, q: int) -> "Fq":
+        """Trusted constructor: ``value`` must already lie in ``[0, q)``.
+
+        Skips ``__post_init__``'s re-reduction; the backend seam uses it
+        for every arithmetic result (already reduced by construction).
+        """
+        element = object.__new__(cls)
+        object.__setattr__(element, "value", value)
+        object.__setattr__(element, "q", q)
+        return element
+
     def _check(self, other: "Fq") -> None:
         if self.q != other.q:
             raise GroupError("mixing elements of different fields")
 
     def __add__(self, other: "Fq") -> "Fq":
         self._check(other)
-        return Fq(self.value + other.value, self.q)
+        return Fq._from_reduced((self.value + other.value) % self.q, self.q)
 
     def __sub__(self, other: "Fq") -> "Fq":
         self._check(other)
-        return Fq(self.value - other.value, self.q)
+        return Fq._from_reduced((self.value - other.value) % self.q, self.q)
 
     def __mul__(self, other: "Fq") -> "Fq":
         self._check(other)
-        return Fq(self.value * other.value, self.q)
+        backend = active_backend()
+        return Fq._from_reduced(
+            backend.unlift(backend.mul_mod(self.value, other.value, self.q)), self.q
+        )
 
     def __neg__(self) -> "Fq":
-        return Fq(-self.value, self.q)
+        return Fq._from_reduced((-self.value) % self.q, self.q)
 
     def __pow__(self, exponent: int) -> "Fq":
         if exponent < 0:
             return self.inverse() ** (-exponent)
-        return Fq(pow(self.value, exponent, self.q), self.q)
+        backend = active_backend()
+        return Fq._from_reduced(
+            backend.unlift(backend.pow_mod(self.value, exponent, self.q)), self.q
+        )
 
     def inverse(self) -> "Fq":
-        return Fq(inv_mod(self.value, self.q), self.q)
+        backend = active_backend()
+        return Fq._from_reduced(
+            backend.unlift(backend.inv_mod(self.value, self.q)), self.q
+        )
 
     def __truediv__(self, other: "Fq") -> "Fq":
         self._check(other)
         return self * other.inverse()
 
     def sqrt(self) -> "Fq":
-        return Fq(sqrt_mod(self.value, self.q), self.q)
+        return Fq._from_reduced(sqrt_mod(self.value, self.q), self.q)
 
     def is_zero(self) -> bool:
         return self.value == 0
@@ -85,6 +118,17 @@ class Fq2:
         object.__setattr__(self, "b", self.b % self.q)
 
     @classmethod
+    def _from_reduced(cls, a: int, b: int, q: int) -> "Fq2":
+        """Trusted constructor: ``a``/``b`` must already lie in ``[0, q)``
+        and ``q = 3 (mod 4)`` must already hold (so no re-validation).
+        """
+        element = object.__new__(cls)
+        object.__setattr__(element, "a", a)
+        object.__setattr__(element, "b", b)
+        object.__setattr__(element, "q", q)
+        return element
+
+    @classmethod
     def zero(cls, q: int) -> "Fq2":
         return cls(0, 0, q)
 
@@ -103,47 +147,53 @@ class Fq2:
 
     def __add__(self, other: "Fq2") -> "Fq2":
         self._check(other)
-        return Fq2(self.a + other.a, self.b + other.b, self.q)
+        q = self.q
+        return Fq2._from_reduced(
+            (self.a + other.a) % q, (self.b + other.b) % q, q
+        )
 
     def __sub__(self, other: "Fq2") -> "Fq2":
         self._check(other)
-        return Fq2(self.a - other.a, self.b - other.b, self.q)
+        q = self.q
+        return Fq2._from_reduced(
+            (self.a - other.a) % q, (self.b - other.b) % q, q
+        )
 
     def __neg__(self) -> "Fq2":
-        return Fq2(-self.a, -self.b, self.q)
+        q = self.q
+        return Fq2._from_reduced((-self.a) % q, (-self.b) % q, q)
 
     def __mul__(self, other: "Fq2") -> "Fq2":
         self._check(other)
         q = self.q
-        # (a + bi)(c + di) = (ac - bd) + (ad + bc)i, via Karatsuba.
-        ac = self.a * other.a
-        bd = self.b * other.b
-        cross = (self.a + self.b) * (other.a + other.b) - ac - bd
-        return Fq2((ac - bd) % q, cross % q, q)
+        backend = active_backend()
+        a, b = backend.fq2_mul((self.a, self.b), (other.a, other.b), q)
+        return Fq2._from_reduced(backend.unlift(a), backend.unlift(b), q)
 
     def square(self) -> "Fq2":
         q = self.q
-        # (a + bi)^2 = (a-b)(a+b) + 2ab*i
-        return Fq2((self.a - self.b) * (self.a + self.b) % q, 2 * self.a * self.b % q, q)
+        backend = active_backend()
+        a, b = backend.fq2_square((self.a, self.b), q)
+        return Fq2._from_reduced(backend.unlift(a), backend.unlift(b), q)
 
     def conjugate(self) -> "Fq2":
-        return Fq2(self.a, -self.b, self.q)
+        q = self.q
+        return Fq2._from_reduced(self.a, (-self.b) % q, q)
 
     def norm(self) -> int:
         """The field norm ``a^2 + b^2`` in ``F_q``."""
         return (self.a * self.a + self.b * self.b) % self.q
 
     def inverse(self) -> "Fq2":
-        n = self.norm()
-        if n == 0:
+        if self.a == 0 and self.b == 0:
             raise GroupError("0 is not invertible in F_{q^2}")
-        if n == 1:
-            # Unitary elements (every member of the order-p pairing
-            # subgroup, which lies in the norm-1 torus) invert by
-            # conjugation -- no modular inversion needed.
-            return Fq2(self.a, -self.b, self.q)
-        n_inv = inv_mod(n, self.q)
-        return Fq2(self.a * n_inv, -self.b * n_inv, self.q)
+        q = self.q
+        backend = active_backend()
+        # The backend applies the unitary (norm-1) conjugation shortcut
+        # -- every member of the order-p pairing subgroup inverts for
+        # free -- and falls back to one modular inversion otherwise.
+        a, b = backend.fq2_inverse((self.a, self.b), q)
+        return Fq2._from_reduced(backend.unlift(a), backend.unlift(b), q)
 
     def __truediv__(self, other: "Fq2") -> "Fq2":
         self._check(other)
@@ -152,14 +202,10 @@ class Fq2:
     def __pow__(self, exponent: int) -> "Fq2":
         if exponent < 0:
             return self.inverse() ** (-exponent)
-        result = Fq2.one(self.q)
-        base = self
-        while exponent:
-            if exponent & 1:
-                result = result * base
-            base = base.square()
-            exponent >>= 1
-        return result
+        q = self.q
+        backend = active_backend()
+        a, b = backend.fq2_pow((self.a, self.b), exponent, q)
+        return Fq2._from_reduced(backend.unlift(a), backend.unlift(b), q)
 
     def is_zero(self) -> bool:
         return self.a == 0 and self.b == 0

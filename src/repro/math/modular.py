@@ -2,14 +2,22 @@
 
 These are the low-level building blocks for the finite fields in
 :mod:`repro.math.fields` and the elliptic-curve arithmetic in
-:mod:`repro.groups.curve`.  All functions operate on plain Python integers
-and assume (without re-checking) that the modulus is an odd prime unless
-stated otherwise.
+:mod:`repro.groups.curve`.  All functions operate on plain Python
+integers and assume (without re-checking) that the modulus is an odd
+prime unless stated otherwise.
+
+Every modular power and inverse routes through the active
+:mod:`field-arithmetic backend <repro.math.backend>` -- this module is
+the *functional* face of that seam (the raw-representation face used by
+the group kernels is :meth:`~repro.math.backend.FieldBackend.lift`).
+Results are always canonical :class:`int`, whatever type the backend
+computes with.
 """
 
 from __future__ import annotations
 
 from repro.errors import ParameterError
+from repro.math.backend import active_backend
 
 
 def inv_mod(a: int, p: int) -> int:
@@ -17,10 +25,8 @@ def inv_mod(a: int, p: int) -> int:
 
     Raises :class:`~repro.errors.ParameterError` if ``a`` is not invertible.
     """
-    a %= p
-    if a == 0:
-        raise ParameterError(f"0 is not invertible modulo {p}")
-    return pow(a, -1, p)
+    backend = active_backend()
+    return backend.unlift(backend.inv_mod(a, p))
 
 
 def batch_inv(values: list[int] | tuple[int, ...], p: int) -> list[int]:
@@ -36,25 +42,23 @@ def batch_inv(values: list[int] | tuple[int, ...], p: int) -> list[int]:
     ``0 (mod p)`` (reporting the offending index), leaving no partial
     output.
     """
-    n = len(values)
-    if n == 0:
-        return []
-    # prefix[i] = values[0] * ... * values[i]
-    prefix = [0] * n
-    acc = 1
-    for i, value in enumerate(values):
-        reduced = value % p
-        if reduced == 0:
-            raise ParameterError(f"0 is not invertible modulo {p} (index {i})")
-        acc = acc * reduced % p
-        prefix[i] = acc
-    inverses = [0] * n
-    acc = inv_mod(acc, p)  # (v_0 ... v_{n-1})^-1
-    for i in range(n - 1, 0, -1):
-        inverses[i] = acc * prefix[i - 1] % p
-        acc = acc * (values[i] % p) % p
-    inverses[0] = acc
-    return inverses
+    backend = active_backend()
+    inverses = backend.batch_inv(values, p)
+    if backend.native_ints:
+        return inverses
+    unlift = backend.unlift
+    return [unlift(inverse) for inverse in inverses]
+
+
+def pow_mod(base: int, exponent: int, p: int) -> int:
+    """``base ** exponent mod p`` on the active backend.
+
+    The sanctioned spelling of ``pow(base, exponent, p)`` for every
+    layer above :mod:`repro.math` (the backend may route it to, e.g.,
+    ``gmpy2.powmod``).
+    """
+    backend = active_backend()
+    return backend.unlift(backend.pow_mod(base, exponent, p))
 
 
 def legendre_symbol(a: int, p: int) -> int:
@@ -62,7 +66,7 @@ def legendre_symbol(a: int, p: int) -> int:
     a %= p
     if a == 0:
         return 0
-    value = pow(a, (p - 1) // 2, p)
+    value = pow_mod(a, (p - 1) // 2, p)
     return -1 if value == p - 1 else 1
 
 
@@ -84,7 +88,7 @@ def sqrt_mod(a: int, p: int) -> int:
     if legendre_symbol(a, p) != 1:
         raise ParameterError(f"{a} is not a quadratic residue modulo {p}")
     if p % 4 == 3:
-        return pow(a, (p + 1) // 4, p)
+        return pow_mod(a, (p + 1) // 4, p)
     return _tonelli_shanks(a, p)
 
 
@@ -100,16 +104,16 @@ def _tonelli_shanks(a: int, p: int) -> int:
     while legendre_symbol(z, p) != -1:
         z += 1
     m = s
-    c = pow(z, q, p)
-    t = pow(a, q, p)
-    r = pow(a, (q + 1) // 2, p)
+    c = pow_mod(z, q, p)
+    t = pow_mod(a, q, p)
+    r = pow_mod(a, (q + 1) // 2, p)
     while t != 1:
         # Find least i in (0, m) with t^(2^i) == 1.
         i, t2i = 0, t
         while t2i != 1:
             t2i = t2i * t2i % p
             i += 1
-        b = pow(c, 1 << (m - i - 1), p)
+        b = pow_mod(c, 1 << (m - i - 1), p)
         m = i
         c = b * b % p
         t = t * c % p

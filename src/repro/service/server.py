@@ -49,10 +49,11 @@ from repro.errors import (
     TransportTimeout,
     WireFormatError,
 )
+from repro.math.backend import active_backend
 from repro.protocol.transport import encode_frame, recv_frame
 from repro.service.registry import SessionRegistry
 from repro.service.session import ManagedSession, StaleSessionError
-from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.metrics import MetricsRegistry, mark_backend
 from repro.utils import persist
 
 #: Histogram boundaries for request latency: service requests run two-
@@ -104,6 +105,9 @@ class KeyService:
         if self._listener is not None:
             raise ProtocolError("service already started")
         self._listener = socket.create_server((self.host, self.port))
+        # Tag this process's metrics with the live arithmetic backend so
+        # operators can confirm what a deployment actually computes on.
+        mark_backend(self.metrics)
         # Poll the listener so stop() is honored promptly.
         self._listener.settimeout(0.2)
         self.address = self._listener.getsockname()
@@ -326,6 +330,7 @@ class KeyService:
     def _op_stats(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
         body = json.dumps(
             {
+                "backend": active_backend().name,
                 "registry": self.registry.snapshot(),
                 "metrics": self.metrics.snapshot(),
                 "requests_handled": self.requests_handled,

@@ -46,6 +46,7 @@ from repro.telemetry.metrics import (
     active_registry,
     install_registry,
     label_text,
+    mark_backend,
     metering,
 )
 from repro.telemetry.tracer import (
@@ -83,6 +84,7 @@ __all__ = [
     "install_registry",
     "install_tracer",
     "label_text",
+    "mark_backend",
     "metering",
     "render_budget_dashboard",
     "render_period_metrics",

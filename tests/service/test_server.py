@@ -119,3 +119,12 @@ class TestStats:
         # The stats request itself is only counted after its response
         # ships, so it sees every *prior* request (here: the open).
         assert stats["requests_handled"] == 1
+
+    def test_stats_report_active_backend(self, client):
+        from repro.math.backend import active_backend
+
+        stats = client.stats()
+        assert stats["backend"] == active_backend().name
+        # The info-metric spelling is in the shared registry too.
+        gauge = f"backend.active{{backend={active_backend().name}}}"
+        assert stats["metrics"]["gauges"][gauge] == 1

@@ -64,7 +64,13 @@ def run_load(
     failures: list[BaseException] = []
     barrier = threading.Barrier(sessions + 1)
 
-    with KeyService(registry, workers=workers, client_timeout=60.0) as service:
+    # The bench oversubscribes the worker pool on purpose (streams
+    # queue behind it), so the accept queue must hold every stream:
+    # shedding is load *protection*, and the invariants pin it to zero
+    # on this loopback load.
+    with KeyService(
+        registry, workers=workers, backlog=max(8, sessions), client_timeout=60.0
+    ) as service:
 
         def stream(index: int) -> None:
             try:
@@ -136,6 +142,20 @@ def run_load(
                 "histogram_count_matches": hist_dict["count"] == expected_decrypts,
                 "rejections": metrics.counter_value("service.rejections"),
                 "client_timeouts": metrics.counter_value("service.client_timeouts"),
+                # Resilience accounting: an unloaded loopback bench must
+                # never shed, deadline-expire, or replay -- any nonzero
+                # value here means the admission/retry plumbing fired
+                # when it had no reason to.
+                "sheds": sum(
+                    counter.value
+                    for _labels, counter in metrics.counters_named("service.sheds")
+                ),
+                "deadline_exceeded": metrics.counter_value(
+                    "service.deadline_exceeded"
+                ),
+                "replayed_decrypts": metrics.counter_value(
+                    "service.replayed_decrypts"
+                ),
             },
             "latency": {
                 "client_p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
@@ -149,6 +169,12 @@ def run_load(
                 "requests_per_s": round(expected_decrypts / loaded_wall, 2),
             },
         }
+    # The context exit ran the graceful drain: every resident session
+    # was checkpointed once more.  A failed flush is an accounting hole
+    # (durable state unproven), gated to zero like lost increments.
+    report["invariants"]["drain_checkpoint_failures"] = metrics.counter_value(
+        "service.drain_checkpoint_failures"
+    )
     return report
 
 
@@ -216,6 +242,11 @@ def check_invariants(report: dict, baseline: dict) -> list[str]:
         )
     if not fresh.get("per_session_periods_uniform"):
         failures.append("per-session period counters are not uniform")
+    if fresh.get("drain_checkpoint_failures") != 0:
+        failures.append(
+            f"{fresh.get('drain_checkpoint_failures')} drain checkpoint "
+            "flush(es) failed (durable state unproven)"
+        )
     matched = _scale_matched_baseline(report, baseline)
     if matched is None:
         scale = {field: report.get(field) for field in _SCALE_FIELDS}

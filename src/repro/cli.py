@@ -246,7 +246,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     init scripts can wait for the file instead of polling the socket.
     ``--max-requests N`` drains and exits after N requests -- the knob
     the CLI test and the bench harness use for bounded runs.
+
+    SIGTERM / SIGINT trigger a graceful drain: stop accepting, finish
+    in-flight requests within ``--drain-deadline`` seconds, flush every
+    resident session's checkpoint, and exit -- nonzero only if a
+    checkpoint flush failed (the deployment's durable state could not
+    be proven complete).
     """
+    import signal
+    import threading as _threading
+
     from repro.service import KeyService, SessionRegistry
 
     registry = SessionRegistry(
@@ -259,6 +268,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         client_timeout=args.timeout,
         max_requests=args.max_requests,
+        backlog=args.backlog,
     )
     from repro.math.backend import active_backend
 
@@ -268,21 +278,42 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"capacity {args.capacity}, backend {active_backend().name})", flush=True)
     if args.announce is not None:
         persist.atomic_write_text(args.announce, f"{host} {port}\n")
+
+    def request_drain(signum, frame):
+        print(f"received signal {signum}; draining", flush=True)
+        service.begin_drain()
+
+    previous_handlers = {}
+    # signal.signal only works on the main thread; the in-process CLI
+    # tests drive serve from a worker thread and keep the old
+    # KeyboardInterrupt path instead.
+    if _threading.current_thread() is _threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[signum] = signal.signal(signum, request_drain)
     try:
         service.wait()
     except KeyboardInterrupt:
         print("interrupted; draining", flush=True)
     finally:
-        service.stop()
+        service.stop(drain_deadline=args.drain_deadline)
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
     snapshot = service.metrics.snapshot()
     print(json.dumps(
         {
             "requests_handled": service.requests_handled,
+            "drain_failures": service.drain_failures,
             "counters": snapshot["counters"],
         },
         indent=2,
         sort_keys=True,
     ))
+    if service.drain_failures:
+        print(
+            f"drain failed to checkpoint {len(service.drain_failures)} "
+            "session(s)", file=sys.stderr, flush=True,
+        )
+        return 1
     return 0
 
 
@@ -436,6 +467,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max resident sessions before LRU eviction")
     serve.add_argument("--timeout", type=float, default=30.0,
                        help="per-connection idle timeout (s); silent clients are dropped")
+    serve.add_argument("--backlog", type=int, default=8,
+                       help="connections beyond the worker count before brownout "
+                            "shedding kicks in")
+    serve.add_argument("--drain-deadline", type=float, default=30.0,
+                       help="seconds in-flight requests may take to finish "
+                            "during a graceful drain (SIGTERM/SIGINT)")
     serve.add_argument("--max-requests", type=int, default=None,
                        help="drain and exit after this many requests")
     serve.add_argument("--announce", default=None, metavar="FILE",

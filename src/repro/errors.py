@@ -128,6 +128,65 @@ class ServiceError(ReproError):
         super().__init__(f"[{code}] {message}")
 
 
+class DeadlineExceeded(ServiceError):
+    """A request's deadline expired before the service finished it.
+
+    Code ``deadline-exceeded``.  Stamped deadlines propagate from the
+    client's request header and are checked at admission, after any wait
+    for the session lock, and between protocol steps (via the
+    transport's step hook), so a dead request never burns a worker on a
+    full two-party period whose answer nobody is waiting for.  The
+    staged-commit machinery guarantees a mid-protocol expiry rolls the
+    period back, so the request is *retryable* under a fresh deadline.
+    """
+
+    def __init__(self, message: str, *, where: str | None = None) -> None:
+        super().__init__("deadline-exceeded", message)
+        self.where = where
+
+
+class ServiceOverloaded(ServiceError):
+    """The service shed this request to protect itself under load.
+
+    Code ``overloaded``.  Nothing ran: retry after ``retry_after``
+    seconds (the hint echoed in the response's ``retry-after`` field).
+    """
+
+    def __init__(self, message: str, *, retry_after: float | None = None) -> None:
+        super().__init__("overloaded", message)
+        self.retry_after = retry_after
+
+
+class ServiceDraining(ServiceError):
+    """The service is draining for shutdown and refused new protocol work.
+
+    Code ``draining``.  In-flight requests finish; new ones should be
+    retried against another instance (or later).  Nothing ran.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__("draining", message)
+
+
+class RetryExhausted(ServiceError):
+    """The retrying client gave up (or refused to replay an unsafe op).
+
+    ``attempts`` is the full retry history: one dict per attempt with
+    the fault or response code observed and the backoff chosen, so a
+    caller (or a test) can reconstruct exactly what the client saw.
+    ``code`` is the last failure's code -- a wire code for a failure
+    response, ``connection-lost`` / ``connection-timeout`` for a
+    transport fault the client would not (or could no longer) retry.
+    """
+
+    def __init__(
+        self, code: str, message: str, *, op: str | None = None, attempts=None
+    ) -> None:
+        super().__init__(code, message)
+        self.op = op
+        self.attempts = list(attempts or [])
+
+
 class AdmissionRejected(ServiceError):
     """The key service refused to run a request, with a reason.
 

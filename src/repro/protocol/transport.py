@@ -127,6 +127,12 @@ class Transport:
     threaded = False
     #: Whether decoded group elements get the full subgroup check.
     check_subgroup = False
+    #: Optional per-request hook called with the message label before
+    #: each send is recorded.  The key service installs a deadline check
+    #: here for the duration of one request, so an expired deadline
+    #: aborts *between* protocol steps (the staged-commit machinery
+    #: rolls the period back) instead of burning a full period.
+    step_hook = None
 
     def __init__(self) -> None:
         self._messages: list[Message] = []
@@ -162,6 +168,8 @@ class Transport:
 
     def record(self, sender: str, recipient: str, label: str, payload: object) -> Message:
         """Append a frame to the public transcript (sender-side payload)."""
+        if self.step_hook is not None:
+            self.step_hook(label)
         message = Message(sender, recipient, label, payload, self.current_period)
         self.messages.append(message)
         return message

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from repro.errors import (
     CheckpointError,
+    DeadlineExceeded,
     DecryptionError,
     FaultInjected,
     GroupError,
@@ -60,8 +61,18 @@ _TRANSIENT_TYPES = (FaultInjected, TransportTimeout, PeerDisconnected)
 _POISONED_TYPES = (WireFormatError, DecryptionError)
 #: Deterministic / state-level failures: retrying reproduces them.  A
 #: corrupt checkpoint is fatal for the same reason a bad parameter is:
-#: re-reading the same damaged bytes can never succeed.
-_FATAL_TYPES = (LeakageBudgetExceeded, ParameterError, GroupError, CheckpointError)
+#: re-reading the same damaged bytes can never succeed.  An expired
+#: request deadline is fatal *to the supervisor* -- the period rolled
+#: back and nobody is waiting for a retry of this request -- though the
+#: service answers it with a retryable wire code (the client may retry
+#: under a fresh deadline).
+_FATAL_TYPES = (
+    LeakageBudgetExceeded,
+    ParameterError,
+    GroupError,
+    CheckpointError,
+    DeadlineExceeded,
+)
 
 
 def root_cause(exc: BaseException) -> BaseException:

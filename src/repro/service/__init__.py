@@ -7,14 +7,29 @@ each session's leakage budget, checkpoint-backed eviction of idle
 sessions, and per-request telemetry.  See ``docs/service.md``.
 """
 
+from repro.service.chaosproxy import ChaosProxy, ProxyRule
 from repro.service.client import ServiceClient
 from repro.service.registry import SessionRegistry
+from repro.service.resilience import (
+    Deadline,
+    HEAVY_OPS,
+    IDEMPOTENT_OPS,
+    RETRYABLE_CODES,
+    ResponseCache,
+)
 from repro.service.server import KeyService
 from repro.service.session import ManagedSession, SessionKey, StaleSessionError
 
 __all__ = [
+    "ChaosProxy",
+    "Deadline",
+    "HEAVY_OPS",
+    "IDEMPOTENT_OPS",
     "KeyService",
     "ManagedSession",
+    "ProxyRule",
+    "ResponseCache",
+    "RETRYABLE_CODES",
     "ServiceClient",
     "SessionKey",
     "SessionRegistry",

@@ -1,0 +1,351 @@
+"""A seeded TCP chaos proxy between service clients and the service.
+
+PR 3 gave the device-to-device wire a fault layer
+(:class:`~repro.protocol.faults.FaultyTransport`); this module gives
+the *client-to-service* TCP path the same treatment at the socket
+level.  :class:`ChaosProxy` sits between a :class:`ServiceClient` and a
+live :class:`~repro.service.server.KeyService` (in-process or a real
+``repro-dlr serve``) and injects, per forwarded chunk:
+
+* ``delay``    -- hold the chunk for ``delay_seconds`` (latency spike);
+* ``reset``    -- hard-reset both sides (RST where the platform allows);
+* ``truncate`` -- forward only ``keep_bytes`` of the chunk, then reset:
+  the receiver sees a *mid-frame* cut, exactly the torn-frame case the
+  framing layer must classify;
+* ``dribble``  -- slow-loris the chunk through in ``dribble_bytes``
+  slices with ``dribble_delay`` pauses, stalling the receiver without
+  ever going silent.
+
+Rules follow the :class:`~repro.protocol.faults.FaultRule` shape
+(occurrence countdown, bounded ``repeat``, seeded ``probability``) and
+every injection is drawn from a per-connection RNG derived from
+``(seed, connection index)``, so a soak is reproducible up to thread
+interleaving.  The soak test drives the retrying client through this
+proxy and asserts 100% eventual completion with balanced ledgers --
+the acceptance bar for the service resilience layer.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+DELAY = "delay"
+RESET = "reset"
+TRUNCATE = "truncate"
+DRIBBLE = "dribble"
+PROXY_MODES = (DELAY, RESET, TRUNCATE, DRIBBLE)
+
+#: Traffic directions a rule may match: client->server, server->client.
+UPSTREAM = "up"
+DOWNSTREAM = "down"
+
+
+@dataclass(frozen=True)
+class ProxyRule:
+    """One configured socket-level fault.
+
+    ``direction`` restricts the rule to one flow (``"up"`` is
+    client-to-server, ``"down"`` server-to-client, ``None`` both);
+    ``occurrence`` arms it on the k-th matching chunk (1-based);
+    ``repeat`` bounds total firings (``None`` = unlimited);
+    ``probability`` gates each opportunity on the connection's seeded
+    coin.  ``keep_bytes`` is how much of the chunk survives a
+    ``truncate``; ``dribble_bytes``/``dribble_delay`` shape the
+    slow-loris drip.
+    """
+
+    mode: str = DELAY
+    direction: str | None = None
+    occurrence: int = 1
+    repeat: int | None = 1
+    probability: float = 1.0
+    delay_seconds: float = 0.05
+    keep_bytes: int = 32
+    dribble_bytes: int = 256
+    dribble_delay: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.mode not in PROXY_MODES:
+            raise ParameterError(f"unknown proxy fault mode {self.mode!r}")
+        if self.direction not in (None, UPSTREAM, DOWNSTREAM):
+            raise ParameterError(
+                f"direction must be 'up', 'down' or None, got {self.direction!r}"
+            )
+        if self.occurrence < 1:
+            raise ParameterError("occurrence is 1-based and must be >= 1")
+        if self.repeat is not None and self.repeat < 1:
+            raise ParameterError("repeat must be >= 1 (or None for unlimited)")
+        if not 0.0 < self.probability <= 1.0:
+            raise ParameterError("probability must be in (0, 1]")
+        if self.delay_seconds < 0 or self.dribble_delay < 0:
+            raise ParameterError("delays must be >= 0")
+        if self.keep_bytes < 0 or self.dribble_bytes < 1:
+            raise ParameterError("keep_bytes >= 0 and dribble_bytes >= 1 required")
+
+
+class _ArmedProxyRule:
+    """A rule plus its per-connection countdown (FaultRule semantics)."""
+
+    __slots__ = ("rule", "remaining", "fires_left")
+
+    def __init__(self, rule: ProxyRule) -> None:
+        self.rule = rule
+        self.remaining = rule.occurrence
+        self.fires_left = rule.repeat  # None = unlimited
+
+    def offer(self, direction: str, rng: random.Random) -> bool:
+        if self.fires_left == 0:
+            return False
+        if self.rule.direction is not None and self.rule.direction != direction:
+            return False
+        if self.remaining > 0:
+            self.remaining -= 1
+        if self.remaining > 0:
+            return False
+        if self.rule.probability < 1.0 and rng.random() >= self.rule.probability:
+            return False
+        if self.fires_left is not None:
+            self.fires_left -= 1
+        return True
+
+
+class _Connection:
+    """One proxied client connection: two pump threads, shared fate."""
+
+    def __init__(self, proxy: "ChaosProxy", index: int, client: socket.socket) -> None:
+        self.proxy = proxy
+        self.index = index
+        self.client = client
+        self.upstream = socket.create_connection(proxy.upstream, timeout=30.0)
+        self.rng = random.Random(f"{proxy.seed}/conn/{index}")
+        self.armed = [_ArmedProxyRule(rule) for rule in proxy.rules]
+        self.lock = threading.Lock()  # RNG + armed-rule state
+        self.dead = threading.Event()
+        self._pumps_done = 0
+        self.threads = [
+            threading.Thread(
+                target=self._pump,
+                args=(self.client, self.upstream, UPSTREAM),
+                name=f"chaos-up-{index}",
+                daemon=True,
+            ),
+            threading.Thread(
+                target=self._pump,
+                args=(self.upstream, self.client, DOWNSTREAM),
+                name=f"chaos-down-{index}",
+                daemon=True,
+            ),
+        ]
+
+    def start(self) -> None:
+        for thread in self.threads:
+            thread.start()
+
+    def _fault_for(self, direction: str) -> ProxyRule | None:
+        with self.lock:
+            for armed in self.armed:
+                if armed.offer(direction, self.rng):
+                    return armed.rule
+        return None
+
+    def _pump(self, src: socket.socket, dst: socket.socket, direction: str) -> None:
+        try:
+            while not self.dead.is_set():
+                try:
+                    chunk = src.recv(4096)
+                except OSError:
+                    break
+                if not chunk:
+                    # Half-close: pass the EOF through, keep the other
+                    # direction flowing (the peer may still respond).
+                    try:
+                        dst.shutdown(socket.SHUT_WR)
+                    except OSError:
+                        pass
+                    break
+                rule = self._fault_for(direction)
+                if rule is not None:
+                    self.proxy._record(rule, direction)
+                    if rule.mode == RESET:
+                        self.reset()
+                        break
+                    if rule.mode == TRUNCATE:
+                        self._forward(dst, chunk[: rule.keep_bytes])
+                        self.reset()
+                        break
+                    if rule.mode == DELAY:
+                        time.sleep(rule.delay_seconds)
+                    elif rule.mode == DRIBBLE:
+                        if not self._dribble(dst, chunk, rule):
+                            break
+                        continue
+                if not self._forward(dst, chunk):
+                    break
+        finally:
+            with self.lock:
+                self._pumps_done += 1
+                finished = self._pumps_done == 2
+            if finished:
+                self.close()
+                self.proxy._forget(self)
+
+    def _forward(self, dst: socket.socket, chunk: bytes) -> bool:
+        if not chunk:
+            return True
+        try:
+            dst.sendall(chunk)
+            return True
+        except OSError:
+            return False
+
+    def _dribble(self, dst: socket.socket, chunk: bytes, rule: ProxyRule) -> bool:
+        for start in range(0, len(chunk), rule.dribble_bytes):
+            if self.dead.is_set():
+                return False
+            if not self._forward(dst, chunk[start : start + rule.dribble_bytes]):
+                return False
+            time.sleep(rule.dribble_delay)
+        return True
+
+    def reset(self) -> None:
+        """Hard-kill both sides; RST toward the client where possible."""
+        self.dead.set()
+        for endpoint in (self.client, self.upstream):
+            try:
+                endpoint.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+                )
+            except OSError:
+                pass
+        self._tear_down()
+
+    def close(self) -> None:
+        self.dead.set()
+        self._tear_down()
+
+    def _tear_down(self) -> None:
+        # shutdown() before close(): the other pump may be blocked in
+        # recv() on this very socket, and a bare close() would leave
+        # that syscall -- and with it the kernel-side teardown (and any
+        # linger RST) -- pending until the peer happens to send bytes.
+        # shutdown() wakes it immediately.
+        for endpoint in (self.client, self.upstream):
+            try:
+                endpoint.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        for endpoint in (self.client, self.upstream):
+            try:
+                endpoint.close()
+            except OSError:
+                pass
+
+
+class ChaosProxy:
+    """A TCP proxy injecting seeded socket-level faults.
+
+    Point it at a live service and point clients at
+    :attr:`address`::
+
+        with ChaosProxy(service.address, rules=[ProxyRule(mode="reset",
+                probability=0.2, repeat=None)], seed=7) as proxy:
+            client = ServiceClient(proxy.address, ...)
+
+    ``injected`` records every firing as ``(rule, direction)`` for
+    post-soak assertions.
+    """
+
+    def __init__(
+        self,
+        upstream: tuple[str, int],
+        rules: list[ProxyRule] | None = None,
+        *,
+        seed: object = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.upstream = upstream
+        self.rules = list(rules or [])
+        self.seed = seed
+        self.host = host
+        self.port = port
+        self.address: tuple[str, int] | None = None
+        self.injected: list[tuple[ProxyRule, str]] = []
+        self.connections_seen = 0
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+        self._live: set[_Connection] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ChaosProxy":
+        if self._listener is not None:
+            raise ParameterError("proxy already started")
+        self._listener = socket.create_server((self.host, self.port))
+        self._listener.settimeout(0.2)
+        self.address = self._listener.getsockname()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-proxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._listener is None:
+            return
+        self._stopping.set()
+        self._accept_thread.join()
+        self._listener.close()
+        with self._lock:
+            live = list(self._live)
+        for connection in live:
+            connection.close()
+        self._listener = None
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- internals -----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with self._lock:
+                index = self.connections_seen
+                self.connections_seen += 1
+            try:
+                connection = _Connection(self, index, client)
+            except OSError:
+                # Upstream refused (e.g. the service is draining): the
+                # client sees its connection drop -- a classified,
+                # retryable fault.
+                client.close()
+                continue
+            with self._lock:
+                self._live.add(connection)
+            connection.start()
+
+    def _record(self, rule: ProxyRule, direction: str) -> None:
+        with self._lock:
+            self.injected.append((rule, direction))
+
+    def _forget(self, connection: _Connection) -> None:
+        with self._lock:
+            self._live.discard(connection)

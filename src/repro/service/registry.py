@@ -33,7 +33,7 @@ from repro.groups import preset_group
 from repro.ibe.dlr_ibe import DLRIBE
 from repro.leakage.oracle import LeakageBudget, LeakageOracle
 from repro.protocol.transport import InMemoryTransport
-from repro.runtime.checkpoint import load_checkpoint
+from repro.runtime.checkpoint import load_checkpoint, save_checkpoint
 from repro.runtime.policy import RetryPolicy
 from repro.runtime.session import SessionSupervisor, scheme_for_state
 from repro.service.session import ManagedSession, SessionKey
@@ -83,6 +83,9 @@ class SessionRegistry:
         self._clock = clock
         self._lock = threading.RLock()
         self._resident: dict[SessionKey, ManagedSession] = {}
+        #: Keys whose end-of-life checkpoint flush failed in the last
+        #: :meth:`evict_all` (the drain path reports these).
+        self.drain_failures: list[str] = []
 
     # -- paths ---------------------------------------------------------------
 
@@ -196,12 +199,32 @@ class SessionRegistry:
 
     def evict_all(self) -> int:
         """Drain the registry (service shutdown): evict every resident
-        session, waiting for in-flight requests to commit."""
+        session, waiting for in-flight requests to commit.
+
+        Every session's committed state is flushed to its checkpoint
+        file once more before the resident half is dropped -- an
+        explicit end-of-life write, so a drain's durability does not
+        rest on the last period's commit alone.  A session whose flush
+        fails is *still evicted* (its per-commit checkpoint remains the
+        durable truth) but is recorded in :attr:`drain_failures` and
+        counted in ``service.drain_checkpoint_failures``, so the CLI
+        can exit nonzero on a drain that could not prove durability.
+        """
         with self._lock:
+            self.drain_failures = []
             count = 0
             for key in sorted(self._resident):
                 session = self._resident[key]
                 with session.lock:
+                    try:
+                        save_checkpoint(
+                            self.checkpoint_path(key), session.supervisor.state
+                        )
+                    except Exception as exc:  # noqa: BLE001 - per-key fault
+                        self.drain_failures.append(f"{key}: {exc}")
+                        self.metrics.counter(
+                            "service.drain_checkpoint_failures"
+                        ).inc()
                     self._drop(key, session)
                 count += 1
             return count

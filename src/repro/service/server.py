@@ -1,5 +1,5 @@
 """The key-service daemon: framed requests over TCP, a worker pool,
-admission control, and per-request telemetry.
+admission control, resilience, and per-request telemetry.
 
 :class:`KeyService` is the long-running deployment shape the paper's
 two-device scheme pays off in: one process serving *many* keys and
@@ -19,12 +19,38 @@ session busy all reject with a machine-readable reason instead of
 queueing unboundedly (see :meth:`ManagedSession.admission_error
 <repro.service.session.ManagedSession.admission_error>`).
 
+Resilience (``docs/service.md`` has the full failure-handling matrix):
+
+* **Deadlines** -- a client may stamp ``deadline`` (seconds remaining)
+  on any request; the server checks it at admission, after waiting for
+  the session lock, and between protocol steps, answering
+  ``deadline-exceeded`` (retryable: nothing committed) instead of
+  burning a worker on a request nobody is waiting for.
+* **Load shedding** -- the accept queue is bounded: ``backlog``
+  connections beyond the worker count enter *brownout* (light ops --
+  ``ping``/``stats``/``describe``/``health`` -- still answered, heavy
+  protocol ops shed with ``overloaded`` + a ``retry-after`` hint);
+  connections beyond the brownout bound are shed outright.  Health
+  stays observable under saturation.
+* **Graceful drain** -- :meth:`begin_drain`/:meth:`stop` stop
+  accepting, let in-flight requests finish under a drain deadline,
+  answer ``draining`` to protocol work that arrives mid-drain, and
+  flush every resident session's checkpoint (failures land in
+  :attr:`drain_failures` so ``repro-dlr serve`` can exit nonzero).
+* **Replay cache** -- a ``decrypt`` stamped with a ``request_id`` is
+  idempotent: a client retrying after a lost response receives the
+  cached response instead of burning a second period on the same
+  ciphertext.
+
 Every response carries ``ok``; failures add ``code`` + ``error``:
 
 ========================  ====================================================
 ``bad-request``           malformed op/fields/payload, invalid names
 ``unknown-key``           no such tenant/key (never created, or deleted)
 ``rejected``              admission control refused (reason in ``error``)
+``deadline-exceeded``     the request's deadline expired; retry with budget
+``overloaded``            shed under load; retry after ``retry-after`` s
+``draining``              shutting down; retry elsewhere / later
 ``checkpoint-corrupt``    the key's durable state is damaged (fatal per key)
 ``protocol-error``        the two-party protocol failed fatally mid-request
 ``internal``              anything else; the worker survives
@@ -42,16 +68,25 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.errors import (
     AdmissionRejected,
     CheckpointError,
+    DeadlineExceeded,
     ParameterError,
     ProtocolError,
     PeerDisconnected,
+    ServiceDraining,
     ServiceError,
+    ServiceOverloaded,
     TransportTimeout,
     WireFormatError,
 )
 from repro.math.backend import active_backend
 from repro.protocol.transport import encode_frame, recv_frame
 from repro.service.registry import SessionRegistry
+from repro.service.resilience import (
+    HEAVY_OPS,
+    ResponseCache,
+    deadline_from_header,
+    validated_request_id,
+)
 from repro.service.session import ManagedSession, StaleSessionError
 from repro.telemetry.metrics import MetricsRegistry, mark_backend
 from repro.utils import persist
@@ -61,6 +96,11 @@ from repro.utils import persist
 REQUEST_SECONDS_BUCKETS = (
     0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 15.0
 )
+
+#: Service health states reported by the ``health`` op.
+READY = "ready"
+DRAINING = "draining"
+OVERLOADED = "overloaded"
 
 
 class KeyService:
@@ -75,34 +115,53 @@ class KeyService:
         workers: int = 4,
         client_timeout: float = 30.0,
         max_requests: int | None = None,
+        backlog: int = 8,
+        brownout_workers: int = 2,
+        replay_capacity: int = 512,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if workers < 1:
             raise ParameterError("the service needs at least one worker")
+        if backlog < 1:
+            raise ParameterError("the accept backlog must be >= 1")
+        if brownout_workers < 1:
+            raise ParameterError("brownout needs at least one worker")
         self.registry = registry
         self.host = host
         self.port = port
         self.workers = workers
         self.client_timeout = client_timeout
         self.max_requests = max_requests
+        self.backlog = backlog
+        self.brownout_workers = brownout_workers
         #: Shared with the registry by default so one snapshot carries
         #: both the request-level and residency-level instruments.
         self.metrics = metrics if metrics is not None else registry.metrics
         self.address: tuple[str, int] | None = None
+        #: Keys whose end-of-life checkpoint flush failed during the
+        #: last drain (mirrors ``registry.drain_failures``).
+        self.drain_failures: list[str] = []
         self._listener: socket.socket | None = None
         self._pool: ThreadPoolExecutor | None = None
+        self._brownout_pool: ThreadPoolExecutor | None = None
         self._accept_thread: threading.Thread | None = None
         self._stopping = threading.Event()
+        self._draining = threading.Event()
         self._stopped = threading.Event()
+        self._stop_lock = threading.Lock()
+        self._stop_begun = False
         self._requests_handled = 0
         self._count_lock = threading.Lock()
         self._connections: set[socket.socket] = set()
+        self._busy: set[socket.socket] = set()
+        self._brownout_active = 0
         self._connections_lock = threading.Lock()
+        self._replay = ResponseCache(replay_capacity)
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> "KeyService":
-        if self._listener is not None:
+        if self._listener is not None or self._stop_begun:
             raise ProtocolError("service already started")
         self._listener = socket.create_server((self.host, self.port))
         # Tag this process's metrics with the live arithmetic backend so
@@ -114,36 +173,92 @@ class KeyService:
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-service"
         )
+        self._brownout_pool = ThreadPoolExecutor(
+            max_workers=self.brownout_workers,
+            thread_name_prefix="repro-service-brownout",
+        )
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="repro-service-accept", daemon=True
         )
         self._accept_thread.start()
         return self
 
-    def stop(self) -> None:
-        """Graceful shutdown: stop accepting, drain in-flight requests,
-        checkpoint and evict every resident session."""
-        if self._listener is None:
-            return
+    def begin_drain(self) -> None:
+        """Signal shutdown without blocking: stop admitting protocol
+        work and wake :meth:`wait`.  Safe to call from a signal handler
+        (it only sets events); the actual drain runs in :meth:`stop`.
+
+        Existing connections keep answering -- light ops served, heavy
+        ops refused with the retryable ``draining`` code -- until
+        :meth:`stop` cuts their sockets, so a request in flight when
+        the drain begins always gets a typed response, never a reset.
+        """
+        self._draining.set()
         self._stopping.set()
+
+    def stop(self, *, drain_deadline: float | None = None) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight requests,
+        checkpoint and evict every resident session.
+
+        Idempotent and thread-safe: concurrent callers (e.g. a signal
+        handler racing the ``max_requests`` trip) are serialized by a
+        once-lock -- the first runs the shutdown, the rest block until
+        it finishes and return.  ``drain_deadline`` bounds how long
+        in-flight requests may keep their connections to finish and
+        deliver responses; ``None`` cuts all connections immediately
+        (in-flight protocol work still completes and commits -- only
+        its responses are lost).
+        """
+        with self._stop_lock:
+            if self._stop_begun:
+                already_stopping = True
+            elif self._listener is None:
+                return  # never started
+            else:
+                self._stop_begun = True
+                already_stopping = False
+        if already_stopping:
+            self._stopped.wait()
+            return
+        self.begin_drain()
         self._accept_thread.join()
         self._listener.close()
-        # Unblock workers parked on silent clients, then drain the pool.
+        # Cut connections parked between requests (including silent
+        # clients) right away: their workers are not serving anything.
+        self._cut_connections(only_idle=True)
+        if drain_deadline is not None and drain_deadline > 0:
+            drain_until = time.monotonic() + drain_deadline
+            while time.monotonic() < drain_until:
+                with self._connections_lock:
+                    if not self._busy:
+                        break
+                time.sleep(0.02)
+        # Whatever is still connected now loses its socket; protocol
+        # work past its commit point still completes below.
+        self._cut_connections(only_idle=False)
+        self._pool.shutdown(wait=True)
+        self._brownout_pool.shutdown(wait=True)
+        self.registry.evict_all()
+        self.drain_failures = list(self.registry.drain_failures)
+        self._listener = None
+        self._stopped.set()
+
+    def _cut_connections(self, *, only_idle: bool) -> None:
         with self._connections_lock:
-            lingering = list(self._connections)
-        for connection in lingering:
+            targets = [
+                connection
+                for connection in self._connections
+                if not (only_idle and connection in self._busy)
+            ]
+        for connection in targets:
             try:
                 connection.shutdown(socket.SHUT_RDWR)
             except OSError:
                 pass
-        self._pool.shutdown(wait=True)
-        self.registry.evict_all()
-        self._listener = None
-        self._stopped.set()
 
     def wait(self, timeout: float | None = None) -> bool:
         """Block until the service begins stopping (``max_requests``
-        reached or :meth:`stop` called elsewhere)."""
+        reached, :meth:`begin_drain`, or :meth:`stop` elsewhere)."""
         return self._stopping.wait(timeout)
 
     def __enter__(self) -> "KeyService":
@@ -157,6 +272,25 @@ class KeyService:
         with self._count_lock:
             return self._requests_handled
 
+    # -- health --------------------------------------------------------------
+
+    def health_status(self) -> str:
+        if self._draining.is_set():
+            return DRAINING
+        if self._active_connections() >= self.workers + self.backlog:
+            return OVERLOADED
+        return READY
+
+    def _active_connections(self) -> int:
+        with self._connections_lock:
+            return len(self._connections)
+
+    def _retry_after(self) -> float:
+        """Backoff hint for shed requests: grows with the overflow depth
+        so a herd of shed clients spreads out instead of stampeding."""
+        overflow = self._active_connections() - self.workers + 1
+        return min(2.0, max(0.05, 0.05 * overflow))
+
     # -- connection handling -------------------------------------------------
 
     def _accept_loop(self) -> None:
@@ -169,12 +303,51 @@ class KeyService:
                 break
             connection.settimeout(self.client_timeout)
             with self._connections_lock:
-                self._connections.add(connection)
-            self._pool.submit(self._serve_connection, connection)
+                active = len(self._connections)
+                brownout_full = self._brownout_active >= self.backlog
+                if active < self.workers + self.backlog:
+                    lane = "normal"
+                elif not brownout_full:
+                    lane = "brownout"
+                    self._brownout_active += 1
+                else:
+                    lane = "hard"
+                if lane != "hard":
+                    self._connections.add(connection)
+            if lane == "normal":
+                self._pool.submit(self._serve_connection, connection)
+            elif lane == "brownout":
+                self.metrics.counter("service.brownout_connections").inc()
+                self._brownout_pool.submit(
+                    self._serve_connection, connection, True
+                )
+            else:
+                # Even the brownout lane is full: shed outright, but
+                # politely -- a pre-written overloaded response answers
+                # the client's first request without holding a thread.
+                self.metrics.counter("service.sheds", mode="hard").inc()
+                self._shed_connection(connection)
 
-    def _serve_connection(self, connection: socket.socket) -> None:
+    def _shed_connection(self, connection: socket.socket) -> None:
+        header = {
+            "ok": False,
+            "code": "overloaded",
+            "error": "service is at capacity; retry later",
+            "retry-after": self._retry_after(),
+        }
         try:
-            while not self._stopping.is_set():
+            connection.setblocking(False)
+            connection.sendall(encode_frame(header, b""))
+        except OSError:
+            pass
+        finally:
+            connection.close()
+
+    def _serve_connection(
+        self, connection: socket.socket, brownout: bool = False
+    ) -> None:
+        try:
+            while True:
                 try:
                     header, payload = recv_frame(
                         connection, "service", timeout=self.client_timeout
@@ -191,14 +364,35 @@ class KeyService:
                         connection, {"ok": False, "code": "bad-request", "error": str(exc)}
                     )
                     break
-                response_header, response_payload = self._handle(header, payload)
-                if not self._respond(connection, response_header, response_payload):
+                with self._connections_lock:
+                    self._busy.add(connection)
+                try:
+                    response_header, response_payload = self._handle(
+                        header, payload, shed_heavy=brownout
+                    )
+                    delivered = self._respond(
+                        connection, response_header, response_payload
+                    )
+                finally:
+                    with self._connections_lock:
+                        self._busy.discard(connection)
+                if not delivered:
                     break
                 if self._bump_handled():
                     break
+                # No drain check here on purpose: a worker never closes
+                # its connection just because draining began -- closing
+                # between a client's send and our recv turns a typed
+                # ``draining`` refusal into a connection reset.  During
+                # a drain the loop keeps answering (light ops served,
+                # heavy ops refused with ``draining``) until stop()'s
+                # connection cut wakes the recv with PeerDisconnected.
         finally:
             with self._connections_lock:
                 self._connections.discard(connection)
+                self._busy.discard(connection)
+                if brownout:
+                    self._brownout_active -= 1
             connection.close()
 
     def _respond(self, connection, header: dict, payload: bytes = b"") -> bool:
@@ -218,12 +412,14 @@ class KeyService:
         if done:
             # Trip the stop event only: the actual drain must happen on
             # a non-worker thread (stop() joins the pool).
-            self._stopping.set()
+            self.begin_drain()
         return done
 
     # -- request dispatch ----------------------------------------------------
 
-    def _handle(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+    def _handle(
+        self, header: dict, payload: bytes, *, shed_heavy: bool = False
+    ) -> tuple[dict, bytes]:
         op = header.get("op")
         handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
         start = time.perf_counter()
@@ -231,8 +427,45 @@ class KeyService:
         try:
             if handler is None:
                 raise ServiceError("bad-request", f"unknown op {op!r}")
+            if op in HEAVY_OPS:
+                if self._draining.is_set():
+                    raise ServiceDraining(
+                        "service is draining; no new protocol work admitted"
+                    )
+                if shed_heavy:
+                    raise ServiceOverloaded(
+                        "service is saturated; protocol work shed (brownout)",
+                        retry_after=self._retry_after(),
+                    )
+                # Deadline gate at admission: a request that arrives
+                # already dead never reaches a session.
+                deadline = deadline_from_header(header)
+                if deadline is not None:
+                    deadline.check("at admission")
             fields, body = handler(header, payload)
             return {"ok": True, **fields}, body
+        except DeadlineExceeded as exc:
+            outcome = "deadline"
+            self.metrics.counter("service.deadline_exceeded").inc()
+            return {"ok": False, "code": exc.code, "error": str(exc)}, b""
+        except ServiceOverloaded as exc:
+            outcome = "shed"
+            self.metrics.counter("service.sheds", mode="brownout").inc()
+            return {
+                "ok": False,
+                "code": exc.code,
+                "error": str(exc),
+                "retry-after": exc.retry_after,
+            }, b""
+        except ServiceDraining as exc:
+            outcome = "shed"
+            self.metrics.counter("service.sheds", mode="drain").inc()
+            return {
+                "ok": False,
+                "code": exc.code,
+                "error": str(exc),
+                "retry-after": 0.1,
+            }, b""
         except AdmissionRejected as exc:
             outcome = "rejected"
             self.metrics.counter("service.rejections").inc()
@@ -274,6 +507,17 @@ class KeyService:
     def _op_ping(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
         return {}, b""
 
+    def _op_health(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        return {
+            "status": self.health_status(),
+            "draining": self._draining.is_set(),
+            "active_connections": self._active_connections(),
+            "workers": self.workers,
+            "backlog": self.backlog,
+            "sessions_resident": self.registry.resident_count(),
+            "requests_handled": self.requests_handled,
+        }, b""
+
     def _op_open(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
         session = self.registry.create(
             header.get("tenant"),
@@ -310,17 +554,42 @@ class KeyService:
                     ) from None
 
     def _op_decrypt(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
-        session = self._session(header)
-        ciphertext = persist.loads(payload.decode("utf-8"), session.group)
-        session, record = self._serve_on(header, lambda s: s.serve_decrypt(ciphertext))
+        deadline = deadline_from_header(header)
+        request_id = header.get("request_id")
+        cache_key = None
+        if request_id is not None:
+            request_id = validated_request_id(request_id)
+            cache_key = (header.get("tenant"), header.get("key"), request_id)
+            cached = self._replay.get(cache_key)
+            if cached is not None:
+                # The client lost our response and retried: replay it
+                # instead of burning a second period (and a second
+                # leakage charge) on the same ciphertext.
+                fields, body = cached
+                self.metrics.counter("service.replayed_decrypts").inc()
+                return {**fields, "replayed": True}, body
+
+        def serve(session):
+            # Decode against the *serving* session's group, inside the
+            # re-resolve loop: decoding before it could hand a
+            # rehydrated session a ciphertext decoded into the evicted
+            # twin's group.
+            ciphertext = persist.loads(payload.decode("utf-8"), session.group)
+            return session.serve_decrypt(ciphertext, deadline=deadline)
+
+        session, record = self._serve_on(header, serve)
         bits = record.plaintext.to_bits()
-        return {
-            "period": record.period,
-            "plaintext_bits": len(bits),
-        }, bits.to_bytes()
+        fields = {"period": record.period, "plaintext_bits": len(bits)}
+        body = bits.to_bytes()
+        if cache_key is not None:
+            self._replay.put(cache_key, fields, body)
+        return fields, body
 
     def _op_refresh(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
-        session, record = self._serve_on(header, lambda s: s.serve_refresh())
+        deadline = deadline_from_header(header)
+        session, record = self._serve_on(
+            header, lambda s: s.serve_refresh(deadline=deadline)
+        )
         return {"period": record.period}, b""
 
     def _op_evict(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
@@ -331,6 +600,7 @@ class KeyService:
         body = json.dumps(
             {
                 "backend": active_backend().name,
+                "health": self.health_status(),
                 "registry": self.registry.snapshot(),
                 "metrics": self.metrics.snapshot(),
                 "requests_handled": self.requests_handled,

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from repro.core.dlr import PeriodRecord
 from repro.errors import AdmissionRejected
 from repro.runtime.session import SessionSupervisor
+from repro.service.resilience import find_deadline_exceeded
 
 
 class StaleSessionError(Exception):
@@ -114,24 +115,43 @@ class ManagedSession:
 
     # -- request serving ----------------------------------------------------
 
-    def serve_decrypt(self, ciphertext) -> PeriodRecord:
+    def serve_decrypt(self, ciphertext, *, deadline=None) -> PeriodRecord:
         """Serve one client decrypt: one full supervised period
         (decrypt + proactive refresh) on the request's ciphertext."""
-        return self._serve(ciphertext)
+        return self._serve(ciphertext, deadline=deadline)
 
-    def serve_refresh(self) -> PeriodRecord:
+    def serve_refresh(self, *, deadline=None) -> PeriodRecord:
         """Proactively roll the shares: one period on self-generated
         traffic (the supervisor's plaintext-echo check stays active)."""
-        return self._serve(None)
+        return self._serve(None, deadline=deadline)
 
-    def _serve(self, ciphertext) -> PeriodRecord:
+    def _serve(self, ciphertext, *, deadline=None) -> PeriodRecord:
         with self.lock:
             if self.evicted:
                 raise StaleSessionError(str(self.key))
+            if deadline is not None:
+                # Queueing behind another request on the same key may
+                # have consumed the whole budget; answer typed instead
+                # of running a period nobody is waiting for.
+                deadline.check("after waiting for the session lock")
             reason = self.admission_error()
             if reason is not None:
                 raise AdmissionRejected(str(self.key), reason)
-            record = self.supervisor.run_request(ciphertext)
+            transport = self.supervisor.transport
+            if deadline is not None:
+                transport.step_hook = deadline.step_hook
+            try:
+                record = self.supervisor.run_request(ciphertext)
+            except Exception as exc:
+                # A mid-protocol expiry surfaces wrapped in the engine's
+                # rollback machinery; unwrap it so the wire carries the
+                # typed retryable code (the period rolled back cleanly).
+                expired = find_deadline_exceeded(exc)
+                if expired is not None:
+                    raise expired from exc
+                raise
+            finally:
+                transport.step_hook = None
             self.requests_served += 1
             self.last_used = self._clock()
             # The committed period's transcript was checkpoint-summarized

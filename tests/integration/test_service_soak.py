@@ -1,0 +1,310 @@
+"""Chaos-proxy soak: the service resilience layer's acceptance bar.
+
+Seeded socket-level chaos (latency spikes, connection resets, mid-frame
+truncation, slow-loris dribble) between retrying clients and a live
+:class:`~repro.service.server.KeyService` must yield **100% eventual
+completion** with correct plaintexts, exact leakage/period accounting,
+and -- for the live ``repro-dlr serve`` process -- a clean SIGTERM
+drain with zero corrupted checkpoints.
+
+Scale knobs (all optional, for the CI ``chaos-proxy-soak`` job):
+
+* ``SOAK_STREAMS``  -- concurrent client streams / keys (default 3)
+* ``SOAK_REQUESTS`` -- requests per stream (default 3)
+* ``SOAK_SEED``     -- chaos seed (default 2012)
+* ``SOAK_LOG_DIR``  -- write metrics + summary artifacts here
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.runtime.checkpoint import load_checkpoint
+from repro.runtime.policy import RetryPolicy
+from repro.service import (
+    ChaosProxy,
+    KeyService,
+    ProxyRule,
+    ServiceClient,
+    SessionKey,
+    SessionRegistry,
+)
+
+STREAMS = int(os.environ.get("SOAK_STREAMS", "3"))
+REQUESTS = int(os.environ.get("SOAK_REQUESTS", "3"))
+SEED = int(os.environ.get("SOAK_SEED", "2012"))
+LOG_DIR = os.environ.get("SOAK_LOG_DIR")
+
+#: The full chaos menu, probabilities tuned so a handful of requests
+#: sees faults without making 10 retries likely to all fail.
+SOAK_RULES = [
+    ProxyRule(mode="delay", probability=0.2, repeat=None, delay_seconds=0.02),
+    ProxyRule(mode="reset", probability=0.04, repeat=None),
+    ProxyRule(mode="truncate", probability=0.04, repeat=None, keep_bytes=24),
+    ProxyRule(
+        mode="dribble",
+        probability=0.1,
+        repeat=None,
+        dribble_bytes=512,
+        dribble_delay=0.003,
+    ),
+]
+
+#: Retries absorb the chaos: generous attempts, short seeded backoff.
+SOAK_POLICY = RetryPolicy(
+    max_attempts=10, base_backoff=0.02, multiplier=1.5, max_backoff=0.2, jitter=0.1
+)
+
+
+def _artifact(name: str, text: str) -> None:
+    if LOG_DIR:
+        directory = pathlib.Path(LOG_DIR)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / name).write_text(text)
+
+
+def _soak_streams(proxy_address, keys, *, seed, on_failure):
+    """Run one thread of sequential encrypt/decrypt per key through the
+    proxy; returns ``results[stream] = list of (message, recovered)``."""
+    results: dict[int, list] = {index: [] for index in range(len(keys))}
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def stream(index, tenant, key):
+        rng = random.Random(f"{seed}/stream/{index}")
+        try:
+            with ServiceClient(
+                proxy_address,
+                timeout=5.0,
+                retry=SOAK_POLICY,
+                retry_seed=f"{seed}/{index}",
+            ) as client:
+                public_key = client.public_key(tenant, key)
+                for _ in range(REQUESTS):
+                    message = public_key.group.random_gt(rng)
+                    recovered, _period = client.encrypt_and_decrypt(
+                        tenant, key, message, rng
+                    )
+                    with lock:
+                        results[index].append((message, recovered))
+        except BaseException as exc:  # noqa: BLE001 - the assert reads these
+            with lock:
+                errors.append(exc)
+            on_failure(exc)
+
+    threads = [
+        threading.Thread(target=stream, args=(index, tenant, key))
+        for index, (tenant, key) in enumerate(keys)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    assert not any(thread.is_alive() for thread in threads), "soak stream hung"
+    return results, errors
+
+
+class TestInProcessSoak:
+    def test_soak_completes_with_balanced_ledgers(self, tmp_path):
+        registry = SessionRegistry(tmp_path / "state", capacity=16)
+        service = KeyService(registry, workers=4, client_timeout=5.0).start()
+        keys = [("soak", f"k{index}") for index in range(STREAMS)]
+        try:
+            with ServiceClient(service.address, timeout=5.0) as setup:
+                for index, (tenant, key) in enumerate(keys):
+                    setup.open_key(tenant, key, seed=index)
+
+            with ChaosProxy(service.address, SOAK_RULES, seed=SEED) as proxy:
+                results, errors = _soak_streams(
+                    proxy.address, keys, seed=SEED, on_failure=lambda _exc: None
+                )
+                injected = list(proxy.injected)
+
+            # 100% eventual completion, every plaintext correct.
+            assert errors == [], f"soak streams failed: {errors!r}"
+            for index in range(len(keys)):
+                assert len(results[index]) == REQUESTS
+                for message, recovered in results[index]:
+                    assert recovered == message
+
+            # Exact accounting: every served decrypt is either a fresh
+            # committed period or a replay of one -- nothing vanishes,
+            # nothing double-counts.
+            total_requests = STREAMS * REQUESTS
+            total_periods = 0
+            for tenant, key in keys:
+                session = registry.get(tenant, key)
+                total_periods += session.next_period
+                assert not session.frozen
+                supervisor = session.supervisor
+                # Ledger balance per key: the oracle's retry charges
+                # mirror the protocol log exactly (no wire faults run
+                # server-side, so both sides must be empty AND agree).
+                log = supervisor.log
+                charged = log.charged_by_period()
+                if supervisor.oracle is not None:
+                    assert set(supervisor.oracle.retry_ledger) == set(charged)
+                    for period, per_device in supervisor.oracle.retry_ledger.items():
+                        assert per_device[1] + per_device[2] == charged[period]
+            ok_count = service.metrics.counter_value(
+                "service.requests", op="decrypt", outcome="ok"
+            )
+            replays = service.metrics.counter_value("service.replayed_decrypts")
+            assert ok_count == total_periods + replays
+            # Every request burned at least its one period; a rare race
+            # (retry outrunning the replay-cache fill) may burn one
+            # extra, never lose one.
+            assert total_periods >= total_requests
+
+            _artifact(
+                "soak-inprocess-metrics.json", service.metrics.snapshot_json()
+            )
+            _artifact(
+                "soak-inprocess-summary.json",
+                json.dumps(
+                    {
+                        "streams": STREAMS,
+                        "requests_per_stream": REQUESTS,
+                        "seed": SEED,
+                        "periods_committed": total_periods,
+                        "replayed_decrypts": replays,
+                        "faults_injected": len(injected),
+                        "fault_modes": sorted(
+                            {rule.mode for rule, _ in injected}
+                        ),
+                    },
+                    indent=2,
+                ),
+            )
+        finally:
+            service.stop(drain_deadline=5.0)
+        assert service.drain_failures == []
+
+
+class TestLiveServeSigtermSoak:
+    def test_sigterm_mid_soak_drains_cleanly(self, tmp_path):
+        if not hasattr(signal, "SIGTERM") or os.name == "nt":
+            pytest.skip("POSIX signals required")
+        state_dir = tmp_path / "state"
+        announce = tmp_path / "addr.txt"
+        src = pathlib.Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}{os.pathsep}{env.get('PYTHONPATH', '')}"
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--checkpoint-dir", str(state_dir),
+                "--announce", str(announce),
+                "--workers", "4",
+                "--timeout", "5",
+                "--drain-deadline", "10",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30.0
+            while not announce.exists():
+                assert process.poll() is None, "serve died before announcing"
+                assert time.monotonic() < deadline, "serve never announced"
+                time.sleep(0.05)
+            host, port = announce.read_text().split()
+            address = (host, int(port))
+
+            keys = [("soak", f"sig{index}") for index in range(STREAMS)]
+            with ServiceClient(address, timeout=5.0) as setup:
+                for index, (tenant, key) in enumerate(keys):
+                    setup.open_key(tenant, key, seed=100 + index)
+
+            # Streams run until the drain kills their requests; every
+            # failure must be a typed ServiceError (never a raw socket
+            # error), collected here for the post-drain assert.
+            observed: list[BaseException] = []
+            first_success = threading.Event()
+            lock = threading.Lock()
+            successes = [0]
+
+            def stream(index, tenant, key):
+                rng = random.Random(f"sig/{index}")
+                try:
+                    with ChaosProxy(
+                        address, SOAK_RULES, seed=SEED + index
+                    ) as proxy:
+                        with ServiceClient(
+                            proxy.address,
+                            timeout=5.0,
+                            retry=SOAK_POLICY,
+                            retry_seed=f"sig/{index}",
+                        ) as client:
+                            public_key = client.public_key(tenant, key)
+                            while True:
+                                message = public_key.group.random_gt(rng)
+                                recovered, _ = client.encrypt_and_decrypt(
+                                    tenant, key, message, rng
+                                )
+                                assert recovered == message
+                                with lock:
+                                    successes[0] += 1
+                                first_success.set()
+                except BaseException as exc:  # noqa: BLE001
+                    with lock:
+                        observed.append(exc)
+
+            threads = [
+                threading.Thread(target=stream, args=(index, tenant, key))
+                for index, (tenant, key) in enumerate(keys)
+            ]
+            for thread in threads:
+                thread.start()
+            assert first_success.wait(60.0), "soak never completed a decrypt"
+            process.send_signal(signal.SIGTERM)
+            for thread in threads:
+                thread.join(timeout=60.0)
+            assert not any(thread.is_alive() for thread in threads)
+            stdout, stderr = process.communicate(timeout=60.0)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+
+        _artifact("soak-live-stdout.txt", stdout)
+        _artifact("soak-live-stderr.txt", stderr)
+
+        # Clean exit: the drain finished and proved durability.
+        assert process.returncode == 0, f"serve exited {process.returncode}: {stderr}"
+        summary = json.loads(stdout[stdout.index("{"):])
+        assert summary["drain_failures"] == []
+        assert summary["requests_handled"] > 0
+
+        # Mid-drain failures the clients saw were all typed.
+        assert successes[0] >= 1
+        for exc in observed:
+            assert isinstance(exc, ServiceError), f"untyped failure: {exc!r}"
+
+        # Zero corrupted checkpoints: every key's durable state loads.
+        checkpoints = sorted(state_dir.glob("*/*.ckpt.json"))
+        assert len(checkpoints) == len(keys)
+        for tenant, key in keys:
+            state = load_checkpoint(
+                SessionRegistry(state_dir, capacity=4).checkpoint_path(
+                    SessionKey(tenant, key)
+                )
+            )
+            assert state.next_period >= 0

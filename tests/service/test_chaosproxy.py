@@ -1,0 +1,237 @@
+"""ChaosProxy unit behavior: pass-through and each socket-level fault."""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ParameterError, PeerDisconnected
+from repro.protocol.transport import encode_frame, recv_frame
+from repro.runtime.policy import RetryPolicy
+from repro.service import ChaosProxy, ProxyRule, ServiceClient
+from repro.service.chaosproxy import DOWNSTREAM, UPSTREAM
+
+
+class _PingServer:
+    """Answers ``{"ok": True}`` to every frame; the minimal upstream."""
+
+    def __init__(self):
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(0.2)
+        self.address = self._listener.getsockname()
+        self._stopping = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        while not self._stopping.is_set():
+            try:
+                connection, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            threading.Thread(
+                target=self._serve, args=(connection,), daemon=True
+            ).start()
+
+    def _serve(self, connection):
+        connection.settimeout(5.0)
+        try:
+            while True:
+                header, _ = recv_frame(connection, "ping-server", timeout=5.0)
+                connection.sendall(encode_frame({"ok": True, "op": header.get("op")}, b""))
+        except Exception:
+            pass
+        finally:
+            connection.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self._stopping.set()
+        self._thread.join()
+        self._listener.close()
+
+
+class TestProxyRuleValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ParameterError):
+            ProxyRule(mode="explode")
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ParameterError):
+            ProxyRule(direction="sideways")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"occurrence": 0},
+            {"repeat": 0},
+            {"probability": 0.0},
+            {"probability": 1.5},
+            {"delay_seconds": -1.0},
+            {"keep_bytes": -1},
+            {"dribble_bytes": 0},
+        ],
+    )
+    def test_bad_numbers_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            ProxyRule(**kwargs)
+
+
+class TestPassThrough:
+    def test_no_rules_is_a_transparent_proxy(self):
+        with _PingServer() as upstream:
+            with ChaosProxy(upstream.address, seed=1) as proxy:
+                with ServiceClient(proxy.address, timeout=5.0, retry=None) as client:
+                    assert client.ping()
+                    assert client.ping()
+                assert proxy.connections_seen == 1
+                assert proxy.injected == []
+
+    def test_refused_upstream_drops_the_client_connection(self):
+        probe = socket.create_server(("127.0.0.1", 0))
+        dead_address = probe.getsockname()
+        probe.close()
+        with ChaosProxy(dead_address, seed=1) as proxy:
+            with pytest.raises(PeerDisconnected):
+                with ServiceClient(proxy.address, timeout=2.0, retry=None) as client:
+                    client.request("ping")
+
+
+class TestFaultModes:
+    def test_delay_holds_the_response(self):
+        rule = ProxyRule(mode="delay", direction=DOWNSTREAM, delay_seconds=0.2)
+        with _PingServer() as upstream:
+            with ChaosProxy(upstream.address, [rule], seed=2) as proxy:
+                with ServiceClient(proxy.address, timeout=5.0, retry=None) as client:
+                    started = time.monotonic()
+                    assert client.ping()
+                    assert time.monotonic() - started >= 0.2
+                assert proxy.injected == [(rule, DOWNSTREAM)]
+
+    def test_reset_surfaces_as_peer_disconnected(self):
+        rule = ProxyRule(mode="reset", direction=DOWNSTREAM)
+        with _PingServer() as upstream:
+            with ChaosProxy(upstream.address, [rule], seed=3) as proxy:
+                with ServiceClient(proxy.address, timeout=5.0, retry=None) as client:
+                    with pytest.raises(PeerDisconnected):
+                        client.request("ping")
+                assert proxy.injected == [(rule, DOWNSTREAM)]
+
+    def test_truncate_tears_the_frame_mid_read(self):
+        rule = ProxyRule(mode="truncate", direction=DOWNSTREAM, keep_bytes=3)
+        with _PingServer() as upstream:
+            with ChaosProxy(upstream.address, [rule], seed=4) as proxy:
+                with ServiceClient(proxy.address, timeout=5.0, retry=None) as client:
+                    with pytest.raises(PeerDisconnected):
+                        client.request("ping")
+                assert proxy.injected == [(rule, DOWNSTREAM)]
+
+    def test_dribble_slows_but_still_delivers(self):
+        rule = ProxyRule(
+            mode="dribble",
+            direction=DOWNSTREAM,
+            dribble_bytes=8,
+            dribble_delay=0.01,
+        )
+        with _PingServer() as upstream:
+            with ChaosProxy(upstream.address, [rule], seed=5) as proxy:
+                with ServiceClient(proxy.address, timeout=5.0, retry=None) as client:
+                    started = time.monotonic()
+                    assert client.ping()
+                    assert time.monotonic() - started >= 0.02
+                assert proxy.injected == [(rule, DOWNSTREAM)]
+
+    def test_direction_filter_spares_the_other_flow(self):
+        rule = ProxyRule(mode="delay", direction=UPSTREAM, delay_seconds=0.0)
+        with _PingServer() as upstream:
+            with ChaosProxy(upstream.address, [rule], seed=6) as proxy:
+                with ServiceClient(proxy.address, timeout=5.0, retry=None) as client:
+                    assert client.ping()
+                directions = {direction for _, direction in proxy.injected}
+                assert directions == {UPSTREAM}
+
+    def test_occurrence_arms_on_the_kth_chunk(self):
+        rule = ProxyRule(mode="reset", direction=DOWNSTREAM, occurrence=2)
+        with _PingServer() as upstream:
+            with ChaosProxy(upstream.address, [rule], seed=7) as proxy:
+                with ServiceClient(proxy.address, timeout=5.0, retry=None) as client:
+                    assert client.ping()  # first response passes untouched
+                    with pytest.raises(PeerDisconnected):
+                        client.request("ping")
+
+    def test_retrying_client_heals_a_reset(self):
+        # Each connection arms its own rule copy: the reset fires on the
+        # second response of every connection, so the reconnect that the
+        # retrying client performs starts with a clean slate.
+        rule = ProxyRule(mode="reset", direction=DOWNSTREAM, occurrence=2)
+        sleeps: list[float] = []
+        with _PingServer() as upstream:
+            with ChaosProxy(upstream.address, [rule], seed=8) as proxy:
+                with ServiceClient(
+                    proxy.address,
+                    timeout=5.0,
+                    retry=RetryPolicy(max_attempts=4, base_backoff=0.01, jitter=0.0),
+                    retry_seed=9,
+                    sleep=sleeps.append,
+                ) as client:
+                    assert client.ping()
+                    assert client.ping()  # reset, reconnect, replayed
+                assert len(sleeps) == 1
+                assert proxy.connections_seen == 2
+
+    def test_probability_draws_are_seeded_per_connection(self):
+        rule = ProxyRule(
+            mode="delay", probability=0.5, repeat=None, delay_seconds=0.0
+        )
+
+        def count(seed):
+            with _PingServer() as upstream:
+                with ChaosProxy(upstream.address, [rule], seed=seed) as proxy:
+                    with ServiceClient(
+                        proxy.address, timeout=5.0, retry=None
+                    ) as client:
+                        for _ in range(8):
+                            assert client.ping()
+                    return len(proxy.injected)
+
+        assert count(123) == count(123)  # same seed, same draw sequence
+
+
+class TestAgainstLiveService:
+    def test_truncated_response_is_absorbed_by_the_replay_cache(
+        self, service, registry
+    ):
+        with ServiceClient(service.address, timeout=5.0) as direct:
+            direct.open_key("acme", "px", seed=6)
+        rng = random.Random(13)
+        rules = [
+            ProxyRule(mode="truncate", direction=DOWNSTREAM, occurrence=2, keep_bytes=6)
+        ]
+        with ChaosProxy(service.address, rules, seed=10) as proxy:
+            with ServiceClient(
+                proxy.address,
+                timeout=5.0,
+                retry=RetryPolicy(max_attempts=6, base_backoff=0.01, jitter=0.0),
+                retry_seed=11,
+            ) as client:
+                # Work in this client's own decoded copy of the public
+                # key: group elements never compose across decodes.
+                public_key = client.public_key("acme", "px")
+                message = public_key.group.random_gt(rng)
+                recovered, period = client.encrypt_and_decrypt(
+                    "acme", "px", message, rng
+                )
+        assert recovered == message
+        assert period == 0
+        assert proxy.injected, "the truncate rule never fired"
+        # Exactly one period was burned no matter which response the
+        # truncation tore: a retried decrypt replays by request id.
+        assert registry.get("acme", "px").next_period == 1

@@ -1,0 +1,229 @@
+"""Graceful drain: idempotent stop, typed mid-drain codes, drain-under-load."""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core.dlr import DLR
+from repro.errors import PeerDisconnected, ServiceError, TransportTimeout
+from repro.runtime.checkpoint import load_checkpoint
+from repro.service import (
+    KeyService,
+    ServiceClient,
+    SessionKey,
+    SessionRegistry,
+)
+from repro.utils import persist
+
+#: Codes a client may legitimately see when its request races a drain:
+#: the typed shed/drain responses, or a classified connection loss once
+#: the drain cuts the socket.
+DRAIN_CODES = {
+    "draining",
+    "overloaded",
+    "deadline-exceeded",
+    "connection-lost",
+    "connection-timeout",
+}
+
+
+class TestStopIdempotency:
+    def test_stop_before_start_is_a_no_op(self, tmp_path):
+        service = KeyService(SessionRegistry(tmp_path, capacity=4))
+        service.stop()  # must not raise
+
+    def test_stop_twice_sequentially(self, tmp_path):
+        service = KeyService(SessionRegistry(tmp_path, capacity=4)).start()
+        service.stop()
+        service.stop()  # second call returns immediately
+
+    def test_concurrent_stops_run_the_shutdown_once(self, tmp_path):
+        registry = SessionRegistry(tmp_path / "state", capacity=4)
+        service = KeyService(registry, workers=2).start()
+        registry.create("acme", "a", seed=1)
+        registry.create("acme", "b", seed=2)
+
+        drains: list[int] = []
+        real_evict_all = registry.evict_all
+
+        def counting_evict_all():
+            drains.append(1)
+            return real_evict_all()
+
+        registry.evict_all = counting_evict_all
+        barrier = threading.Barrier(4)
+        errors: list[BaseException] = []
+
+        def race():
+            barrier.wait()
+            try:
+                service.stop(drain_deadline=2.0)
+            except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=race) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not any(thread.is_alive() for thread in threads)
+        assert errors == []
+        # The once-lock serialized the racers: one drain, not four.
+        assert drains == [1]
+        assert registry.resident_count() == 0
+        assert service.drain_failures == []
+
+    def test_stop_reports_checkpoint_failures(self, tmp_path, monkeypatch):
+        registry = SessionRegistry(tmp_path / "state", capacity=4)
+        service = KeyService(registry).start()
+        registry.create("acme", "hurt", seed=3)
+
+        import repro.service.registry as registry_mod
+
+        def broken_save(path, state):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(registry_mod, "save_checkpoint", broken_save)
+        service.stop()
+        assert len(service.drain_failures) == 1
+        assert "acme/hurt" in service.drain_failures[0]
+        assert (
+            registry.metrics.counter_value("service.drain_checkpoint_failures") == 1
+        )
+        # The per-commit checkpoint (written at create) is still the
+        # durable truth: the key survives the failed end-of-life flush.
+        state = load_checkpoint(registry.checkpoint_path(SessionKey("acme", "hurt")))
+        assert state.next_period == 0
+
+
+class TestDrainSignalling:
+    def test_mid_drain_heavy_op_gets_the_typed_retryable_code(self, tmp_path):
+        registry = SessionRegistry(tmp_path / "state", capacity=4)
+        service = KeyService(registry, workers=2, client_timeout=5.0).start()
+        try:
+            with ServiceClient(service.address, timeout=5.0, retry=None) as client:
+                public_key = client.open_key("acme", "k", seed=1)
+                rng = random.Random(4)
+                message = public_key.group.random_gt(rng)
+                ciphertext = DLR(public_key.params).encrypt(public_key, message, rng)
+                envelope = persist.dumps("ciphertext", ciphertext).encode("utf-8")
+
+                service.begin_drain()
+                assert service.health_status() == "draining"
+                # The connection keeps answering during the drain:
+                # protocol work is refused with the typed code...
+                header, _ = client.request(
+                    "decrypt", envelope, tenant="acme", key="k"
+                )
+                assert header["ok"] is False
+                assert header["code"] == "draining"
+                assert header["retry-after"] > 0
+                assert (
+                    service.metrics.counter_value("service.sheds", mode="drain") == 1
+                )
+                # ...while light ops stay served: health is observable
+                # all the way through the drain.
+                assert client.ping()
+                health, _ = client.request("health")
+                assert health["status"] == "draining"
+                # stop() cuts the socket; after that the client sees a
+                # classified error, never a raw socket exception.
+                service.stop()
+                with pytest.raises((PeerDisconnected, TransportTimeout, ServiceError)):
+                    client.request("ping")
+        finally:
+            service.stop()
+        # Nothing committed for the refused request.
+        state = load_checkpoint(registry.checkpoint_path(SessionKey("acme", "k")))
+        assert state.next_period == 0
+
+
+class TestDrainUnderLoad:
+    def test_in_flight_work_completes_and_checkpoints(self, tmp_path):
+        registry = SessionRegistry(tmp_path / "state", capacity=16)
+        service = KeyService(registry, workers=4, client_timeout=5.0).start()
+        keys = [("acme", f"k{i}") for i in range(3)]
+        with ServiceClient(service.address, timeout=5.0) as setup:
+            for index, (tenant, key) in enumerate(keys):
+                setup.open_key(tenant, key, seed=index)
+
+        results: list[tuple[int, list]] = []
+        mismatches: list[str] = []
+        results_lock = threading.Lock()
+        halt = threading.Event()
+
+        def stream(tenant, key, index):
+            rng = random.Random(index)
+            successes = 0
+            failures: list[BaseException] = []
+            client = ServiceClient(service.address, timeout=5.0, retry=None)
+            try:
+                try:
+                    # Each stream decodes its own public key: group
+                    # elements never compose across clients' decodes.
+                    public_key = client.public_key(tenant, key)
+                except (ServiceError, PeerDisconnected, TransportTimeout) as exc:
+                    failures.append(exc)
+                    return
+                while not halt.is_set():
+                    message = public_key.group.random_gt(rng)
+                    try:
+                        recovered, _period = client.encrypt_and_decrypt(
+                            tenant, key, message, rng
+                        )
+                    except (ServiceError, PeerDisconnected, TransportTimeout) as exc:
+                        failures.append(exc)
+                        break
+                    if recovered != message:
+                        with results_lock:
+                            mismatches.append(f"{tenant}/{key}")
+                        break
+                    successes += 1
+            finally:
+                client.close()
+                with results_lock:
+                    results.append((successes, failures))
+
+        threads = [
+            threading.Thread(target=stream, args=(tenant, key, index))
+            for index, (tenant, key) in enumerate(keys)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.4)  # let every stream commit some periods
+        service.stop(drain_deadline=5.0)
+        halt.set()
+        for thread in threads:
+            thread.join(timeout=15.0)
+        assert not any(thread.is_alive() for thread in threads)
+
+        assert mismatches == []
+        assert service.drain_failures == []
+        total_ok = sum(successes for successes, _ in results)
+        assert total_ok >= 1, "no traffic flowed before the drain"
+        # Every failure a client saw mid-drain was typed and classified.
+        for _, failures in results:
+            for exc in failures:
+                if isinstance(exc, ServiceError):
+                    assert exc.code in DRAIN_CODES
+                else:
+                    assert isinstance(exc, (PeerDisconnected, TransportTimeout))
+
+        # Every key's checkpoint is loadable and carries the committed
+        # work; no metric increment was lost: each committed period was
+        # counted exactly once as a served decrypt.
+        total_periods = 0
+        for tenant, key in keys:
+            state = load_checkpoint(registry.checkpoint_path(SessionKey(tenant, key)))
+            total_periods += state.next_period
+        ok_count = service.metrics.counter_value(
+            "service.requests", op="decrypt", outcome="ok"
+        )
+        assert ok_count == total_periods
+        # Clients never see more successes than the service committed
+        # (a response can be lost in the cut; a commit cannot).
+        assert total_ok <= total_periods

@@ -123,10 +123,29 @@ def run_load(
         per_session_periods = sorted(
             row["next_period"] for row in snapshot["resident"]
         )
-        service_hist = metrics.histogram(
+        # Merge across the per-tenant series: a get-or-create lookup at
+        # one exact label set would mint an empty instrument instead.
+        service_hist = metrics.merged_histogram(
             "service.request_seconds", op="decrypt"
         )
         hist_dict = service_hist.to_dict()
+
+        # Per-op service-side latency percentiles (upper-bound bucket
+        # estimates) -- the latency baseline future PRs trend against.
+        per_op_latency = {}
+        for op in ("open", "decrypt"):
+            hist = metrics.merged_histogram("service.request_seconds", op=op)
+            if hist is None:
+                continue
+            per_op_latency[op] = {
+                "count": hist.to_dict()["count"],
+                "p50_s_bucket": hist.quantile(0.50),
+                "p95_s_bucket": hist.quantile(0.95),
+                "p99_s_bucket": hist.quantile(0.99),
+                "mean_ms": round(
+                    (hist.to_dict()["sum"] / hist.to_dict()["count"]) * 1000, 3
+                ),
+            }
 
         report = {
             "invariants": {
@@ -159,10 +178,12 @@ def run_load(
             },
             "latency": {
                 "client_p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+                "client_p95_ms": round(percentile(latencies, 0.95) * 1000, 3),
                 "client_p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
                 "client_mean_ms": round(statistics.fmean(latencies) * 1000, 3),
                 "service_p50_s_bucket": service_hist.quantile(0.50),
                 "service_p99_s_bucket": service_hist.quantile(0.99),
+                "per_op": per_op_latency,
             },
             "throughput": {
                 "loaded_wall_s": round(loaded_wall, 3),

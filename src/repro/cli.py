@@ -257,6 +257,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import threading as _threading
 
     from repro.service import KeyService, SessionRegistry
+    from repro.telemetry import Tracer, install_tracer
 
     registry = SessionRegistry(
         args.checkpoint_dir, capacity=args.capacity, budgeted=args.budget
@@ -272,12 +273,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     from repro.math.backend import active_backend
 
+    tracer = None
+    previous_tracer = None
+    if args.trace is not None:
+        # The server is one actor in a cross-process trace: qualified
+        # span ids keep its file merge-safe against any client's.
+        tracer = Tracer(actor="server")
+        previous_tracer = install_tracer(tracer)
     service.start()
     host, port = service.address
     print(f"serving on {host}:{port} ({args.workers} workers, "
           f"capacity {args.capacity}, backend {active_backend().name})", flush=True)
     if args.announce is not None:
         persist.atomic_write_text(args.announce, f"{host} {port}\n")
+    prom = None
+    if args.prom_port is not None:
+        from repro.service import PrometheusEndpoint
+
+        prom = PrometheusEndpoint(service, host=args.host, port=args.prom_port).start()
+        prom_host, prom_port = prom.address
+        print(f"prometheus on {prom_host}:{prom_port}", flush=True)
+        if args.prom_announce is not None:
+            persist.atomic_write_text(args.prom_announce, f"{prom_host} {prom_port}\n")
 
     def request_drain(signum, frame):
         print(f"received signal {signum}; draining", flush=True)
@@ -296,6 +313,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("interrupted; draining", flush=True)
     finally:
         service.stop(drain_deadline=args.drain_deadline)
+        if prom is not None:
+            prom.stop()
+        if tracer is not None:
+            install_tracer(previous_tracer)
+            tracer.export_jsonl(args.trace)
+            print(f"wrote {args.trace}", flush=True)
         for signum, handler in previous_handlers.items():
             signal.signal(signum, handler)
     snapshot = service.metrics.snapshot()
@@ -318,11 +341,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    """Digest a span-trace JSONL file: aggregate by name, hottest spans."""
-    from repro.telemetry import render_trace_report, validate_trace_file
+    """Digest a span-trace JSONL file, or -- as ``trace analyze FILE...``
+    -- merge one or more (cross-process) traces and report critical-path
+    decomposition and per-step aggregates."""
+    from repro.telemetry import (
+        merge_trace_files,
+        render_trace_analysis,
+        render_trace_report,
+        trace_analysis,
+        validate_trace_file,
+    )
 
+    files = list(args.files)
+    if files and files[0] == "analyze":
+        files = files[1:]
+        if not files:
+            print("trace analyze: at least one trace file required", file=sys.stderr)
+            return 2
+        try:
+            spans = merge_trace_files(files, output=args.merged_out)
+        except (OSError, ValueError) as exc:
+            print(f"invalid trace: {exc}", file=sys.stderr)
+            return 1
+        if args.merged_out is not None:
+            print(f"wrote {args.merged_out}")
+        print(render_trace_analysis(trace_analysis(spans)))
+        return 0
+    if len(files) != 1:
+        print(
+            "trace: exactly one file for the digest (use 'trace analyze "
+            "FILE...' for multi-file analysis)",
+            file=sys.stderr,
+        )
+        return 2
     try:
-        spans = validate_trace_file(args.file)
+        spans = validate_trace_file(files[0])
     except ValueError as exc:
         print(f"invalid trace: {exc}", file=sys.stderr)
         return 1
@@ -477,13 +530,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="drain and exit after this many requests")
     serve.add_argument("--announce", default=None, metavar="FILE",
                        help="write 'host port' here once the listener is bound")
+    serve.add_argument("--prom-port", type=int, default=None, metavar="PORT",
+                       help="also serve a read-only Prometheus scrape endpoint "
+                            "(GET /metrics, GET /health) on this port (0 = ephemeral)")
+    serve.add_argument("--prom-announce", default=None, metavar="FILE",
+                       help="write 'host port' of the Prometheus endpoint here "
+                            "once it is bound (separate from --announce)")
+    serve.add_argument("--trace", default=None, metavar="JSONL",
+                       help="record a server-side span trace (actor 'server') "
+                            "to this JSONL file at exit")
     serve.add_argument("--no-budget", dest="budget", action="store_false",
                        help="serve without leakage-budget admission control")
     serve.set_defaults(fn=cmd_serve)
 
-    trace = sub.add_parser("trace", help="digest a span-trace JSONL file")
-    trace.add_argument("file", help="trace JSONL written by supervise --trace")
+    trace = sub.add_parser(
+        "trace",
+        help="digest a span-trace JSONL file (or: trace analyze FILE...)",
+    )
+    trace.add_argument(
+        "files",
+        nargs="+",
+        metavar="FILE",
+        help="trace JSONL file(s); prefix with the literal word 'analyze' "
+        "for cross-process critical-path analysis of merged traces",
+    )
     trace.add_argument("--top", type=int, default=10, help="hottest spans to list")
+    trace.add_argument("--merged-out", default=None, metavar="JSONL",
+                       help="with 'analyze': also write the merged trace here")
     trace.set_defaults(fn=cmd_trace)
 
     metrics = sub.add_parser(

@@ -45,6 +45,14 @@ from repro.utils.serialization import WireCodec, encode_any, sniff_group
 # flat JSON object (routing metadata); the payload is opaque bytes --
 # wire-codec protocol elements for the device channel, request/response
 # bodies for the key service.
+#
+# Service request headers may additionally carry *trace context*:
+# optional ``trace_id`` and ``parent_span`` fields stamped by a tracing
+# ``ServiceClient`` (see ``repro.telemetry.tracer.SpanContext``).  They
+# are advisory routing metadata like ``request_id``: servers that do not
+# know them ignore them, malformed values degrade to "no context", and
+# they never touch the device-channel protocol frames -- golden
+# transcripts are unaffected.
 
 
 def encode_frame(header: dict, payload: bytes) -> bytes:

@@ -62,6 +62,10 @@ class SessionLog:
     attempts: list[AttemptRecord] = field(default_factory=list)
     periods: list[PeriodSummary] = field(default_factory=list)
     quarantine: list[dict] = field(default_factory=list)
+    #: Correlation id of the trace whose spans cover this session's most
+    #: recent period (stamped by the supervisor when tracing is on), so
+    #: a durable log row links back to the JSONL trace that produced it.
+    trace_id: str | None = None
 
     # -- recording ---------------------------------------------------------
 
@@ -123,7 +127,7 @@ class SessionLog:
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "version": 1,
             "scheme": self.scheme,
             "seed": self.seed,
@@ -139,13 +143,21 @@ class SessionLog:
                 "bits_on_wire": sum(p.bits_on_wire for p in self.periods),
             },
         }
+        # Only when set: untraced sessions keep the exact classic shape.
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        return out
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
 
     @classmethod
     def from_dict(cls, data: dict) -> "SessionLog":
-        log = cls(scheme=data.get("scheme", ""), seed=data.get("seed"))
+        log = cls(
+            scheme=data.get("scheme", ""),
+            seed=data.get("seed"),
+            trace_id=data.get("trace_id"),
+        )
         for a in data.get("attempts", ()):
             log.record_attempt(AttemptRecord(**a))
         for p in data.get("periods", ()):

@@ -424,7 +424,7 @@ class SessionSupervisor:
 
     def _run_one_period(self, ciphertext=None) -> object:
         period = self.state.next_period
-        with active_tracer().span("period", period=period, scheme=self.state.scheme):
+        with active_tracer().span("period", period=period, scheme=self.state.scheme) as span:
             record = run_with_retries(
                 lambda: self._attempt(period, ciphertext),
                 period=period,
@@ -438,6 +438,12 @@ class SessionSupervisor:
                 on_freeze=self._freeze,
             )
             self._commit_period(period)
+            # Correlate the durable log with the trace that produced it:
+            # a service-driven period inherits the request's trace id, so
+            # an operator can go from a SessionLog row to the exact trace.
+            trace_id = getattr(span, "trace_id", None)
+            if trace_id is not None:
+                self.log.trace_id = trace_id
         return record
 
     def _freeze(self) -> None:
@@ -511,7 +517,12 @@ class SessionSupervisor:
         self.state.share2 = share2
         self.state.next_period = period + 1
         if self.checkpoint_path is not None:
-            save_checkpoint(self.checkpoint_path, self.state)
+            tracer = active_tracer()
+            if tracer.enabled:
+                with tracer.span("checkpoint.flush", period=period):
+                    save_checkpoint(self.checkpoint_path, self.state)
+            else:
+                save_checkpoint(self.checkpoint_path, self.state)
         if self.oracle is not None:
             self.oracle.end_period()
         if self._on_period_commit is not None:

@@ -9,6 +9,7 @@ sessions, and per-request telemetry.  See ``docs/service.md``.
 
 from repro.service.chaosproxy import ChaosProxy, ProxyRule
 from repro.service.client import ServiceClient
+from repro.service.promhttp import PrometheusEndpoint
 from repro.service.registry import SessionRegistry
 from repro.service.resilience import (
     Deadline,
@@ -27,6 +28,7 @@ __all__ = [
     "IDEMPOTENT_OPS",
     "KeyService",
     "ManagedSession",
+    "PrometheusEndpoint",
     "ProxyRule",
     "ResponseCache",
     "RETRYABLE_CODES",

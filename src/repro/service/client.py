@@ -54,6 +54,7 @@ from repro.groups.encoding import decode_gt
 from repro.protocol.transport import encode_frame, recv_frame
 from repro.runtime.policy import RetryPolicy
 from repro.service.resilience import Deadline, RETRYABLE_CODES, is_idempotent
+from repro.telemetry.tracer import active_tracer
 from repro.utils import persist
 from repro.utils.bits import BitString
 
@@ -159,14 +160,38 @@ class ServiceClient:
         attempts: list[dict] = []
         idempotent = is_idempotent(op, fields)
         attempt = 0
+        tracer = active_tracer()
         while True:
             attempt += 1
             header_fields = dict(fields)
             if overall is not None:
                 header_fields["deadline"] = max(0.0, overall.remaining())
+            span = None
+            if tracer.enabled:
+                # One span per attempt: retries become siblings under one
+                # trace id, so a trace shows every try -- and its context
+                # rides the request header, parenting the server-side
+                # service.request span cross-process.
+                span = tracer.span("service.call", op=op, attempt=attempt)
+                span.__enter__()
+                header_fields.update(span.context().header_fields())
             try:
-                header, body = self.request(op, payload, **header_fields)
+                try:
+                    header, body = self.request(op, payload, **header_fields)
+                except (TransportTimeout, PeerDisconnected):
+                    raise
+                except BaseException as exc:
+                    # Unclassified failures must still close the attempt
+                    # span, or the thread-local stack wedges open.
+                    if span is not None:
+                        span.__exit__(type(exc), exc, None)
+                        span = None
+                    raise
             except (TransportTimeout, PeerDisconnected) as exc:
+                if span is not None:
+                    span.annotate(fault=type(exc).__name__)
+                    span.__exit__(None, None, None)
+                    span = None
                 self._drop_connection()
                 record = {"attempt": attempt, "fault": type(exc).__name__}
                 attempts.append(record)
@@ -192,6 +217,11 @@ class ServiceClient:
                     ) from exc
                 record["backoff"] = self._backoff(policy, attempt, 0.0)
                 continue
+            if span is not None:
+                span.annotate(ok=bool(header.get("ok")))
+                if not header.get("ok"):
+                    span.annotate(code=header.get("code", "internal"))
+                span.__exit__(None, None, None)
             if header.get("ok"):
                 return header, body
             code = header.get("code", "internal")
@@ -317,6 +347,12 @@ class ServiceClient:
 
         _, body = self.call("stats")
         return json.loads(body.decode("utf-8"))
+
+    def metrics_text(self) -> str:
+        """The service's metrics in Prometheus text exposition format
+        (the same bytes its ``--prom-port`` HTTP endpoint serves)."""
+        _, body = self.call("metrics")
+        return body.decode("utf-8")
 
     # -- internals -----------------------------------------------------------
 

@@ -86,6 +86,9 @@ class SessionRegistry:
         #: Keys whose end-of-life checkpoint flush failed in the last
         #: :meth:`evict_all` (the drain path reports these).
         self.drain_failures: list[str] = []
+        #: Tenants currently carrying budget gauges (so a tenant whose
+        #: sessions all evict gets its gauges zeroed, not frozen).
+        self._budget_tenants: set[str] = set()
 
     # -- paths ---------------------------------------------------------------
 
@@ -272,6 +275,49 @@ class SessionRegistry:
         self.metrics.counter("service.evictions").inc()
 
     # -- introspection --------------------------------------------------------
+
+    def publish_budget_gauges(self) -> None:
+        """Publish per-tenant leakage-budget gauges into the service
+        registry, reconciling with each session's oracle.
+
+        ``service.budget_remaining_bits{tenant,device}`` sums
+        ``oracle.remaining(device)`` over the tenant's resident sessions
+        and ``service.budget_retry_bits{tenant,device}`` sums
+        ``oracle.retry_charged(device=...)`` -- the oracle's registry-
+        backed retry ledger *is* the source, so the gauges cannot drift
+        from it (the reconciliation tests assert exact equality).
+        Tenants that lose their last resident session zero out instead
+        of freezing at their final value.
+        """
+        totals: dict[tuple[str, int], list[int]] = {}
+        with self._lock:
+            for key, session in self._resident.items():
+                oracle = session.supervisor.oracle
+                if oracle is None:
+                    continue
+                for device in (1, 2):
+                    entry = totals.setdefault((key.tenant, device), [0, 0])
+                    entry[0] += oracle.remaining(device)
+                    entry[1] += oracle.retry_charged(device=device)
+            stale = self._budget_tenants - {tenant for tenant, _ in totals}
+            self._budget_tenants = {tenant for tenant, _ in totals}
+        for (tenant, device), (remaining, retry_bits) in totals.items():
+            label = f"P{device}"
+            self.metrics.gauge(
+                "service.budget_remaining_bits", tenant=tenant, device=label
+            ).set(remaining)
+            self.metrics.gauge(
+                "service.budget_retry_bits", tenant=tenant, device=label
+            ).set(retry_bits)
+        for tenant in stale:
+            for device in (1, 2):
+                label = f"P{device}"
+                self.metrics.gauge(
+                    "service.budget_remaining_bits", tenant=tenant, device=label
+                ).set(0)
+                self.metrics.gauge(
+                    "service.budget_retry_bits", tenant=tenant, device=label
+                ).set(0)
 
     def resident_count(self) -> int:
         with self._lock:

@@ -50,7 +50,7 @@ RETRYABLE_CODES = frozenset({"deadline-exceeded", "overloaded", "draining"})
 #: cannot know whether the lost request executed).  ``decrypt`` joins
 #: this set only when stamped with a ``request_id`` (the server's
 #: replay cache then absorbs duplicates).
-IDEMPOTENT_OPS = frozenset({"ping", "describe", "stats", "health"})
+IDEMPOTENT_OPS = frozenset({"ping", "describe", "stats", "health", "metrics"})
 
 #: Ops that run (or mutate) a session: shed first under overload and
 #: refused while draining.  Everything else is *light* -- answered even

@@ -89,6 +89,8 @@ from repro.service.resilience import (
 )
 from repro.service.session import ManagedSession, StaleSessionError
 from repro.telemetry.metrics import MetricsRegistry, mark_backend
+from repro.telemetry.prometheus import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.telemetry.tracer import SpanContext, active_tracer
 from repro.utils import persist
 
 #: Histogram boundaries for request latency: service requests run two-
@@ -101,6 +103,23 @@ REQUEST_SECONDS_BUCKETS = (
 READY = "ready"
 DRAINING = "draining"
 OVERLOADED = "overloaded"
+
+#: Cardinality bound for the ``tenant`` metric label: a label set is a
+#: time series, so a hostile or buggy client must not be able to mint
+#: unbounded series by inventing tenant names.  Beyond this many
+#: distinct tenants, further ones aggregate under ``__other__``.
+MAX_TENANT_LABELS = 32
+
+#: The tenant label for requests that carry no tenant field (light ops
+#: like ``ping``/``health``/``stats``/``metrics``).
+NO_TENANT_LABEL = "-"
+
+#: The tenant label for tenant names the registry would reject anyway
+#: (non-conforming strings never become series of their own).
+INVALID_TENANT_LABEL = "__invalid__"
+
+#: The overflow bucket once :data:`MAX_TENANT_LABELS` is reached.
+OVERFLOW_TENANT_LABEL = "__other__"
 
 
 class KeyService:
@@ -157,6 +176,8 @@ class KeyService:
         self._brownout_active = 0
         self._connections_lock = threading.Lock()
         self._replay = ResponseCache(replay_capacity)
+        self._tenant_labels: set[str] = set()
+        self._tenant_labels_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -285,11 +306,56 @@ class KeyService:
         with self._connections_lock:
             return len(self._connections)
 
+    def _busy_workers(self) -> int:
+        with self._connections_lock:
+            return len(self._busy)
+
+    def _queue_depth(self) -> int:
+        """Connections admitted beyond the worker count: the accept-queue
+        pressure the brownout lane is absorbing."""
+        return max(0, self._active_connections() - self.workers)
+
+    def refresh_gauges(self) -> None:
+        """Re-publish point-in-time gauges into the metrics registry.
+
+        Called on every observation surface (``health``/``stats``/
+        ``metrics`` ops and the Prometheus endpoint) rather than on a
+        timer: gauges are cheap to recompute and this keeps every scrape
+        internally consistent with the moment it was served.
+        """
+        self.metrics.gauge("service.busy_workers").set(self._busy_workers())
+        self.metrics.gauge("service.queue_depth").set(self._queue_depth())
+        self.metrics.gauge("service.connections_active").set(self._active_connections())
+        self.registry.publish_budget_gauges()
+
     def _retry_after(self) -> float:
         """Backoff hint for shed requests: grows with the overflow depth
         so a herd of shed clients spreads out instead of stampeding."""
         overflow = self._active_connections() - self.workers + 1
         return min(2.0, max(0.05, 0.05 * overflow))
+
+    def _tenant_label(self, tenant) -> str:
+        """Fold a request's tenant field into the bounded label space.
+
+        Absent → ``-``; malformed (would fail registry validation) →
+        ``__invalid__``; otherwise the tenant itself until
+        :data:`MAX_TENANT_LABELS` distinct tenants have been seen, then
+        ``__other__``.  The seen-set is remembered, so a tenant that made
+        the cut keeps its own series for the life of the process.
+        """
+        from repro.service.registry import _NAME_RE
+
+        if tenant is None:
+            return NO_TENANT_LABEL
+        if not isinstance(tenant, str) or not _NAME_RE.match(tenant):
+            return INVALID_TENANT_LABEL
+        with self._tenant_labels_lock:
+            if tenant in self._tenant_labels:
+                return tenant
+            if len(self._tenant_labels) < MAX_TENANT_LABELS:
+                self._tenant_labels.add(tenant)
+                return tenant
+        return OVERFLOW_TENANT_LABEL
 
     # -- connection handling -------------------------------------------------
 
@@ -301,6 +367,7 @@ class KeyService:
                 continue
             except OSError:
                 break
+            accepted_at = time.perf_counter()
             connection.settimeout(self.client_timeout)
             with self._connections_lock:
                 active = len(self._connections)
@@ -315,11 +382,11 @@ class KeyService:
                 if lane != "hard":
                     self._connections.add(connection)
             if lane == "normal":
-                self._pool.submit(self._serve_connection, connection)
+                self._pool.submit(self._serve_connection, connection, False, accepted_at)
             elif lane == "brownout":
                 self.metrics.counter("service.brownout_connections").inc()
                 self._brownout_pool.submit(
-                    self._serve_connection, connection, True
+                    self._serve_connection, connection, True, accepted_at
                 )
             else:
                 # Even the brownout lane is full: shed outright, but
@@ -344,7 +411,10 @@ class KeyService:
             connection.close()
 
     def _serve_connection(
-        self, connection: socket.socket, brownout: bool = False
+        self,
+        connection: socket.socket,
+        brownout: bool = False,
+        accepted_at: float | None = None,
     ) -> None:
         try:
             while True:
@@ -367,12 +437,47 @@ class KeyService:
                 with self._connections_lock:
                     self._busy.add(connection)
                 try:
-                    response_header, response_payload = self._handle(
-                        header, payload, shed_heavy=brownout
-                    )
-                    delivered = self._respond(
-                        connection, response_header, response_payload
-                    )
+                    tracer = active_tracer()
+                    if tracer.enabled:
+                        # The server-side root of this request's trace,
+                        # parented cross-process on the client's attempt
+                        # span when the header carries trace context.
+                        # Covers dispatch *and* reply delivery, so the
+                        # reply-encode child in _respond nests under it.
+                        span = tracer.span(
+                            "service.request",
+                            parent=SpanContext.from_header(header),
+                            op=header.get("op"),
+                            tenant=self._tenant_label(header.get("tenant")),
+                        )
+                        with span:
+                            if accepted_at is not None:
+                                # Accept-queue wait: accept-to-dispatch on
+                                # this same process clock.  Only the first
+                                # request of a connection waited for it.
+                                tracer.record(
+                                    "service.queue_wait",
+                                    max(0.0, span.start - accepted_at),
+                                    parent=span,
+                                    brownout=brownout,
+                                )
+                            response_header, response_payload = self._handle(
+                                header, payload, shed_heavy=brownout
+                            )
+                            span.annotate(ok=response_header.get("ok"))
+                            if not response_header.get("ok"):
+                                span.annotate(code=response_header.get("code"))
+                            delivered = self._respond(
+                                connection, response_header, response_payload
+                            )
+                    else:
+                        response_header, response_payload = self._handle(
+                            header, payload, shed_heavy=brownout
+                        )
+                        delivered = self._respond(
+                            connection, response_header, response_payload
+                        )
+                    accepted_at = None
                 finally:
                     with self._connections_lock:
                         self._busy.discard(connection)
@@ -396,8 +501,15 @@ class KeyService:
             connection.close()
 
     def _respond(self, connection, header: dict, payload: bytes = b"") -> bool:
+        tracer = active_tracer()
         try:
-            connection.sendall(encode_frame(header, payload))
+            if tracer.enabled and tracer.current() is not None:
+                # Child of the service.request span open on this thread:
+                # how long serializing + delivering the reply took.
+                with tracer.span("service.reply_encode", bytes=len(payload)):
+                    connection.sendall(encode_frame(header, payload))
+            else:
+                connection.sendall(encode_frame(header, payload))
             return True
         except OSError:
             return False
@@ -494,10 +606,29 @@ class KeyService:
             }, b""
         finally:
             label = op if isinstance(op, str) else "invalid"
+            tenant = self._tenant_label(header.get("tenant"))
+            exemplar = None
+            tracer = active_tracer()
+            if tracer.enabled:
+                # Link this observation to the request's trace: the span
+                # open on this thread is the service.request root opened
+                # in _serve_connection.  Scrapers surface the exemplar on
+                # the latency bucket the request landed in, so a tail
+                # bucket points straight at a trace that lives there.
+                current = tracer.current()
+                if current is not None:
+                    exemplar = {"span": current.ref}
+                    if current.trace_id is not None:
+                        exemplar["trace_id"] = current.trace_id
             self.metrics.histogram(
-                "service.request_seconds", buckets=REQUEST_SECONDS_BUCKETS, op=label
-            ).observe(time.perf_counter() - start)
-            self.metrics.counter("service.requests", op=label, outcome=outcome).inc()
+                "service.request_seconds",
+                buckets=REQUEST_SECONDS_BUCKETS,
+                op=label,
+                tenant=tenant,
+            ).observe(time.perf_counter() - start, exemplar=exemplar)
+            self.metrics.counter(
+                "service.requests", op=label, outcome=outcome, tenant=tenant
+            ).inc()
 
     def _session(self, header: dict) -> ManagedSession:
         return self.registry.get(header.get("tenant"), header.get("key"))
@@ -508,11 +639,15 @@ class KeyService:
         return {}, b""
 
     def _op_health(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        self.refresh_gauges()
         return {
             "status": self.health_status(),
             "draining": self._draining.is_set(),
             "active_connections": self._active_connections(),
             "workers": self.workers,
+            "busy_workers": self._busy_workers(),
+            "queue_depth": self._queue_depth(),
+            "backend": active_backend().name,
             "backlog": self.backlog,
             "sessions_resident": self.registry.resident_count(),
             "requests_handled": self.requests_handled,
@@ -596,7 +731,16 @@ class KeyService:
         evicted = self.registry.evict(header.get("tenant"), header.get("key"))
         return {"evicted": evicted}, b""
 
+    def _op_metrics(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        """Prometheus text exposition over the wire protocol -- the same
+        bytes ``--prom-port`` serves over HTTP, for clients that already
+        hold a service connection (light op: served during brownout)."""
+        self.refresh_gauges()
+        body = render_prometheus(self.metrics).encode("utf-8")
+        return {"content_type": PROMETHEUS_CONTENT_TYPE}, body
+
     def _op_stats(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        self.refresh_gauges()
         body = json.dumps(
             {
                 "backend": active_backend().name,

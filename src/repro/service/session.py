@@ -24,6 +24,7 @@ from repro.core.dlr import PeriodRecord
 from repro.errors import AdmissionRejected
 from repro.runtime.session import SessionSupervisor
 from repro.service.resilience import find_deadline_exceeded
+from repro.telemetry.tracer import active_tracer
 
 
 class StaleSessionError(Exception):
@@ -126,7 +127,21 @@ class ManagedSession:
         return self._serve(None, deadline=deadline)
 
     def _serve(self, ciphertext, *, deadline=None) -> PeriodRecord:
-        with self.lock:
+        tracer = active_tracer()
+        if tracer.enabled:
+            # Requests on the same key serialize here; the lock-wait
+            # span is how a trace shows a decrypt that spent its
+            # deadline queueing behind a sibling, not computing.
+            waited_from = time.perf_counter()
+            self.lock.acquire()
+            tracer.record(
+                "service.lock_wait",
+                time.perf_counter() - waited_from,
+                key=str(self.key),
+            )
+        else:
+            self.lock.acquire()
+        try:
             if self.evicted:
                 raise StaleSessionError(str(self.key))
             if deadline is not None:
@@ -134,7 +149,11 @@ class ManagedSession:
                 # have consumed the whole budget; answer typed instead
                 # of running a period nobody is waiting for.
                 deadline.check("after waiting for the session lock")
-            reason = self.admission_error()
+            if tracer.enabled:
+                with tracer.span("service.admission", key=str(self.key)):
+                    reason = self.admission_error()
+            else:
+                reason = self.admission_error()
             if reason is not None:
                 raise AdmissionRejected(str(self.key), reason)
             transport = self.supervisor.transport
@@ -158,6 +177,8 @@ class ManagedSession:
             # and will never be read again; keep memory flat.
             self.supervisor.transport.prune(self.supervisor.state.next_period)
             return record
+        finally:
+            self.lock.release()
 
     # -- introspection ------------------------------------------------------
 

@@ -34,8 +34,10 @@ from repro.telemetry.dashboard import (
     hottest_spans,
     render_budget_dashboard,
     render_period_metrics,
+    render_trace_analysis,
     render_trace_report,
     span_summary,
+    trace_analysis,
 )
 from repro.telemetry.metrics import (
     DEFAULT_SECONDS_BUCKETS,
@@ -49,15 +51,23 @@ from repro.telemetry.metrics import (
     mark_backend,
     metering,
 )
+from repro.telemetry.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+)
 from repro.telemetry.tracer import (
     NULL_SPAN,
     NULL_TRACER,
     TRACE_SCHEMA_VERSION,
     NullTracer,
     Span,
+    SpanContext,
     Tracer,
     active_tracer,
     install_tracer,
+    merge_trace_files,
+    merge_traces,
+    new_trace_id,
     tracing,
     traced,
     uninstall_tracer,
@@ -74,7 +84,9 @@ __all__ = [
     "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
+    "PROMETHEUS_CONTENT_TYPE",
     "Span",
+    "SpanContext",
     "TRACE_SCHEMA_VERSION",
     "Tracer",
     "active_registry",
@@ -85,11 +97,17 @@ __all__ = [
     "install_tracer",
     "label_text",
     "mark_backend",
+    "merge_trace_files",
+    "merge_traces",
     "metering",
+    "new_trace_id",
     "render_budget_dashboard",
     "render_period_metrics",
+    "render_prometheus",
+    "render_trace_analysis",
     "render_trace_report",
     "span_summary",
+    "trace_analysis",
     "traced",
     "tracing",
     "uninstall_tracer",

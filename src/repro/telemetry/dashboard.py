@@ -170,3 +170,119 @@ def render_trace_report(spans: list[dict], top: int = 10) -> str:
             f"  parent={parent}"
         )
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Cross-process trace analysis (``repro-dlr trace analyze``)
+# ---------------------------------------------------------------------------
+
+
+def trace_analysis(spans: list[dict]) -> dict:
+    """Critical-path decomposition and per-step aggregates over a
+    (possibly merged, possibly cross-process) validated trace.
+
+    Timestamps come from each process's own ``perf_counter``, so
+    *positions* are incomparable across actors -- two processes' clocks
+    share no origin.  The decomposition therefore works with
+    **durations only**: a span's *self time* is its duration minus the
+    summed durations of its direct children (floored at zero; children
+    measured on a different clock still have trustworthy durations).
+    Summing self time over a trace answers "where did the wall-clock
+    actually go" without ever comparing timestamps across actors.
+
+    Returns::
+
+        {
+          "spans": total span count,
+          "traces": sorted distinct trace ids (absent ids excluded),
+          "roots": [ids of parentless spans],
+          "by_name": {name: {count, total_seconds, max_seconds,
+                             self_seconds}},
+          "critical_path": [ {id, name, duration, self} ... ]  # from the
+              longest root down its longest-child chain
+        }
+    """
+    spans = list(spans)
+    by_id = {span["id"]: span for span in spans}
+    children: dict = {}
+    for span in spans:
+        parent = span["parent"]
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(span)
+
+    def duration(span: dict) -> float:
+        return span["end"] - span["start"]
+
+    def self_seconds(span: dict) -> float:
+        kids = children.get(span["id"], ())
+        return max(0.0, duration(span) - sum(duration(k) for k in kids))
+
+    by_name: dict[str, dict] = {}
+    for span in spans:
+        entry = by_name.setdefault(
+            span["name"],
+            {"count": 0, "total_seconds": 0.0, "max_seconds": 0.0, "self_seconds": 0.0},
+        )
+        entry["count"] += 1
+        entry["total_seconds"] += duration(span)
+        entry["max_seconds"] = max(entry["max_seconds"], duration(span))
+        entry["self_seconds"] += self_seconds(span)
+
+    roots = [s for s in spans if s["parent"] is None or s["parent"] not in by_id]
+    roots.sort(key=lambda s: (-duration(s), str(s["id"])))
+
+    critical_path = []
+    if roots:
+        cursor = roots[0]
+        seen = set()
+        while cursor is not None and cursor["id"] not in seen:
+            seen.add(cursor["id"])
+            critical_path.append(
+                {
+                    "id": cursor["id"],
+                    "name": cursor["name"],
+                    "duration": duration(cursor),
+                    "self": self_seconds(cursor),
+                }
+            )
+            kids = children.get(cursor["id"], ())
+            cursor = max(
+                kids, key=lambda k: (duration(k), str(k["id"])), default=None
+            )
+
+    traces = sorted({s["trace"] for s in spans if isinstance(s.get("trace"), str)})
+    return {
+        "spans": len(spans),
+        "traces": traces,
+        "roots": [s["id"] for s in roots],
+        "by_name": by_name,
+        "critical_path": critical_path,
+    }
+
+
+def render_trace_analysis(analysis: dict) -> str:
+    """The ``repro-dlr trace analyze`` report."""
+    lines = [
+        f"{analysis['spans']} spans, {len(analysis['roots'])} roots, "
+        f"{len(analysis['traces'])} trace ids"
+    ]
+    if analysis["traces"]:
+        lines.append("traces: " + ", ".join(analysis["traces"]))
+    lines.append("critical path (longest root, longest-child descent):")
+    for hop in analysis["critical_path"]:
+        lines.append(
+            f"  #{hop['id']!s:<10} {hop['name']:<26} {hop['duration']:>10.6f}s"
+            f"  self={hop['self']:>10.6f}s"
+        )
+    lines.append(
+        f"  {'name':<26}{'count':>7}{'total s':>11}{'self s':>11}{'max s':>11}"
+    )
+    ordered = sorted(
+        analysis["by_name"].items(), key=lambda kv: (-kv[1]["self_seconds"], kv[0])
+    )
+    for name, entry in ordered:
+        lines.append(
+            f"  {name:<26}{entry['count']:>7}{entry['total_seconds']:>11.4f}"
+            f"{entry['self_seconds']:>11.4f}{entry['max_seconds']:>11.4f}"
+        )
+    return "\n".join(lines)

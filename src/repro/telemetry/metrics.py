@@ -45,6 +45,14 @@ def _key(name: str, labels: dict) -> LabelKey:
     return (name, tuple(sorted(labels.items())))
 
 
+def _labels_cover(instrument_labels, wanted) -> bool:
+    """True when the instrument's (sorted) label pairs ⊇ ``wanted``."""
+    if not wanted:
+        return True
+    have = dict(instrument_labels)
+    return all(have.get(k) == v for k, v in wanted)
+
+
 def label_text(key: LabelKey) -> str:
     """Canonical flat spelling, e.g. ``engine.bits_on_wire{label=dec.d}``."""
     name, labels = key
@@ -107,7 +115,7 @@ class Histogram:
     extra bucket counts the overflow (``> boundaries[-1]``).
     """
 
-    __slots__ = ("_lock", "boundaries", "counts", "total", "count")
+    __slots__ = ("_lock", "boundaries", "counts", "total", "count", "_exemplars")
 
     def __init__(self, boundaries=DEFAULT_SECONDS_BUCKETS) -> None:
         ordered = tuple(boundaries)
@@ -118,11 +126,17 @@ class Histogram:
         self.counts = [0] * (len(ordered) + 1)
         self.total = 0.0
         self.count = 0
+        # Per-bucket exemplars ({index: {"labels": ..., "value": ...}}),
+        # allocated lazily: histograms observed without exemplars (tracing
+        # off) carry no exemplar state and snapshot in the classic shape.
+        self._exemplars: dict | None = None
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: dict | None = None) -> None:
         # The bucket search needs no lock (boundaries are immutable);
-        # the three-field update must be one transaction or a concurrent
-        # observer/snapshot sees counts, total, and count disagree.
+        # the field update must be one transaction or a concurrent
+        # observer/snapshot sees counts, total, and count disagree.  The
+        # exemplar write rides the same transaction so a bucket's count
+        # and its exemplar never tear apart.
         index = len(self.boundaries)
         for i, bound in enumerate(self.boundaries):
             if value <= bound:
@@ -132,6 +146,10 @@ class Histogram:
             self.counts[index] += 1
             self.total += value
             self.count += 1
+            if exemplar:
+                if self._exemplars is None:
+                    self._exemplars = {}
+                self._exemplars[index] = {"labels": dict(exemplar), "value": value}
 
     def quantile(self, q: float) -> float:
         """Upper-bound estimate of the ``q``-quantile from the cumulative
@@ -152,13 +170,26 @@ class Histogram:
             return float("inf")
 
     def to_dict(self) -> dict:
+        # One locked read so boundaries/counts/sum/count (and any
+        # exemplars) are a consistent cut.  The ``exemplars`` key appears
+        # only when at least one exemplar was recorded, keeping snapshots
+        # byte-identical for runs that never traced.
         with self._lock:
-            return {
+            out = {
                 "boundaries": list(self.boundaries),
                 "counts": list(self.counts),
                 "sum": self.total,
                 "count": self.count,
             }
+            if self._exemplars:
+                out["exemplars"] = {
+                    str(index): {
+                        "labels": dict(ex["labels"]),
+                        "value": ex["value"],
+                    }
+                    for index, ex in sorted(self._exemplars.items())
+                }
+            return out
 
 
 class MetricsRegistry:
@@ -199,9 +230,62 @@ class MetricsRegistry:
     # -- queries ------------------------------------------------------------
 
     def counter_value(self, name: str, **labels) -> int:
-        """The counter's value, 0 if it was never incremented."""
-        instrument = self._counters.get(_key(name, labels))
-        return 0 if instrument is None else instrument.value
+        """The summed value of every counter named ``name`` whose labels
+        are a superset of ``labels``; 0 if none was ever incremented.
+
+        Subset-sum semantics make queries dimension-agnostic: when an
+        instrumentation point grows a new label (the service counters
+        gained a ``tenant`` dimension), existing queries over the old
+        label set keep reading the correct aggregate.  An exact-identity
+        read is the special case where the filter names every label.
+        """
+        wanted = sorted(labels.items())
+        with self._lock:
+            matches = [
+                instrument.value
+                for (candidate, instrument_labels), instrument in self._counters.items()
+                if candidate == name and _labels_cover(instrument_labels, wanted)
+            ]
+        return sum(matches)
+
+    def merged_histogram(self, name: str, **labels) -> Histogram | None:
+        """One combined :class:`Histogram` over every histogram named
+        ``name`` whose labels are a superset of ``labels``.
+
+        The same dimension-agnostic filter as :meth:`counter_value`:
+        per-tenant latency histograms merge back into the per-op view a
+        caller asked for.  Returns ``None`` when nothing matches (a
+        get-or-create lookup would *mint* an empty instrument and poison
+        the registry with a phantom label set).  All matching histograms
+        must share bucket boundaries.
+        """
+        wanted = sorted(labels.items())
+        with self._lock:
+            matches = [
+                instrument
+                for (candidate, instrument_labels), instrument in sorted(
+                    self._histograms.items()
+                )
+                if candidate == name and _labels_cover(instrument_labels, wanted)
+            ]
+        if not matches:
+            return None
+        merged = Histogram(matches[0].boundaries)
+        for instrument in matches:
+            state = instrument.to_dict()
+            if tuple(state["boundaries"]) != merged.boundaries:
+                raise ValueError(
+                    f"cannot merge {name!r} histograms with differing boundaries"
+                )
+            for i, count in enumerate(state["counts"]):
+                merged.counts[i] += count
+            merged.total += state["sum"]
+            merged.count += state["count"]
+            for index, ex in state.get("exemplars", {}).items():
+                if merged._exemplars is None:
+                    merged._exemplars = {}
+                merged._exemplars[int(index)] = ex
+        return merged
 
     def counters_named(self, name: str) -> list[tuple[dict, Counter]]:
         """All ``(labels, counter)`` pairs under one name, label-sorted."""
@@ -232,6 +316,31 @@ class MetricsRegistry:
 
     def snapshot_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def export_state(self) -> dict:
+        """A typed dump for format renderers (``repro.telemetry.prometheus``).
+
+        Unlike :meth:`snapshot`, which flattens identities into display
+        strings, this keeps ``(name, labels, data)`` triples structured so
+        a renderer can group series by name and re-spell labels in its own
+        syntax.  Deterministically ordered; each histogram's data is an
+        atomic :meth:`Histogram.to_dict` cut.
+        """
+        with self._lock:
+            return {
+                "counters": [
+                    (name, dict(labels), c.value)
+                    for (name, labels), c in sorted(self._counters.items())
+                ],
+                "gauges": [
+                    (name, dict(labels), g.value)
+                    for (name, labels), g in sorted(self._gauges.items())
+                ],
+                "histograms": [
+                    (name, dict(labels), h.to_dict())
+                    for (name, labels), h in sorted(self._histograms.items())
+                ],
+            }
 
 
 def mark_backend(registry: MetricsRegistry) -> str:

@@ -1,0 +1,147 @@
+"""Prometheus text-format rendering of a :class:`MetricsRegistry`.
+
+The registry's internal naming (dotted names, cumulative-bucket
+histograms with per-instrument boundaries) maps onto the Prometheus
+exposition format (`text format v0.0.4` with OpenMetrics-style exemplar
+suffixes) as follows:
+
+* dots in metric names become underscores (``service.requests`` →
+  ``service_requests``); counters additionally get the conventional
+  ``_total`` suffix;
+* gauges render as-is;
+* a histogram becomes the standard triplet: cumulative
+  ``<name>_bucket{le="..."}`` series (one per boundary plus ``+Inf``),
+  ``<name>_sum``, and ``<name>_count``;
+* recorded exemplars render as OpenMetrics exemplar suffixes on their
+  bucket line -- `` # {trace_id="..."} value`` -- which Prometheus
+  scrapes into the exemplar store and dashboards use to jump from a
+  tail-latency bucket straight to the trace that landed there;
+* label values are escaped per the spec (backslash, double-quote,
+  newline).
+
+Rendering never mutates the registry and takes each instrument's data
+as one atomic cut, so a scrape concurrent with live traffic sees
+internally consistent series.  Output is deterministically ordered
+(sorted by name, then labels) -- identical observation sequences render
+byte-identically, like ``snapshot_json``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.telemetry.metrics import MetricsRegistry
+
+#: The content type Prometheus expects for the classic text format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _metric_name(name: str) -> str:
+    candidate = name.replace(".", "_").replace("-", "_")
+    if not _NAME_OK.match(candidate):
+        candidate = re.sub(r"[^a-zA-Z0-9_:]", "_", candidate)
+        if not candidate or not _NAME_OK.match(candidate):
+            candidate = "_" + candidate
+    return candidate
+
+
+def _escape_label_value(value: object) -> str:
+    text = str(value)
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_block(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{_metric_name(str(k))}="{_escape_label_value(v)}"'
+        for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value == float("inf"):
+            return "+Inf"
+        if value == float("-inf"):
+            return "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def _exemplar_suffix(exemplar: dict | None) -> str:
+    if not exemplar:
+        return ""
+    labels = exemplar.get("labels") or {}
+    inner = ",".join(
+        f'{_metric_name(str(k))}="{_escape_label_value(v)}"'
+        for k, v in sorted(labels.items())
+    )
+    return f" # {{{inner}}} {_format_value(exemplar.get('value', 0.0))}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format.
+
+    One ``# TYPE`` comment per metric family, then every series of that
+    family in label-sorted order.  Ends with a trailing newline, as the
+    format requires.
+    """
+    state = registry.export_state()
+    lines: list[str] = []
+
+    families: dict[str, list[str]] = {}
+
+    def family(name: str, kind: str) -> list[str]:
+        if name not in families:
+            families[name] = [f"# TYPE {name} {kind}"]
+        return families[name]
+
+    for name, labels, value in state["counters"]:
+        metric = _metric_name(name) + "_total"
+        family(metric, "counter").append(
+            f"{metric}{_label_block(labels)} {_format_value(value)}"
+        )
+
+    for name, labels, value in state["gauges"]:
+        metric = _metric_name(name)
+        family(metric, "gauge").append(
+            f"{metric}{_label_block(labels)} {_format_value(value)}"
+        )
+
+    for name, labels, data in state["histograms"]:
+        metric = _metric_name(name)
+        rows = family(metric, "histogram")
+        boundaries = data["boundaries"]
+        counts = data["counts"]
+        exemplars = data.get("exemplars", {})
+        cumulative = 0
+        for index, bound in enumerate(boundaries):
+            cumulative += counts[index]
+            rows.append(
+                f"{metric}_bucket{_label_block(labels, {'le': _format_value(float(bound))})}"
+                f" {cumulative}{_exemplar_suffix(exemplars.get(str(index)))}"
+            )
+        cumulative += counts[len(boundaries)]
+        rows.append(
+            f"{metric}_bucket{_label_block(labels, {'le': '+Inf'})}"
+            f" {cumulative}{_exemplar_suffix(exemplars.get(str(len(boundaries))))}"
+        )
+        rows.append(f"{metric}_sum{_label_block(labels)} {_format_value(data['sum'])}")
+        rows.append(f"{metric}_count{_label_block(labels)} {data['count']}")
+
+    for metric in sorted(families):
+        lines.extend(families[metric])
+    return "\n".join(lines) + "\n" if lines else ""

@@ -209,8 +209,9 @@ class TestServiceLoopback:
             for row in snap["resident"]:
                 assert row["requests_served"] == REQUESTS_PER_SESSION
                 assert row["next_period"] == REQUESTS_PER_SESSION
-            # Latency histogram observed every request exactly once.
-            decrypt_hist = metrics.histogram(
+            # Latency histogram observed every request exactly once
+            # (merged across the per-tenant series).
+            decrypt_hist = metrics.merged_histogram(
                 "service.request_seconds", op="decrypt"
             ).to_dict()
             assert decrypt_hist["count"] == SESSIONS * REQUESTS_PER_SESSION

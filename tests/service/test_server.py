@@ -115,7 +115,10 @@ class TestStats:
         client.open_key("acme", "k", seed=1)
         stats = client.stats()
         assert stats["registry"]["resident_count"] == 1
-        assert "service.requests{op=open,outcome=ok}" in stats["metrics"]["counters"]
+        assert (
+            "service.requests{op=open,outcome=ok,tenant=acme}"
+            in stats["metrics"]["counters"]
+        )
         # The stats request itself is only counted after its response
         # ships, so it sees every *prior* request (here: the open).
         assert stats["requests_handled"] == 1

@@ -121,3 +121,84 @@ class TestActiveRegistry:
         shared = MetricsRegistry()
         with metering(shared) as registry:
             assert registry is shared
+
+
+class TestLabeledQueries:
+    """Subset-sum reads and cross-series histogram merging: the query
+    surface the tenant-dimensional service metrics rely on."""
+
+    def test_counter_value_sums_over_label_supersets(self):
+        registry = MetricsRegistry()
+        registry.counter("req", op="decrypt", tenant="acme").inc(2)
+        registry.counter("req", op="decrypt", tenant="globex").inc(3)
+        registry.counter("req", op="open", tenant="acme").inc(1)
+        assert registry.counter_value("req", op="decrypt") == 5
+        assert registry.counter_value("req", tenant="acme") == 3
+        assert registry.counter_value("req") == 6
+        # An exact label set still reads exactly.
+        assert registry.counter_value("req", op="open", tenant="acme") == 1
+        assert registry.counter_value("req", op="open", tenant="none") == 0
+
+    def test_merged_histogram_combines_matching_series(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0, 2.0), op="d", tenant="a").observe(0.5)
+        registry.histogram("lat", buckets=(1.0, 2.0), op="d", tenant="b").observe(1.5)
+        registry.histogram("lat", buckets=(1.0, 2.0), op="o", tenant="a").observe(0.5)
+        merged = registry.merged_histogram("lat", op="d")
+        assert merged.to_dict()["count"] == 2
+        assert merged.to_dict()["sum"] == pytest.approx(2.0)
+        assert registry.merged_histogram("lat").to_dict()["count"] == 3
+
+    def test_merged_histogram_returns_none_without_matches(self):
+        registry = MetricsRegistry()
+        assert registry.merged_histogram("lat", op="d") is None
+        registry.histogram("lat", buckets=(1.0,), op="other").observe(0.5)
+        assert registry.merged_histogram("lat", op="d") is None
+        # Crucially it never mints a phantom instrument as a side effect.
+        assert registry.merged_histogram("lat", op="d") is None
+
+    def test_merged_histogram_rejects_mismatched_boundaries(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0,), op="a").observe(0.5)
+        registry.histogram("lat", buckets=(2.0,), op="b").observe(0.5)
+        with pytest.raises(ValueError, match="boundaries"):
+            registry.merged_histogram("lat")
+
+
+class TestExemplars:
+    def test_observe_attaches_exemplar_to_bucket(self):
+        hist = Histogram((1.0, 2.0))
+        hist.observe(1.5, exemplar={"trace_id": "ab" * 8, "span": "server:4"})
+        snapshot = hist.to_dict()
+        (index, exemplar), = snapshot["exemplars"].items()
+        assert index == "1"  # the (1.0, 2.0] bucket
+        assert exemplar["labels"]["trace_id"] == "ab" * 8
+        assert exemplar["value"] == pytest.approx(1.5)
+
+    def test_later_exemplar_replaces_earlier_in_same_bucket(self):
+        hist = Histogram((1.0,))
+        hist.observe(0.2, exemplar={"labels_only": "first"})
+        hist.observe(0.3, exemplar={"labels_only": "second"})
+        snapshot = hist.to_dict()
+        assert snapshot["exemplars"]["0"]["labels"] == {"labels_only": "second"}
+        assert snapshot["count"] == 2
+
+    def test_untraced_observations_keep_classic_snapshot_shape(self):
+        hist = Histogram((1.0,))
+        hist.observe(0.5)
+        hist.observe(0.5, exemplar=None)
+        assert "exemplars" not in hist.to_dict()
+
+    def test_export_state_covers_all_instrument_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("c", op="x").inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        state = registry.export_state()
+        assert ("c", (("op", "x"),), 2) in [
+            (name, tuple(sorted(labels.items())), value)
+            for name, labels, value in state["counters"]
+        ]
+        assert [(name, value) for name, _labels, value in state["gauges"]] == [("g", 7)]
+        ((name, _labels, snapshot),) = state["histograms"]
+        assert name == "h" and snapshot["count"] == 1

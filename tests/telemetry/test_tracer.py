@@ -8,12 +8,17 @@ import time
 import pytest
 
 from repro.telemetry.tracer import (
+    MAX_TRACE_FIELD_LENGTH,
     NULL_SPAN,
     NULL_TRACER,
     TRACE_SCHEMA_VERSION,
+    SpanContext,
     Tracer,
     active_tracer,
     install_tracer,
+    merge_trace_files,
+    merge_traces,
+    new_trace_id,
     traced,
     tracing,
     uninstall_tracer,
@@ -256,3 +261,167 @@ class TestTracedDecorator:
         plain = time_calls(instance.plain)
         traced_off = time_calls(instance.op)
         assert traced_off < plain * 10
+
+
+class TestSpanContext:
+    def test_header_roundtrip(self):
+        tracer = Tracer(actor="client")
+        with tracer.span("call") as span:
+            context = span.context()
+        fields = context.header_fields()
+        assert fields["parent_span"] == span.ref
+        assert fields["trace_id"] == tracer.trace_id
+        recovered = SpanContext.from_header(fields)
+        assert recovered == context
+
+    def test_anonymous_tracer_refs_are_ints(self):
+        tracer = Tracer()
+        with tracer.span("call") as span:
+            context = span.context()
+        assert isinstance(context.span_ref, int)
+        # The trace id is still minted lazily so the wire context always
+        # identifies a trace.
+        assert context.trace_id == tracer.trace_id is not None
+
+    def test_absent_fields_mean_no_context(self):
+        assert SpanContext.from_header({}) is None
+        assert SpanContext.from_header({"op": "decrypt"}) is None
+
+    @pytest.mark.parametrize(
+        "ref",
+        [None, True, False, 1.5, "", [], {}, "x" * (MAX_TRACE_FIELD_LENGTH + 1)],
+    )
+    def test_malformed_parent_degrades_to_none(self, ref):
+        assert SpanContext.from_header({"parent_span": ref}) is None
+
+    def test_malformed_trace_id_kept_as_anonymous_context(self):
+        # A bad trace id must not poison the parent ref: tracing context
+        # is advisory, so the usable half survives.
+        context = SpanContext.from_header({"parent_span": 7, "trace_id": 9})
+        assert context is not None
+        assert context.span_ref == 7
+        assert context.trace_id is None
+
+    def test_remote_parent_span_records_flag_and_inherits_trace(self):
+        remote = SpanContext(trace_id="feedbeefcafe0001", span_ref="client:3")
+        tracer = Tracer(actor="server")
+        with tracer.span("service.request", parent=remote) as span:
+            pass
+        record = span.to_record()
+        assert record["parent"] == "client:3"
+        assert record["remote_parent"] is True
+        assert record["trace"] == "feedbeefcafe0001"
+        assert str(record["id"]).startswith("server:")
+
+    def test_remote_parent_exempt_from_validation(self):
+        remote = SpanContext(trace_id=None, span_ref="client:3")
+        tracer = Tracer(actor="server")
+        with tracer.span("service.request", parent=remote):
+            pass
+        # The remote parent is not in this file, yet the trace is valid.
+        spans = validate_trace(tracer.to_jsonl().splitlines())
+        assert len(spans) == 1
+
+    def test_local_unknown_parent_still_rejected(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            pass
+        lines = [json.dumps(tracer.header())]
+        record = tracer.finished[0].to_record()
+        record["parent"] = 999  # forged, and not flagged remote
+        lines.append(json.dumps(record))
+        with pytest.raises(ValueError, match="unknown parent"):
+            validate_trace(lines)
+
+
+class TestActorAndTraceIds:
+    def test_actor_qualifies_exported_ids(self):
+        tracer = Tracer(actor="server")
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        records = [s.to_record() for s in tracer.finished]
+        assert all(str(r["id"]).startswith("server:") for r in records)
+        inner = next(r for r in records if r["name"] == "inner")
+        outer = next(r for r in records if r["name"] == "outer")
+        assert inner["parent"] == outer["id"]
+
+    def test_children_inherit_trace_id(self):
+        tracer = Tracer(trace_id="aa" * 8)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert all(s.trace_id == "aa" * 8 for s in tracer.finished)
+        assert all(s.to_record()["trace"] == "aa" * 8 for s in tracer.finished)
+
+    def test_untraced_header_shape_is_classic(self):
+        # No actor, no trace id: the header has exactly the v1 keys plus
+        # the bumped version, so old tooling sees nothing unfamiliar.
+        tracer = Tracer()
+        assert tracer.header() == {
+            "record": "trace-header",
+            "version": TRACE_SCHEMA_VERSION,
+            "clock": "perf_counter",
+        }
+
+    def test_new_trace_id_deterministic_under_rng(self):
+        import random
+
+        first = new_trace_id(random.Random(7))
+        second = new_trace_id(random.Random(7))
+        assert first == second
+        assert len(first) == 16
+        int(first, 16)  # hex
+
+    def test_ensure_trace_id_mints_once(self):
+        tracer = Tracer()
+        assert tracer.trace_id is None
+        minted = tracer.ensure_trace_id()
+        assert tracer.ensure_trace_id() == minted == tracer.trace_id
+
+
+class TestMergeTraces:
+    def _pair(self):
+        client = Tracer(actor="client", trace_id="cc" * 8)
+        with client.span("service.call") as call:
+            context = call.context()
+        server = Tracer(actor="server")
+        with server.span("service.request", parent=context):
+            pass
+        return client, server
+
+    def test_merge_resolves_remote_parent(self, tmp_path):
+        client, server = self._pair()
+        merged = merge_traces([client.to_records(), server.to_records()])
+        spans = validate_trace(json.dumps(r) for r in merged)
+        request = next(s for s in spans if s["name"] == "service.request")
+        call = next(s for s in spans if s["name"] == "service.call")
+        assert request["parent"] == call["id"]
+        assert "remote_parent" not in request  # resolved: exemption dropped
+        assert request["trace"] == call["trace"] == "cc" * 8
+
+    def test_merge_files_writes_valid_jsonl(self, tmp_path):
+        client, server = self._pair()
+        client_path, server_path = tmp_path / "c.jsonl", tmp_path / "s.jsonl"
+        client.export_jsonl(client_path)
+        server.export_jsonl(server_path)
+        merged_path = tmp_path / "m.jsonl"
+        spans = merge_trace_files([client_path, server_path], output=merged_path)
+        assert {s["name"] for s in spans} == {"service.call", "service.request"}
+        assert validate_trace_file(merged_path) == spans
+
+    def test_merge_rejects_colliding_ids(self):
+        first, second = Tracer(), Tracer()  # both anonymous: ids collide
+        with first.span("a"):
+            pass
+        with second.span("b"):
+            pass
+        with pytest.raises(ValueError, match="colliding"):
+            merge_traces([first.to_records(), second.to_records()])
+
+    def test_unresolved_remote_parent_keeps_exemption(self):
+        _, server = self._pair()
+        merged = merge_traces([server.to_records()])  # client side absent
+        request = next(r for r in merged if r.get("record") == "span")
+        assert request["remote_parent"] is True
+        validate_trace(json.dumps(r) for r in merged)

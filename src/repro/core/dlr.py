@@ -51,7 +51,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.core.hpske import HPSKE, HPSKECiphertext, weighted_product
+from repro.core.hpske import HPSKE, HPSKECiphertext, pair_ciphertexts, weighted_product
 from repro.core.keys import Ciphertext, PublicKey, Share1, Share2
 from repro.core.params import DLRParams
 from repro.core.pss import PSS
@@ -225,6 +225,29 @@ class DLR:
         t = self.group.random_scalar(rng)
         return Ciphertext(a=self.group.g ** t, b=message * (public_key.z ** t))
 
+    @traced("enc_batch")
+    def encrypt_batch(
+        self,
+        public_key: PublicKey,
+        messages: "list[GTElement]",
+        rng: random.Random,
+        window: int = 4,
+    ) -> list[Ciphertext]:
+        """Encrypt a vector of messages to one public key, amortised.
+
+        One :class:`~repro.groups.precompute.PrecomputedEncryptor` (one
+        pair of fixed-base tables for ``g`` and ``z``) serves the whole
+        vector, so the per-message cost drops from two full ladders to
+        two table walks.  Randomness is drawn in message order from
+        ``rng`` -- the ciphertext values match a loop of
+        :meth:`encrypt` only up to the fixed-base evaluation being
+        bit-identical, which it is (the transparency tests pin it).
+        """
+        if not messages:
+            return []
+        shared = self.encryptor(public_key, window)
+        return [shared.encrypt(message, rng) for message in messages]
+
     def encryptor(self, public_key: PublicKey, window: int = 4) -> PrecomputedEncryptor:
         """An opt-in fixed-base encryptor for this public key.
 
@@ -343,6 +366,44 @@ class DLR:
 
         device2.secret.open_phase(f"t{period}.refresh")
         yield from self._p2_refresh_steps(device2, share_of=lambda: share2)
+        snapshots[(2, "refresh")] = device2.secret.close_phase()
+
+    def _p2_period_multi_steps(
+        self,
+        device2: Device,
+        period: int,
+        snapshots: dict[tuple[int, str], PhaseSnapshot],
+    ):
+        """P2's whole *multi-decryption* time period: answer ``dec.<i>.d``
+        messages until the refresh phase starts, then refresh.  P2 never
+        needs the decryption count up front, so the same generator serves
+        DLR and OptimalDLR multi-periods (only P1's local computations
+        differ between the two schemes)."""
+        ell = self.params.ell
+        device2.secret.open_phase(f"t{period}.normal")
+        share2 = self.share2_of(device2)
+        message = yield Recv()
+        while message.label != "ref.f":
+            if message.label.endswith(".d"):
+                d_list, d_phi, d_b = message.payload
+                with device2.computing():
+                    response = combine_decrypt(share2, d_list, d_phi, d_b)
+                yield Send(message.label[:-1] + "c_prime", response)
+            message = yield Recv()
+        snapshots[(2, "normal")] = device2.secret.close_phase()
+
+        device2.secret.open_phase(f"t{period}.refresh")
+        f_pairs, f_phi = message.payload
+        with device2.computing():
+            fresh_share = Share2(
+                tuple(self.group.random_scalar(device2.rng) for _ in range(ell)),
+                self.group.p,
+            )
+            response = combine_refresh(share2, fresh_share, f_pairs, f_phi)
+        device2.secret.store(SK2_PENDING_SLOT, fresh_share)
+        yield Send("ref.f_combined", response)
+        yield Recv("ref.commit")
+        yield Commit()
         snapshots[(2, "refresh")] = device2.secret.close_phase()
 
     # ------------------------------------------------------------------
@@ -502,10 +563,12 @@ class DLR:
                 f_phi = self.hpske_g.encrypt(sk_comm, share1.phi, device1.rng)
 
                 # One Miller schedule for A, reused across every f_i
-                # coordinate (kappa + 1 pairings per ciphertext).
+                # coordinate (kappa + 1 pairings per ciphertext), all
+                # evaluated in one batched (pool-dispatchable) leg.
                 a_precomp = self.group.pairing_precomp(ciphertext.a)
-                d_list = tuple(f_i.pair_with(a_precomp) for f_i in f_list)
-                d_phi = f_phi.pair_with(a_precomp)
+                transported = pair_ciphertexts(a_precomp, [*f_list, f_phi])
+                d_list = tuple(transported[:-1])
+                d_phi = transported[-1]
                 d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
             yield Send("dec.d", (d_list, d_phi, d_b))
 
@@ -638,8 +701,9 @@ class DLR:
             for index, ciphertext in enumerate(ciphertexts):
                 with device1.computing():
                     a_precomp = self.group.pairing_precomp(ciphertext.a)
-                    d_list = tuple(f_i.pair_with(a_precomp) for f_i in f_list)
-                    d_phi = f_phi.pair_with(a_precomp)
+                    transported = pair_ciphertexts(a_precomp, [*f_list, f_phi])
+                    d_list = tuple(transported[:-1])
+                    d_phi = transported[-1]
                     d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
                 yield Send(f"dec.{index}.d", (d_list, d_phi, d_b))
                 message = yield Recv(f"dec.{index}.c_prime")
@@ -672,41 +736,12 @@ class DLR:
             snapshots[(1, "refresh")] = device1.secret.close_phase()
             return plaintexts
 
-        def p2():
-            device2.secret.open_phase(f"t{period}.normal")
-            share2 = self.share2_of(device2)
-            # P2 does not know the decryption count up front: it answers
-            # ``dec.<i>.d`` messages until the refresh phase starts.
-            message = yield Recv()
-            while message.label != "ref.f":
-                if message.label.endswith(".d"):
-                    d_list, d_phi, d_b = message.payload
-                    with device2.computing():
-                        response = combine_decrypt(share2, d_list, d_phi, d_b)
-                    yield Send(message.label[:-1] + "c_prime", response)
-                message = yield Recv()
-            snapshots[(2, "normal")] = device2.secret.close_phase()
-
-            device2.secret.open_phase(f"t{period}.refresh")
-            f_pairs, f_phi = message.payload
-            with device2.computing():
-                fresh_share = Share2(
-                    tuple(self.group.random_scalar(device2.rng) for _ in range(ell)),
-                    self.group.p,
-                )
-                response = combine_refresh(share2, fresh_share, f_pairs, f_phi)
-            device2.secret.store(SK2_PENDING_SLOT, fresh_share)
-            yield Send("ref.f_combined", response)
-            yield Recv("ref.commit")
-            yield Commit()
-            snapshots[(2, "refresh")] = device2.secret.close_phase()
-
         spec = ProtocolSpec(
             "dlr.period_multi",
             device1,
             device2,
             p1,
-            p2,
+            lambda: self._p2_period_multi_steps(device2, period, snapshots),
             secrets1=("period.sk_comm", "period.a_next"),
             staged=DLR_STAGED,
             abort_message=(
@@ -722,6 +757,28 @@ class DLR:
         messages = channel.transcript(period)
         channel.advance_period()
         return MultiPeriodRecord(period, plaintexts, snapshots, messages)
+
+    def decrypt_batch(
+        self,
+        device1: Device,
+        device2: Device,
+        channel: Transport,
+        ciphertexts: "list[Ciphertext]",
+    ) -> MultiPeriodRecord:
+        """Decrypt a vector of ciphertexts in **one** key period.
+
+        The amortised batch entry point: a single ``sk_comm``, a single
+        set of refresh ciphertexts ``f_i`` (each decryption pairs them
+        with its own ``A`` through one batched
+        :func:`~repro.core.hpske.pair_ciphertexts` leg), and a single
+        refresh at the end -- so the per-ciphertext cost approaches the
+        marginal decryption work as the batch grows (the break-even
+        sweep lives in ``benchmarks/bench_speed.py`` and
+        docs/performance.md).  Exactly :meth:`run_period_multi` under a
+        service-facing name; an empty batch still runs the period (the
+        refresh must happen regardless).
+        """
+        return self.run_period_multi(device1, device2, channel, ciphertexts)
 
     # ------------------------------------------------------------------
     # Share health check

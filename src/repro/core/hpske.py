@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.errors import GroupError, ParameterError
 from repro.groups.bilinear import BilinearGroup, G1Element, G1Precomp, GTElement
@@ -40,6 +41,14 @@ def _multiexp(bases: tuple[Element, ...], exponents: tuple[int, ...]) -> Element
     if isinstance(bases[0], G1Element):
         return G1Element.multiexp(bases, exponents)  # type: ignore[arg-type]
     return GTElement.multiexp(bases, exponents)  # type: ignore[arg-type]
+
+
+def _multiexp_batch(
+    instances: "list[tuple[tuple[Element, ...], tuple[int, ...]]]",
+) -> list[Element]:
+    if isinstance(instances[0][0][0], G1Element):
+        return G1Element.multiexp_batch(instances)  # type: ignore[arg-type]
+    return GTElement.multiexp_batch(instances)  # type: ignore[arg-type]
 
 
 def weighted_product(
@@ -65,12 +74,46 @@ def weighted_product(
         if ciphertext.kappa != kappa:
             raise GroupError("HPSKE ciphertexts of different widths")
     exponents = tuple(exponents)
-    coins = tuple(
-        _multiexp(tuple(c.coins[j] for c in ciphertexts), exponents)
-        for j in range(kappa)
-    )
-    body = _multiexp(tuple(c.body for c in ciphertexts), exponents)
-    return HPSKECiphertext(coins, body)
+    # The kappa + 1 coordinates are independent multiexp instances over
+    # the same exponent vector -- exactly the amortised-batch shape, so
+    # one multiexp_batch call shares the window decision and the
+    # table-normalisation inversion across all of them.
+    instances = [
+        (tuple(c.coins[j] for c in ciphertexts), exponents) for j in range(kappa)
+    ]
+    instances.append((tuple(c.body for c in ciphertexts), exponents))
+    results = _multiexp_batch(instances)
+    return HPSKECiphertext(tuple(results[:kappa]), results[kappa])
+
+
+def pair_ciphertexts(
+    point: "G1Element | G1Precomp",
+    ciphertexts: "Sequence[HPSKECiphertext]",
+) -> "list[HPSKECiphertext]":
+    """Pairing-transport a whole vector of ``G``-ciphertexts against one
+    fixed point: ``[c.pair_with(point) for c in ciphertexts]``, but all
+    ``len(ciphertexts) * (kappa + 1)`` coordinates go through a single
+    :meth:`~repro.groups.bilinear.G1Precomp.pair_many` -- one cached
+    Miller schedule, one pool dispatch.  This is the decryption-batch
+    hot leg (every ciphertext's ``f_i -> d_i`` reuse shares the same
+    ``A``); values and counters match the per-ciphertext loop exactly.
+    """
+    if not ciphertexts:
+        return []
+    if not isinstance(point, G1Precomp):
+        return [ciphertext.pair_with(point) for ciphertext in ciphertexts]
+    flat: list[Element] = []
+    for ciphertext in ciphertexts:
+        flat.extend(ciphertext.elements())
+    values = point.pair_many(flat)  # type: ignore[arg-type]
+    out: list[HPSKECiphertext] = []
+    position = 0
+    for ciphertext in ciphertexts:
+        width = ciphertext.kappa + 1
+        chunk = values[position : position + width]
+        position += width
+        out.append(HPSKECiphertext(tuple(chunk[:-1]), chunk[-1]))
+    return out
 
 
 @dataclass(frozen=True)
@@ -141,10 +184,8 @@ class HPSKECiphertext:
         run-period ``d_i`` derivation) runs the Miller schedule once.
         """
         if isinstance(point, G1Precomp):
-            return HPSKECiphertext(
-                tuple(point.pair(c) for c in self.coins),  # type: ignore[arg-type]
-                point.pair(self.body),  # type: ignore[arg-type]
-            )
+            values = point.pair_many(self.elements())  # type: ignore[arg-type]
+            return HPSKECiphertext(tuple(values[:-1]), values[-1])
         group = point.group
         return HPSKECiphertext(
             tuple(group.pair(point, c) for c in self.coins),  # type: ignore[arg-type]

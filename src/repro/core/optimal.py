@@ -42,8 +42,8 @@ together with the new public encrypted share.
 
 from __future__ import annotations
 
-from repro.core.dlr import DLR, SK2_PENDING_SLOT, PeriodRecord
-from repro.core.hpske import HPSKECiphertext
+from repro.core.dlr import DLR, SK2_PENDING_SLOT, MultiPeriodRecord, PeriodRecord
+from repro.core.hpske import HPSKECiphertext, pair_ciphertexts
 from repro.core.keys import Ciphertext, Share1, Share2
 from repro.errors import ProtocolError
 from repro.groups.bilinear import G1Element, GTElement
@@ -104,22 +104,28 @@ class OptimalDLR(DLR):
     # P1's step generators
     # ------------------------------------------------------------------
 
-    def _p1_decrypt_steps(self, device1: Device, ciphertext: Ciphertext):
+    def _p1_decrypt_steps(
+        self, device1: Device, ciphertext: Ciphertext, prefix: str = "dec"
+    ):
         """P1's decryption step: the ``d_i`` come from pairing the
         *public* encrypted share with ``A``; the ``Enc'`` homomorphism
-        makes them valid encryptions of ``e(A, a_i)`` under ``sk_comm``."""
+        makes them valid encryptions of ``e(A, a_i)`` under ``sk_comm``.
+
+        ``prefix`` namespaces the message labels so
+        :meth:`run_period_multi` can chain one instance per ciphertext
+        (``dec.0``, ``dec.1``, ...) inside a single engine run."""
         sk_comm = self._sk_comm_of(device1)
         encrypted = self.encrypted_share_of(device1)
         with device1.computing():
             # (ell + 1)(kappa + 1) pairings share the left argument A:
-            # run its Miller schedule once.
+            # run its Miller schedule once, in one batched leg.
             a_precomp = self.group.pairing_precomp(ciphertext.a)
-            d_all = tuple(f.pair_with(a_precomp) for f in encrypted)
+            d_all = tuple(pair_ciphertexts(a_precomp, list(encrypted)))
             d_list, d_phi = d_all[:-1], d_all[-1]
             d_b = self.hpske_gt.encrypt(sk_comm, ciphertext.b, device1.rng)
-        yield Send("dec.d", (d_list, d_phi, d_b))
+        yield Send(f"{prefix}.d", (d_list, d_phi, d_b))
 
-        message = yield Recv("dec.c_prime")
+        message = yield Recv(f"{prefix}.c_prime")
         with device1.computing():
             plaintext = self.hpske_gt.decrypt(sk_comm, message.payload)
         assert isinstance(plaintext, GTElement)
@@ -263,6 +269,58 @@ class OptimalDLR(DLR):
         messages = channel.transcript(period)
         channel.advance_period()
         return PeriodRecord(period, plaintext, snapshots, messages)
+
+    def run_period_multi(
+        self,
+        device1: Device,
+        device2: Device,
+        channel: Transport,
+        ciphertexts: "list[Ciphertext]",
+    ) -> MultiPeriodRecord:
+        """Several decryptions in one time period (section 3.3 extension)
+        for the optimal variant: each decryption pairs the *public*
+        encrypted share with its own ``A`` (labels ``dec.<i>.*``), then a
+        single refresh rotates ``sk_comm`` and the shares.  P2 runs the
+        shared DLR multi-period generator -- it answers ``dec.<i>.d``
+        messages until ``ref.f`` arrives, so only P1's local computations
+        differ from the basic scheme, as the paper requires."""
+        period = channel.current_period
+        snapshots: dict[tuple[int, str], object] = {}
+
+        def p1():
+            device1.secret.open_phase(f"t{period}.normal")
+            plaintexts: list[GTElement] = []
+            for index, ciphertext in enumerate(ciphertexts):
+                plaintext = yield from self._p1_decrypt_steps(
+                    device1, ciphertext, prefix=f"dec.{index}"
+                )
+                yield Send(f"dec.{index}.output", plaintext)
+                plaintexts.append(plaintext)
+            snapshots[(1, "normal")] = device1.secret.close_phase()
+
+            device1.secret.open_phase(f"t{period}.refresh")
+            yield from self._p1_refresh_steps(device1)
+            snapshots[(1, "refresh")] = device1.secret.close_phase()
+            return plaintexts
+
+        spec = ProtocolSpec(
+            "optimal.period_multi",
+            device1,
+            device2,
+            p1,
+            lambda: self._p2_period_multi_steps(device2, period, snapshots),
+            secrets1=(SK_COMM_PENDING_SLOT, "scratch"),
+            staged=OPTIMAL_STAGED,
+            abort_message="refresh aborted; both devices rolled back to their old shares",
+            abort_period=period,
+            snapshots=snapshots,
+        )
+        plaintexts = self._run_engine(spec, channel)
+        assert isinstance(plaintexts, list)
+
+        messages = channel.transcript(period)
+        channel.advance_period()
+        return MultiPeriodRecord(period, plaintexts, snapshots, messages)
 
     # ------------------------------------------------------------------
     # Test helpers

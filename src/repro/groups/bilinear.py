@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Sequence, TypeVar
 
 from repro.errors import GroupError
@@ -26,6 +27,7 @@ from repro.groups.pairing_params import PairingParams
 from repro.groups.sampling import random_gt_value, random_subgroup_point
 from repro.math.backend import active_backend
 from repro.math.fields import Fq2
+from repro.parallel import parallel_map
 from repro.utils.bits import BitString
 from repro.utils.serialization import int_width
 
@@ -263,6 +265,56 @@ class G1Element:
         )
         return G1Element(group, point)
 
+    @classmethod
+    def multiexp_batch(
+        cls, instances: "Sequence[tuple[Sequence[G1Element], Sequence[int]]]"
+    ) -> "list[G1Element]":
+        """Evaluate a vector of :meth:`multiexp` instances, amortised.
+
+        Values **and counter totals** are identical to mapping
+        :meth:`multiexp` over the instances -- each fast instance still
+        bumps ``g_multiexp`` by its own term count, and degenerate /
+        reference-mode instances still degrade to the per-term ladder --
+        but all Straus-sized instances share one window decision and one
+        batched inversion (:func:`repro.groups.fastops.batch_multiexp_points`),
+        and with the process pool enabled the kernel fans out across
+        workers (:mod:`repro.parallel`).
+        """
+        results: list[G1Element | None] = [None] * len(instances)
+        fast: list[tuple[int, BilinearGroup, list[tuple[G1Element, int]]]] = []
+        for idx, (bases, exponents) in enumerate(instances):
+            group, terms = _collect_terms(
+                bases, exponents, lambda b: b.point.is_infinity()
+            )
+            if group is None:
+                raise GroupError("multiexp needs at least one base")
+            if not terms:
+                results[idx] = group.g_identity()
+            elif not fastops.enabled() or len(terms) == 1:
+                results[idx] = cls.multiexp(bases, exponents)
+            else:
+                group.counter.g_multiexp += len(terms)
+                fast.append((idx, group, terms))
+        # Instances may span distinct group instantiations; the raw
+        # kernel is per-modulus, so partition before dispatching.
+        by_q: dict[int, list[tuple[int, "BilinearGroup", list]]] = {}
+        for entry in fast:
+            by_q.setdefault(entry[1].params.q, []).append(entry)
+        for q, entries in by_q.items():
+            kernel_instances = [
+                (
+                    [base.point for base, _ in terms],
+                    [exponent for _, exponent in terms],
+                )
+                for _, _, terms in entries
+            ]
+            points = parallel_map(
+                partial(fastops.batch_multiexp_points_chunk, q), kernel_instances
+            )
+            for (idx, group, _), point in zip(entries, points):
+                results[idx] = G1Element(group, point)
+        return results  # type: ignore[return-value]
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, G1Element):
             return NotImplemented
@@ -354,6 +406,45 @@ class GTElement:
         # The kernel returns canonical reduced ints -- skip re-reduction.
         return GTElement(group, Fq2._from_reduced(a, b, q))
 
+    @classmethod
+    def multiexp_batch(
+        cls, instances: "Sequence[tuple[Sequence[GTElement], Sequence[int]]]"
+    ) -> "list[GTElement]":
+        """Evaluate a vector of ``GT`` :meth:`multiexp` instances; see
+        :meth:`G1Element.multiexp_batch` for the value/counter contract
+        (here ``gt_multiexp``, kernel
+        :func:`repro.groups.fastops.batch_multiexp_fq2`)."""
+        results: list[GTElement | None] = [None] * len(instances)
+        fast: list[tuple[int, BilinearGroup, list[tuple[GTElement, int]]]] = []
+        for idx, (bases, exponents) in enumerate(instances):
+            group, terms = _collect_terms(bases, exponents, lambda b: b.value.is_one())
+            if group is None:
+                raise GroupError("multiexp needs at least one base")
+            if not terms:
+                results[idx] = group.gt_identity()
+            elif not fastops.enabled() or len(terms) == 1:
+                results[idx] = cls.multiexp(bases, exponents)
+            else:
+                group.counter.gt_multiexp += len(terms)
+                fast.append((idx, group, terms))
+        by_q: dict[int, list[tuple[int, "BilinearGroup", list]]] = {}
+        for entry in fast:
+            by_q.setdefault(entry[1].params.q, []).append(entry)
+        for q, entries in by_q.items():
+            kernel_instances = [
+                (
+                    [(base.value.a, base.value.b) for base, _ in terms],
+                    [exponent for _, exponent in terms],
+                )
+                for _, _, terms in entries
+            ]
+            values = parallel_map(
+                partial(fastops.batch_multiexp_fq2_chunk, q), kernel_instances
+            )
+            for (idx, group, _), (a, b) in zip(entries, values):
+                results[idx] = GTElement(group, Fq2._from_reduced(a, b, q))
+        return results  # type: ignore[return-value]
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, GTElement):
             return NotImplemented
@@ -405,6 +496,30 @@ class G1Precomp:
             self._schedule = PairingPrecomp(self.element.point, group.params)
         group.counter.pairings_precomp += 1
         return GTElement(group, self._schedule.pair_with(right.point))
+
+    def pair_many(self, rights: "Sequence[G1Element]") -> "list[GTElement]":
+        """``e(P, right_i)`` for a whole vector off one cached schedule.
+
+        Values and counter totals equal mapping :meth:`pair` (each
+        element still counts one ``pairings_precomp``; reference mode
+        still degrades every element to a full pairing), but the
+        schedule is built at most once and the evaluations go through
+        :meth:`~repro.groups.pairing.PairingPrecomp.evaluate_many` --
+        fanning out across the :mod:`repro.parallel` pool when enabled.
+        """
+        group = self.element.group
+        for right in rights:
+            if right.group.params is not group.params:
+                raise GroupError("pairing elements from a different group")
+        if not fastops.enabled():
+            return [group.pair(self.element, right) for right in rights]
+        if not rights:
+            return []
+        if self._schedule is None:
+            self._schedule = PairingPrecomp(self.element.point, group.params)
+        group.counter.pairings_precomp += len(rights)
+        values = self._schedule.pair_with_many([right.point for right in rights])
+        return [GTElement(group, value) for value in values]
 
 
 class BilinearGroup:

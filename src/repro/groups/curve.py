@@ -52,6 +52,12 @@ class Point:
             return self
         return Point(self.x, (-self.y) % q, False)
 
+    def __reduce__(self):
+        # Explicit recipe: frozen+slots dataclasses only gained default
+        # pickle support in 3.11, and the int() coercion guarantees a
+        # backend-independent wire form for the repro.parallel pool.
+        return (Point, (int(self.x), int(self.y), self.infinity))
+
 
 INFINITY = Point.at_infinity()
 
@@ -227,10 +233,14 @@ def batch_to_affine(points: list[_JacPoint], q: int) -> list[Point]:
     backend = active_backend()
     unlift = backend.unlift
     q = backend.lift(q)
-    finite = [(i, p) for i, p in enumerate(points) if p[2] != 0]
-    inverses = backend.batch_inv([p[2] for _, p in finite], q)
+    # skip_zero backfills 0 for every Z = 0 entry, so infinity points can
+    # ride in the mixed vector without a pre-filtering pass (and without
+    # the ParameterError the strict contract would raise).
+    inverses = backend.batch_inv([p[2] for p in points], q, skip_zero=True)
     result: list[Point] = [INFINITY] * len(points)
-    for (i, (x, y, _)), z_inv in zip(finite, inverses):
+    for i, ((x, y, z), z_inv) in enumerate(zip(points, inverses)):
+        if z_inv == 0:
+            continue
         z_inv2 = z_inv * z_inv % q
         result[i] = Point(unlift(x * z_inv2 % q), unlift(y * z_inv2 * z_inv % q), False)
     return result

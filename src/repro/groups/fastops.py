@@ -197,6 +197,110 @@ def _pippenger_points(points: list[Point], exponents: list[int], q: int) -> Poin
     return _jacobian_to_affine(acc, q)
 
 
+def _straus_tables_points(points: list[Point], w: int, q) -> list[list]:
+    """The per-base Straus table entries of one instance, in Jacobian
+    form (normalisation is the caller's single batched inversion)."""
+    lift = active_backend().lift
+    jac_entries = []
+    for point in points:
+        ax, ay = lift(point.x) % q, lift(point.y) % q
+        entry = (ax, ay, 1)
+        jac_entries.append(entry)
+        for _ in range(2, 1 << w):
+            entry = _jacobian_add_affine(entry, ax, ay, q)
+            jac_entries.append(entry)
+    return jac_entries
+
+
+def _straus_main_loop(
+    tables: list[list[Point]], exponents: list[int], w: int, digits: int, q
+) -> Point:
+    """The shared-squaring digit loop over already-normalised tables."""
+    mask = (1 << w) - 1
+    acc = (1, 1, 0)
+    for position in range(digits - 1, -1, -1):
+        if acc[2] != 0:
+            for _ in range(w):
+                acc = _jacobian_double(acc, q)
+        shift = position * w
+        for table, exponent in zip(tables, exponents):
+            digit = (exponent >> shift) & mask
+            if digit:
+                entry = table[digit - 1]
+                if not entry.is_infinity():
+                    acc = _jacobian_add_affine(acc, entry.x, entry.y, q)
+    return _jacobian_to_affine(acc, q)
+
+
+def batch_multiexp_points(
+    instances: "list[tuple[list[Point], list[int]]]", q: int
+) -> list[Point]:
+    """Evaluate a vector of independent multiexp instances, amortised.
+
+    Same per-instance contract as :func:`multiexp_points` (pre-reduced
+    exponents, trivial terms dropped), but all Straus-sized instances
+    share **one** window/cost-model decision and **one** Montgomery-trick
+    batched inversion across every table entry, instead of one of each
+    per instance.  Pippenger-sized instances (no tables, no inversion)
+    and degenerate ones dispatch individually.  Results are bit-identical
+    to mapping :func:`multiexp_points` over the instances.
+    """
+    results: list[Point | None] = [None] * len(instances)
+    straus_idx: list[int] = []
+    for idx, (points, exponents) in enumerate(instances):
+        if len(points) != len(exponents):
+            raise GroupError("multiexp: bases and exponents differ in length")
+        if not points:
+            results[idx] = INFINITY
+        elif len(points) == 1:
+            results[idx] = _scalar_mul_point(points[0], exponents[0], q)
+        elif len(points) >= PIPPENGER_THRESHOLD:
+            results[idx] = _pippenger_points(points, exponents, q)
+        else:
+            straus_idx.append(idx)
+    if not straus_idx:
+        return results  # type: ignore[return-value]
+
+    # One shared decision: widest exponent / largest term count over the
+    # whole vector (leading zero digits cost nothing -- the accumulator
+    # stays at infinity through them).
+    bits = max(
+        e.bit_length() for idx in straus_idx for e in instances[idx][1]
+    )
+    w = straus_window(max(len(instances[idx][0]) for idx in straus_idx), bits)
+    lifted_q = active_backend().lift(q)
+    row_len = (1 << w) - 1
+
+    jac_entries: list = []
+    spans: list[tuple[int, int, int]] = []
+    for idx in straus_idx:
+        start = len(jac_entries)
+        jac_entries.extend(_straus_tables_points(instances[idx][0], w, lifted_q))
+        spans.append((idx, start, len(instances[idx][0])))
+    affine = batch_to_affine(jac_entries, lifted_q)
+
+    digits = -(-bits // w)
+    for idx, start, count in spans:
+        tables = [
+            affine[start + i * row_len : start + (i + 1) * row_len]
+            for i in range(count)
+        ]
+        results[idx] = _straus_main_loop(
+            tables, instances[idx][1], w, digits, lifted_q
+        )
+    return results  # type: ignore[return-value]
+
+
+def batch_multiexp_points_chunk(
+    q: int, instances: "list[tuple[list[Point], list[int]]]"
+) -> list[Point]:
+    """Pool worker: :func:`batch_multiexp_points` with the modulus bound
+    first (``functools.partial(…, q)`` pickles for
+    :func:`repro.parallel.parallel_map`).  Pure per-chunk form -- it must
+    never dispatch back through the pool itself."""
+    return batch_multiexp_points(instances, q)
+
+
 # ---------------------------------------------------------------------------
 # GT (F_{q^2} subgroup) kernels
 
@@ -245,6 +349,88 @@ def _straus_fq2(values: list[_RawFq2], exponents: list[int], q: int) -> _RawFq2:
             if digit:
                 acc = fq2_mul(acc, row[digit - 1], q)
     return (backend.unlift(acc[0]), backend.unlift(acc[1]))
+
+
+def _straus_fq2_shared(
+    values: list[_RawFq2], exponents: list[int], w: int, digits: int, q
+) -> _RawFq2:
+    """Straus over ``F_{q^2}`` with a caller-chosen window and digit
+    count (the shared decision of :func:`batch_multiexp_fq2`).  Inputs
+    must already be lifted to the active backend's representation."""
+    backend = active_backend()
+    fq2_mul, fq2_square = backend.fq2_mul, backend.fq2_square
+    mask = (1 << w) - 1
+    tables = []
+    for value in values:
+        row = [value]
+        for _ in range(2, 1 << w):
+            row.append(fq2_mul(row[-1], value, q))
+        tables.append(row)
+
+    acc: _RawFq2 = (1, 0)
+    for position in range(digits - 1, -1, -1):
+        if acc != (1, 0):
+            for _ in range(w):
+                acc = fq2_square(acc, q)
+        shift = position * w
+        for row, exponent in zip(tables, exponents):
+            digit = (exponent >> shift) & mask
+            if digit:
+                acc = fq2_mul(acc, row[digit - 1], q)
+    return (backend.unlift(acc[0]), backend.unlift(acc[1]))
+
+
+def batch_multiexp_fq2(
+    instances: "list[tuple[list[_RawFq2], list[int]]]", q: int
+) -> list[_RawFq2]:
+    """Evaluate a vector of ``F_{q^2}`` multiexp instances, amortised.
+
+    The ``F_{q^2}`` Straus path has no batched inversion to share, so
+    the amortisation here is the window/cost-model decision (and the
+    single backend lift of the modulus): one :func:`straus_window` call
+    sized by the widest exponent and largest term count serves every
+    Straus-sized instance.  Pippenger-sized and empty instances dispatch
+    individually.  Results equal mapping :func:`multiexp_fq2`.
+    """
+    results: list[_RawFq2 | None] = [None] * len(instances)
+    straus_idx: list[int] = []
+    for idx, (values, exponents) in enumerate(instances):
+        if len(values) != len(exponents):
+            raise GroupError("multiexp: bases and exponents differ in length")
+        if not values:
+            results[idx] = (1, 0)
+        elif len(values) >= PIPPENGER_THRESHOLD:
+            results[idx] = _pippenger_fq2(values, exponents, q)
+        else:
+            straus_idx.append(idx)
+    if not straus_idx:
+        return results  # type: ignore[return-value]
+
+    bits = max(
+        e.bit_length() for idx in straus_idx for e in instances[idx][1]
+    )
+    w = straus_window(max(len(instances[idx][0]) for idx in straus_idx), bits)
+    digits = -(-bits // w)
+    backend = active_backend()
+    lifted_q = q
+    for idx in straus_idx:
+        values = instances[idx][0]
+        if not backend.native_ints:
+            lift = backend.lift
+            lifted_q = lift(q)
+            values = [(lift(a), lift(b)) for a, b in values]
+        results[idx] = _straus_fq2_shared(
+            values, instances[idx][1], w, digits, lifted_q
+        )
+    return results  # type: ignore[return-value]
+
+
+def batch_multiexp_fq2_chunk(
+    q: int, instances: "list[tuple[list[_RawFq2], list[int]]]"
+) -> list[_RawFq2]:
+    """Pool worker: :func:`batch_multiexp_fq2` with the modulus bound
+    first; see :func:`batch_multiexp_points_chunk`."""
+    return batch_multiexp_fq2(instances, q)
 
 
 def _pippenger_fq2(values: list[_RawFq2], exponents: list[int], q: int) -> _RawFq2:

@@ -35,11 +35,12 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.core.dlr import DLR, combine_refresh
+from repro.core.dlr import DLR, MultiPeriodRecord, PeriodRecord, combine_refresh
 from repro.core.keys import Share1, Share2
 from repro.errors import ProtocolError
 from repro.groups.bilinear import G1Element, GTElement
 from repro.ibe.boneh_boyen import BonehBoyenIBE, IBECiphertext, IBEPublicParams
+from repro.ibe.extract_cache import IdentityKeyCache
 from repro.ibe.identity_hash import hash_identity
 from repro.protocol.device import Device
 from repro.protocol.engine import Commit, ProtocolSpec, Recv, Send, StagedShare
@@ -99,10 +100,16 @@ class DLRIBE(DLR):
 
     span_kind = "dlribe"
 
-    def __init__(self, params, n_id: int = 16) -> None:
+    def __init__(
+        self, params, n_id: int = 16, extract_cache_size: int = 32
+    ) -> None:
         super().__init__(params)
         self.n_id = n_id
         self._bb = BonehBoyenIBE(params.group, n_id)
+        #: Bounded LRU over extracted identities; entries go stale on
+        #: identity refresh (new generation) and on master rotation
+        #: (epoch advance).  See :mod:`repro.ibe.extract_cache`.
+        self.extract_cache = IdentityKeyCache(extract_cache_size)
 
     # ------------------------------------------------------------------
     # Setup (master key generation)
@@ -221,7 +228,155 @@ class DLRIBE(DLR):
             # A half-installed identity key must not linger on either side.
             abort_erase=((1, _id_slot(1, identity)), (2, _id_slot(2, identity))),
         )
-        self._run_engine(spec, channel)
+        try:
+            self._run_engine(spec, channel)
+        except Exception:
+            self.extract_cache.invalidate(identity)
+            raise
+        self._record_extraction(device1, device2, identity)
+
+    def _record_extraction(
+        self, device1: Device, device2: Device, identity: str
+    ) -> None:
+        """Stamp ``identity`` fresh in the extract cache; if the LRU
+        bound pushed another identity out, erase its share slots on both
+        devices (the cache bounds secret-memory residency, so eviction
+        must actually free the slots)."""
+        evicted = self.extract_cache.record(identity)
+        if evicted is not None and evicted != identity:
+            device1.secret.erase_if_present(_id_slot(1, evicted))
+            device2.secret.erase_if_present(_id_slot(2, evicted))
+
+    @traced("extract_batch")
+    def extract_batch(
+        self,
+        pp: IBEPublicParams,
+        device1: Device,
+        device2: Device,
+        channel: Transport,
+        identities: "list[str]",
+        skip_cached: bool = True,
+    ) -> list[str]:
+        """Extract identity keys for a whole vector in **one** protocol.
+
+        Amortisation: a single ``sk_comm`` and a single set of old-share
+        encryptions ``Enc'(a_i)`` serve every identity -- only the fresh
+        ``a'`` encryptions, the blinded ``M``, and P2's fresh scalars are
+        per-identity (labels ``ext.<i>.*``).  This is the batch analogue
+        of the section 5.2 coin-reuse remark applied to extraction.
+
+        With ``skip_cached`` (the default), identities whose extraction
+        is cache-fresh *and* whose shares are still resident on both
+        devices are skipped; duplicates are extracted once.  Returns the
+        identities actually extracted, in protocol order.  A mid-batch
+        failure erases every identity share the batch touched on both
+        devices (``abort_erase``) plus their cache entries, so a retry
+        re-extracts the whole batch.
+        """
+        todo: list[str] = []
+        seen: set[str] = set()
+        for identity in identities:
+            if identity in seen:
+                continue
+            seen.add(identity)
+            if (
+                skip_cached
+                and self.extract_cache.is_fresh(identity)
+                and self.has_identity_key(device1, device2, identity)
+            ):
+                self.extract_cache.touch(identity)
+                continue
+            todo.append(identity)
+        if not todo:
+            return []
+
+        msk1 = self.share1_of(device1)
+        ell = self.params.ell
+
+        def p1():
+            with device1.computing():
+                sk_comm = self.hpske_g.keygen(device1.rng)
+                device1.secret.store("ext.sk_comm", sk_comm)
+                # The shared leg: Enc'(a_i) of the *old* master share is
+                # identity-independent, so one set serves the batch.
+                f_old = tuple(
+                    self.hpske_g.encrypt(sk_comm, msk1.a[i], device1.rng)
+                    for i in range(ell)
+                )
+            for index, identity in enumerate(todo):
+                u_sel = pp.u_for(hash_identity(identity, self.n_id))
+                with device1.computing():
+                    r = [
+                        self.group.random_scalar(device1.rng)
+                        for _ in range(self.n_id)
+                    ]
+                    # Overwritten per identity: one identity's BB
+                    # randomness in the clear at a time.
+                    device1.secret.store("ext.r", Share2(tuple(r), self.group.p))
+                    r_pub = tuple(self.group.g ** r_j for r_j in r)
+                    blinding = G1Element.multiexp((msk1.phi, *u_sel), (1, *r))
+                    fresh_a = tuple(
+                        self.group.random_g(device1.rng) for _ in range(ell)
+                    )
+                    device1.secret.store("ext.a_next", list(fresh_a), derived=True)
+                    f_pairs = tuple(
+                        (
+                            f_old[i],
+                            self.hpske_g.encrypt(sk_comm, fresh_a[i], device1.rng),
+                        )
+                        for i in range(ell)
+                    )
+                    f_m = self.hpske_g.encrypt(sk_comm, blinding, device1.rng)
+                yield Send(f"ext.{index}.f", (f_pairs, f_m))
+
+                message = yield Recv(f"ext.{index}.f_combined")
+                with device1.computing():
+                    psi = self.hpske_g.decrypt(sk_comm, message.payload)
+                assert isinstance(psi, G1Element)
+                device1.secret.store(
+                    _id_slot(1, identity),
+                    IdentityShare1(r_pub=r_pub, a=fresh_a, psi=psi),
+                )
+
+        def p2():
+            msk2 = self.share2_of(device2)
+            for index, identity in enumerate(todo):
+                message = yield Recv(f"ext.{index}.f")
+                f_pairs, f_m = message.payload
+                with device2.computing():
+                    id_share2 = Share2(
+                        tuple(
+                            self.group.random_scalar(device2.rng)
+                            for _ in range(ell)
+                        ),
+                        self.group.p,
+                    )
+                    combined = combine_refresh(msk2, id_share2, f_pairs, f_m)
+                device2.secret.store(_id_slot(2, identity), id_share2)
+                yield Send(f"ext.{index}.f_combined", combined)
+
+        spec = ProtocolSpec(
+            "dlribe.extract_batch",
+            device1,
+            device2,
+            p1,
+            p2,
+            secrets1=("ext.r", "ext.sk_comm", "ext.a_next"),
+            abort_erase=tuple(
+                (device_index, _id_slot(device_index, identity))
+                for identity in todo
+                for device_index in (1, 2)
+            ),
+        )
+        try:
+            self._run_engine(spec, channel)
+        except Exception:
+            for identity in todo:
+                self.extract_cache.invalidate(identity)
+            raise
+        for identity in todo:
+            self._record_extraction(device1, device2, identity)
+        return todo
 
     # ------------------------------------------------------------------
     # 2-party identity decryption
@@ -366,6 +521,32 @@ class DLRIBE(DLR):
             ),
         )
         self._run_engine(spec, channel)
+        # A refresh mints a new generation: tokens captured against the
+        # pre-refresh extraction must observe staleness.
+        self.extract_cache.record(identity)
+
+    # ------------------------------------------------------------------
+    # Master rotation closes the extract-cache epoch
+    # ------------------------------------------------------------------
+    #
+    # The master shares rotating is a period boundary on the master
+    # leakage ledger; identity keys extracted under the previous master
+    # generation stop being vouched for (see
+    # :meth:`repro.ibe.extract_cache.IdentityKeyCache.advance_epoch`).
+
+    def refresh_protocol(self, device1, device2, channel):
+        super().refresh_protocol(device1, device2, channel)
+        self.extract_cache.advance_epoch()
+
+    def run_period(self, device1, device2, channel, ciphertext):
+        record = super().run_period(device1, device2, channel, ciphertext)
+        self.extract_cache.advance_epoch()
+        return record
+
+    def run_period_multi(self, device1, device2, channel, ciphertexts):
+        record = super().run_period_multi(device1, device2, channel, ciphertexts)
+        self.extract_cache.advance_epoch()
+        return record
 
     # ------------------------------------------------------------------
     # One identity-key time period (for the session supervisor)
@@ -402,6 +583,8 @@ class DLRIBE(DLR):
         if not self.has_identity_key(device1, device2, identity):
             self.extract_protocol(pp, device1, device2, channel, identity)
             extracted = True
+        else:
+            self.extract_cache.touch(identity)
         plaintext = self.decrypt_protocol_id(device1, device2, channel, identity, ciphertext)
         self.refresh_identity_protocol(pp, device1, device2, channel, identity)
         messages = channel.transcript(period)

@@ -1,0 +1,173 @@
+"""A bounded LRU cache of extracted identity-key state for DLRIBE.
+
+Identity keys are *derived* material: re-extractable from the master
+shares at any time, never checkpointed, but each extraction costs a full
+2-party protocol (one ``ell``-wide refresh-shaped exchange).  Keeping
+every extracted key resident forever is also not free -- the shares live
+in the devices' **secret** memory, which the leakage model prices per
+bit.  This cache bounds that residency: it tracks which identities
+currently hold usable shares on the devices, evicts the
+least-recently-used identity when the bound is hit (the scheme then
+erases its slots on both devices), and decides when a cached extraction
+may be *reused* instead of re-run (:meth:`DLRIBE.extract_batch
+<repro.ibe.dlr_ibe.DLRIBE.extract_batch>` skips fresh entries).
+
+Two invalidation mechanisms, both leakage-ledger-aware:
+
+* **Generation tokens** -- every (re-)extraction and every successful
+  identity refresh mints a new generation for that identity, so any
+  holder of an older token (a session that captured key state before
+  the rotation) observes staleness and must re-resolve.  This is the
+  per-identity analogue of the share rotation the continual-leakage
+  model is built on.
+* **Epochs** -- :meth:`advance_epoch` marks *every* entry stale at once.
+  The scheme calls it when the master shares rotate (a period boundary
+  on the master leakage ledger): shares extracted under the previous
+  master generation keep decrypting, but their accumulated leakage
+  belongs to a closed ledger period, so the cache stops vouching for
+  them and the next batch re-extracts fresh shares.
+
+The cache itself holds **no key material** -- only identity strings and
+counters -- so it lives outside the leakage accounting and can be
+inspected freely (``stats``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class CacheToken:
+    """An opaque freshness witness for one cached identity extraction."""
+
+    identity: str
+    generation: int
+    epoch: int
+
+
+class IdentityKeyCache:
+    """LRU over identities with generation/epoch invalidation."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ParameterError("extract cache capacity must be >= 1")
+        self.capacity = capacity
+        #: identity -> (generation, epoch); insertion order is LRU order.
+        self._entries: "OrderedDict[str, tuple[int, int]]" = OrderedDict()
+        self._generation = 0
+        self._epoch = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- recording -------------------------------------------------------
+
+    def record(self, identity: str) -> str | None:
+        """Mark ``identity`` as freshly extracted (or refreshed).
+
+        Mints a new generation -- any previously issued token for this
+        identity is stale from here on -- and moves the entry to
+        most-recently-used.  Returns the identity evicted to stay within
+        ``capacity`` (the caller must erase its device slots), or
+        ``None`` if nothing was evicted.
+        """
+        self._generation += 1
+        self._entries.pop(identity, None)
+        self._entries[identity] = (self._generation, self._epoch)
+        if len(self._entries) > self.capacity:
+            evicted, _ = self._entries.popitem(last=False)
+            self.evictions += 1
+            return evicted
+        return None
+
+    def touch(self, identity: str) -> None:
+        """Move a present entry to most-recently-used (a cache *use*)."""
+        entry = self._entries.pop(identity, None)
+        if entry is not None:
+            self._entries[identity] = entry
+
+    # -- freshness -------------------------------------------------------
+
+    def is_fresh(self, identity: str) -> bool:
+        """Is there an entry from the *current* epoch for ``identity``?
+
+        Entries from earlier epochs still exist (the device shares still
+        decrypt) but are not vouched for -- the caller should re-extract.
+        Counts toward hit/miss statistics.
+        """
+        entry = self._entries.get(identity)
+        if entry is not None and entry[1] == self._epoch:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def token(self, identity: str) -> CacheToken | None:
+        """The current freshness witness, or ``None`` if absent/stale."""
+        entry = self._entries.get(identity)
+        if entry is None or entry[1] != self._epoch:
+            return None
+        return CacheToken(identity, entry[0], entry[1])
+
+    def is_current(self, token: CacheToken) -> bool:
+        """Does ``token`` still witness the live extraction state?
+
+        False once the identity was refreshed/re-extracted (generation
+        moved on), evicted, explicitly invalidated, or the epoch
+        advanced (master rotation).
+        """
+        entry = self._entries.get(token.identity)
+        return (
+            entry is not None
+            and entry == (token.generation, token.epoch)
+            and entry[1] == self._epoch
+        )
+
+    # -- invalidation ----------------------------------------------------
+
+    def invalidate(self, identity: str) -> bool:
+        """Drop one identity (aborted protocol, explicit revocation)."""
+        return self._entries.pop(identity, None) is not None
+
+    def advance_epoch(self) -> int:
+        """Master-rotation boundary: every cached entry becomes stale.
+
+        Entries are kept (their LRU position still orders future
+        evictions) but no longer fresh; re-extraction re-stamps them.
+        Returns the new epoch.
+        """
+        self._epoch += 1
+        return self._epoch
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- introspection ---------------------------------------------------
+
+    def __contains__(self, identity: str) -> bool:
+        return identity in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def identities(self) -> list[str]:
+        """Resident identities, least- to most-recently-used."""
+        return list(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "epoch": self._epoch,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

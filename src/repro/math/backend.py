@@ -258,29 +258,43 @@ class FieldBackend:
             raise ParameterError(f"0 is not invertible modulo {m}")
         return pow(a, -1, m)
 
-    def batch_inv(self, values: Sequence[int], m: int) -> list:
+    def batch_inv(self, values: Sequence[int], m: int, skip_zero: bool = False) -> list:
         """Montgomery's trick: ``n`` inverses for one :meth:`inv_mod` plus
         ``3(n-1)`` multiplications.  Raises on any ``0 (mod m)`` input
         (reporting the offending index), leaving no partial output.
+        With ``skip_zero`` a ``0 (mod m)`` entry is *skipped and
+        backfilled* as ``0`` instead -- the shape mixed vectors need
+        (Jacobian points at infinity riding along with finite ones) --
+        while every other entry still shares the single inversion.
         Returns lifted values; callers that store results must unlift."""
         n = len(values)
         if n == 0:
             return []
         m = self.lift(m)
+        zero = self.lift(0)
         prefix = [0] * n
+        reduced_values = [zero] * n
         acc = self.lift(1)
         for i, value in enumerate(values):
             reduced = value % m
             if reduced == 0:
-                raise ParameterError(f"0 is not invertible modulo {m} (index {i})")
-            acc = acc * reduced % m
+                if not skip_zero:
+                    raise ParameterError(f"0 is not invertible modulo {m} (index {i})")
+            else:
+                acc = acc * reduced % m
+                reduced_values[i] = reduced
+            # Zero entries keep the running product unchanged, so their
+            # prefix slot simply repeats the previous accumulator.
             prefix[i] = acc
-        inverses = [0] * n
+        inverses = [zero] * n
         acc = self.lift(self.inv_mod(acc, m))
         for i in range(n - 1, 0, -1):
+            if reduced_values[i] == 0:
+                continue
             inverses[i] = acc * prefix[i - 1] % m
-            acc = acc * (values[i] % m) % m
-        inverses[0] = acc
+            acc = acc * reduced_values[i] % m
+        if reduced_values[0] != 0:
+            inverses[0] = acc
         return inverses
 
     # -- raw F_{q^2} = F_q[i]/(i^2+1) ops --------------------------------

@@ -29,7 +29,9 @@ def inv_mod(a: int, p: int) -> int:
     return backend.unlift(backend.inv_mod(a, p))
 
 
-def batch_inv(values: list[int] | tuple[int, ...], p: int) -> list[int]:
+def batch_inv(
+    values: list[int] | tuple[int, ...], p: int, skip_zero: bool = False
+) -> list[int]:
     """Invert every element of ``values`` modulo ``p`` with a single
     modular inversion (Montgomery's trick).
 
@@ -40,10 +42,13 @@ def batch_inv(values: list[int] | tuple[int, ...], p: int) -> list[int]:
 
     Raises :class:`~repro.errors.ParameterError` if any value is
     ``0 (mod p)`` (reporting the offending index), leaving no partial
-    output.
+    output.  With ``skip_zero`` zero entries are instead skipped and
+    backfilled as ``0`` -- the mixed-vector contract callers such as
+    :func:`~repro.groups.curve.batch_to_affine` need when identity
+    elements ride along with finite ones.
     """
     backend = active_backend()
-    inverses = backend.batch_inv(values, p)
+    inverses = backend.batch_inv(values, p, skip_zero=skip_zero)
     if backend.native_ints:
         return inverses
     unlift = backend.unlift

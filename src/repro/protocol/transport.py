@@ -28,7 +28,6 @@ from __future__ import annotations
 import json
 import socket
 import threading
-import warnings
 from dataclasses import dataclass
 
 from repro.errors import PeerDisconnected, TransportTimeout, WireFormatError
@@ -228,24 +227,6 @@ class Transport:
     def bits_on_wire(self, period: int | None = None) -> int:
         """Total communication in bits (for the cost benchmarks)."""
         return len(self.transcript_bits(period))
-
-    def bytes_on_wire(self, period: int | None = None) -> int:
-        """Deprecated alias: whole *bytes* on the wire, i.e.
-        ``bits_on_wire() // 8`` (trailing partial bytes are not counted).
-
-        Historically this name returned bits; use :meth:`bits_on_wire`
-        for the exact figure.  Deduplication and visibility are entirely
-        the :mod:`warnings` machinery's: the default filter shows one
-        warning per call site, ``filterwarnings`` can silence or
-        escalate it, and no module-global flag leaks state across tests
-        or concurrent sessions."""
-        warnings.warn(
-            "Transport.bytes_on_wire is deprecated: it now returns whole "
-            "bytes (bits_on_wire() // 8); use bits_on_wire for bits",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.bits_on_wire(period) // 8
 
     def bits_by_label(self, period: int | None = None) -> dict[str, int]:
         """Communication breakdown per message label -- which protocol

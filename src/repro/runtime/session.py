@@ -41,7 +41,7 @@ from dataclasses import dataclass
 from itertools import count
 from typing import Callable
 
-from repro.core.dlr import DLR, PeriodRecord
+from repro.core.dlr import DLR, MultiPeriodRecord, PeriodRecord
 from repro.core.keys import PublicKey, Share1, Share2
 from repro.core.optimal import OptimalDLR
 from repro.errors import LeakageBudgetExceeded, ParameterError, ProtocolError
@@ -422,11 +422,40 @@ class SessionSupervisor:
         assert isinstance(record, PeriodRecord)
         return record
 
-    def _run_one_period(self, ciphertext=None) -> object:
+    def run_request_batch(self, ciphertexts) -> MultiPeriodRecord:
+        """Serve one request-driven period that decrypts a whole *batch*
+        of ciphertexts under a single share generation, then refreshes
+        once (:meth:`~repro.core.dlr.DLR.run_period_multi`).
+
+        Amortization holds through the retry machinery unchanged: the
+        batch is one period, so a transient fault retries the whole
+        batch against the same shares, its aborted transcript is charged
+        to the same period budget, and commit/checkpoint happen once.
+        Identity-lifecycle sessions (DLRIBE with ``public_params``)
+        don't batch -- their period shape is per-identity.
+        """
+        if isinstance(self.scheme, DLRIBE) and self.public_params is not None:
+            raise ParameterError(
+                "batch requests are not supported for identity lifecycles"
+            )
+        if self.frozen:
+            raise ProtocolError(
+                "session is frozen: a retry would have exceeded the leakage "
+                "budget; start a new period budget before resuming"
+            )
+        if self.device1 is None:
+            self._setup()
+        if self.state.complete:
+            self.state.periods_total = self.state.next_period + 1
+        record = self._run_one_period(list(ciphertexts), batch=True)
+        assert isinstance(record, MultiPeriodRecord)
+        return record
+
+    def _run_one_period(self, ciphertext=None, *, batch: bool = False) -> object:
         period = self.state.next_period
         with active_tracer().span("period", period=period, scheme=self.state.scheme) as span:
             record = run_with_retries(
-                lambda: self._attempt(period, ciphertext),
+                lambda: self._attempt(period, ciphertext, batch=batch),
                 period=period,
                 policy=self.policy,
                 transport=self.transport,
@@ -449,7 +478,7 @@ class SessionSupervisor:
     def _freeze(self) -> None:
         self.frozen = True
 
-    def _attempt(self, period: int, ciphertext=None) -> object:
+    def _attempt(self, period: int, ciphertext=None, *, batch: bool = False) -> object:
         """One protocol attempt for one period.  Background traffic is
         derived from ``(seed, period)`` only, so every attempt of a
         period retries the *same* ciphertext -- and a resumed session
@@ -462,6 +491,12 @@ class SessionSupervisor:
         verifying the result is the requesting client's business.
         """
         assert self.device1 is not None and self.device2 is not None
+        if batch:
+            # A batch request is always explicit client traffic: decrypt
+            # every ciphertext under this generation, one refresh.
+            return self.scheme.run_period_multi(
+                self.device1, self.device2, self.transport, ciphertext
+            )
         message = None
         if ciphertext is None:
             traffic = random.Random(f"{self.state.seed}/traffic/{period}")

@@ -314,6 +314,37 @@ class ServiceClient:
         bits = BitString(int.from_bytes(body, "big"), header["plaintext_bits"])
         return decode_gt(public_key.group, bits)
 
+    def decrypt_batch(
+        self, tenant: str, key: str, ciphertexts, *, request_id: str | None = None
+    ) -> list:
+        """Send a whole ciphertext vector for ``tenant/key``; returns the
+        GT plaintexts in order.
+
+        The server decrypts the batch as ONE supervised period (one
+        refresh, one checkpoint), so per-ciphertext cost amortizes.
+        Stamped with a ``request_id`` like :meth:`decrypt`, so a retry
+        after a lost response replays the cached answer instead of
+        burning another period on the same batch.
+        """
+        public_key = self.public_key(tenant, key)
+        envelope = persist.dumps("ciphertext_batch", list(ciphertexts)).encode("utf-8")
+        header, body = self.call(
+            "decrypt_batch",
+            envelope,
+            tenant=tenant,
+            key=key,
+            request_id=request_id if request_id is not None else self.next_request_id(),
+        )
+        plaintexts = []
+        position = 0
+        for bit_length in header["plaintext_bits"]:
+            byte_length = (bit_length + 7) // 8
+            chunk = body[position : position + byte_length]
+            position += byte_length
+            bits = BitString(int.from_bytes(chunk, "big"), bit_length)
+            plaintexts.append(decode_gt(public_key.group, bits))
+        return plaintexts
+
     def encrypt_and_decrypt(self, tenant: str, key: str, message, rng):
         """Encrypt ``message`` locally under the key's pk (DLR-style
         ``Enc_pk``; both ``dlr`` and ``optimal`` use it), round-trip it

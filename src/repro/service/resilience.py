@@ -55,14 +55,14 @@ IDEMPOTENT_OPS = frozenset({"ping", "describe", "stats", "health", "metrics"})
 #: Ops that run (or mutate) a session: shed first under overload and
 #: refused while draining.  Everything else is *light* -- answered even
 #: in brownout so health stays observable under saturation.
-HEAVY_OPS = frozenset({"open", "decrypt", "refresh", "evict"})
+HEAVY_OPS = frozenset({"open", "decrypt", "decrypt_batch", "refresh", "evict"})
 
 
 def is_idempotent(op: str, fields: dict) -> bool:
     """Whether a request may be replayed after a connection loss."""
     if op in IDEMPOTENT_OPS:
         return True
-    return op == "decrypt" and "request_id" in fields
+    return op in ("decrypt", "decrypt_batch") and "request_id" in fields
 
 
 # ---------------------------------------------------------------------------

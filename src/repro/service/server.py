@@ -99,6 +99,10 @@ REQUEST_SECONDS_BUCKETS = (
     0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 15.0
 )
 
+#: Histogram boundaries for decrypt-batch sizes: powers of two matching
+#: the bench sweep, so operators can read amortization off the same axis.
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
 #: Service health states reported by the ``health`` op.
 READY = "ready"
 DRAINING = "draining"
@@ -716,6 +720,51 @@ class KeyService:
         bits = record.plaintext.to_bits()
         fields = {"period": record.period, "plaintext_bits": len(bits)}
         body = bits.to_bytes()
+        if cache_key is not None:
+            self._replay.put(cache_key, fields, body)
+        return fields, body
+
+    def _op_decrypt_batch(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        """Decrypt a whole ciphertext vector as ONE supervised period:
+        every ciphertext under the current share generation, one refresh,
+        one checkpoint, one leakage-period charge -- the amortized path.
+        Idempotent under ``request_id`` exactly like ``decrypt``; the
+        deadline is enforced between protocol steps, so each per-
+        ciphertext chunk of the period re-checks it and an expiry rolls
+        the whole (uncommitted) period back, typed and retryable."""
+        deadline = deadline_from_header(header)
+        request_id = header.get("request_id")
+        cache_key = None
+        if request_id is not None:
+            request_id = validated_request_id(request_id)
+            cache_key = (header.get("tenant"), header.get("key"), request_id)
+            cached = self._replay.get(cache_key)
+            if cached is not None:
+                fields, body = cached
+                self.metrics.counter("service.replayed_decrypts").inc()
+                return {**fields, "replayed": True}, body
+
+        def serve(session):
+            ciphertexts = persist.loads(payload.decode("utf-8"), session.group)
+            if not isinstance(ciphertexts, list) or not ciphertexts:
+                raise ServiceError(
+                    "bad-request", "decrypt_batch needs a non-empty ciphertext_batch"
+                )
+            return session.serve_decrypt_batch(ciphertexts, deadline=deadline)
+
+        session, record = self._serve_on(header, serve)
+        self.metrics.histogram(
+            "service.batch_size",
+            buckets=BATCH_SIZE_BUCKETS,
+            tenant=self._tenant_label(header.get("tenant")),
+        ).observe(len(record.plaintexts))
+        bits_list = [plaintext.to_bits() for plaintext in record.plaintexts]
+        fields = {
+            "period": record.period,
+            "count": len(bits_list),
+            "plaintext_bits": [len(bits) for bits in bits_list],
+        }
+        body = b"".join(bits.to_bytes() for bits in bits_list)
         if cache_key is not None:
             self._replay.put(cache_key, fields, body)
         return fields, body

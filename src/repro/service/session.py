@@ -20,7 +20,7 @@ import threading
 import time
 from dataclasses import dataclass
 
-from repro.core.dlr import PeriodRecord
+from repro.core.dlr import MultiPeriodRecord, PeriodRecord
 from repro.errors import AdmissionRejected
 from repro.runtime.session import SessionSupervisor
 from repro.service.resilience import find_deadline_exceeded
@@ -121,12 +121,21 @@ class ManagedSession:
         (decrypt + proactive refresh) on the request's ciphertext."""
         return self._serve(ciphertext, deadline=deadline)
 
+    def serve_decrypt_batch(self, ciphertexts, *, deadline=None) -> MultiPeriodRecord:
+        """Serve a whole decrypt *batch* as one supervised period: every
+        ciphertext decrypted under the current share generation, one
+        refresh, one checkpoint -- the amortized path.  The deadline is
+        still enforced at protocol-step granularity, so a large batch
+        against a short deadline fails typed-and-retryable mid-period
+        (the period rolls back; nothing was committed)."""
+        return self._serve(list(ciphertexts), deadline=deadline, batch=True)
+
     def serve_refresh(self, *, deadline=None) -> PeriodRecord:
         """Proactively roll the shares: one period on self-generated
         traffic (the supervisor's plaintext-echo check stays active)."""
         return self._serve(None, deadline=deadline)
 
-    def _serve(self, ciphertext, *, deadline=None) -> PeriodRecord:
+    def _serve(self, ciphertext, *, deadline=None, batch: bool = False):
         tracer = active_tracer()
         if tracer.enabled:
             # Requests on the same key serialize here; the lock-wait
@@ -160,7 +169,10 @@ class ManagedSession:
             if deadline is not None:
                 transport.step_hook = deadline.step_hook
             try:
-                record = self.supervisor.run_request(ciphertext)
+                if batch:
+                    record = self.supervisor.run_request_batch(ciphertext)
+                else:
+                    record = self.supervisor.run_request(ciphertext)
             except Exception as exc:
                 # A mid-protocol expiry surfaces wrapped in the engine's
                 # rollback machinery; unwrap it so the wire carries the

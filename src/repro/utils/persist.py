@@ -133,6 +133,16 @@ def load_ciphertext(group: BilinearGroup, data: dict[str, Any]) -> Ciphertext:
     )
 
 
+def dump_ciphertext_batch(ciphertexts: list[Ciphertext]) -> dict[str, Any]:
+    return {"items": [dump_ciphertext(ciphertext) for ciphertext in ciphertexts]}
+
+
+def load_ciphertext_batch(
+    group: BilinearGroup, data: dict[str, Any]
+) -> list[Ciphertext]:
+    return [load_ciphertext(group, item) for item in data["items"]]
+
+
 # ---------------------------------------------------------------------------
 # durable writes
 # ---------------------------------------------------------------------------
@@ -166,6 +176,7 @@ _DUMPERS = {
     "share1": dump_share1,
     "share2": dump_share2,
     "ciphertext": dump_ciphertext,
+    "ciphertext_batch": dump_ciphertext_batch,
 }
 
 
@@ -196,4 +207,6 @@ def loads(text: str, group: BilinearGroup | None = None) -> Any:
         return load_share2(data)
     if kind == "ciphertext":
         return load_ciphertext(group, data)
+    if kind == "ciphertext_batch":
+        return load_ciphertext_batch(group, data)
     raise ParameterError(f"unknown kind {kind!r}")

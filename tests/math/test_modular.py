@@ -158,3 +158,54 @@ class TestBatchInv:
         inverses = batch_inv(values, p)
         for value, inverse in zip(values, inverses):
             assert value * inverse % p == 1
+
+
+class TestBatchInvSkipZero:
+    """The mixed-vector contract: ``skip_zero`` backfills ``0`` for zero
+    entries instead of raising, preserving every finite inverse -- the
+    shape :func:`~repro.groups.curve.batch_to_affine` relies on when
+    infinity points (``Z = 0``) ride along in one batch.  Boundary
+    positions are the regression cases: the skip-and-backfill rewrite
+    must handle a zero as the *first* and *last* entry, where the prefix
+    -product bookkeeping is easiest to get wrong.
+    """
+
+    p = 101
+
+    def _check(self, values):
+        result = batch_inv(values, self.p, skip_zero=True)
+        assert len(result) == len(values)
+        for value, inverse in zip(values, result):
+            if value % self.p == 0:
+                assert inverse == 0
+            else:
+                assert value * inverse % self.p == 1
+
+    def test_zero_at_first_index(self):
+        self._check([0, 3, 5, 7])
+
+    def test_zero_at_last_index(self):
+        self._check([3, 5, 7, 0])
+
+    def test_zero_at_both_boundaries(self):
+        self._check([0, 3, 5, 7, 0])
+
+    def test_consecutive_and_interior_zeros(self):
+        self._check([4, 0, 0, 9, 0, 11])
+
+    def test_all_zero(self):
+        assert batch_inv([0, 0, 0], self.p, skip_zero=True) == [0, 0, 0]
+
+    def test_multiple_of_p_counts_as_zero(self):
+        self._check([self.p, 3, 2 * self.p])
+
+    def test_empty(self):
+        assert batch_inv([], self.p, skip_zero=True) == []
+
+    def test_default_contract_still_raises(self):
+        """``skip_zero`` is opt-in: without it a zero entry still raises
+        with the offending index, leaving no partial output."""
+        with pytest.raises(ParameterError, match="index 0"):
+            batch_inv([0, 3], self.p)
+        with pytest.raises(ParameterError, match="index 1"):
+            batch_inv([3, 0], self.p)

@@ -1,7 +1,5 @@
 """Unit tests for the public channel."""
 
-import pytest
-
 from repro.protocol.channel import Channel
 from repro.utils.bits import BitString
 
@@ -43,41 +41,6 @@ class TestChannel:
         channel = Channel()
         channel.send("P1", "P2", "a", BitString(0, 8))
         assert channel.bits_on_wire() == 8
-
-    def test_bytes_on_wire_alias_warns_through_warnings_machinery(self):
-        """No module-global once-flag: every call emits through
-        ``warnings.warn``, so filters fully control visibility and no
-        state leaks across tests, sessions, or threads."""
-        import warnings
-
-        channel = Channel()
-        channel.send("P1", "P2", "a", BitString(0, 12))
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            # Whole bytes: 12 bits -> 1 byte, the partial byte dropped.
-            assert channel.bytes_on_wire() == channel.bits_on_wire() // 8 == 1
-            assert channel.bytes_on_wire() == 1
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 2  # one per call under "always"
-
-    def test_bytes_on_wire_alias_is_filterable(self):
-        """``filterwarnings`` governs the alias: escalate to an error or
-        silence it entirely -- the old process-global flag obeyed
-        neither."""
-        import warnings
-
-        channel = Channel()
-        channel.send("P1", "P2", "a", BitString(0, 8))
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            with pytest.raises(DeprecationWarning):
-                channel.bytes_on_wire()
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("ignore")
-            assert channel.bytes_on_wire() == 1
-        assert caught == []
 
     def test_prune_drops_committed_periods(self):
         channel = Channel()

@@ -1,0 +1,105 @@
+"""Wire behavior of the amortized ``decrypt_batch`` service op."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.utils import persist
+
+
+def _encrypt_many(client, tenant, key, count, seed=5):
+    rng = random.Random(seed)
+    public_key = client.public_key(tenant, key)
+    from repro.core.dlr import DLR
+
+    scheme = DLR(public_key.params)
+    messages = [public_key.group.random_gt(rng) for _ in range(count)]
+    ciphertexts = scheme.encrypt_batch(public_key, messages, rng)
+    return messages, ciphertexts
+
+
+class TestDecryptBatchOp:
+    def test_round_trip(self, client):
+        client.open_key("acme", "k", seed=1)
+        messages, ciphertexts = _encrypt_many(client, "acme", "k", 5)
+        assert client.decrypt_batch("acme", "k", ciphertexts) == messages
+
+    def test_batch_is_one_period(self, client, registry):
+        client.open_key("acme", "k", seed=1)
+        messages, ciphertexts = _encrypt_many(client, "acme", "k", 4)
+        client.decrypt_batch("acme", "k", ciphertexts)
+        assert registry.get("acme", "k").next_period == 1
+
+    def test_replay_cache_absorbs_duplicate_request_id(self, client, registry):
+        client.open_key("acme", "k", seed=1)
+        messages, ciphertexts = _encrypt_many(client, "acme", "k", 3)
+        first = client.decrypt_batch(
+            "acme", "k", ciphertexts, request_id="req-1"
+        )
+        replayed = client.decrypt_batch(
+            "acme", "k", ciphertexts, request_id="req-1"
+        )
+        assert replayed == first == messages
+        # The duplicate did not burn a second period.
+        assert registry.get("acme", "k").next_period == 1
+
+    def test_empty_batch_is_bad_request(self, client):
+        client.open_key("acme", "k", seed=1)
+        envelope = persist.dumps("ciphertext_batch", []).encode("utf-8")
+        with pytest.raises(ServiceError) as excinfo:
+            client.call(
+                "decrypt_batch",
+                envelope,
+                tenant="acme",
+                key="k",
+                request_id="r",
+            )
+        assert excinfo.value.code == "bad-request"
+
+    def test_garbage_payload_is_bad_request(self, client):
+        client.open_key("acme", "k", seed=1)
+        with pytest.raises(ServiceError) as excinfo:
+            client.call(
+                "decrypt_batch",
+                b"not json",
+                tenant="acme",
+                key="k",
+                request_id="r",
+            )
+        assert excinfo.value.code == "bad-request"
+
+    def test_batch_size_histogram_exposed(self, client, service):
+        client.open_key("acme", "k", seed=1)
+        _, ciphertexts = _encrypt_many(client, "acme", "k", 5)
+        client.decrypt_batch("acme", "k", ciphertexts)
+        text = client.metrics_text()
+        assert "service_batch_size" in text
+
+    def test_unknown_key_code(self, client):
+        envelope = persist.dumps("ciphertext_batch", []).encode("utf-8")
+        with pytest.raises(ServiceError) as excinfo:
+            client.call(
+                "decrypt_batch",
+                envelope,
+                tenant="acme",
+                key="missing",
+                request_id="r",
+            )
+        assert excinfo.value.code == "unknown-key"
+
+
+class TestRuntimeBatch:
+    def test_run_request_batch_round_trip(self, registry):
+        from repro.core.dlr import DLR
+
+        session = registry.create("acme", "k", seed=3)
+        rng = random.Random(9)
+        public_key = session.public_key
+        scheme = DLR(public_key.params)
+        messages = [public_key.group.random_gt(rng) for _ in range(3)]
+        ciphertexts = scheme.encrypt_batch(public_key, messages, rng)
+        record = session.serve_decrypt_batch(ciphertexts)
+        assert list(record.plaintexts) == messages
